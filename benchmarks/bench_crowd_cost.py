@@ -1,0 +1,32 @@
+"""E9 — crowdsourcing cost: membership queries (JIM) vs pairwise crowd joins.
+
+Regenerates the Section 1 motivation: how many crowd questions JIM needs
+compared to a pairwise (entity-resolution style) crowd join as the candidate
+pair space grows.  The timed operation is the JIM inference on the largest
+workload of the sweep.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro import GoalQueryOracle, infer_join
+from repro.experiments.crowd import compare_crowd_cost, crowd_workloads
+
+_WORKLOADS = crowd_workloads(tuples_per_relation=(8, 12, 16, 24), goal_atoms=1, seed=0)
+
+
+def bench_jim_vs_pairwise_crowd_join(benchmark):
+    workload = _WORKLOADS[-1]
+
+    def run():
+        return infer_join(workload.table, GoalQueryOracle(workload.goal), strategy="lookahead-entropy")
+
+    result = benchmark(run)
+    assert result.matches_goal(workload.goal)
+
+    table = compare_crowd_cost(_WORKLOADS)
+    report("E9 — crowd questions: JIM vs pairwise entity-resolution join", table.to_text())
+    assert all(row["jim_questions"] < row["pairwise_questions"] for row in table)
+    assert all(row["reduction_factor"] >= 2 for row in table)
+    assert all(row["correct"] for row in table)

@@ -1,0 +1,20 @@
+"""E1 — the Section 2 walkthrough on the Figure 1 table (paper's worked example).
+
+Regenerates every fact of the paper's motivating example (which tuples Q1/Q2
+select, which labels gray out which tuples, which label set identifies Q2) and
+times the full walkthrough computation.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.experiments.walkthrough import run_walkthrough
+
+
+def bench_walkthrough(benchmark):
+    walkthrough = benchmark(run_walkthrough)
+    report("E1 — Figure 1 walkthrough (Section 2 of the paper)", walkthrough.to_table().to_text())
+    assert walkthrough.final_matches_q2
+    assert walkthrough.grayed_if_12_positive == (2, 3, 6)
+    assert walkthrough.grayed_if_12_negative == (0, 4, 8)

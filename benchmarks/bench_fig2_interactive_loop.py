@@ -1,0 +1,30 @@
+"""E2 — the interactive loop of Figure 2 vs labeling every tuple.
+
+Regenerates the headline saving of the demo ("Jim saves a lot of effort"): the
+number of membership queries the guided loop needs compared to the size of the
+candidate table, on Figure 1 and on a synthetic size sweep.  The timed
+operation is one full guided inference run on the Figure 1 workload.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro import GoalQueryOracle, JoinInferenceEngine
+from repro.experiments.interactions import default_e2_workloads, interactive_vs_label_all
+
+_WORKLOADS = default_e2_workloads(tuple_counts=(6, 10, 14, 20), goal_atoms=2, seed=0)
+
+
+def bench_guided_inference_figure1(benchmark, figure1_workload_q2):
+    engine = JoinInferenceEngine(figure1_workload_q2.table, strategy="lookahead-entropy")
+
+    def run():
+        return engine.run(GoalQueryOracle(figure1_workload_q2.goal))
+
+    result = benchmark(run)
+    assert result.converged and result.matches_goal(figure1_workload_q2.goal)
+
+    table = interactive_vs_label_all(_WORKLOADS)
+    report("E2 — guided interactive loop vs labeling every tuple", table.to_text())
+    assert all(row["interactive_labels"] < row["label_all_labels"] for row in table)

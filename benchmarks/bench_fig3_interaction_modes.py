@@ -1,0 +1,42 @@
+"""E3 — user effort under the four interaction types of Figure 3.
+
+Regenerates the comparison the demo stages for the attendee: how many labels
+she gives when labeling freely, when helped by graying-out, when labeling
+top-k proposals, and when fully guided.  The timed operation is one run of the
+fully guided session (interaction type 4).
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro import GoalQueryOracle
+from repro.datasets.synthetic import SyntheticConfig
+from repro.datasets.workloads import figure1_workload, synthetic_workload
+from repro.experiments.interactions import interaction_mode_effort
+from repro.sessions import GuidedSession
+
+_WORKLOADS = [
+    figure1_workload("q2"),
+    synthetic_workload(
+        SyntheticConfig(
+            num_relations=2, attributes_per_relation=3, tuples_per_relation=10, domain_size=3, seed=0
+        ),
+        goal_atoms=2,
+    ),
+]
+
+
+def bench_guided_session_mode4(benchmark, figure1_workload_q2):
+    def run():
+        session = GuidedSession(figure1_workload_q2.table, strategy="lookahead-entropy")
+        session.run(GoalQueryOracle(figure1_workload_q2.goal))
+        return session
+
+    session = benchmark(run)
+    assert session.is_converged()
+
+    table = interaction_mode_effort(_WORKLOADS, k=3, seed=1)
+    report("E3 — user effort under the four interaction types (Figure 3)", table.to_text())
+    means = table.group_mean(["mode"], "labels_given")
+    assert means[("4-guided",)] <= means[("1-manual",)]

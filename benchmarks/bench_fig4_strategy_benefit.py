@@ -1,0 +1,34 @@
+"""E4 — the "benefit of using a strategy" comparison of Figure 4.
+
+Regenerates the bar-chart comparison the demo shows after a free-labeling
+session: interactions the (simulated) unguided user performed vs interactions
+a guided strategy would have needed for the same goal query.  The timed
+operation is the benefit computation (the strategy replay).
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro import GoalQueryOracle
+from repro.experiments.interactions import strategy_benefit
+from repro.sessions import ManualSession
+from repro.sessions.benefit import compute_benefit
+from repro.ui import render_benefit_report
+
+
+def bench_benefit_report(benchmark, figure1_workload_q2):
+    workload = figure1_workload_q2
+    session = ManualSession(workload.table, gray_out=False)
+    session.run(GoalQueryOracle(workload.goal), order=list(workload.table.tuple_ids))
+
+    def compute():
+        return compute_benefit(
+            session.state, session.num_interactions, strategy="lookahead-entropy", goal=workload.goal
+        )
+
+    benefit = benchmark(compute)
+    chart = render_benefit_report(benefit)
+    table = strategy_benefit(seeds=(0, 1, 2))
+    report("E4 — benefit of using a strategy (Figure 4)", chart + "\n\n" + table.to_text())
+    assert benefit.strategy_interactions <= benefit.user_interactions

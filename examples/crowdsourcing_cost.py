@@ -1,0 +1,53 @@
+"""Crowdsourcing cost: membership queries (JIM) vs pairwise crowd joins.
+
+Section 1 of the paper argues that JIM suits crowdsourced joins because
+"minimizing the number of interactions entails lower financial costs", whereas
+existing crowd-join systems resolve pairs of tuples one by one.  This example
+prices both approaches on growing synthetic join tasks.
+
+Run with::
+
+    python examples/crowdsourcing_cost.py
+"""
+
+from __future__ import annotations
+
+from repro import GoalQueryOracle, infer_join
+from repro.baselines.entity_resolution import PairwiseCrowdJoin
+from repro.datasets.synthetic import SyntheticConfig, planted_goal_instance
+
+PRICE_PER_QUESTION = 0.05  # dollars, a typical micro-task reward
+
+
+def main() -> None:
+    print(f"{'candidate pairs':>16s} {'pairwise questions':>19s} {'JIM questions':>14s} "
+          f"{'pairwise cost':>14s} {'JIM cost':>9s} {'saving':>7s}")
+    for tuples_per_relation in (8, 12, 16, 24, 32):
+        config = SyntheticConfig(
+            num_relations=2,
+            attributes_per_relation=3,
+            tuples_per_relation=tuples_per_relation,
+            domain_size=4,
+            seed=1,
+        )
+        table, goal = planted_goal_instance(config, num_atoms=1)
+
+        crowd = PairwiseCrowdJoin().run(table, GoalQueryOracle(goal))
+        jim = infer_join(table, GoalQueryOracle(goal), strategy="lookahead-entropy")
+        assert jim.matches_goal(goal)
+
+        pairwise_cost = crowd.questions_asked * PRICE_PER_QUESTION
+        jim_cost = jim.num_interactions * PRICE_PER_QUESTION
+        saving = 100.0 * (1 - jim_cost / pairwise_cost)
+        print(
+            f"{len(table):16d} {crowd.questions_asked:19d} {jim.num_interactions:14d} "
+            f"${pairwise_cost:13.2f} ${jim_cost:8.2f} {saving:6.1f}%"
+        )
+
+    print()
+    print("JIM infers the join *predicate* from a few membership questions, so its")
+    print("cost stays flat while the pairwise approach grows with the candidate space.")
+
+
+if __name__ == "__main__":
+    main()

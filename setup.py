@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that fully offline environments (no access to PyPI for build-isolation
+requirements, no ``wheel`` package) can still perform a legacy editable
+install with ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

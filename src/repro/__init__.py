@@ -1,0 +1,140 @@
+"""JIM — Join Inference Machine (reproduction).
+
+A library for *interactive join query inference*: the user labels candidate
+tuples as positive or negative (membership queries) and the system infers the
+n-ary equi-join predicate she has in mind with a minimal number of
+interactions, graying out uninformative tuples after each answer.
+
+Reproduction of: A. Bonifati, R. Ciucanu, S. Staworko, "Interactive Join
+Query Inference with JIM", PVLDB 7(13):1541–1544, 2014 (and the algorithms of
+its companion research paper "Interactive Inference of Join Queries",
+EDBT 2014).
+
+Quickstart::
+
+    from repro import (
+        CandidateTable, GoalQueryOracle, JoinQuery, infer_join,
+    )
+    from repro.datasets import flights_hotels
+
+    table = flights_hotels.figure1_table()
+    goal = flights_hotels.query_q2()                 # what the "user" has in mind
+    result = infer_join(table, GoalQueryOracle(goal), strategy="lookahead-entropy")
+    print(result.query.describe())                   # To ≍ City ∧ Airline ≍ Discount
+    print(result.num_interactions)                   # far fewer than 12 labels
+"""
+
+from . import baselines, core, datasets, experiments, relational, sessions, ui
+from .core import (
+    AtomScope,
+    AtomUniverse,
+    ConsistentQuerySpace,
+    EqualityAtom,
+    EqualityTypeIndex,
+    Example,
+    ExampleSet,
+    GoalQueryOracle,
+    InferenceResult,
+    InferenceState,
+    InferenceTrace,
+    Interaction,
+    JoinInferenceEngine,
+    JoinQuery,
+    Label,
+    NoisyOracle,
+    Oracle,
+    PropagationResult,
+    TupleStatus,
+    infer_join,
+)
+from .core import strategies
+from .exceptions import (
+    AtomUniverseError,
+    CandidateTableError,
+    ConvergenceError,
+    DataTypeError,
+    ExperimentError,
+    InconsistentLabelError,
+    OracleError,
+    ReproError,
+    SchemaError,
+    StrategyError,
+)
+from .relational import (
+    Attribute,
+    CandidateAttribute,
+    CandidateTable,
+    DatabaseInstance,
+    DatabaseSchema,
+    DataType,
+    Relation,
+    RelationSchema,
+    denormalize,
+)
+from .sessions import (
+    BenefitReport,
+    GuidedSession,
+    InteractionMode,
+    ManualSession,
+    SessionStatistics,
+    TopKSession,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomScope",
+    "AtomUniverse",
+    "AtomUniverseError",
+    "Attribute",
+    "BenefitReport",
+    "CandidateAttribute",
+    "CandidateTable",
+    "CandidateTableError",
+    "ConsistentQuerySpace",
+    "ConvergenceError",
+    "DataType",
+    "DataTypeError",
+    "DatabaseInstance",
+    "DatabaseSchema",
+    "EqualityAtom",
+    "EqualityTypeIndex",
+    "Example",
+    "ExampleSet",
+    "ExperimentError",
+    "GoalQueryOracle",
+    "GuidedSession",
+    "InconsistentLabelError",
+    "InferenceResult",
+    "InferenceState",
+    "InferenceTrace",
+    "Interaction",
+    "InteractionMode",
+    "JoinInferenceEngine",
+    "JoinQuery",
+    "Label",
+    "ManualSession",
+    "NoisyOracle",
+    "Oracle",
+    "OracleError",
+    "PropagationResult",
+    "Relation",
+    "RelationSchema",
+    "ReproError",
+    "SchemaError",
+    "SessionStatistics",
+    "StrategyError",
+    "TopKSession",
+    "TupleStatus",
+    "baselines",
+    "core",
+    "datasets",
+    "denormalize",
+    "experiments",
+    "infer_join",
+    "relational",
+    "sessions",
+    "strategies",
+    "ui",
+    "__version__",
+]

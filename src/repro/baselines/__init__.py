@@ -1,0 +1,23 @@
+"""Baselines JIM is compared against in the experiments.
+
+* :mod:`repro.baselines.label_all` — labeling every candidate tuple;
+* :mod:`repro.baselines.random_order` — an unguided user labeling tuples in a
+  random order (with or without the system graying out uninformative tuples);
+* :mod:`repro.baselines.entity_resolution` — pairwise crowdsourced joins
+  (entity-resolution style), the related-work comparison of Section 1.
+"""
+
+from .entity_resolution import CrowdJoinResult, PairwiseCrowdJoin, pairwise_question_count
+from .label_all import ExhaustiveLabelingResult, exhaustive_inference, label_all_interactions
+from .random_order import RandomOrderBaseline, RandomOrderResult
+
+__all__ = [
+    "CrowdJoinResult",
+    "ExhaustiveLabelingResult",
+    "PairwiseCrowdJoin",
+    "RandomOrderBaseline",
+    "RandomOrderResult",
+    "exhaustive_inference",
+    "label_all_interactions",
+    "pairwise_question_count",
+]

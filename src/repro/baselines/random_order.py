@@ -1,0 +1,89 @@
+"""The unguided user baseline: labeling tuples in an arbitrary order.
+
+Interaction type 1 of the demo lets the attendee "choose the tuples that she
+wants to label as positive and negative examples, in any order she prefers";
+an attendee with no insight into informativeness is modelled here as labeling
+uniformly random tuples (optionally *any* tuple, including ones that are
+already uninformative) until the labels identify a unique query.  The gap
+between this baseline and the guided strategies is exactly what Figure 4 of
+the paper visualises.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.oracle import Oracle
+from ..core.queries import JoinQuery
+from ..core.state import InferenceState
+from ..relational.candidate import CandidateTable
+
+
+@dataclass(frozen=True)
+class RandomOrderResult:
+    """Outcome of an unguided random-order labeling session."""
+
+    query: JoinQuery
+    num_interactions: int
+    converged: bool
+    wasted_interactions: int
+    """Labels spent on tuples that were already uninformative when labeled."""
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dictionary form for experiment logging."""
+        return {
+            "query": self.query.describe(),
+            "num_interactions": self.num_interactions,
+            "converged": self.converged,
+            "wasted_interactions": self.wasted_interactions,
+        }
+
+
+class RandomOrderBaseline:
+    """Simulates an attendee labeling random tuples until convergence.
+
+    ``informed_pruning`` corresponds to interaction type 2 (the system grays
+    out uninformative tuples, so the attendee never wastes a label on them);
+    without it the attendee may label uninformative tuples, which is the
+    fully unassisted interaction type 1.
+    """
+
+    def __init__(self, seed: Optional[int] = None, informed_pruning: bool = False) -> None:
+        self.seed = seed
+        self.informed_pruning = informed_pruning
+
+    def run(
+        self,
+        table: CandidateTable,
+        oracle: Oracle,
+        max_interactions: Optional[int] = None,
+    ) -> RandomOrderResult:
+        """Label random tuples until the query is identified (or the cap is hit)."""
+        rng = random.Random(self.seed)
+        state = InferenceState(table)
+        order = list(table.tuple_ids)
+        rng.shuffle(order)
+        interactions = 0
+        wasted = 0
+        for tuple_id in order:
+            if state.is_converged():
+                break
+            if max_interactions is not None and interactions >= max_interactions:
+                break
+            status = state.status(tuple_id)
+            if status.is_labeled:
+                continue
+            if status.is_certain:
+                if self.informed_pruning:
+                    continue
+                wasted += 1
+            state.add_label(tuple_id, oracle.label(table, tuple_id))
+            interactions += 1
+        return RandomOrderResult(
+            query=state.inferred_query(),
+            num_interactions=interactions,
+            converged=state.is_converged(),
+            wasted_interactions=wasted,
+        )

@@ -1,0 +1,223 @@
+"""The interactive inference engine — the loop of the paper's Figure 2.
+
+``input: a set of tuples`` → while an informative tuple remains: choose one
+according to the strategy Υ, ask the user (oracle) for its label, propagate
+the label — → ``output: inferred join query``.
+
+:class:`JoinInferenceEngine` drives that loop against any
+:class:`~repro.core.oracle.Oracle` and any
+:class:`~repro.core.strategies.base.Strategy`, records every interaction in an
+:class:`InferenceTrace`, and returns an :class:`InferenceResult` containing
+the inferred query, the number of membership queries asked, and convergence
+diagnostics.  It is the single entry point used by the sessions layer, the
+examples and all experiments.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..exceptions import ConvergenceError
+from ..relational.candidate import CandidateTable
+from .atoms import AtomScope, AtomUniverse
+from .examples import Label
+from .oracle import Oracle
+from .propagation import PropagationResult
+from .queries import JoinQuery
+from .state import InferenceState
+from .strategies.base import Strategy
+from .strategies.lookahead import EntropyStrategy
+from .strategies.registry import create_strategy
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One answered membership query and its effect."""
+
+    step: int
+    tuple_id: int
+    label: Label
+    pruned: int
+    informative_remaining: int
+    elapsed_seconds: float
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dictionary form for experiment logging."""
+        return {
+            "step": self.step,
+            "tuple_id": self.tuple_id,
+            "label": self.label.value,
+            "pruned": self.pruned,
+            "informative_remaining": self.informative_remaining,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass
+class InferenceTrace:
+    """The full history of one inference run."""
+
+    interactions: list[Interaction] = field(default_factory=list)
+    propagations: list[PropagationResult] = field(default_factory=list)
+
+    @property
+    def num_interactions(self) -> int:
+        """Number of membership queries asked."""
+        return len(self.interactions)
+
+    @property
+    def total_pruned(self) -> int:
+        """Total number of tuples grayed out across the run."""
+        return sum(interaction.pruned for interaction in self.interactions)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total time spent choosing tuples and propagating labels."""
+        return sum(interaction.elapsed_seconds for interaction in self.interactions)
+
+    def labels(self) -> dict[int, Label]:
+        """The labels collected, keyed by tuple id."""
+        return {interaction.tuple_id: interaction.label for interaction in self.interactions}
+
+
+@dataclass
+class InferenceResult:
+    """The outcome of one interactive inference run."""
+
+    query: JoinQuery
+    trace: InferenceTrace
+    state: InferenceState
+    converged: bool
+    strategy_name: str
+
+    @property
+    def num_interactions(self) -> int:
+        """Number of membership queries asked."""
+        return self.trace.num_interactions
+
+    def selected_tuples(self) -> frozenset[int]:
+        """The tuples of the candidate table selected by the inferred query."""
+        return self.query.evaluate(self.state.table)
+
+    def matches_goal(self, goal: JoinQuery) -> bool:
+        """Whether the inferred query is instance-equivalent to ``goal``."""
+        return self.query.instance_equivalent(goal, self.state.table)
+
+    def summary(self) -> str:
+        """One-line human-readable description of the run."""
+        status = "converged" if self.converged else "stopped early"
+        return (
+            f"{status} after {self.num_interactions} interaction(s) "
+            f"[{self.strategy_name}]: {self.query.describe()}"
+        )
+
+
+class JoinInferenceEngine:
+    """Runs the interactive join-inference loop of the paper's Figure 2."""
+
+    def __init__(
+        self,
+        table: CandidateTable,
+        strategy: Union[Strategy, str, None] = None,
+        universe: Optional[AtomUniverse] = None,
+        scope: AtomScope = AtomScope.CROSS_RELATION,
+        strict: bool = True,
+    ) -> None:
+        self.table = table
+        self.universe = universe if universe is not None else AtomUniverse.from_table(table, scope=scope)
+        if strategy is None:
+            self.strategy: Strategy = EntropyStrategy()
+        elif isinstance(strategy, str):
+            self.strategy = create_strategy(strategy)
+        else:
+            self.strategy = strategy
+        self.strict = strict
+
+    def new_state(self) -> InferenceState:
+        """A fresh inference state over the engine's table and universe."""
+        return InferenceState(self.table, universe=self.universe, strict=self.strict)
+
+    def run(
+        self,
+        oracle: Oracle,
+        max_interactions: Optional[int] = None,
+        initial_state: Optional[InferenceState] = None,
+        require_convergence: bool = False,
+    ) -> InferenceResult:
+        """Run the interactive loop until convergence (or ``max_interactions``).
+
+        Parameters
+        ----------
+        oracle:
+            Answers the membership queries (a simulated goal-query user, a
+            console user, …).
+        max_interactions:
+            Optional cap on the number of questions; when the cap is reached
+            before convergence the result has ``converged=False`` (or a
+            :class:`~repro.exceptions.ConvergenceError` is raised when
+            ``require_convergence`` is set).
+        initial_state:
+            Continue from an existing state (e.g. after a manual-labeling
+            session) instead of starting from scratch.
+        """
+        self.strategy.reset()
+        state = initial_state if initial_state is not None else self.new_state()
+        trace = InferenceTrace()
+        step = 0
+        while state.has_informative_tuple():
+            if max_interactions is not None and step >= max_interactions:
+                if require_convergence:
+                    raise ConvergenceError(
+                        f"inference did not converge within {max_interactions} interactions"
+                    )
+                return InferenceResult(
+                    query=state.inferred_query(),
+                    trace=trace,
+                    state=state,
+                    converged=False,
+                    strategy_name=self.strategy.name,
+                )
+            started = time.perf_counter()
+            tuple_id = self.strategy.choose(state)
+            label = oracle.label(self.table, tuple_id)
+            propagation = state.add_label(tuple_id, label)
+            elapsed = time.perf_counter() - started
+            step += 1
+            trace.propagations.append(propagation)
+            trace.interactions.append(
+                Interaction(
+                    step=step,
+                    tuple_id=tuple_id,
+                    label=label,
+                    pruned=propagation.pruned_count,
+                    informative_remaining=propagation.informative_after,
+                    elapsed_seconds=elapsed,
+                )
+            )
+        return InferenceResult(
+            query=state.inferred_query(),
+            trace=trace,
+            state=state,
+            converged=True,
+            strategy_name=self.strategy.name,
+        )
+
+
+def infer_join(
+    table: CandidateTable,
+    oracle: Oracle,
+    strategy: Union[Strategy, str, None] = None,
+    scope: AtomScope = AtomScope.CROSS_RELATION,
+    max_interactions: Optional[int] = None,
+) -> InferenceResult:
+    """One-call convenience wrapper: build an engine and run it.
+
+    This is the function the quickstart example uses::
+
+        result = infer_join(table, GoalQueryOracle(goal), strategy="lookahead-entropy")
+        print(result.query.describe(), result.num_interactions)
+    """
+    engine = JoinInferenceEngine(table, strategy=strategy, scope=scope)
+    return engine.run(oracle, max_interactions=max_interactions)

@@ -1,0 +1,94 @@
+"""Equality types of candidate tuples.
+
+The *equality type* ``E(t)`` of a tuple is the set of atoms of the universe
+that hold on it; a join query θ selects ``t`` exactly when ``θ ⊆ E(t)``.  The
+:class:`EqualityTypeIndex` precomputes ``E(t)`` for every tuple of a candidate
+table (as bitmasks) and groups tuples by their type — two tuples with the same
+type are indistinguishable to every join query, which both the pruning logic
+and the lookahead strategies exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from .atoms import AtomUniverse, popcount
+
+
+class EqualityTypeIndex:
+    """Per-tuple equality types (bitmasks) for one candidate table + universe."""
+
+    def __init__(self, universe: AtomUniverse) -> None:
+        self.universe = universe
+        self.table = universe.table
+        self._masks: tuple[int, ...] = tuple(
+            universe.equality_mask(row) for row in self.table.rows
+        )
+        grouped: dict[int, list[int]] = {}
+        for tuple_id, mask in enumerate(self._masks):
+            grouped.setdefault(mask, []).append(tuple_id)
+        self._by_mask: dict[int, tuple[int, ...]] = {
+            mask: tuple(ids) for mask, ids in grouped.items()
+        }
+
+    # ------------------------------------------------------------------ #
+    # Per-tuple access
+    # ------------------------------------------------------------------ #
+    def mask(self, tuple_id: int) -> int:
+        """The equality type E(t) of a tuple, as a bitmask."""
+        return self._masks[tuple_id]
+
+    @property
+    def masks(self) -> tuple[int, ...]:
+        """E(t) for every tuple, indexed by tuple id."""
+        return self._masks
+
+    def atom_count(self, tuple_id: int) -> int:
+        """Number of atoms that hold on the tuple."""
+        return popcount(self._masks[tuple_id])
+
+    # ------------------------------------------------------------------ #
+    # Type-level access
+    # ------------------------------------------------------------------ #
+    @property
+    def distinct_masks(self) -> tuple[int, ...]:
+        """The distinct equality types occurring in the table."""
+        return tuple(self._by_mask)
+
+    def tuples_with_mask(self, mask: int) -> tuple[int, ...]:
+        """Tuple ids whose equality type is exactly ``mask``."""
+        return self._by_mask.get(mask, ())
+
+    def type_sizes(self) -> Mapping[int, int]:
+        """How many tuples share each distinct equality type."""
+        return {mask: len(ids) for mask, ids in self._by_mask.items()}
+
+    def selected_by(self, query_mask: int) -> frozenset[int]:
+        """Tuple ids selected by the query encoded by ``query_mask``.
+
+        A query selects a tuple iff its atom set is a subset of the tuple's
+        equality type.
+        """
+        selected: list[int] = []
+        for mask, ids in self._by_mask.items():
+            if query_mask & ~mask == 0:
+                selected.extend(ids)
+        return frozenset(selected)
+
+    def count_selected_by(self, query_mask: int) -> int:
+        """Number of tuples selected by the query encoded by ``query_mask``."""
+        return sum(
+            len(ids) for mask, ids in self._by_mask.items() if query_mask & ~mask == 0
+        )
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._masks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"EqualityTypeIndex(tuples={len(self._masks)}, "
+            f"distinct_types={len(self._by_mask)}, atoms={self.universe.size})"
+        )

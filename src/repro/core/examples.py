@@ -1,0 +1,142 @@
+"""Labels and example sets.
+
+The user interacts with JIM exclusively through *membership queries*: she
+labels candidate tuples as positive (``+``, the tuple belongs to the join
+result she has in mind) or negative (``−``).  An :class:`ExampleSet` records
+those labels and is the sole input of the consistent-query space.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional
+
+from ..exceptions import InconsistentLabelError
+
+
+class Label(enum.Enum):
+    """A membership-query answer."""
+
+    POSITIVE = "+"
+    NEGATIVE = "-"
+
+    @property
+    def is_positive(self) -> bool:
+        """Whether the label is positive."""
+        return self is Label.POSITIVE
+
+    @property
+    def is_negative(self) -> bool:
+        """Whether the label is negative."""
+        return self is Label.NEGATIVE
+
+    def opposite(self) -> "Label":
+        """The other label."""
+        return Label.NEGATIVE if self is Label.POSITIVE else Label.POSITIVE
+
+    @classmethod
+    def from_value(cls, value: object) -> "Label":
+        """Parse a label from common user-facing spellings.
+
+        Accepts :class:`Label` values, booleans, and the strings
+        ``"+"/"-"``, ``"positive"/"negative"``, ``"yes"/"no"``, ``"y"/"n"``.
+        """
+        if isinstance(value, Label):
+            return value
+        if isinstance(value, bool):
+            return cls.POSITIVE if value else cls.NEGATIVE
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in {"+", "positive", "pos", "yes", "y", "true", "1"}:
+                return cls.POSITIVE
+            if lowered in {"-", "–", "negative", "neg", "no", "n", "false", "0"}:
+                return cls.NEGATIVE
+        raise InconsistentLabelError(f"cannot interpret {value!r} as a label")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Example:
+    """A labeled candidate tuple."""
+
+    tuple_id: int
+    label: Label
+
+    @property
+    def is_positive(self) -> bool:
+        """Whether the example is positive."""
+        return self.label.is_positive
+
+
+class ExampleSet:
+    """The labels collected so far, keyed by tuple id.
+
+    Relabeling a tuple with the same label is a no-op; relabeling it with the
+    opposite label raises :class:`~repro.exceptions.InconsistentLabelError`
+    (the paper assumes a consistent user — noisy users are modelled at the
+    oracle level instead).
+    """
+
+    def __init__(self, labels: Optional[Mapping[int, Label]] = None) -> None:
+        self._labels: dict[int, Label] = dict(labels) if labels else {}
+
+    def add(self, tuple_id: int, label: Label) -> None:
+        """Record a label for a tuple."""
+        existing = self._labels.get(tuple_id)
+        if existing is not None and existing is not label:
+            raise InconsistentLabelError(
+                f"tuple {tuple_id} was already labeled {existing.value!r}; "
+                f"cannot relabel it {label.value!r}"
+            )
+        self._labels[tuple_id] = label
+
+    def label_of(self, tuple_id: int) -> Optional[Label]:
+        """The label of a tuple, or ``None`` when unlabeled."""
+        return self._labels.get(tuple_id)
+
+    @property
+    def positives(self) -> frozenset[int]:
+        """Ids of positively labeled tuples."""
+        return frozenset(tid for tid, label in self._labels.items() if label.is_positive)
+
+    @property
+    def negatives(self) -> frozenset[int]:
+        """Ids of negatively labeled tuples."""
+        return frozenset(tid for tid, label in self._labels.items() if label.is_negative)
+
+    @property
+    def labeled_ids(self) -> frozenset[int]:
+        """Ids of all labeled tuples."""
+        return frozenset(self._labels)
+
+    def examples(self) -> tuple[Example, ...]:
+        """All examples, in insertion order."""
+        return tuple(Example(tid, label) for tid, label in self._labels.items())
+
+    def as_dict(self) -> dict[int, Label]:
+        """A copy of the underlying mapping."""
+        return dict(self._labels)
+
+    def copy(self) -> "ExampleSet":
+        """An independent copy of the example set."""
+        return ExampleSet(self._labels)
+
+    def __contains__(self, tuple_id: int) -> bool:
+        return tuple_id in self._labels
+
+    def __iter__(self) -> Iterator[Example]:
+        return iter(self.examples())
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExampleSet):
+            return NotImplemented
+        return self._labels == other.as_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ExampleSet(positives={len(self.positives)}, negatives={len(self.negatives)})"

@@ -1,0 +1,146 @@
+"""Classifying candidate tuples: informative, certain, or already labeled.
+
+After each answered membership query JIM partitions the unlabeled candidate
+tuples into
+
+* **informative** tuples — consistent queries disagree on them, so labeling
+  one of them narrows the space; these are the only tuples worth asking about;
+* **certain-positive** tuples — every consistent query selects them; their
+  label is implied, so they are "grayed out";
+* **certain-negative** tuples — no consistent query selects them; likewise
+  grayed out.
+
+The classification of a tuple depends only on its equality type, the positive
+mask ``M`` and the negative types (see :mod:`repro.core.space`), so all the
+functions here work type-wise and are linear in the number of distinct types.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional
+
+from .examples import ExampleSet, Label
+from .space import ConsistentQuerySpace
+
+
+class TupleStatus(enum.Enum):
+    """The status of one candidate tuple with respect to the current examples."""
+
+    LABELED_POSITIVE = "labeled+"
+    LABELED_NEGATIVE = "labeled-"
+    CERTAIN_POSITIVE = "certain+"
+    CERTAIN_NEGATIVE = "certain-"
+    INFORMATIVE = "informative"
+
+    @property
+    def is_labeled(self) -> bool:
+        """Whether the tuple was explicitly labeled by the user."""
+        return self in (TupleStatus.LABELED_POSITIVE, TupleStatus.LABELED_NEGATIVE)
+
+    @property
+    def is_certain(self) -> bool:
+        """Whether the tuple's label is implied but was not given by the user."""
+        return self in (TupleStatus.CERTAIN_POSITIVE, TupleStatus.CERTAIN_NEGATIVE)
+
+    @property
+    def is_uninformative(self) -> bool:
+        """Whether labeling the tuple would bring no new information.
+
+        Both explicitly labeled tuples and certain tuples are uninformative;
+        only :attr:`INFORMATIVE` tuples are worth presenting to the user.
+        """
+        return self is not TupleStatus.INFORMATIVE
+
+    @property
+    def implied_label(self) -> Optional[Label]:
+        """The label the status implies, when there is one."""
+        if self in (TupleStatus.LABELED_POSITIVE, TupleStatus.CERTAIN_POSITIVE):
+            return Label.POSITIVE
+        if self in (TupleStatus.LABELED_NEGATIVE, TupleStatus.CERTAIN_NEGATIVE):
+            return Label.NEGATIVE
+        return None
+
+
+def classify_tuple(
+    space: ConsistentQuerySpace,
+    examples: ExampleSet,
+    tuple_id: int,
+) -> TupleStatus:
+    """Status of a single tuple under the current examples."""
+    label = examples.label_of(tuple_id)
+    if label is Label.POSITIVE:
+        return TupleStatus.LABELED_POSITIVE
+    if label is Label.NEGATIVE:
+        return TupleStatus.LABELED_NEGATIVE
+    certain = space.certain_label_for(space.type_index.mask(tuple_id))
+    if certain is True:
+        return TupleStatus.CERTAIN_POSITIVE
+    if certain is False:
+        return TupleStatus.CERTAIN_NEGATIVE
+    return TupleStatus.INFORMATIVE
+
+
+def classify_all(
+    space: ConsistentQuerySpace,
+    examples: ExampleSet,
+    tuple_ids: Optional[Iterable[int]] = None,
+) -> dict[int, TupleStatus]:
+    """Status of every tuple (or of the given ids), computed type-wise.
+
+    The per-type certain label is computed once per distinct equality type,
+    so the cost is O(#distinct types × #negatives) plus O(#tuples).
+    """
+    type_index = space.type_index
+    ids = list(tuple_ids) if tuple_ids is not None else list(range(len(type_index)))
+    certain_by_type: dict[int, Optional[bool]] = {}
+    statuses: dict[int, TupleStatus] = {}
+    for tuple_id in ids:
+        label = examples.label_of(tuple_id)
+        if label is Label.POSITIVE:
+            statuses[tuple_id] = TupleStatus.LABELED_POSITIVE
+            continue
+        if label is Label.NEGATIVE:
+            statuses[tuple_id] = TupleStatus.LABELED_NEGATIVE
+            continue
+        mask = type_index.mask(tuple_id)
+        if mask not in certain_by_type:
+            certain_by_type[mask] = space.certain_label_for(mask)
+        certain = certain_by_type[mask]
+        if certain is True:
+            statuses[tuple_id] = TupleStatus.CERTAIN_POSITIVE
+        elif certain is False:
+            statuses[tuple_id] = TupleStatus.CERTAIN_NEGATIVE
+        else:
+            statuses[tuple_id] = TupleStatus.INFORMATIVE
+    return statuses
+
+
+def informative_ids(space: ConsistentQuerySpace, examples: ExampleSet) -> list[int]:
+    """Ids of the informative tuples, in tuple-id order."""
+    return [
+        tuple_id
+        for tuple_id, status in classify_all(space, examples).items()
+        if status is TupleStatus.INFORMATIVE
+    ]
+
+
+def uninformative_ids(space: ConsistentQuerySpace, examples: ExampleSet) -> list[int]:
+    """Ids of the unlabeled tuples whose label is already implied (grayed out)."""
+    return [
+        tuple_id
+        for tuple_id, status in classify_all(space, examples).items()
+        if status.is_certain
+    ]
+
+
+def has_informative_tuple(space: ConsistentQuerySpace, examples: ExampleSet) -> bool:
+    """Whether at least one informative tuple remains (the loop's guard)."""
+    type_index = space.type_index
+    labeled = examples.labeled_ids
+    for mask in type_index.distinct_masks:
+        if space.certain_label_for(mask) is not None:
+            continue
+        if any(tuple_id not in labeled for tuple_id in type_index.tuples_with_mask(mask)):
+            return True
+    return False

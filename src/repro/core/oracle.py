@@ -1,0 +1,150 @@
+"""Oracles: the sources of membership-query answers.
+
+In the demo a human attendee answers "Yes/No" for each proposed tuple; in the
+experiments of the underlying research paper "the user providing the examples
+is in fact a program that labels tuples w.r.t. a goal join query".  Both are
+modelled as :class:`Oracle` implementations:
+
+* :class:`GoalQueryOracle` — the experimental user: labels tuples according to
+  a fixed goal query;
+* :class:`NoisyOracle` — a goal-query user that errs with some probability
+  (useful to study robustness; the paper assumes a consistent user);
+* :class:`FixedLabelsOracle` — replays a predefined set of answers (used to
+  replay the paper's worked example);
+* :class:`ConsoleOracle` — a real human typing ``y``/``n`` at a prompt, the
+  programmatic stand-in for the demo GUI.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Callable, Mapping, Optional, Union
+
+from ..exceptions import OracleError
+from ..relational.candidate import CandidateTable
+from .examples import Label
+from .queries import JoinQuery
+
+
+class Oracle(abc.ABC):
+    """Anything able to answer membership queries about candidate tuples."""
+
+    @abc.abstractmethod
+    def label(self, table: CandidateTable, tuple_id: int) -> Label:
+        """The label of the given candidate tuple."""
+
+    def reset(self) -> None:
+        """Forget any per-session state (default: nothing to forget)."""
+
+
+class GoalQueryOracle(Oracle):
+    """Labels tuples positively exactly when the goal query selects them.
+
+    This is the simulated user of the paper's experiments.  The goal query's
+    selection is computed lazily per candidate table and cached, so repeated
+    membership queries cost a dictionary lookup.
+    """
+
+    def __init__(self, goal: JoinQuery) -> None:
+        self.goal = goal
+        self._cache: dict[int, frozenset[int]] = {}
+        self.questions_answered = 0
+
+    def _selected(self, table: CandidateTable) -> frozenset[int]:
+        key = id(table)
+        if key not in self._cache:
+            self._cache[key] = self.goal.evaluate(table)
+        return self._cache[key]
+
+    def label(self, table: CandidateTable, tuple_id: int) -> Label:
+        """Positive iff the goal query selects the tuple."""
+        self.questions_answered += 1
+        return Label.POSITIVE if tuple_id in self._selected(table) else Label.NEGATIVE
+
+    def reset(self) -> None:
+        """Reset the question counter (the selection cache is kept)."""
+        self.questions_answered = 0
+
+
+class NoisyOracle(Oracle):
+    """Wraps another oracle and flips its answer with probability ``error_rate``.
+
+    JIM assumes a consistent user; this oracle exists for robustness
+    experiments and for exercising the non-strict labeling mode.
+    """
+
+    def __init__(self, base: Oracle, error_rate: float, seed: Optional[int] = None) -> None:
+        if not 0.0 <= error_rate <= 1.0:
+            raise OracleError(f"error_rate must be within [0, 1], got {error_rate}")
+        self.base = base
+        self.error_rate = error_rate
+        self._rng = random.Random(seed)
+        self.flips = 0
+
+    def label(self, table: CandidateTable, tuple_id: int) -> Label:
+        """The base oracle's answer, possibly flipped."""
+        answer = self.base.label(table, tuple_id)
+        if self._rng.random() < self.error_rate:
+            self.flips += 1
+            return answer.opposite()
+        return answer
+
+    def reset(self) -> None:
+        self.base.reset()
+        self.flips = 0
+
+
+class FixedLabelsOracle(Oracle):
+    """Replays a predefined mapping ``tuple_id -> label``.
+
+    Asking about a tuple without a predefined answer raises
+    :class:`~repro.exceptions.OracleError` — useful in tests to assert that
+    only the expected membership queries are asked.
+    """
+
+    def __init__(self, labels: Mapping[int, Union[Label, str, bool]]) -> None:
+        self._labels = {tuple_id: Label.from_value(value) for tuple_id, value in labels.items()}
+
+    def label(self, table: CandidateTable, tuple_id: int) -> Label:
+        """The predefined label of the tuple."""
+        try:
+            return self._labels[tuple_id]
+        except KeyError as exc:
+            raise OracleError(f"no predefined label for tuple {tuple_id}") from exc
+
+
+class CallbackOracle(Oracle):
+    """Delegates labeling to an arbitrary callable ``(table, tuple_id) -> label``."""
+
+    def __init__(self, callback: Callable[[CandidateTable, int], Union[Label, str, bool]]) -> None:
+        self._callback = callback
+
+    def label(self, table: CandidateTable, tuple_id: int) -> Label:
+        """Whatever the callback answers, parsed into a :class:`Label`."""
+        return Label.from_value(self._callback(table, tuple_id))
+
+
+class ConsoleOracle(Oracle):
+    """Asks a human at the terminal — the stand-in for the demo's GUI clicks.
+
+    The tuple is rendered with its attribute names and the user answers
+    ``y``/``n`` (empty or unparseable answers are re-asked).
+    """
+
+    def __init__(self, prompt: str = "Include this tuple in the join result? [y/n] ") -> None:
+        self.prompt = prompt
+
+    def label(self, table: CandidateTable, tuple_id: int) -> Label:
+        """Ask the user about the tuple until a parseable answer is given."""
+        row = table.row(tuple_id)
+        rendered = ", ".join(
+            f"{name}={value!r}" for name, value in zip(table.attribute_names, row)
+        )
+        print(f"Tuple #{tuple_id}: {rendered}")
+        while True:
+            answer = input(self.prompt).strip()
+            try:
+                return Label.from_value(answer)
+            except Exception:  # noqa: BLE001 - any unparseable answer is re-asked
+                print("Please answer 'y' (part of the join result) or 'n' (not part of it).")

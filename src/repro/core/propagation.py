@@ -1,0 +1,99 @@
+"""Label propagation: what a new label makes uninformative.
+
+The demo's central interaction is that *after each given label JIM
+interactively grays out the tuples that become uninformative*.  The
+:class:`PropagationResult` describes exactly that effect for one label: which
+previously informative tuples became certain-positive or certain-negative,
+and how many informative tuples remain.  It is what the sessions layer shows
+to the user and what lookahead strategies simulate to score candidate tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .examples import Label
+from .informativeness import TupleStatus
+
+
+@dataclass(frozen=True)
+class PropagationResult:
+    """The effect of adding one label to the example set.
+
+    Attributes
+    ----------
+    tuple_id / label:
+        The membership query that was answered.
+    newly_certain_positive / newly_certain_negative:
+        Previously informative tuples whose label became implied.
+    informative_before / informative_after:
+        Number of informative tuples before and after the label (the labeled
+        tuple itself counts in ``informative_before`` when it was informative).
+    consistent:
+        Whether the example set is still consistent after the label.
+    """
+
+    tuple_id: int
+    label: Label
+    newly_certain_positive: tuple[int, ...] = field(default_factory=tuple)
+    newly_certain_negative: tuple[int, ...] = field(default_factory=tuple)
+    informative_before: int = 0
+    informative_after: int = 0
+    consistent: bool = True
+
+    @property
+    def newly_uninformative(self) -> tuple[int, ...]:
+        """All tuples grayed out by this label (excluding the labeled tuple)."""
+        return tuple(sorted(self.newly_certain_positive + self.newly_certain_negative))
+
+    @property
+    def pruned_count(self) -> int:
+        """Number of tuples grayed out by this label."""
+        return len(self.newly_certain_positive) + len(self.newly_certain_negative)
+
+    @property
+    def resolved_count(self) -> int:
+        """Informative tuples resolved by this interaction (pruned + the labeled one)."""
+        return self.informative_before - self.informative_after
+
+    def summary(self) -> str:
+        """One-line human-readable description of the propagation."""
+        return (
+            f"tuple {self.tuple_id} labeled {self.label.value}: "
+            f"{self.pruned_count} tuple(s) grayed out, "
+            f"{self.informative_after} informative tuple(s) remaining"
+        )
+
+
+def diff_statuses(
+    before: dict[int, TupleStatus],
+    after: dict[int, TupleStatus],
+    labeled_tuple_id: int,
+    label: Label,
+    consistent: bool = True,
+) -> PropagationResult:
+    """Build a :class:`PropagationResult` from before/after classifications."""
+    newly_positive = []
+    newly_negative = []
+    for tuple_id, status in after.items():
+        if tuple_id == labeled_tuple_id:
+            continue
+        if before.get(tuple_id) is not TupleStatus.INFORMATIVE:
+            continue
+        if status is TupleStatus.CERTAIN_POSITIVE:
+            newly_positive.append(tuple_id)
+        elif status is TupleStatus.CERTAIN_NEGATIVE:
+            newly_negative.append(tuple_id)
+    informative_before = sum(
+        1 for status in before.values() if status is TupleStatus.INFORMATIVE
+    )
+    informative_after = sum(1 for status in after.values() if status is TupleStatus.INFORMATIVE)
+    return PropagationResult(
+        tuple_id=labeled_tuple_id,
+        label=label,
+        newly_certain_positive=tuple(sorted(newly_positive)),
+        newly_certain_negative=tuple(sorted(newly_negative)),
+        informative_before=informative_before,
+        informative_after=informative_after,
+        consistent=consistent,
+    )

@@ -1,0 +1,223 @@
+"""The mutable state of one interactive inference run.
+
+:class:`InferenceState` ties together the candidate table, the atom universe,
+the per-tuple equality types, the examples given so far and the consistent
+query space, and exposes the operations the interactive scenario of the paper
+(Figure 2) is built from:
+
+* ``add_label`` — answer one membership query and propagate it (gray out the
+  tuples that became uninformative);
+* ``informative_ids`` / ``status`` — which tuples are still worth asking about;
+* ``is_converged`` / ``inferred_query`` — detect that a unique query (up to
+  instance-equivalence) remains and return it;
+* ``prune_counts`` / ``simulate_label`` — the "what would this label give us?"
+  primitives on which the lookahead strategies are built.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..exceptions import InconsistentLabelError
+from ..relational.candidate import CandidateTable
+from .atoms import AtomScope, AtomUniverse, is_subset
+from .equality_types import EqualityTypeIndex
+from .examples import ExampleSet, Label
+from .informativeness import TupleStatus, classify_all, classify_tuple
+from .propagation import PropagationResult, diff_statuses
+from .queries import JoinQuery
+from .space import ConsistentQuerySpace
+
+
+class InferenceState:
+    """All the information JIM maintains during one inference session."""
+
+    def __init__(
+        self,
+        table: CandidateTable,
+        universe: Optional[AtomUniverse] = None,
+        scope: AtomScope = AtomScope.CROSS_RELATION,
+        examples: Optional[ExampleSet] = None,
+        strict: bool = True,
+    ) -> None:
+        self.table = table
+        self.universe = universe if universe is not None else AtomUniverse.from_table(table, scope=scope)
+        self.type_index = EqualityTypeIndex(self.universe)
+        self.examples = examples.copy() if examples is not None else ExampleSet()
+        self.strict = strict
+        self.space = ConsistentQuerySpace(self.type_index, self.examples)
+
+    # ------------------------------------------------------------------ #
+    # Labeling
+    # ------------------------------------------------------------------ #
+    def add_label(self, tuple_id: int, label: Union[Label, str, bool]) -> PropagationResult:
+        """Record a membership-query answer and propagate it.
+
+        Returns a :class:`~repro.core.propagation.PropagationResult` listing
+        the tuples grayed out by the new label.  In strict mode (the default)
+        a label that contradicts the current examples — e.g. labeling a
+        certain-positive tuple as negative — raises
+        :class:`~repro.exceptions.InconsistentLabelError` and leaves the state
+        unchanged.
+        """
+        parsed = Label.from_value(label)
+        if tuple_id not in self.table.tuple_ids:
+            raise InconsistentLabelError(f"unknown tuple id {tuple_id}")
+        before = self.statuses()
+        status_before = before[tuple_id]
+        if self.strict and status_before.implied_label not in (None, parsed):
+            raise InconsistentLabelError(
+                f"tuple {tuple_id} is {status_before.value}; labeling it {parsed.value!r} "
+                "would contradict the labels given so far"
+            )
+        self.examples.add(tuple_id, parsed)
+        self.space = ConsistentQuerySpace(self.type_index, self.examples)
+        consistent = self.space.is_consistent()
+        if self.strict and not consistent:  # pragma: no cover - defensive; the guard above prevents it
+            raise InconsistentLabelError(
+                f"labeling tuple {tuple_id} as {parsed.value!r} leaves no consistent join query"
+            )
+        after = self.statuses()
+        return diff_statuses(before, after, tuple_id, parsed, consistent=consistent)
+
+    # ------------------------------------------------------------------ #
+    # Classification
+    # ------------------------------------------------------------------ #
+    def status(self, tuple_id: int) -> TupleStatus:
+        """The status of one tuple under the current examples."""
+        return classify_tuple(self.space, self.examples, tuple_id)
+
+    def statuses(self) -> dict[int, TupleStatus]:
+        """The status of every tuple under the current examples."""
+        return classify_all(self.space, self.examples)
+
+    def informative_ids(self) -> list[int]:
+        """Ids of the tuples still worth asking about, in id order."""
+        return [
+            tuple_id
+            for tuple_id, status in self.statuses().items()
+            if status is TupleStatus.INFORMATIVE
+        ]
+
+    def certain_ids(self) -> list[int]:
+        """Ids of unlabeled tuples whose label is implied (grayed out)."""
+        return [tuple_id for tuple_id, status in self.statuses().items() if status.is_certain]
+
+    def labeled_ids(self) -> frozenset[int]:
+        """Ids of explicitly labeled tuples."""
+        return self.examples.labeled_ids
+
+    def has_informative_tuple(self) -> bool:
+        """Whether the interactive loop should keep asking questions."""
+        labeled = self.examples.labeled_ids
+        for mask in self.type_index.distinct_masks:
+            if self.space.certain_label_for(mask) is not None:
+                continue
+            if any(tid not in labeled for tid in self.type_index.tuples_with_mask(mask)):
+                return True
+        return False
+
+    def is_converged(self) -> bool:
+        """Whether all consistent queries are instance-equivalent (inference done)."""
+        return not self.has_informative_tuple()
+
+    def is_consistent(self) -> bool:
+        """Whether at least one join query is consistent with the examples."""
+        return self.space.is_consistent()
+
+    def inferred_query(self) -> JoinQuery:
+        """The canonical inferred query (most specific consistent query ``M``).
+
+        Meaningful once :meth:`is_converged` is true; before convergence it is
+        simply the most specific query consistent with the labels so far.
+        """
+        return self.space.canonical_query()
+
+    # ------------------------------------------------------------------ #
+    # Lookahead primitives
+    # ------------------------------------------------------------------ #
+    def prune_counts(self, tuple_id: int) -> tuple[int, int]:
+        """How many informative tuples each label of ``tuple_id`` would resolve.
+
+        Returns ``(resolved_if_positive, resolved_if_negative)`` where
+        *resolved* counts informative tuples (including ``tuple_id`` itself)
+        that would stop being informative.  This is the quantity the paper's
+        question "labeling which tuple allows us to prune as many tuples as
+        possible?" refers to, and the building block of lookahead strategies.
+        """
+        positive_mask = self.space.positive_mask
+        negative_masks = self.space.negative_masks
+        candidate_type = self.type_index.mask(tuple_id)
+        labeled = self.examples.labeled_ids
+
+        informative_types: list[tuple[int, int]] = []
+        for mask in self.type_index.distinct_masks:
+            if self.space.certain_label_for(mask) is not None:
+                continue
+            count = sum(1 for tid in self.type_index.tuples_with_mask(mask) if tid not in labeled)
+            if count:
+                informative_types.append((mask, count))
+
+        new_positive_mask = positive_mask & candidate_type
+        resolved_if_positive = 0
+        resolved_if_negative = 0
+        for mask, count in informative_types:
+            # If labeled positive: M shrinks to M ∩ E(t).
+            restricted = new_positive_mask & mask
+            certain_positive = is_subset(new_positive_mask, mask)
+            certain_negative = any(is_subset(restricted, neg) for neg in negative_masks)
+            if certain_positive or certain_negative:
+                resolved_if_positive += count
+            # If labeled negative: E(t) joins the negative types.
+            if is_subset(positive_mask & mask, candidate_type):
+                resolved_if_negative += count
+        return resolved_if_positive, resolved_if_negative
+
+    def simulate_label(self, tuple_id: int, label: Union[Label, str, bool]) -> "InferenceState":
+        """A copy of the state with one extra label (the current state is untouched)."""
+        clone = self.copy()
+        clone.add_label(tuple_id, label)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Bookkeeping
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "InferenceState":
+        """An independent copy sharing the immutable table/universe/type index."""
+        clone = InferenceState.__new__(InferenceState)
+        clone.table = self.table
+        clone.universe = self.universe
+        clone.type_index = self.type_index
+        clone.examples = self.examples.copy()
+        clone.strict = self.strict
+        clone.space = ConsistentQuerySpace(self.type_index, clone.examples)
+        return clone
+
+    def statistics(self) -> dict[str, float]:
+        """Progress statistics shown in the demo interface.
+
+        Counts and relative percentages of explicitly labeled tuples, tuples
+        deemed uninformative (grayed out), and tuples still informative.
+        """
+        statuses = self.statuses()
+        total = len(statuses) or 1
+        labeled = sum(1 for status in statuses.values() if status.is_labeled)
+        certain = sum(1 for status in statuses.values() if status.is_certain)
+        informative = sum(1 for status in statuses.values() if status is TupleStatus.INFORMATIVE)
+        return {
+            "total_tuples": len(statuses),
+            "labeled": labeled,
+            "labeled_pct": 100.0 * labeled / total,
+            "uninformative": certain,
+            "uninformative_pct": 100.0 * certain / total,
+            "informative": informative,
+            "informative_pct": 100.0 * informative / total,
+            "atoms_in_universe": self.universe.size,
+            "atoms_in_canonical_query": len(self.inferred_query()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"InferenceState(tuples={len(self.table)}, atoms={self.universe.size}, "
+            f"labeled={len(self.examples)}, converged={self.is_converged()})"
+        )

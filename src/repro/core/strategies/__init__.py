@@ -1,0 +1,52 @@
+"""Strategies for choosing the next informative tuple to present to the user.
+
+The paper's taxonomy: a *random* baseline, cheap *local* strategies based on
+fixed orders, *lookahead* strategies based on a generalised notion of entropy,
+and the exponential *optimal* strategy.  See the individual modules for the
+exact definitions; :mod:`repro.core.strategies.registry` builds strategies by
+name for experiments and benchmarks.
+"""
+
+from .base import Strategy
+from .local import (
+    LargestTypeStrategy,
+    LexicographicStrategy,
+    LocalMostGeneralStrategy,
+    LocalMostSpecificStrategy,
+)
+from .lookahead import (
+    EntropyStrategy,
+    ExpectedPruneStrategy,
+    KStepLookaheadStrategy,
+    MinMaxPruneStrategy,
+    binary_entropy,
+)
+from .optimal import OptimalStrategy
+from .random_strategy import RandomStrategy
+from .registry import (
+    LOCAL_STRATEGIES,
+    LOOKAHEAD_STRATEGIES,
+    available_strategies,
+    create_strategy,
+    register_strategy,
+)
+
+__all__ = [
+    "EntropyStrategy",
+    "ExpectedPruneStrategy",
+    "KStepLookaheadStrategy",
+    "LOCAL_STRATEGIES",
+    "LOOKAHEAD_STRATEGIES",
+    "LargestTypeStrategy",
+    "LexicographicStrategy",
+    "LocalMostGeneralStrategy",
+    "LocalMostSpecificStrategy",
+    "MinMaxPruneStrategy",
+    "OptimalStrategy",
+    "RandomStrategy",
+    "Strategy",
+    "available_strategies",
+    "binary_entropy",
+    "create_strategy",
+    "register_strategy",
+]

@@ -1,0 +1,48 @@
+"""Strategy interface.
+
+A *strategy* Υ is a function that, given the current inference state (the set
+of tuples and the labels collected so far), returns the next informative tuple
+to present to the user.  The paper classifies its strategies into *local*
+(cheap, based on fixed orders over the tuples) and *lookahead* (weigh how much
+information each candidate label would bring), plus a *random* baseline and an
+exponential *optimal* strategy that is unusable in practice but interesting on
+tiny instances.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ...exceptions import StrategyError
+from ..state import InferenceState
+
+
+class Strategy(abc.ABC):
+    """Chooses which informative tuple to ask the user about next."""
+
+    #: Registry/reporting identifier; subclasses override it.
+    name: str = "strategy"
+
+    @abc.abstractmethod
+    def choose(self, state: InferenceState) -> int:
+        """The tuple id of the next membership query.
+
+        Implementations must return an *informative* tuple and must raise
+        :class:`~repro.exceptions.StrategyError` when none remains.
+        """
+
+    def reset(self) -> None:
+        """Forget per-session state (default: nothing to forget)."""
+
+    def _informative_or_raise(self, state: InferenceState) -> list[int]:
+        """The informative tuple ids, raising when the loop should have stopped."""
+        candidates = state.informative_ids()
+        if not candidates:
+            raise StrategyError(
+                f"strategy {self.name!r} was asked to choose a tuple but no informative "
+                "tuple remains (inference has converged)"
+            )
+        return candidates
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,101 @@
+"""Local strategies: cheap choices based on fixed orders over the tuples.
+
+The paper describes local strategies as "rather simple and based on some fixed
+orders" — they look only at intrinsic properties of each informative tuple
+(its equality type relative to the current candidate query ``M``) and never
+simulate the effect of a label.  They are therefore very fast and, as the
+paper's demo scenario points out, competitive on simple instances and queries.
+
+The family implemented here:
+
+* :class:`LocalMostSpecificStrategy` — prefer the tuple sharing the *most*
+  atoms with ``M``: its positive label would barely shrink ``M`` but its
+  negative label is extremely informative (it rules out ``M``'s large
+  neighbourhood); this walks the specialisation lattice top-down.
+* :class:`LocalMostGeneralStrategy` — prefer the tuple sharing the *fewest*
+  atoms with ``M``: walks the lattice bottom-up.
+* :class:`LexicographicStrategy` — the first informative tuple in table
+  order; the weakest sensible fixed order, useful as a deterministic control.
+* :class:`LargestTypeStrategy` — prefer the tuple whose equality type (within
+  ``M``) is shared by the most still-informative tuples, so whatever the
+  answer, many tuples of the same type are resolved at once.
+"""
+
+from __future__ import annotations
+
+from ..atoms import popcount
+from ..state import InferenceState
+from .base import Strategy
+
+
+class LexicographicStrategy(Strategy):
+    """Always asks about the first informative tuple in table order."""
+
+    name = "local-lexicographic"
+
+    def choose(self, state: InferenceState) -> int:
+        """The informative tuple with the smallest id."""
+        return min(self._informative_or_raise(state))
+
+
+class LocalMostSpecificStrategy(Strategy):
+    """Prefers tuples agreeing with as many atoms of the candidate query as possible.
+
+    Ties are broken by smallest tuple id, making the strategy deterministic.
+    """
+
+    name = "local-most-specific"
+
+    def choose(self, state: InferenceState) -> int:
+        """The informative tuple maximising ``|E(t) ∩ M|``."""
+        candidates = self._informative_or_raise(state)
+        positive_mask = state.space.positive_mask
+        type_index = state.type_index
+        return max(
+            candidates,
+            key=lambda tid: (popcount(type_index.mask(tid) & positive_mask), -tid),
+        )
+
+
+class LocalMostGeneralStrategy(Strategy):
+    """Prefers tuples agreeing with as few atoms of the candidate query as possible.
+
+    Ties are broken by smallest tuple id, making the strategy deterministic.
+    """
+
+    name = "local-most-general"
+
+    def choose(self, state: InferenceState) -> int:
+        """The informative tuple minimising ``|E(t) ∩ M|``."""
+        candidates = self._informative_or_raise(state)
+        positive_mask = state.space.positive_mask
+        type_index = state.type_index
+        return min(
+            candidates,
+            key=lambda tid: (popcount(type_index.mask(tid) & positive_mask), tid),
+        )
+
+
+class LargestTypeStrategy(Strategy):
+    """Prefers the tuple whose (restricted) equality type is the most frequent.
+
+    Whatever the user answers, every still-informative tuple sharing the same
+    restricted type ``E(t) ∩ M`` is resolved along with it, so frequent types
+    give a guaranteed batch of pruning without simulating labels.
+    """
+
+    name = "local-largest-type"
+
+    def choose(self, state: InferenceState) -> int:
+        """The informative tuple whose restricted type has the most members."""
+        candidates = self._informative_or_raise(state)
+        positive_mask = state.space.positive_mask
+        type_index = state.type_index
+        frequency: dict[int, int] = {}
+        for tuple_id in candidates:
+            restricted = type_index.mask(tuple_id) & positive_mask
+            frequency[restricted] = frequency.get(restricted, 0) + 1
+        return max(
+            candidates,
+            key=lambda tid: (frequency[type_index.mask(tid) & positive_mask], -tid),
+        )

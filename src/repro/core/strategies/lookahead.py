@@ -1,0 +1,164 @@
+"""Lookahead strategies: weigh how much information each label would bring.
+
+Where local strategies rely on fixed orders, lookahead strategies "take into
+account the quantity of information that labeling an informative tuple could
+bring to the inference process, by using a generalized notion of entropy"
+(Section 2 of the paper).  All strategies below are built on the same
+primitive, :meth:`InferenceState.prune_counts`: for an informative tuple ``t``
+it returns how many informative tuples would be *resolved* (labeled or grayed
+out) if the user answered ``+`` and if she answered ``−``.
+
+Given those two counts ``(a, b)`` for every informative tuple the strategies
+differ only in the score they maximise:
+
+* :class:`ExpectedPruneStrategy` — the average ``(a + b) / 2``; greedy
+  expected progress under a uniform prior over the answer.
+* :class:`MinMaxPruneStrategy` — the pessimistic ``min(a, b)``; greedy
+  worst-case progress (a one-step approximation of the optimal strategy).
+* :class:`EntropyStrategy` — the "generalized entropy" score
+  ``H(a / (a + b)) · (a + b)``: it prefers questions that are both *balanced*
+  (either answer teaches something, like a binary-search probe) and
+  *far-reaching* (many tuples resolved either way).
+* :class:`KStepLookaheadStrategy` — recursive worst-case lookahead of bounded
+  depth, interpolating between :class:`MinMaxPruneStrategy` (depth 1) and the
+  exponential optimal strategy.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...exceptions import StrategyError
+from ..examples import Label
+from ..state import InferenceState
+from .base import Strategy
+
+
+def binary_entropy(probability: float) -> float:
+    """The binary entropy H(p) in bits, with H(0) = H(1) = 0."""
+    if probability <= 0.0 or probability >= 1.0:
+        return 0.0
+    return -(
+        probability * math.log2(probability)
+        + (1.0 - probability) * math.log2(1.0 - probability)
+    )
+
+
+class _ScoredLookaheadStrategy(Strategy):
+    """Common machinery: score every informative tuple from its prune counts."""
+
+    def score(self, resolved_if_positive: int, resolved_if_negative: int) -> float:
+        """The figure of merit to maximise; subclasses override this."""
+        raise NotImplementedError
+
+    def choose(self, state: InferenceState) -> int:
+        """The informative tuple with the best score (ties: smallest id)."""
+        candidates = self._informative_or_raise(state)
+        best_id = None
+        best_key: tuple[float, int] = (-math.inf, 0)
+        for tuple_id in candidates:
+            resolved_plus, resolved_minus = state.prune_counts(tuple_id)
+            key = (self.score(resolved_plus, resolved_minus), -tuple_id)
+            if key > best_key:
+                best_key = key
+                best_id = tuple_id
+        assert best_id is not None  # candidates is non-empty
+        return best_id
+
+
+class ExpectedPruneStrategy(_ScoredLookaheadStrategy):
+    """Maximises the expected number of resolved tuples (uniform answer prior)."""
+
+    name = "lookahead-expected"
+
+    def score(self, resolved_if_positive: int, resolved_if_negative: int) -> float:
+        """Average of the two prune counts."""
+        return (resolved_if_positive + resolved_if_negative) / 2.0
+
+
+class MinMaxPruneStrategy(_ScoredLookaheadStrategy):
+    """Maximises the guaranteed (worst-case) number of resolved tuples."""
+
+    name = "lookahead-minmax"
+
+    def score(self, resolved_if_positive: int, resolved_if_negative: int) -> float:
+        """The smaller of the two prune counts."""
+        return float(min(resolved_if_positive, resolved_if_negative))
+
+
+class EntropyStrategy(_ScoredLookaheadStrategy):
+    """Maximises a generalised-entropy score: balance × magnitude.
+
+    ``H(a/(a+b)) · (a+b)`` is maximal for questions whose two possible answers
+    resolve many tuples *and* split the remaining uncertainty evenly; it
+    degenerates gracefully to zero for questions whose answer is lopsided.
+    A small additive term keeps a total order when all splits are completely
+    unbalanced (entropy 0), falling back to expected pruning.
+    """
+
+    name = "lookahead-entropy"
+
+    def score(self, resolved_if_positive: int, resolved_if_negative: int) -> float:
+        """Entropy-weighted magnitude of the split, with an expected-prune tie-break."""
+        total = resolved_if_positive + resolved_if_negative
+        if total == 0:
+            return 0.0
+        balance = binary_entropy(resolved_if_positive / total)
+        expected = total / 2.0
+        return balance * total + 1e-6 * expected
+
+
+class KStepLookaheadStrategy(Strategy):
+    """Bounded-depth worst-case lookahead.
+
+    Depth 1 coincides with :class:`MinMaxPruneStrategy`; larger depths
+    simulate both answers recursively and minimise the worst-case number of
+    *remaining informative tuples* after ``depth`` questions.  The cost grows
+    exponentially with the depth, so the strategy restricts itself to the
+    ``beam_width`` most promising candidates (ranked by the depth-1 score) at
+    every level.
+    """
+
+    name = "lookahead-kstep"
+
+    def __init__(self, depth: int = 2, beam_width: int = 8) -> None:
+        if depth < 1:
+            raise StrategyError("lookahead depth must be at least 1")
+        if beam_width < 1:
+            raise StrategyError("beam width must be at least 1")
+        self.depth = depth
+        self.beam_width = beam_width
+
+    def _beam(self, state: InferenceState, candidates: list[int]) -> list[int]:
+        """The most promising candidates according to the one-step score."""
+        scored = sorted(
+            candidates,
+            key=lambda tid: (min(state.prune_counts(tid)), -tid),
+            reverse=True,
+        )
+        return scored[: self.beam_width]
+
+    def _worst_case_remaining(self, state: InferenceState, tuple_id: int, depth: int) -> int:
+        """Worst-case number of informative tuples left after asking about ``tuple_id``."""
+        worst = 0
+        for label in (Label.POSITIVE, Label.NEGATIVE):
+            outcome = state.simulate_label(tuple_id, label)
+            remaining = outcome.informative_ids()
+            if depth <= 1 or not remaining:
+                value = len(remaining)
+            else:
+                value = min(
+                    self._worst_case_remaining(outcome, next_id, depth - 1)
+                    for next_id in self._beam(outcome, remaining)
+                )
+            worst = max(worst, value)
+        return worst
+
+    def choose(self, state: InferenceState) -> int:
+        """The candidate minimising the worst-case remaining uncertainty."""
+        candidates = self._informative_or_raise(state)
+        beam = self._beam(state, candidates)
+        return min(
+            beam,
+            key=lambda tid: (self._worst_case_remaining(state, tid, self.depth), tid),
+        )

@@ -1,0 +1,34 @@
+"""The random strategy: the paper's baseline.
+
+"For comparison we have also introduced the random strategy which chooses
+randomly an informative tuple."  It still benefits from pruning (it never asks
+about uninformative tuples) but ignores how much information each candidate
+would bring.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..state import InferenceState
+from .base import Strategy
+
+
+class RandomStrategy(Strategy):
+    """Chooses a uniformly random informative tuple."""
+
+    name = "random"
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, state: InferenceState) -> int:
+        """A uniformly random informative tuple."""
+        candidates = self._informative_or_raise(state)
+        return self._rng.choice(candidates)
+
+    def reset(self) -> None:
+        """Restore the initial pseudo-random sequence (reproducible runs)."""
+        self._rng = random.Random(self._seed)

@@ -1,0 +1,85 @@
+"""Strategy registry: build strategies from their names.
+
+Experiments, benchmarks and the console demo all refer to strategies by name
+(``"random"``, ``"local-most-specific"``, ``"lookahead-entropy"``, …); the
+registry maps those names to factories so that a strategy sweep is just a
+list of strings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ...exceptions import StrategyError
+from .base import Strategy
+from .local import (
+    LargestTypeStrategy,
+    LexicographicStrategy,
+    LocalMostGeneralStrategy,
+    LocalMostSpecificStrategy,
+)
+from .lookahead import (
+    EntropyStrategy,
+    ExpectedPruneStrategy,
+    KStepLookaheadStrategy,
+    MinMaxPruneStrategy,
+)
+from .optimal import OptimalStrategy
+from .random_strategy import RandomStrategy
+
+StrategyFactory = Callable[..., Strategy]
+
+_REGISTRY: dict[str, StrategyFactory] = {
+    RandomStrategy.name: RandomStrategy,
+    LexicographicStrategy.name: LexicographicStrategy,
+    LocalMostSpecificStrategy.name: LocalMostSpecificStrategy,
+    LocalMostGeneralStrategy.name: LocalMostGeneralStrategy,
+    LargestTypeStrategy.name: LargestTypeStrategy,
+    ExpectedPruneStrategy.name: ExpectedPruneStrategy,
+    MinMaxPruneStrategy.name: MinMaxPruneStrategy,
+    EntropyStrategy.name: EntropyStrategy,
+    KStepLookaheadStrategy.name: KStepLookaheadStrategy,
+    OptimalStrategy.name: OptimalStrategy,
+}
+
+#: The strategy families the paper's demo compares (Section 3).
+LOCAL_STRATEGIES: tuple[str, ...] = (
+    LexicographicStrategy.name,
+    LocalMostSpecificStrategy.name,
+    LocalMostGeneralStrategy.name,
+    LargestTypeStrategy.name,
+)
+LOOKAHEAD_STRATEGIES: tuple[str, ...] = (
+    ExpectedPruneStrategy.name,
+    MinMaxPruneStrategy.name,
+    EntropyStrategy.name,
+    KStepLookaheadStrategy.name,
+)
+
+
+def available_strategies() -> tuple[str, ...]:
+    """All registered strategy names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def register_strategy(name: str, factory: StrategyFactory, overwrite: bool = False) -> None:
+    """Register a custom strategy factory under ``name``."""
+    if not overwrite and name in _REGISTRY:
+        raise StrategyError(f"strategy {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def create_strategy(name: str, seed: Optional[int] = None, **kwargs: object) -> Strategy:
+    """Instantiate a strategy by name.
+
+    ``seed`` is forwarded to strategies that accept one (currently the random
+    strategy) and ignored otherwise, so sweeps can pass it unconditionally.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise StrategyError(f"unknown strategy {name!r}; known strategies: {known}") from exc
+    if factory is RandomStrategy:
+        return factory(seed=seed, **kwargs)  # type: ignore[call-arg]
+    return factory(**kwargs)

@@ -1,0 +1,38 @@
+"""Datasets and workloads: the paper's examples plus synthetic/TPC-H-like data.
+
+* :mod:`repro.datasets.flights_hotels` — the Figure 1 motivating example;
+* :mod:`repro.datasets.setgame` — the Set-card picture joins of Figure 5;
+* :mod:`repro.datasets.synthetic` — the controllable synthetic generator used
+  by the strategy-comparison and scalability experiments;
+* :mod:`repro.datasets.tpch` — a miniature TPC-H-like database for PK/FK join
+  inference;
+* :mod:`repro.datasets.workloads` — named (table, goal query) bundles.
+"""
+
+from . import flights_hotels, setgame, synthetic, tpch, workloads
+from .synthetic import SyntheticConfig
+from .tpch import TPCHConfig
+from .workloads import (
+    Workload,
+    default_workload_suite,
+    figure1_workload,
+    setgame_workload,
+    synthetic_workload,
+    tpch_workload,
+)
+
+__all__ = [
+    "SyntheticConfig",
+    "TPCHConfig",
+    "Workload",
+    "default_workload_suite",
+    "figure1_workload",
+    "flights_hotels",
+    "setgame",
+    "setgame_workload",
+    "synthetic",
+    "synthetic_workload",
+    "tpch",
+    "tpch_workload",
+    "workloads",
+]

@@ -1,0 +1,117 @@
+"""The paper's motivating dataset: flight & hotel packages (Figure 1).
+
+A travel-agency employee wants to build flight&hotel packages from a flight
+relation and a hotel relation she only sees denormalised, with no metadata.
+The twelve candidate tuples of Figure 1 are the cross product of four flights
+and three hotels; the two goal queries discussed in the paper are
+
+* ``Q1``: ``To ≍ City`` — the hotel is in the flight's destination city;
+* ``Q2``: ``To ≍ City ∧ Airline ≍ Discount`` — additionally the hotel's
+  discount programme matches the airline.
+
+The module exposes the base relations, the database instance, the exact
+denormalised candidate table of Figure 1 (tuple ids 0–11 correspond to the
+paper's tuple numbers 1–12) and both goal queries, so that the worked example
+of Section 2 can be replayed verbatim in tests, examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from ..core.queries import JoinQuery
+from ..relational.candidate import CandidateTable
+from ..relational.instance import DatabaseInstance
+from ..relational.relation import Relation
+
+#: Column names of the denormalised table, in the paper's order.
+FIGURE1_COLUMNS: tuple[str, ...] = ("From", "To", "Airline", "City", "Discount")
+
+#: Which base relation each column of the denormalised table comes from.
+FIGURE1_SOURCES: tuple[str, ...] = ("Flights", "Flights", "Flights", "Hotels", "Hotels")
+
+#: The four flights of the motivating example (From, To, Airline).
+FLIGHT_ROWS: tuple[tuple[str, str, str], ...] = (
+    ("Paris", "Lille", "AF"),
+    ("Lille", "NYC", "AA"),
+    ("NYC", "Paris", "AA"),
+    ("Paris", "NYC", "AF"),
+)
+
+#: The three hotels of the motivating example (City, Discount); ``None`` means
+#: the hotel offers no airline discount.
+HOTEL_ROWS: tuple[tuple[str, object], ...] = (
+    ("NYC", "AA"),
+    ("Paris", None),
+    ("Lille", "AF"),
+)
+
+#: The twelve rows of Figure 1, in the paper's order (tuples (1)–(12)).
+FIGURE1_ROWS: tuple[tuple[object, ...], ...] = tuple(
+    (*flight, *hotel) for flight in FLIGHT_ROWS for hotel in HOTEL_ROWS
+)
+
+
+def flights_relation() -> Relation:
+    """The ``Flights(From, To, Airline)`` relation."""
+    return Relation.build("Flights", ["From", "To", "Airline"], FLIGHT_ROWS)
+
+
+def hotels_relation() -> Relation:
+    """The ``Hotels(City, Discount)`` relation."""
+    return Relation.build("Hotels", ["City", "Discount"], HOTEL_ROWS)
+
+
+def travel_instance() -> DatabaseInstance:
+    """The two-relation database instance behind Figure 1."""
+    return DatabaseInstance("travel", [flights_relation(), hotels_relation()])
+
+
+def figure1_table() -> CandidateTable:
+    """The denormalised candidate table of Figure 1.
+
+    Tuple id ``i`` corresponds to the paper's tuple ``(i + 1)``.  Column names
+    are the paper's unqualified names; provenance information (flight vs.
+    hotel columns) is preserved so the default atom universe contains exactly
+    the six cross-relation attribute pairs.
+    """
+    return CandidateTable.from_rows(
+        FIGURE1_COLUMNS,
+        FIGURE1_ROWS,
+        name="flight_hotel_packages",
+        source_relations=FIGURE1_SOURCES,
+    )
+
+
+def qualified_figure1_table() -> CandidateTable:
+    """The same candidate table built as a cross product with qualified names.
+
+    Useful for exercising the relational pipeline end to end (SQL rendering,
+    SQLite execution); column names are ``Flights.From`` … ``Hotels.Discount``.
+    """
+    return CandidateTable.cross_product(travel_instance())
+
+
+def paper_tuple_id(paper_number: int) -> int:
+    """Translate the paper's 1-based tuple number into a 0-based tuple id."""
+    if not 1 <= paper_number <= len(FIGURE1_ROWS):
+        raise ValueError(f"Figure 1 has tuples (1)–({len(FIGURE1_ROWS)}), got {paper_number}")
+    return paper_number - 1
+
+
+def query_q1() -> JoinQuery:
+    """``Q1: To ≍ City`` — flight destination equals hotel city."""
+    return JoinQuery.of(("To", "City"))
+
+
+def query_q2() -> JoinQuery:
+    """``Q2: To ≍ City ∧ Airline ≍ Discount`` — additionally the discount matches."""
+    return JoinQuery.of(("To", "City"), ("Airline", "Discount"))
+
+
+def qualified_query_q1() -> JoinQuery:
+    """``Q1`` phrased over the qualified (cross-product) column names."""
+    return JoinQuery.of(("Flights.To", "Hotels.City"))
+
+
+def qualified_query_q2() -> JoinQuery:
+    """``Q2`` phrased over the qualified (cross-product) column names."""
+    return JoinQuery.of(("Flights.To", "Hotels.City"), ("Flights.Airline", "Hotels.Discount"))

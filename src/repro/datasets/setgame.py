@@ -1,0 +1,117 @@
+"""The Set card game dataset — joining sets of tagged pictures (Figure 5).
+
+The last part of the demonstration shows that JIM infers joins "not only
+between relational tables, but also between different types of tagged media":
+the preloaded database consists of the cards of the game Set, which vary in
+four features — number (one, two, three), symbol (diamond, squiggle, oval),
+shading (solid, striped, open) and color (red, green, purple).  The attendee
+labels *pairs of pictures* until JIM infers joins such as "select the pairs of
+pictures having the same color and the same shading".
+
+Pictures are represented by their tags (exactly what the inference operates
+on): a card is a tuple over the four features, and the candidate space is the
+cross product of two copies of the deck (``Left`` × ``Right``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Optional, Sequence
+
+from ..core.queries import JoinQuery
+from ..relational.candidate import CandidateTable
+from ..relational.instance import DatabaseInstance
+from ..relational.relation import Relation
+
+#: The four features of a Set card and their possible values.
+FEATURES: tuple[str, ...] = ("number", "symbol", "shading", "color")
+FEATURE_VALUES: dict[str, tuple[str, ...]] = {
+    "number": ("one", "two", "three"),
+    "symbol": ("diamond", "squiggle", "oval"),
+    "shading": ("solid", "striped", "open"),
+    "color": ("red", "green", "purple"),
+}
+
+#: Number of cards in a full Set deck (3^4).
+FULL_DECK_SIZE = 81
+
+
+def full_deck() -> tuple[tuple[str, str, str, str], ...]:
+    """All 81 Set cards as (number, symbol, shading, color) tuples."""
+    return tuple(
+        itertools.product(
+            FEATURE_VALUES["number"],
+            FEATURE_VALUES["symbol"],
+            FEATURE_VALUES["shading"],
+            FEATURE_VALUES["color"],
+        )
+    )
+
+
+def card_deck(
+    size: Optional[int] = None,
+    seed: Optional[int] = 0,
+) -> tuple[tuple[str, str, str, str], ...]:
+    """A deck of ``size`` distinct cards (the full deck when ``size`` is omitted).
+
+    Sampling is reproducible through ``seed``; asking for more cards than the
+    full deck holds is an error.
+    """
+    deck = full_deck()
+    if size is None or size >= len(deck):
+        if size is not None and size > len(deck):
+            raise ValueError(f"a Set deck has only {len(deck)} cards, asked for {size}")
+        return deck
+    rng = random.Random(seed)
+    return tuple(rng.sample(deck, size))
+
+
+def cards_relation(name: str, cards: Optional[Sequence[tuple[str, str, str, str]]] = None) -> Relation:
+    """A relation of Set cards under the given relation name."""
+    return Relation.build(name, list(FEATURES), cards if cards is not None else full_deck())
+
+
+def setgame_instance(deck_size: Optional[int] = None, seed: Optional[int] = 0) -> DatabaseInstance:
+    """Two copies of (a sample of) the deck, named ``Left`` and ``Right``."""
+    cards = card_deck(deck_size, seed)
+    return DatabaseInstance(
+        "setgame",
+        [cards_relation("Left", cards), cards_relation("Right", cards)],
+    )
+
+
+def pair_table(
+    deck_size: Optional[int] = None,
+    max_rows: Optional[int] = None,
+    seed: Optional[int] = 0,
+) -> CandidateTable:
+    """The candidate table of card *pairs* (``Left`` × ``Right``).
+
+    The full deck yields 81 × 81 = 6561 pairs; ``deck_size`` and ``max_rows``
+    keep interactive demos and benchmarks snappy while exercising the same
+    code path.
+    """
+    instance = setgame_instance(deck_size, seed)
+    return CandidateTable.cross_product(
+        instance, name="card_pairs", max_rows=max_rows, rng=random.Random(seed)
+    )
+
+
+def same_feature_query(*features: str) -> JoinQuery:
+    """The join "pairs of pictures having the same ⟨features⟩".
+
+    ``same_feature_query("color", "shading")`` is the example query of the
+    demonstration scenario.
+    """
+    unknown = [feature for feature in features if feature not in FEATURES]
+    if unknown:
+        raise ValueError(f"unknown Set card feature(s): {', '.join(unknown)}")
+    if not features:
+        raise ValueError("at least one feature is required")
+    return JoinQuery.of(*((f"Left.{feature}", f"Right.{feature}") for feature in features))
+
+
+def demo_goal_query() -> JoinQuery:
+    """The query the paper uses as its picture-join example (same color & shading)."""
+    return same_feature_query("color", "shading")

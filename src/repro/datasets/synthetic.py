@@ -1,0 +1,179 @@
+"""Synthetic instances and goal queries for the strategy experiments.
+
+The underlying research paper evaluates its strategies on "benchmark and
+synthetic datasets"; since the original synthetic generator is not published,
+this module provides a controllable substitute.  The key knobs are the ones
+the paper's analysis cares about:
+
+* the number of relations (arity of the join) and attributes per relation —
+  together they determine the size of the atom universe, i.e. the size of the
+  query space;
+* the number of tuples per relation — it determines the candidate-table size;
+* the size of the shared value domain — it controls how often attribute
+  values coincide by chance, i.e. how rich the equality types are and how
+  hard queries are to tell apart;
+* the complexity of the goal query (number of atoms).
+
+All generation is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.atoms import AtomScope, AtomUniverse
+from ..core.queries import JoinQuery
+from ..exceptions import ExperimentError
+from ..relational.candidate import CandidateTable
+from ..relational.instance import DatabaseInstance
+from ..relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of a synthetic instance.
+
+    Attributes
+    ----------
+    num_relations / attributes_per_relation:
+        Shape of the schema; the candidate table has
+        ``num_relations × attributes_per_relation`` columns.
+    tuples_per_relation:
+        Rows per base relation; the full cross product has
+        ``tuples_per_relation ** num_relations`` candidate tuples.
+    domain_size:
+        Attribute values are integers drawn uniformly from
+        ``range(domain_size)`` — smaller domains mean more chance equalities.
+    max_candidate_rows:
+        Optional cap on the materialised cross product (uniform sample).
+    seed:
+        Seed of all pseudo-random choices.
+    """
+
+    num_relations: int = 2
+    attributes_per_relation: int = 3
+    tuples_per_relation: int = 10
+    domain_size: int = 4
+    max_candidate_rows: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_relations < 1:
+            raise ExperimentError("num_relations must be at least 1")
+        if self.attributes_per_relation < 1:
+            raise ExperimentError("attributes_per_relation must be at least 1")
+        if self.tuples_per_relation < 1:
+            raise ExperimentError("tuples_per_relation must be at least 1")
+        if self.domain_size < 2:
+            raise ExperimentError("domain_size must be at least 2")
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """Names ``R1 … Rn`` of the generated relations."""
+        return tuple(f"R{i + 1}" for i in range(self.num_relations))
+
+    @property
+    def candidate_rows(self) -> int:
+        """Size of the (unsampled) cross product."""
+        return self.tuples_per_relation**self.num_relations
+
+
+def generate_instance(config: SyntheticConfig) -> DatabaseInstance:
+    """Generate the synthetic database instance described by ``config``."""
+    rng = random.Random(config.seed)
+    relations = []
+    for relation_name in config.relation_names:
+        attribute_names = [f"a{j + 1}" for j in range(config.attributes_per_relation)]
+        rows = [
+            tuple(rng.randrange(config.domain_size) for _ in attribute_names)
+            for _ in range(config.tuples_per_relation)
+        ]
+        relations.append(Relation.build(relation_name, attribute_names, rows))
+    return DatabaseInstance("synthetic", relations)
+
+
+def generate_candidate_table(config: SyntheticConfig) -> CandidateTable:
+    """The (optionally sampled) cross product of the synthetic instance."""
+    instance = generate_instance(config)
+    return CandidateTable.cross_product(
+        instance,
+        name="synthetic_candidates",
+        max_rows=config.max_candidate_rows,
+        rng=random.Random(config.seed + 1),
+    )
+
+
+def random_goal_query(
+    table: CandidateTable,
+    num_atoms: int,
+    seed: int = 0,
+    universe: Optional[AtomUniverse] = None,
+    require_nonempty: bool = True,
+    require_proper: bool = True,
+    max_attempts: int = 500,
+) -> JoinQuery:
+    """Draw a random goal query of ``num_atoms`` atoms over the candidate table.
+
+    By default the query must be *non-trivial on the instance*: it selects at
+    least one tuple (``require_nonempty``) and not all of them
+    (``require_proper``), so that inferring it actually requires interaction.
+    Raises :class:`~repro.exceptions.ExperimentError` when no such query is
+    found within ``max_attempts`` draws.
+    """
+    if num_atoms < 1:
+        raise ExperimentError("a goal query needs at least one atom")
+    universe = universe or AtomUniverse.from_table(table, scope=AtomScope.CROSS_RELATION)
+    if num_atoms > universe.size:
+        raise ExperimentError(
+            f"cannot draw {num_atoms} atoms from a universe of size {universe.size}"
+        )
+    rng = random.Random(seed)
+    total = len(table)
+    for _ in range(max_attempts):
+        atoms = rng.sample(list(universe.atoms), num_atoms)
+        goal = JoinQuery(atoms)
+        selected = len(goal.evaluate(table))
+        if require_nonempty and selected == 0:
+            continue
+        if require_proper and selected == total:
+            continue
+        return goal
+    raise ExperimentError(
+        f"could not draw a goal query with {num_atoms} atom(s) that is non-trivial on the "
+        f"instance after {max_attempts} attempts; adjust domain_size or num_atoms"
+    )
+
+
+def planted_goal_instance(
+    config: SyntheticConfig,
+    num_atoms: int,
+) -> tuple[CandidateTable, JoinQuery]:
+    """A synthetic candidate table together with a non-trivial goal query.
+
+    Convenience wrapper combining :func:`generate_candidate_table` and
+    :func:`random_goal_query`; both draws use the configuration's seed so the
+    pair is fully reproducible.
+    """
+    table = generate_candidate_table(config)
+    goal = random_goal_query(table, num_atoms, seed=config.seed + 2)
+    return table, goal
+
+
+def all_goal_queries(
+    table: CandidateTable,
+    num_atoms: int,
+    universe: Optional[AtomUniverse] = None,
+) -> list[JoinQuery]:
+    """Every query with exactly ``num_atoms`` atoms over the table's universe.
+
+    Only practical for small universes; used by exhaustive tests and by the
+    optimal-strategy validation experiments.
+    """
+    universe = universe or AtomUniverse.from_table(table, scope=AtomScope.CROSS_RELATION)
+    return [
+        JoinQuery(combination)
+        for combination in itertools.combinations(universe.atoms, num_atoms)
+    ]

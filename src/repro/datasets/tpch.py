@@ -1,0 +1,195 @@
+"""A self-contained TPC-H-like data generator.
+
+The experiments of the underlying research paper use the TPC-H benchmark as a
+realistic multi-relation database on which PK/FK equi-joins are inferred.  The
+official ``dbgen`` tool and its data are not available offline, so this module
+generates a structurally faithful miniature: the same relations and key/foreign
+key relationships (region ← nation ← customer/supplier, customer ← orders ←
+lineitem → part/supplier), with sizes scaled down to what an interactive
+membership-query session can realistically cover.  The join *structure* — which
+attribute pairs form meaningful equi-joins — is what the inference experiments
+exercise, and it is preserved exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.queries import JoinQuery
+from ..exceptions import ExperimentError
+from ..relational.candidate import CandidateTable
+from ..relational.instance import DatabaseInstance
+from ..relational.relation import Relation
+
+#: The classic PK/FK joins of the TPC-H schema, as qualified attribute pairs.
+TPCH_FK_JOINS: dict[str, tuple[tuple[str, str], ...]] = {
+    "nation-region": (("nation.n_regionkey", "region.r_regionkey"),),
+    "customer-nation": (("customer.c_nationkey", "nation.n_nationkey"),),
+    "supplier-nation": (("supplier.s_nationkey", "nation.n_nationkey"),),
+    "orders-customer": (("orders.o_custkey", "customer.c_custkey"),),
+    "lineitem-orders": (("lineitem.l_orderkey", "orders.o_orderkey"),),
+    "lineitem-part": (("lineitem.l_partkey", "part.p_partkey"),),
+    "lineitem-supplier": (("lineitem.l_suppkey", "supplier.s_suppkey"),),
+    "customer-orders-lineitem": (
+        ("orders.o_custkey", "customer.c_custkey"),
+        ("lineitem.l_orderkey", "orders.o_orderkey"),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class TPCHConfig:
+    """Row counts of the miniature TPC-H instance (all reproducible via ``seed``)."""
+
+    regions: int = 3
+    nations: int = 6
+    customers: int = 12
+    suppliers: int = 6
+    parts: int = 12
+    orders_per_customer: int = 2
+    lineitems_per_order: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("regions", "nations", "customers", "suppliers", "parts"):
+            if getattr(self, name) < 1:
+                raise ExperimentError(f"{name} must be at least 1")
+        if self.orders_per_customer < 1 or self.lineitems_per_order < 1:
+            raise ExperimentError("orders_per_customer and lineitems_per_order must be at least 1")
+
+    @property
+    def num_orders(self) -> int:
+        """Total number of orders."""
+        return self.customers * self.orders_per_customer
+
+    @property
+    def num_lineitems(self) -> int:
+        """Total number of lineitems."""
+        return self.num_orders * self.lineitems_per_order
+
+
+def generate_tpch(config: Optional[TPCHConfig] = None) -> DatabaseInstance:
+    """Generate the miniature TPC-H database instance."""
+    config = config or TPCHConfig()
+    rng = random.Random(config.seed)
+
+    region_names = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+    region_rows = [
+        (key, region_names[key % len(region_names)]) for key in range(config.regions)
+    ]
+    region = Relation.build("region", ["r_regionkey", "r_name"], region_rows)
+
+    nation_rows = [
+        (key, f"Nation#{key}", rng.randrange(config.regions)) for key in range(config.nations)
+    ]
+    nation = Relation.build("nation", ["n_nationkey", "n_name", "n_regionkey"], nation_rows)
+
+    customer_rows = [
+        (
+            key,
+            f"Customer#{key:03d}",
+            rng.randrange(config.nations),
+            round(rng.uniform(-999.0, 9999.0), 2),
+        )
+        for key in range(config.customers)
+    ]
+    customer = Relation.build(
+        "customer", ["c_custkey", "c_name", "c_nationkey", "c_acctbal"], customer_rows
+    )
+
+    supplier_rows = [
+        (key, f"Supplier#{key:03d}", rng.randrange(config.nations))
+        for key in range(config.suppliers)
+    ]
+    supplier = Relation.build("supplier", ["s_suppkey", "s_name", "s_nationkey"], supplier_rows)
+
+    part_rows = [
+        (key, f"Part#{key:03d}", round(rng.uniform(900.0, 2000.0), 2))
+        for key in range(config.parts)
+    ]
+    part = Relation.build("part", ["p_partkey", "p_name", "p_retailprice"], part_rows)
+
+    statuses = ("O", "F", "P")
+    order_rows = []
+    for order_key in range(config.num_orders):
+        order_rows.append(
+            (
+                order_key,
+                order_key % config.customers,
+                round(rng.uniform(1000.0, 100000.0), 2),
+                statuses[rng.randrange(len(statuses))],
+            )
+        )
+    orders = Relation.build(
+        "orders", ["o_orderkey", "o_custkey", "o_totalprice", "o_orderstatus"], order_rows
+    )
+
+    lineitem_rows = []
+    for line_key in range(config.num_lineitems):
+        lineitem_rows.append(
+            (
+                line_key % config.num_orders,
+                line_key,
+                rng.randrange(config.parts),
+                rng.randrange(config.suppliers),
+                rng.randrange(1, 50),
+            )
+        )
+    lineitem = Relation.build(
+        "lineitem",
+        ["l_orderkey", "l_linenumber", "l_partkey", "l_suppkey", "l_quantity"],
+        lineitem_rows,
+    )
+
+    return DatabaseInstance(
+        "tpch", [region, nation, customer, supplier, part, orders, lineitem]
+    )
+
+
+def fk_join_goal(name: str) -> JoinQuery:
+    """One of the canonical TPC-H PK/FK joins, by name (see :data:`TPCH_FK_JOINS`)."""
+    try:
+        pairs = TPCH_FK_JOINS[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(TPCH_FK_JOINS))
+        raise ExperimentError(f"unknown TPC-H join {name!r}; known joins: {known}") from exc
+    return JoinQuery.of(*pairs)
+
+
+def relations_of_join(name: str) -> tuple[str, ...]:
+    """The base relations involved in one of the canonical joins."""
+    pairs = TPCH_FK_JOINS.get(name)
+    if pairs is None:
+        known = ", ".join(sorted(TPCH_FK_JOINS))
+        raise ExperimentError(f"unknown TPC-H join {name!r}; known joins: {known}")
+    relations: list[str] = []
+    for left, right in pairs:
+        for qualified in (left, right):
+            relation = qualified.split(".", 1)[0]
+            if relation not in relations:
+                relations.append(relation)
+    return tuple(relations)
+
+
+def tpch_candidate_table(
+    join_name: str,
+    config: Optional[TPCHConfig] = None,
+    max_rows: Optional[int] = 2000,
+    instance: Optional[DatabaseInstance] = None,
+) -> CandidateTable:
+    """The candidate table (cross product) for one of the canonical joins.
+
+    ``max_rows`` caps the materialised cross product; the default keeps even
+    the three-way customer–orders–lineitem space at an interactive size.
+    """
+    instance = instance if instance is not None else generate_tpch(config)
+    relations: Sequence[str] = relations_of_join(join_name)
+    return CandidateTable.cross_product(
+        instance,
+        relation_names=relations,
+        name=f"tpch_{join_name}",
+        max_rows=max_rows,
+        rng=random.Random((config.seed if config else 0) + 7),
+    )

@@ -1,0 +1,136 @@
+"""Named workloads: (candidate table, goal query) pairs used by experiments.
+
+A *workload* bundles everything an experiment run needs: the candidate table
+the user would be shown, the goal join query the simulated user has in mind,
+and a human-readable description.  The builders below cover the paper's
+scenarios — the Figure 1 travel example, the Set-game picture joins, the
+synthetic strategy-comparison sweeps and the TPC-H-like PK/FK joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.queries import JoinQuery
+from ..relational.candidate import CandidateTable
+from . import flights_hotels, setgame, synthetic, tpch
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A candidate table together with the goal query to infer on it."""
+
+    name: str
+    table: CandidateTable
+    goal: JoinQuery
+    description: str = ""
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of candidate tuples the user could be asked about."""
+        return len(self.table)
+
+    @property
+    def goal_size(self) -> int:
+        """Number of atoms in the goal query (its complexity)."""
+        return len(self.goal)
+
+    def goal_selectivity(self) -> float:
+        """Fraction of candidate tuples selected by the goal query."""
+        return self.goal.selectivity(self.table)
+
+
+def figure1_workload(goal: str = "q2") -> Workload:
+    """The paper's motivating example with goal ``Q1`` or ``Q2``."""
+    table = flights_hotels.figure1_table()
+    if goal.lower() == "q1":
+        return Workload(
+            name="figure1-q1",
+            table=table,
+            goal=flights_hotels.query_q1(),
+            description="Flight&hotel packages, goal Q1: To ≍ City",
+        )
+    if goal.lower() == "q2":
+        return Workload(
+            name="figure1-q2",
+            table=table,
+            goal=flights_hotels.query_q2(),
+            description="Flight&hotel packages, goal Q2: To ≍ City ∧ Airline ≍ Discount",
+        )
+    raise ValueError(f"Figure 1 has goals 'q1' and 'q2', got {goal!r}")
+
+
+def setgame_workload(
+    features: tuple[str, ...] = ("color", "shading"),
+    deck_size: Optional[int] = 12,
+    max_rows: Optional[int] = None,
+    seed: int = 0,
+) -> Workload:
+    """Joining sets of pictures: pairs of Set cards sharing the given features."""
+    table = setgame.pair_table(deck_size=deck_size, max_rows=max_rows, seed=seed)
+    goal = setgame.same_feature_query(*features)
+    label = " & ".join(features)
+    return Workload(
+        name=f"setgame-{'-'.join(features)}",
+        table=table,
+        goal=goal,
+        description=f"Pairs of Set cards with the same {label}",
+    )
+
+
+def synthetic_workload(
+    config: Optional[synthetic.SyntheticConfig] = None,
+    goal_atoms: int = 2,
+) -> Workload:
+    """A synthetic instance with a randomly drawn, non-trivial goal query."""
+    config = config or synthetic.SyntheticConfig()
+    table, goal = synthetic.planted_goal_instance(config, goal_atoms)
+    return Workload(
+        name=(
+            f"synthetic-r{config.num_relations}a{config.attributes_per_relation}"
+            f"t{config.tuples_per_relation}d{config.domain_size}-g{goal_atoms}-s{config.seed}"
+        ),
+        table=table,
+        goal=goal,
+        description=(
+            f"Synthetic: {config.num_relations} relations × {config.tuples_per_relation} tuples, "
+            f"domain {config.domain_size}, goal with {goal_atoms} atom(s)"
+        ),
+    )
+
+
+def tpch_workload(
+    join_name: str = "orders-customer",
+    config: Optional[tpch.TPCHConfig] = None,
+    max_rows: Optional[int] = 2000,
+) -> Workload:
+    """A TPC-H-like PK/FK join inference workload."""
+    table = tpch.tpch_candidate_table(join_name, config=config, max_rows=max_rows)
+    return Workload(
+        name=f"tpch-{join_name}",
+        table=table,
+        goal=tpch.fk_join_goal(join_name),
+        description=f"TPC-H-like PK/FK join: {join_name}",
+    )
+
+
+def default_workload_suite(seed: int = 0) -> list[Workload]:
+    """A small, varied suite covering all dataset families (used by tests/benches)."""
+    return [
+        figure1_workload("q1"),
+        figure1_workload("q2"),
+        setgame_workload(("color",), deck_size=9, seed=seed),
+        setgame_workload(("color", "shading"), deck_size=9, seed=seed),
+        synthetic_workload(
+            synthetic.SyntheticConfig(
+                num_relations=2,
+                attributes_per_relation=3,
+                tuples_per_relation=8,
+                domain_size=3,
+                seed=seed,
+            ),
+            goal_atoms=2,
+        ),
+        tpch_workload("orders-customer", tpch.TPCHConfig(customers=6, orders_per_customer=2)),
+    ]

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the JIM reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so that
+callers can catch library errors with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A relation or database schema is malformed or used inconsistently.
+
+    Examples: duplicate attribute names, a tuple whose arity does not match
+    its relation schema, or referencing an unknown relation.
+    """
+
+
+class DataTypeError(ReproError):
+    """A value cannot be coerced to, or is incompatible with, a data type."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An attribute name was referenced that does not exist in the schema."""
+
+
+class UnknownRelationError(SchemaError):
+    """A relation name was referenced that does not exist in the database."""
+
+
+class CandidateTableError(ReproError):
+    """The candidate (denormalised) table is malformed or cannot be built."""
+
+
+class AtomUniverseError(ReproError):
+    """The atom universe is empty or an atom refers to unknown attributes."""
+
+
+class InconsistentLabelError(ReproError):
+    """A label contradicts the labels given so far.
+
+    Raised when the user labels a tuple in a way that leaves no consistent
+    join query (e.g. labeling a *certain-positive* tuple as negative), or
+    when the same tuple receives two different labels.
+    """
+
+
+class ConvergenceError(ReproError):
+    """The interactive inference loop could not reach a unique query."""
+
+
+class StrategyError(ReproError):
+    """A strategy was asked to choose a tuple in an invalid state.
+
+    For instance requesting the next informative tuple when none remains, or
+    instantiating an unknown strategy name from the registry.
+    """
+
+
+class OracleError(ReproError):
+    """An oracle could not produce a label for the requested tuple."""
+
+
+class ExperimentError(ReproError):
+    """An experiment or benchmark harness was configured incorrectly."""

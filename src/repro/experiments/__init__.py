@@ -1,0 +1,36 @@
+"""Experiments: the harnesses that regenerate every figure of the paper.
+
+See DESIGN.md (experiment index E1–E10) and EXPERIMENTS.md (measured results).
+Each module exposes plain functions returning
+:class:`~repro.experiments.results.ResultTable` objects; the corresponding
+benchmarks in ``benchmarks/`` call them and print the tables.
+"""
+
+from . import (
+    ablation,
+    crowd,
+    interactions,
+    results,
+    runner,
+    scalability,
+    strategy_comparison,
+    tpch_experiment,
+    walkthrough,
+)
+from .results import ResultTable
+from .runner import run_matrix, run_single
+
+__all__ = [
+    "ResultTable",
+    "ablation",
+    "crowd",
+    "interactions",
+    "results",
+    "run_matrix",
+    "run_single",
+    "runner",
+    "scalability",
+    "strategy_comparison",
+    "tpch_experiment",
+    "walkthrough",
+]

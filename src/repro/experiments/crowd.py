@@ -1,0 +1,96 @@
+"""E9 — crowdsourcing cost: JIM vs pairwise entity-resolution joins.
+
+Section 1 of the paper motivates JIM for crowdsourced joins: "minimizing the
+number of interactions entails lower financial costs", and existing crowd-join
+systems resolve *pairs of tuples* (entity resolution) rather than inferring a
+join predicate.  This experiment compares the number of crowd questions:
+
+* the pairwise baseline asks about (up to) every candidate pair;
+* JIM asks membership questions only about informative tuples.
+
+The expected shape: the pairwise cost grows with the product of the relation
+sizes while JIM's question count stays near the information-theoretic size of
+the query space (a handful of questions), independent of the instance size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..baselines.entity_resolution import PairwiseCrowdJoin, pairwise_question_count
+from ..core.oracle import GoalQueryOracle
+from ..datasets.synthetic import SyntheticConfig
+from ..datasets.workloads import Workload, synthetic_workload
+from .results import ResultTable
+from .runner import run_single
+
+
+def crowd_workloads(
+    tuples_per_relation: Sequence[int] = (8, 12, 16, 24),
+    goal_atoms: int = 1,
+    domain_size: int = 4,
+    seed: int = 0,
+) -> list[Workload]:
+    """Two-relation joins of growing size (each pair is one crowd question)."""
+    return [
+        synthetic_workload(
+            SyntheticConfig(
+                num_relations=2,
+                attributes_per_relation=3,
+                tuples_per_relation=tuples,
+                domain_size=domain_size,
+                seed=seed,
+            ),
+            goal_atoms=goal_atoms,
+        )
+        for tuples in tuples_per_relation
+    ]
+
+
+def compare_crowd_cost(
+    workloads: Optional[Sequence[Workload]] = None,
+    strategy: str = "lookahead-entropy",
+    seed: int = 0,
+    run_pairwise_oracle: bool = True,
+) -> ResultTable:
+    """Questions asked by JIM vs the pairwise crowd-join baseline.
+
+    ``run_pairwise_oracle`` actually drives the pairwise baseline through the
+    oracle (so its answer pattern is validated); switching it off only reports
+    the analytic all-pairs count, which is what matters for large sweeps.
+    """
+    if workloads is None:
+        workloads = crowd_workloads(seed=seed)
+    table = ResultTable(
+        [
+            "workload",
+            "candidate_pairs",
+            "jim_questions",
+            "pairwise_questions",
+            "reduction_factor",
+            "correct",
+        ]
+    )
+    for workload in workloads:
+        record = run_single(workload, strategy, seed=seed)
+        pairs = len(workload.table)
+        if run_pairwise_oracle:
+            baseline = PairwiseCrowdJoin(use_transitivity=False)
+            crowd = baseline.run(workload.table, GoalQueryOracle(workload.goal))
+            pairwise_questions = crowd.questions_asked
+        else:
+            pairwise_questions = pairwise_question_count(pairs, 1)
+        jim_questions = int(record["interactions"])
+        table.add_row(
+            {
+                "workload": workload.name,
+                "candidate_pairs": pairs,
+                "jim_questions": jim_questions,
+                "pairwise_questions": pairwise_questions,
+                "reduction_factor": round(pairwise_questions / jim_questions, 1)
+                if jim_questions
+                else None,
+                "correct": record["correct"],
+            }
+        )
+    return table

@@ -1,0 +1,259 @@
+"""E2–E4 — user effort under the different interaction types.
+
+* **E2** (Figure 2): interactions needed by the interactive loop vs labeling
+  every candidate tuple, as the candidate table grows.
+* **E3** (Figure 3): user effort (labels given) under the four interaction
+  types — free labeling, free labeling with graying out, top-k proposals,
+  fully guided.
+* **E4** (Figure 4): the "benefit of using a strategy" report — how many
+  interactions an unguided user performs vs what a guided strategy would have
+  needed for the same goal query.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..baselines.label_all import label_all_interactions
+from ..baselines.random_order import RandomOrderBaseline
+from ..core.oracle import GoalQueryOracle
+from ..datasets.synthetic import SyntheticConfig
+from ..datasets.workloads import Workload, figure1_workload, synthetic_workload
+from ..sessions.benefit import compute_benefit
+from ..sessions.modes import GuidedSession, ManualSession, TopKSession
+from .results import ResultTable
+from .runner import run_single
+
+
+def default_e2_workloads(
+    tuple_counts: Sequence[int] = (6, 10, 14, 20),
+    goal_atoms: int = 2,
+    seed: int = 0,
+) -> list[Workload]:
+    """Figure 1 plus a synthetic size sweep (cross products of two relations)."""
+    workloads: list[Workload] = [figure1_workload("q2")]
+    for tuples_per_relation in tuple_counts:
+        workloads.append(
+            synthetic_workload(
+                SyntheticConfig(
+                    num_relations=2,
+                    attributes_per_relation=3,
+                    tuples_per_relation=tuples_per_relation,
+                    domain_size=4,
+                    seed=seed,
+                ),
+                goal_atoms=goal_atoms,
+            )
+        )
+    return workloads
+
+
+def interactive_vs_label_all(
+    workloads: Optional[Sequence[Workload]] = None,
+    strategy: str = "lookahead-entropy",
+    seed: int = 0,
+) -> ResultTable:
+    """E2: guided interactive inference vs labeling every tuple."""
+    workloads = list(workloads) if workloads is not None else default_e2_workloads(seed=seed)
+    table = ResultTable(
+        [
+            "workload",
+            "candidates",
+            "goal_atoms",
+            "interactive_labels",
+            "label_all_labels",
+            "saving_pct",
+            "correct",
+        ]
+    )
+    for workload in workloads:
+        record = run_single(workload, strategy, seed=seed)
+        exhaustive = label_all_interactions(workload.table)
+        interactive = int(record["interactions"])
+        saving = 100.0 * (exhaustive - interactive) / exhaustive if exhaustive else 0.0
+        table.add_row(
+            {
+                "workload": workload.name,
+                "candidates": workload.num_candidates,
+                "goal_atoms": workload.goal_size,
+                "interactive_labels": interactive,
+                "label_all_labels": exhaustive,
+                "saving_pct": round(saving, 1),
+                "correct": record["correct"],
+            }
+        )
+    return table
+
+
+def interaction_mode_effort(
+    workloads: Optional[Sequence[Workload]] = None,
+    k: int = 3,
+    seed: int = 0,
+) -> ResultTable:
+    """E3: labels the user gives under each of the four interaction types.
+
+    The simulated attendee of interaction types 1 and 2 labels tuples in a
+    random order (she has no insight into informativeness); types 3 and 4 are
+    system-driven.  All four infer the same goal query.
+    """
+    if workloads is None:
+        workloads = [
+            figure1_workload("q2"),
+            synthetic_workload(
+                SyntheticConfig(
+                    num_relations=2,
+                    attributes_per_relation=3,
+                    tuples_per_relation=10,
+                    domain_size=3,
+                    seed=seed,
+                ),
+                goal_atoms=2,
+            ),
+        ]
+    table = ResultTable(
+        ["workload", "candidates", "mode", "labels_given", "grayed_out", "correct"]
+    )
+    for workload in workloads:
+        goal_oracle = GoalQueryOracle(workload.goal)
+        order = list(workload.table.tuple_ids)
+        random.Random(seed).shuffle(order)
+
+        # Type 1: free labeling, no help.
+        manual = ManualSession(workload.table, gray_out=False)
+        manual.run(goal_oracle, order=order)
+        table.add_row(
+            {
+                "workload": workload.name,
+                "candidates": workload.num_candidates,
+                "mode": "1-manual",
+                "labels_given": manual.num_interactions,
+                "grayed_out": 0,
+                "correct": manual.inferred_query().instance_equivalent(
+                    workload.goal, workload.table
+                ),
+            }
+        )
+
+        # Type 2: free labeling with interactive graying out.
+        assisted = ManualSession(workload.table, gray_out=True)
+        assisted.run(goal_oracle, order=order)
+        table.add_row(
+            {
+                "workload": workload.name,
+                "candidates": workload.num_candidates,
+                "mode": "2-manual+pruning",
+                "labels_given": assisted.num_interactions,
+                "grayed_out": assisted.statistics().grayed_out,
+                "correct": assisted.inferred_query().instance_equivalent(
+                    workload.goal, workload.table
+                ),
+            }
+        )
+
+        # Type 3: top-k proposals.
+        top_k = TopKSession(workload.table, k=k)
+        top_k.run(goal_oracle)
+        table.add_row(
+            {
+                "workload": workload.name,
+                "candidates": workload.num_candidates,
+                "mode": f"3-top-{k}",
+                "labels_given": top_k.num_interactions,
+                "grayed_out": top_k.statistics().grayed_out,
+                "correct": top_k.inferred_query().instance_equivalent(
+                    workload.goal, workload.table
+                ),
+            }
+        )
+
+        # Type 4: fully guided (most informative tuple).
+        guided = GuidedSession(workload.table, strategy="lookahead-entropy")
+        guided.run(goal_oracle)
+        table.add_row(
+            {
+                "workload": workload.name,
+                "candidates": workload.num_candidates,
+                "mode": "4-guided",
+                "labels_given": guided.num_interactions,
+                "grayed_out": guided.statistics().grayed_out,
+                "correct": guided.inferred_query().instance_equivalent(
+                    workload.goal, workload.table
+                ),
+            }
+        )
+    return table
+
+
+def strategy_benefit(
+    workloads: Optional[Sequence[Workload]] = None,
+    strategy: str = "lookahead-entropy",
+    seeds: Sequence[int] = (0, 1, 2),
+) -> ResultTable:
+    """E4: unguided random-order users vs the guided strategy (Figure 4).
+
+    For each seed an unguided user labels random tuples until her labels
+    identify the goal query; the benefit report then replays the inference
+    with the guided strategy and records the saving.
+    """
+    if workloads is None:
+        workloads = [
+            figure1_workload("q2"),
+            synthetic_workload(
+                SyntheticConfig(
+                    num_relations=2,
+                    attributes_per_relation=3,
+                    tuples_per_relation=10,
+                    domain_size=3,
+                    seed=1,
+                ),
+                goal_atoms=2,
+            ),
+        ]
+    table = ResultTable(
+        [
+            "workload",
+            "candidates",
+            "seed",
+            "user_interactions",
+            "strategy_interactions",
+            "saved_interactions",
+            "saved_pct",
+        ]
+    )
+    for workload in workloads:
+        for seed in seeds:
+            oracle = GoalQueryOracle(workload.goal)
+            baseline = RandomOrderBaseline(seed=seed, informed_pruning=False)
+            user_run = baseline.run(workload.table, oracle)
+            # Reconstruct the user's final state to produce the benefit report.
+            session = ManualSession(workload.table, gray_out=False)
+            session.run(
+                GoalQueryOracle(workload.goal),
+                order=_replay_order(workload, seed),
+            )
+            report = compute_benefit(
+                session.state,
+                user_run.num_interactions,
+                strategy=strategy,
+                goal=workload.goal,
+            )
+            table.add_row(
+                {
+                    "workload": workload.name,
+                    "candidates": workload.num_candidates,
+                    "seed": seed,
+                    "user_interactions": report.user_interactions,
+                    "strategy_interactions": report.strategy_interactions,
+                    "saved_interactions": report.saved_interactions,
+                    "saved_pct": round(report.saved_pct, 1),
+                }
+            )
+    return table
+
+
+def _replay_order(workload: Workload, seed: int) -> list[int]:
+    """The same random labeling order the random-order baseline uses."""
+    order = list(workload.table.tuple_ids)
+    random.Random(seed).shuffle(order)
+    return order

@@ -1,0 +1,121 @@
+"""Result tables: the uniform output format of every experiment.
+
+Each experiment produces a :class:`ResultTable` — an ordered list of records
+with named columns — which can be rendered as aligned text (what the
+benchmarks print and what EXPERIMENTS.md quotes), exported to CSV, and
+aggregated (grouped means) for the summary rows of the paper-style figures.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import statistics
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+from ..exceptions import ExperimentError
+
+Record = dict[str, object]
+
+
+class ResultTable:
+    """An ordered collection of records sharing a column set."""
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Mapping[str, object]] = ()) -> None:
+        if not columns:
+            raise ExperimentError("a result table needs at least one column")
+        self.columns: tuple[str, ...] = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise ExperimentError("result table columns must be unique")
+        self.rows: list[Record] = []
+        for row in rows:
+            self.add_row(row)
+
+    def add_row(self, row: Mapping[str, object]) -> None:
+        """Append a record; missing columns become ``None``, extras are rejected."""
+        unknown = set(row) - set(self.columns)
+        if unknown:
+            raise ExperimentError(f"unknown result columns: {', '.join(sorted(map(str, unknown)))}")
+        self.rows.append({column: row.get(column) for column in self.columns})
+
+    def extend(self, rows: Iterable[Mapping[str, object]]) -> None:
+        """Append several records."""
+        for row in rows:
+            self.add_row(row)
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise ExperimentError(f"unknown column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def filter(self, **criteria: object) -> "ResultTable":
+        """A new table with the rows matching all ``column=value`` criteria."""
+        table = ResultTable(self.columns)
+        for row in self.rows:
+            if all(row.get(column) == value for column, value in criteria.items()):
+                table.add_row(row)
+        return table
+
+    def group_mean(
+        self,
+        group_by: Sequence[str],
+        value_column: str,
+    ) -> dict[tuple[object, ...], float]:
+        """Mean of ``value_column`` per distinct combination of ``group_by`` columns."""
+        groups: dict[tuple[object, ...], list[float]] = {}
+        for row in self.rows:
+            key = tuple(row[column] for column in group_by)
+            value = row[value_column]
+            if value is None:
+                continue
+            groups.setdefault(key, []).append(float(value))  # type: ignore[arg-type]
+        return {key: statistics.fmean(values) for key, values in groups.items() if values}
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def _formatted(self, value: object) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, float):
+            return f"{value:.3f}".rstrip("0").rstrip(".") if value else "0"
+        return str(value)
+
+    def to_text(self, max_rows: Optional[int] = None) -> str:
+        """Aligned, human-readable rendering (what benchmarks print)."""
+        rows = self.rows if max_rows is None else self.rows[:max_rows]
+        cells = [[self._formatted(row[column]) for column in self.columns] for row in rows]
+        widths = [len(column) for column in self.columns]
+        for row in cells:
+            for position, cell in enumerate(row):
+                widths[position] = max(widths[position], len(cell))
+        header = "  ".join(column.ljust(width) for column, width in zip(self.columns, widths))
+        separator = "  ".join("-" * width for width in widths)
+        body = [
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+            for row in cells
+        ]
+        lines = [header.rstrip(), separator]
+        lines.extend(body)
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"… {len(self.rows) - max_rows} more row(s)")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rendering with a header row."""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(self.columns))
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({column: "" if value is None else value for column, value in row.items()})
+        return buffer.getvalue()
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ResultTable(columns={list(self.columns)}, rows={len(self.rows)})"

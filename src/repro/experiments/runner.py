@@ -1,0 +1,87 @@
+"""Generic experiment runner: inference runs over workloads × strategies.
+
+Every experiment in this reproduction boils down to "run the interactive
+inference loop on workload W with strategy S and a goal-query oracle, and
+record how many membership queries it took (and how long)".  The runner
+provides that primitive plus the sweep that crosses workloads, strategies and
+seeds into a :class:`~repro.experiments.results.ResultTable`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from ..core.engine import JoinInferenceEngine
+from ..core.oracle import GoalQueryOracle
+from ..core.strategies.registry import create_strategy
+from ..datasets.workloads import Workload
+from .results import Record, ResultTable
+
+#: Columns of the per-run records produced by :func:`run_single`.
+RUN_COLUMNS: tuple[str, ...] = (
+    "workload",
+    "candidates",
+    "goal_atoms",
+    "goal_selectivity",
+    "strategy",
+    "seed",
+    "interactions",
+    "converged",
+    "correct",
+    "total_seconds",
+    "seconds_per_interaction",
+)
+
+
+def run_single(
+    workload: Workload,
+    strategy: str,
+    seed: int = 0,
+    max_interactions: Optional[int] = None,
+) -> Record:
+    """Run one guided inference session and return its record."""
+    engine = JoinInferenceEngine(workload.table, strategy=create_strategy(strategy, seed=seed))
+    oracle = GoalQueryOracle(workload.goal)
+    started = time.perf_counter()
+    result = engine.run(oracle, max_interactions=max_interactions)
+    elapsed = time.perf_counter() - started
+    interactions = result.num_interactions
+    return {
+        "workload": workload.name,
+        "candidates": workload.num_candidates,
+        "goal_atoms": workload.goal_size,
+        "goal_selectivity": round(workload.goal_selectivity(), 4),
+        "strategy": strategy,
+        "seed": seed,
+        "interactions": interactions,
+        "converged": result.converged,
+        "correct": result.matches_goal(workload.goal),
+        "total_seconds": round(elapsed, 6),
+        "seconds_per_interaction": round(elapsed / interactions, 6) if interactions else 0.0,
+    }
+
+
+def run_matrix(
+    workloads: Sequence[Workload],
+    strategies: Sequence[str],
+    seeds: Sequence[int] = (0,),
+    max_interactions: Optional[int] = None,
+) -> ResultTable:
+    """Cross workloads × strategies × seeds into a result table."""
+    table = ResultTable(RUN_COLUMNS)
+    for workload in workloads:
+        for strategy in strategies:
+            for seed in seeds:
+                table.add_row(
+                    run_single(workload, strategy, seed=seed, max_interactions=max_interactions)
+                )
+    return table
+
+
+def mean_interactions_by_strategy(results: ResultTable) -> dict[str, float]:
+    """Average interaction count per strategy (the headline series of E5)."""
+    return {
+        str(key[0]): value
+        for key, value in results.group_mean(["strategy"], "interactions").items()
+    }

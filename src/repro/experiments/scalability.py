@@ -1,0 +1,76 @@
+"""E7 — scalability: time per interaction as the candidate table grows.
+
+The demo's value proposition only holds if choosing the next informative tuple
+and propagating a label stay interactive as the instance grows.  This
+experiment measures, per strategy, the wall-clock time of a full inference run
+and the average time per interaction while the candidate-table size increases,
+so the expected shape — roughly linear growth for the local strategies, a
+larger but still interactive cost for the lookahead ones — can be checked.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..datasets.synthetic import SyntheticConfig
+from ..datasets.workloads import Workload, synthetic_workload
+from .results import ResultTable
+from .runner import run_single
+
+
+def scalability_workloads(
+    tuples_per_relation: Sequence[int] = (10, 20, 30, 45),
+    goal_atoms: int = 2,
+    domain_size: int = 4,
+    seed: int = 0,
+    max_candidate_rows: Optional[int] = None,
+) -> list[Workload]:
+    """Synthetic workloads of growing candidate-table size (quadratic in rows)."""
+    return [
+        synthetic_workload(
+            SyntheticConfig(
+                num_relations=2,
+                attributes_per_relation=3,
+                tuples_per_relation=tuples,
+                domain_size=domain_size,
+                max_candidate_rows=max_candidate_rows,
+                seed=seed,
+            ),
+            goal_atoms=goal_atoms,
+        )
+        for tuples in tuples_per_relation
+    ]
+
+
+def measure_scalability(
+    workloads: Optional[Sequence[Workload]] = None,
+    strategies: Sequence[str] = ("local-most-specific", "lookahead-entropy", "random"),
+    seed: int = 0,
+) -> ResultTable:
+    """Per-run timing across workload sizes and strategies."""
+    if workloads is None:
+        workloads = scalability_workloads(seed=seed)
+    table = ResultTable(
+        [
+            "candidates",
+            "strategy",
+            "interactions",
+            "total_seconds",
+            "seconds_per_interaction",
+            "correct",
+        ]
+    )
+    for workload in workloads:
+        for strategy in strategies:
+            record = run_single(workload, strategy, seed=seed)
+            table.add_row(
+                {
+                    "candidates": workload.num_candidates,
+                    "strategy": strategy,
+                    "interactions": record["interactions"],
+                    "total_seconds": record["total_seconds"],
+                    "seconds_per_interaction": record["seconds_per_interaction"],
+                    "correct": record["correct"],
+                }
+            )
+    return table

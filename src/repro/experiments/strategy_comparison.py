@@ -1,0 +1,137 @@
+"""E5 — comparing strategies across instance sizes and query complexities.
+
+The second part of the demonstration lets the attendee "infer more or less
+complex join queries on different instances" and observe that "for more
+complex instances and join queries a lookahead strategy performs better than a
+local one while for simpler instances and queries a local strategy is better"
+(better here meaning: at least as few interactions at a much smaller cost).
+
+The sweep below crosses synthetic instances (varying candidate-table size and
+value-domain size) and goal-query complexities (number of atoms) with the
+strategy families, and reports the mean number of interactions per strategy.
+On tiny instances the exponential optimal strategy can be included to measure
+how far the heuristics are from the true optimum.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.strategies.registry import LOCAL_STRATEGIES, LOOKAHEAD_STRATEGIES
+from ..datasets.synthetic import SyntheticConfig
+from ..datasets.workloads import Workload, synthetic_workload
+from .results import ResultTable
+from .runner import run_matrix
+
+#: A compact default strategy panel: the random baseline plus one
+#: representative per family (keeps the default sweeps fast).
+DEFAULT_STRATEGY_PANEL: tuple[str, ...] = (
+    "random",
+    "local-most-specific",
+    "local-largest-type",
+    "lookahead-minmax",
+    "lookahead-entropy",
+)
+
+
+def sweep_workloads(
+    tuples_per_relation: Sequence[int] = (6, 10, 14),
+    goal_atoms: Sequence[int] = (1, 2, 3),
+    domain_size: int = 3,
+    attributes_per_relation: int = 3,
+    seeds: Sequence[int] = (0, 1),
+) -> list[Workload]:
+    """The synthetic workload grid of the strategy-comparison experiment."""
+    workloads = []
+    for tuples in tuples_per_relation:
+        for atoms in goal_atoms:
+            for seed in seeds:
+                workloads.append(
+                    synthetic_workload(
+                        SyntheticConfig(
+                            num_relations=2,
+                            attributes_per_relation=attributes_per_relation,
+                            tuples_per_relation=tuples,
+                            domain_size=domain_size,
+                            seed=seed,
+                        ),
+                        goal_atoms=atoms,
+                    )
+                )
+    return workloads
+
+
+def compare_strategies(
+    workloads: Optional[Sequence[Workload]] = None,
+    strategies: Sequence[str] = DEFAULT_STRATEGY_PANEL,
+    seeds: Sequence[int] = (0,),
+) -> ResultTable:
+    """Run the full workload × strategy matrix (one row per run)."""
+    if workloads is None:
+        workloads = sweep_workloads()
+    return run_matrix(list(workloads), list(strategies), seeds=seeds)
+
+
+def summarize_by_complexity(results: ResultTable) -> ResultTable:
+    """Mean interactions per (goal complexity, strategy) — the paper's headline series."""
+    means = results.group_mean(["goal_atoms", "strategy"], "interactions")
+    summary = ResultTable(["goal_atoms", "strategy", "mean_interactions"])
+    for (goal_atoms, strategy), value in sorted(means.items(), key=lambda item: (item[0][0], item[0][1])):
+        summary.add_row(
+            {
+                "goal_atoms": goal_atoms,
+                "strategy": strategy,
+                "mean_interactions": round(value, 2),
+            }
+        )
+    return summary
+
+
+def summarize_by_size(results: ResultTable) -> ResultTable:
+    """Mean interactions per (candidate-table size, strategy)."""
+    means = results.group_mean(["candidates", "strategy"], "interactions")
+    summary = ResultTable(["candidates", "strategy", "mean_interactions"])
+    for (candidates, strategy), value in sorted(means.items(), key=lambda item: (item[0][0], item[0][1])):
+        summary.add_row(
+            {
+                "candidates": candidates,
+                "strategy": strategy,
+                "mean_interactions": round(value, 2),
+            }
+        )
+    return summary
+
+
+def family_of(strategy: str) -> str:
+    """The family a strategy name belongs to (random / local / lookahead / optimal)."""
+    if strategy in LOCAL_STRATEGIES:
+        return "local"
+    if strategy in LOOKAHEAD_STRATEGIES:
+        return "lookahead"
+    if strategy == "optimal":
+        return "optimal"
+    return "random"
+
+
+def summarize_by_family(results: ResultTable) -> ResultTable:
+    """Mean interactions per strategy family, split by goal complexity."""
+    augmented = ResultTable(["goal_atoms", "family", "interactions"])
+    for row in results:
+        augmented.add_row(
+            {
+                "goal_atoms": row["goal_atoms"],
+                "family": family_of(str(row["strategy"])),
+                "interactions": row["interactions"],
+            }
+        )
+    means = augmented.group_mean(["goal_atoms", "family"], "interactions")
+    summary = ResultTable(["goal_atoms", "family", "mean_interactions"])
+    for (goal_atoms, family), value in sorted(means.items(), key=lambda item: (item[0][0], item[0][1])):
+        summary.add_row(
+            {
+                "goal_atoms": goal_atoms,
+                "family": family,
+                "mean_interactions": round(value, 2),
+            }
+        )
+    return summary

@@ -1,0 +1,119 @@
+"""E1 — the Section 2 walkthrough on the Figure 1 table.
+
+Replays, programmatically, every claim the paper makes about its motivating
+example and returns them as a structured report:
+
+* with tuple (3) labeled ``+``, tuple (4) is uninformative and both Q1 and Q2
+  remain consistent;
+* tuple (8) distinguishes Q1 from Q2 (Q1 selects it, Q2 does not);
+* after (3) ``+``, labeling tuple (12) ``+`` grays out (3), (4), (7), while
+  labeling it ``−`` grays out (1), (5), (9);
+* the labels {(3) ``+``, (7) ``−``, (8) ``−``} identify Q2 uniquely (up to
+  instance-equivalence).
+
+The benchmark ``benchmarks/bench_fig1_walkthrough.py`` prints this report; the
+unit tests in ``tests/core/test_paper_example.py`` assert every item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.examples import Label
+from ..core.state import InferenceState
+from ..datasets import flights_hotels
+from .results import ResultTable
+
+
+@dataclass
+class WalkthroughReport:
+    """The paper's worked-example facts, as computed by this implementation."""
+
+    q1_selected: tuple[int, ...] = ()
+    q2_selected: tuple[int, ...] = ()
+    tuple4_uninformative_after_3: bool = False
+    q1_consistent_after_3: bool = False
+    q2_consistent_after_3: bool = False
+    tuple8_informative_after_3: bool = False
+    grayed_if_12_positive: tuple[int, ...] = ()
+    grayed_if_12_negative: tuple[int, ...] = ()
+    final_query: str = ""
+    final_matches_q2: bool = False
+    interactions_replayed: tuple[tuple[int, str], ...] = field(default_factory=tuple)
+
+    def to_table(self) -> ResultTable:
+        """The report as a two-column (fact, value) result table."""
+        paper_numbers = lambda ids: ", ".join(str(i + 1) for i in ids)  # noqa: E731
+        table = ResultTable(["fact", "value"])
+        table.extend(
+            [
+                {"fact": "tuples selected by Q1 (paper numbering)", "value": paper_numbers(self.q1_selected)},
+                {"fact": "tuples selected by Q2 (paper numbering)", "value": paper_numbers(self.q2_selected)},
+                {"fact": "after (3)+: tuple (4) uninformative", "value": self.tuple4_uninformative_after_3},
+                {"fact": "after (3)+: Q1 still consistent", "value": self.q1_consistent_after_3},
+                {"fact": "after (3)+: Q2 still consistent", "value": self.q2_consistent_after_3},
+                {"fact": "after (3)+: tuple (8) informative", "value": self.tuple8_informative_after_3},
+                {"fact": "labeling (12)+ grays out", "value": paper_numbers(self.grayed_if_12_positive)},
+                {"fact": "labeling (12)- grays out", "value": paper_numbers(self.grayed_if_12_negative)},
+                {"fact": "query after (3)+, (7)-, (8)-", "value": self.final_query},
+                {"fact": "… which is Q2", "value": self.final_matches_q2},
+            ]
+        )
+        return table
+
+
+def run_walkthrough() -> WalkthroughReport:
+    """Compute the Section 2 walkthrough facts on the Figure 1 table."""
+    table = flights_hotels.figure1_table()
+    q1 = flights_hotels.query_q1()
+    q2 = flights_hotels.query_q2()
+    tid = flights_hotels.paper_tuple_id
+
+    report = WalkthroughReport(
+        q1_selected=tuple(sorted(q1.evaluate(table))),
+        q2_selected=tuple(sorted(q2.evaluate(table))),
+    )
+
+    # After labeling tuple (3) positive.
+    state = InferenceState(table)
+    state.add_label(tid(3), Label.POSITIVE)
+    report.tuple4_uninformative_after_3 = state.status(tid(4)).is_uninformative
+    report.q1_consistent_after_3 = state.space.admits(q1)
+    report.q2_consistent_after_3 = state.space.admits(q2)
+    report.tuple8_informative_after_3 = not state.status(tid(8)).is_uninformative
+
+    # Labeling tuple (12) positive vs negative: the paper describes the effect of
+    # this single label on the otherwise unlabeled instance ("If the user labels
+    # it as a positive example, we are able to prune the tuples that become
+    # uninformative: (3), (4), (7).  Conversely, … (1), (5), (9).").
+    fresh = InferenceState(table)
+    positive_branch = fresh.simulate_label(tid(12), Label.POSITIVE)
+    negative_branch = fresh.simulate_label(tid(12), Label.NEGATIVE)
+    before = fresh.statuses()
+    report.grayed_if_12_positive = tuple(
+        sorted(
+            tuple_id
+            for tuple_id, status in positive_branch.statuses().items()
+            if status.is_certain and not before[tuple_id].is_uninformative and tuple_id != tid(12)
+        )
+    )
+    report.grayed_if_12_negative = tuple(
+        sorted(
+            tuple_id
+            for tuple_id, status in negative_branch.statuses().items()
+            if status.is_certain and not before[tuple_id].is_uninformative and tuple_id != tid(12)
+        )
+    )
+
+    # The label set the paper says identifies Q2: (3)+, (7)-, (8)-.
+    final_state = InferenceState(table)
+    replay = ((tid(3), Label.POSITIVE), (tid(7), Label.NEGATIVE), (tid(8), Label.NEGATIVE))
+    for tuple_id, label in replay:
+        final_state.add_label(tuple_id, label)
+    inferred = final_state.inferred_query()
+    report.final_query = inferred.describe()
+    report.final_matches_q2 = (
+        final_state.is_converged() and inferred.instance_equivalent(q2, table)
+    )
+    report.interactions_replayed = tuple((tuple_id, label.value) for tuple_id, label in replay)
+    return report

@@ -1,0 +1,56 @@
+"""Relational substrate: schemas, relations, instances and candidate tables.
+
+This package implements everything JIM needs below the inference layer: typed
+attributes and relation schemas, in-memory relations and database instances,
+the denormalised candidate table (cross product) presented to the user, CSV
+and SQLite I/O, SQL rendering of inferred queries, and key/foreign-key
+discovery helpers used to derive experiment goal queries.
+"""
+
+from .candidate import (
+    CandidateAttribute,
+    CandidateTable,
+    candidate_table_to_relation,
+    denormalize,
+)
+from .instance import DatabaseInstance
+from .integrity import (
+    InclusionDependency,
+    RankedForeignKey,
+    attribute_name_similarity,
+    candidate_keys,
+    foreign_key_candidates,
+    join_goal_pairs,
+    ranked_foreign_keys,
+    unary_inclusion_dependencies,
+)
+from .mappings import GavMapping, as_gav_mapping
+from .relation import Relation
+from .schema import Attribute, DatabaseSchema, RelationSchema
+from .types import DataType, are_compatible, infer_column_type, infer_type
+
+__all__ = [
+    "Attribute",
+    "CandidateAttribute",
+    "CandidateTable",
+    "DataType",
+    "DatabaseInstance",
+    "DatabaseSchema",
+    "GavMapping",
+    "InclusionDependency",
+    "RankedForeignKey",
+    "Relation",
+    "RelationSchema",
+    "are_compatible",
+    "as_gav_mapping",
+    "attribute_name_similarity",
+    "candidate_keys",
+    "candidate_table_to_relation",
+    "denormalize",
+    "foreign_key_candidates",
+    "infer_column_type",
+    "infer_type",
+    "join_goal_pairs",
+    "ranked_foreign_keys",
+    "unary_inclusion_dependencies",
+]

@@ -1,0 +1,263 @@
+"""Candidate tables: the denormalised tuple space the user labels.
+
+JIM presents the user with tuples of the cross product of the relations to be
+joined (the paper's Figure 1 shows such a denormalised table for a flight and
+a hotel relation).  A :class:`CandidateTable` materialises that space —
+either directly from flat rows, or as the (optionally sampled) cross product
+of the relations of a :class:`~repro.relational.instance.DatabaseInstance` —
+and records, for every column, which base relation it came from.  The origin
+information is what lets the atom universe restrict candidate equality atoms
+to cross-relation pairs, exactly like join predicates in the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..exceptions import CandidateTableError, UnknownAttributeError
+from .instance import DatabaseInstance
+from .relation import Relation
+from .schema import Attribute
+from .types import DataType, infer_column_type
+
+Row = tuple
+
+
+@dataclass(frozen=True)
+class CandidateAttribute:
+    """A column of the candidate table.
+
+    ``source_relation`` is ``None`` for flat tables whose provenance is
+    unknown (the paper's motivating scenario: "no knowledge of the schema and
+    of the provenance of the data").
+    """
+
+    name: str
+    data_type: DataType = DataType.TEXT
+    source_relation: Optional[str] = None
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+class CandidateTable:
+    """The denormalised table of candidate tuples presented to the user.
+
+    Rows are addressed by a stable integer ``tuple_id`` (their position),
+    which is the identifier the inference core, oracles and sessions use.
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[CandidateAttribute],
+        rows: Iterable[Sequence[object]],
+        name: str = "candidates",
+    ) -> None:
+        self.name = name
+        self.attributes: tuple[CandidateAttribute, ...] = tuple(attributes)
+        if not self.attributes:
+            raise CandidateTableError("a candidate table needs at least one attribute")
+        names = [attr.name for attr in self.attributes]
+        if len(set(names)) != len(names):
+            raise CandidateTableError("candidate attribute names must be unique")
+        self._index = {attr.name: pos for pos, attr in enumerate(self.attributes)}
+        self.rows: tuple[Row, ...] = tuple(tuple(row) for row in rows)
+        for row in self.rows:
+            if len(row) != len(self.attributes):
+                raise CandidateTableError(
+                    f"row arity {len(row)} does not match attribute count {len(self.attributes)}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_rows(
+        cls,
+        attribute_names: Sequence[str],
+        rows: Iterable[Sequence[object]],
+        name: str = "candidates",
+        source_relations: Optional[Sequence[Optional[str]]] = None,
+    ) -> "CandidateTable":
+        """Build a candidate table from flat rows, inferring column types.
+
+        ``source_relations`` optionally records, per column, the base relation
+        it conceptually belongs to (used to scope the atom universe).
+        """
+        materialised = [tuple(row) for row in rows]
+        for row in materialised:
+            if len(row) != len(attribute_names):
+                raise CandidateTableError(
+                    f"row arity {len(row)} does not match attribute count {len(attribute_names)}"
+                )
+        if source_relations is not None and len(source_relations) != len(attribute_names):
+            raise CandidateTableError(
+                "source_relations must have one entry per attribute when provided"
+            )
+        attributes = []
+        for pos, attr_name in enumerate(attribute_names):
+            column = [row[pos] for row in materialised] if materialised else []
+            data_type = infer_column_type(column) if column else DataType.TEXT
+            source = source_relations[pos] if source_relations is not None else None
+            attributes.append(CandidateAttribute(attr_name, data_type, source))
+        return cls(attributes, materialised, name=name)
+
+    @classmethod
+    def from_relation(cls, relation: Relation, name: Optional[str] = None) -> "CandidateTable":
+        """Treat a single (already denormalised) relation as the candidate table."""
+        attributes = [
+            CandidateAttribute(attr.short_name, attr.data_type, None)
+            for attr in relation.schema.attributes
+        ]
+        return cls(attributes, relation.rows, name=name or relation.name)
+
+    @classmethod
+    def cross_product(
+        cls,
+        instance: DatabaseInstance,
+        relation_names: Optional[Sequence[str]] = None,
+        name: Optional[str] = None,
+        max_rows: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ) -> "CandidateTable":
+        """Build the cross product of the given relations as a candidate table.
+
+        Column names are qualified (``Relation.attr``).  When ``max_rows`` is
+        given and the full cross product is larger, a uniform random sample of
+        ``max_rows`` combinations is drawn (reproducible via ``rng``) — the
+        substitution for presenting only a manageable subset to the user.
+        """
+        names = list(relation_names) if relation_names is not None else list(instance.relation_names)
+        if not names:
+            raise CandidateTableError("cross product needs at least one relation")
+        relations = [instance.relation(rel_name) for rel_name in names]
+        attributes: list[CandidateAttribute] = []
+        for relation in relations:
+            for attr in relation.schema.attributes:
+                attributes.append(
+                    CandidateAttribute(attr.qualified_name, attr.data_type, relation.name)
+                )
+        total = 1
+        for relation in relations:
+            total *= len(relation)
+        table_name = name or "x".join(names)
+        if total == 0:
+            return cls(attributes, [], name=table_name)
+        if max_rows is not None and total > max_rows:
+            rng = rng or random.Random(0)
+            sizes = [len(relation) for relation in relations]
+            chosen = rng.sample(range(total), max_rows)
+            rows = []
+            for flat_index in sorted(chosen):
+                row: list[object] = []
+                remainder = flat_index
+                # Mixed-radix decoding of the flat index into one index per relation.
+                for relation, size in zip(reversed(relations), reversed(sizes)):
+                    remainder, position = divmod(remainder, size)
+                    row = list(relation.rows[position]) + row
+                rows.append(tuple(row))
+            return cls(attributes, rows, name=table_name)
+        rows = [
+            tuple(itertools.chain.from_iterable(combo))
+            for combo in itertools.product(*(relation.rows for relation in relations))
+        ]
+        return cls(attributes, rows, name=table_name)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Column names, in order."""
+        return tuple(attr.name for attr in self.attributes)
+
+    @property
+    def tuple_ids(self) -> range:
+        """All valid tuple identifiers."""
+        return range(len(self.rows))
+
+    def position_of(self, attribute_name: str) -> int:
+        """Index of a column by name."""
+        try:
+            return self._index[attribute_name]
+        except KeyError as exc:
+            raise UnknownAttributeError(
+                f"candidate table has no attribute {attribute_name!r}"
+            ) from exc
+
+    def attribute(self, attribute_name: str) -> CandidateAttribute:
+        """The :class:`CandidateAttribute` with the given name."""
+        return self.attributes[self.position_of(attribute_name)]
+
+    def value(self, tuple_id: int, attribute_name: str) -> object:
+        """The value of one attribute of one tuple."""
+        return self.rows[tuple_id][self.position_of(attribute_name)]
+
+    def row(self, tuple_id: int) -> Row:
+        """The tuple with the given identifier."""
+        try:
+            return self.rows[tuple_id]
+        except IndexError as exc:
+            raise CandidateTableError(f"unknown tuple id {tuple_id}") from exc
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        """Rows as dictionaries keyed by attribute name."""
+        names = self.attribute_names
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def column(self, attribute_name: str) -> list[object]:
+        """All values of a column, in row order."""
+        position = self.position_of(attribute_name)
+        return [row[position] for row in self.rows]
+
+    def source_relations(self) -> tuple[Optional[str], ...]:
+        """The source relation of each column (``None`` when unknown)."""
+        return tuple(attr.source_relation for attr in self.attributes)
+
+    def has_provenance(self) -> bool:
+        """Whether every column knows the base relation it comes from."""
+        return all(attr.source_relation is not None for attr in self.attributes)
+
+    def subset(self, tuple_ids: Sequence[int], name: Optional[str] = None) -> "CandidateTable":
+        """A new candidate table containing only the given tuples (re-numbered)."""
+        rows = [self.row(tuple_id) for tuple_id in tuple_ids]
+        return CandidateTable(self.attributes, rows, name=name or f"{self.name}-subset")
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"CandidateTable({self.name!r}, attributes={len(self.attributes)}, "
+            f"rows={len(self.rows)})"
+        )
+
+
+def denormalize(
+    instance: DatabaseInstance,
+    relation_names: Optional[Sequence[str]] = None,
+    max_rows: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> CandidateTable:
+    """Shorthand for :meth:`CandidateTable.cross_product`."""
+    return CandidateTable.cross_product(
+        instance, relation_names=relation_names, max_rows=max_rows, rng=rng
+    )
+
+
+def candidate_table_to_relation(table: CandidateTable, name: Optional[str] = None) -> Relation:
+    """Convert a candidate table back into a flat relation (for CSV/SQLite export)."""
+    return Relation.build(
+        name or table.name,
+        # SQLite and RelationSchema dislike dots in plain column names, so the
+        # qualified name's dot is replaced by an underscore on conversion.
+        [attr.name.replace(".", "_") for attr in table.attributes],
+        table.rows,
+        data_types=[attr.data_type for attr in table.attributes],
+    )

@@ -1,0 +1,122 @@
+"""CSV import/export for relations and candidate tables.
+
+The paper's motivating user has "raw data coming from different data sources";
+CSV files are the lingua franca for such data, so the substrate can load a
+relation per CSV file (with automatic type detection) and write inference
+inputs/outputs back out for inspection.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from ..exceptions import SchemaError
+from .candidate import CandidateTable
+from .relation import Relation
+from .types import detect_and_coerce_column, parse_cell
+
+PathLike = Union[str, Path]
+
+
+def read_relation_csv(
+    path: PathLike,
+    name: Optional[str] = None,
+    delimiter: str = ",",
+    null_token: str = "",
+) -> Relation:
+    """Load a relation from a CSV file with a header row.
+
+    Column types are detected automatically (integer, float, boolean, date,
+    falling back to text); cells equal to ``null_token`` become ``None``.
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        return read_relation_csv_text(handle.read(), name or path.stem, delimiter, null_token)
+
+
+def read_relation_csv_text(
+    text: str,
+    name: str,
+    delimiter: str = ",",
+    null_token: str = "",
+) -> Relation:
+    """Load a relation from CSV text (header row required)."""
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows = list(reader)
+    if not rows:
+        raise SchemaError(f"CSV for relation {name!r} is empty (missing header row)")
+    header = [column.strip() for column in rows[0]]
+    raw_rows = [
+        [parse_cell(cell, null_token) for cell in row]
+        for row in rows[1:]
+        if any(cell.strip() for cell in row)
+    ]
+    for row in raw_rows:
+        if len(row) != len(header):
+            raise SchemaError(
+                f"CSV row has {len(row)} cells but header has {len(header)} columns"
+            )
+    columns = []
+    types = []
+    for pos in range(len(header)):
+        dtype, coerced = detect_and_coerce_column(row[pos] for row in raw_rows)
+        types.append(dtype)
+        columns.append(coerced)
+    typed_rows = [tuple(column[i] for column in columns) for i in range(len(raw_rows))]
+    return Relation.build(name, header, typed_rows, data_types=types)
+
+
+def write_relation_csv(
+    relation: Relation,
+    path: PathLike,
+    delimiter: str = ",",
+    null_token: str = "",
+) -> None:
+    """Write a relation to a CSV file with a header row."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(relation.schema.attribute_names)
+        for row in relation:
+            writer.writerow([null_token if value is None else value for value in row])
+
+
+def write_candidate_table_csv(
+    table: CandidateTable,
+    path: PathLike,
+    labels: Optional[dict[int, str]] = None,
+    delimiter: str = ",",
+    null_token: str = "",
+) -> None:
+    """Write a candidate table (optionally with per-tuple labels) to CSV.
+
+    When ``labels`` is given a leading ``label`` column is emitted containing
+    the provided marker for labeled tuples and an empty cell otherwise — the
+    textual analogue of the +/− column in the paper's Figure 1.
+    """
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        header: Sequence[str] = table.attribute_names
+        if labels is not None:
+            header = ("label", *header)
+        writer.writerow(header)
+        for tuple_id, row in enumerate(table):
+            values = [null_token if value is None else value for value in row]
+            if labels is not None:
+                values = [labels.get(tuple_id, "")] + values
+            writer.writerow(values)
+
+
+def read_candidate_table_csv(
+    path: PathLike,
+    name: Optional[str] = None,
+    delimiter: str = ",",
+    null_token: str = "",
+) -> CandidateTable:
+    """Load a flat candidate table from a CSV file with a header row."""
+    relation = read_relation_csv(path, name=name, delimiter=delimiter, null_token=null_token)
+    return CandidateTable.from_relation(relation, name=name or relation.name)

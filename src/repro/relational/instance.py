@@ -1,0 +1,89 @@
+"""Database instances: named collections of relations.
+
+A :class:`DatabaseInstance` is the multi-relation input of JIM — the disparate
+data sources the user wants to join.  From an instance one builds the
+denormalised :class:`~repro.relational.candidate.CandidateTable` (the cross
+product of the selected relations) over which inference runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..exceptions import SchemaError, UnknownRelationError
+from .relation import Relation
+from .schema import DatabaseSchema
+
+
+class DatabaseInstance:
+    """A named collection of :class:`~repro.relational.relation.Relation`."""
+
+    def __init__(self, name: str = "database", relations: Iterable[Relation] = ()) -> None:
+        self.name = name
+        self._relations: dict[str, Relation] = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: Relation) -> None:
+        """Register a relation; duplicate names are an error."""
+        if relation.name in self._relations:
+            raise SchemaError(f"duplicate relation name {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise UnknownRelationError(f"unknown relation {name!r}") from exc
+
+    @property
+    def relations(self) -> tuple[Relation, ...]:
+        """All relations, in insertion order."""
+        return tuple(self._relations.values())
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """Relation names, in insertion order."""
+        return tuple(self._relations)
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        """The database schema of the registered relations."""
+        return DatabaseSchema.of(*(relation.schema for relation in self.relations))
+
+    def subset(self, relation_names: Sequence[str], name: Optional[str] = None) -> "DatabaseInstance":
+        """A new instance containing only the named relations, in that order."""
+        return DatabaseInstance(
+            name or self.name,
+            [self.relation(rel_name) for rel_name in relation_names],
+        )
+
+    def total_rows(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(relation) for relation in self.relations)
+
+    def cross_product_size(self, relation_names: Optional[Sequence[str]] = None) -> int:
+        """Number of candidate tuples in the cross product of the relations."""
+        names = relation_names if relation_names is not None else self.relation_names
+        size = 1
+        for rel_name in names:
+            size *= len(self.relation(rel_name))
+        return size
+
+    def summary(self) -> dict[str, int]:
+        """Per-relation row counts, useful for experiment logging."""
+        return {relation.name: len(relation) for relation in self.relations}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self.relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        parts = ", ".join(f"{rel.name}[{len(rel)}]" for rel in self.relations)
+        return f"DatabaseInstance({self.name!r}: {parts})"

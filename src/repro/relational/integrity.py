@@ -1,0 +1,210 @@
+"""Integrity-constraint discovery helpers.
+
+JIM explicitly assumes *no* prior knowledge of integrity constraints, but the
+experiments of the underlying research paper use primary-key/foreign-key
+joins (e.g. on TPC-H) as goal queries.  This module discovers candidate keys
+and inclusion dependencies from data so that experiment workloads can derive
+realistic goal join predicates automatically — it plays no role during
+inference itself.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .instance import DatabaseInstance
+from .relation import Relation
+from .types import are_compatible
+
+
+@dataclass(frozen=True)
+class InclusionDependency:
+    """``dependent ⊆ referenced``: every value of one column appears in another.
+
+    Unary inclusion dependencies between a non-key and a key column are the
+    classic signature of a foreign key, and therefore of a natural equi-join
+    predicate to use as an experiment goal query.
+    """
+
+    dependent_relation: str
+    dependent_attribute: str
+    referenced_relation: str
+    referenced_attribute: str
+
+    @property
+    def as_equality(self) -> tuple[str, str]:
+        """The qualified attribute pair this dependency suggests joining on."""
+        return (
+            f"{self.dependent_relation}.{self.dependent_attribute}",
+            f"{self.referenced_relation}.{self.referenced_attribute}",
+        )
+
+
+def candidate_keys(relation: Relation) -> list[str]:
+    """Attribute names whose values are unique and non-null across the relation.
+
+    Only unary keys are considered: they are what PK/FK experiment goal
+    queries need, and anything wider would not correspond to a single
+    equality atom anyway.
+    """
+    keys = []
+    for attribute in relation.schema.attribute_names:
+        values = relation.column(attribute)
+        if any(value is None for value in values):
+            continue
+        if len(set(values)) == len(values) and values:
+            keys.append(attribute)
+    return keys
+
+
+def unary_inclusion_dependencies(
+    instance: DatabaseInstance,
+    min_overlap: float = 1.0,
+) -> list[InclusionDependency]:
+    """Discover unary inclusion dependencies between distinct relations.
+
+    ``min_overlap`` relaxes strict inclusion: a dependency is reported when at
+    least that fraction of the dependent column's distinct values appears in
+    the referenced column (1.0 = classic inclusion dependency).
+    """
+    if not 0.0 < min_overlap <= 1.0:
+        raise ValueError("min_overlap must be in (0, 1]")
+    dependencies = []
+    relations = list(instance)
+    for dependent in relations:
+        for referenced in relations:
+            if dependent.name == referenced.name:
+                continue
+            for dep_attr in dependent.schema.attributes:
+                dep_values = {
+                    value for value in dependent.column(dep_attr.short_name) if value is not None
+                }
+                if not dep_values:
+                    continue
+                for ref_attr in referenced.schema.attributes:
+                    if not are_compatible(dep_attr.data_type, ref_attr.data_type):
+                        continue
+                    ref_values = {
+                        value
+                        for value in referenced.column(ref_attr.short_name)
+                        if value is not None
+                    }
+                    if not ref_values:
+                        continue
+                    overlap = len(dep_values & ref_values) / len(dep_values)
+                    if overlap >= min_overlap:
+                        dependencies.append(
+                            InclusionDependency(
+                                dependent.name,
+                                dep_attr.short_name,
+                                referenced.name,
+                                ref_attr.short_name,
+                            )
+                        )
+    return dependencies
+
+
+def foreign_key_candidates(
+    instance: DatabaseInstance,
+    min_overlap: float = 1.0,
+) -> list[InclusionDependency]:
+    """Inclusion dependencies whose referenced column is a candidate key.
+
+    These are the joins a database designer would have declared as foreign
+    keys, and the natural goal queries for the TPC-H-style experiments.
+    """
+    keys_by_relation = {relation.name: set(candidate_keys(relation)) for relation in instance}
+    return [
+        dependency
+        for dependency in unary_inclusion_dependencies(instance, min_overlap=min_overlap)
+        if dependency.referenced_attribute in keys_by_relation[dependency.referenced_relation]
+    ]
+
+
+def _normalised_attribute_name(name: str) -> str:
+    """Strip a short relation-style prefix (``o_custkey`` → ``custkey``) and lowercase."""
+    lowered = name.lower()
+    head, separator, tail = lowered.partition("_")
+    if separator and tail and len(head) <= 2:
+        return tail
+    return lowered
+
+
+def attribute_name_similarity(left: str, right: str) -> float:
+    """Similarity in [0, 1] between two attribute names, prefix-insensitive.
+
+    Foreign keys conventionally reuse the referenced attribute's name modulo a
+    relation prefix (``o_custkey`` vs ``c_custkey``); this heuristic scores
+    such pairs close to 1 and unrelated names close to 0.
+    """
+    left_norm = _normalised_attribute_name(left)
+    right_norm = _normalised_attribute_name(right)
+    if left_norm == right_norm:
+        return 1.0
+    return difflib.SequenceMatcher(None, left_norm, right_norm).ratio()
+
+
+@dataclass(frozen=True)
+class RankedForeignKey:
+    """A foreign-key candidate together with its ranking score."""
+
+    dependency: InclusionDependency
+    name_similarity: float
+    dependent_is_key: bool
+
+    @property
+    def score(self) -> float:
+        """Higher is more plausible: name similarity, penalised for key⊆key pairs."""
+        penalty = 0.5 if self.dependent_is_key else 0.0
+        return self.name_similarity - penalty
+
+
+def ranked_foreign_keys(
+    instance: DatabaseInstance,
+    min_overlap: float = 1.0,
+    min_score: float = 0.0,
+) -> list[RankedForeignKey]:
+    """Foreign-key candidates ranked by plausibility.
+
+    On small generated instances many spurious inclusion dependencies hold by
+    chance (every region key happens to be a valid customer key, …).  Ranking
+    by attribute-name similarity and demoting dependencies whose dependent
+    column is itself a key keeps the classic foreign keys at the top; callers
+    can threshold with ``min_score`` (e.g. ``0.6``) to obtain a clean list.
+    """
+    keys_by_relation = {relation.name: set(candidate_keys(relation)) for relation in instance}
+    ranked = []
+    for dependency in foreign_key_candidates(instance, min_overlap=min_overlap):
+        similarity = attribute_name_similarity(
+            dependency.dependent_attribute, dependency.referenced_attribute
+        )
+        dependent_is_key = (
+            dependency.dependent_attribute in keys_by_relation[dependency.dependent_relation]
+        )
+        candidate = RankedForeignKey(dependency, similarity, dependent_is_key)
+        if candidate.score >= min_score:
+            ranked.append(candidate)
+    ranked.sort(key=lambda item: (-item.score, item.dependency.dependent_relation,
+                                  item.dependency.dependent_attribute))
+    return ranked
+
+
+def join_goal_pairs(
+    dependencies: Iterable[InclusionDependency],
+    limit: Optional[int] = None,
+) -> list[tuple[str, str]]:
+    """Qualified attribute pairs to use as goal-query atoms, deduplicated."""
+    seen: set[frozenset[str]] = set()
+    pairs = []
+    for dependency in dependencies:
+        left, right = dependency.as_equality
+        key = frozenset((left, right))
+        if key in seen:
+            continue
+        seen.add(key)
+        pairs.append((left, right))
+        if limit is not None and len(pairs) >= limit:
+            break
+    return pairs

@@ -1,0 +1,149 @@
+"""Schema mappings: reading an inferred join query as a GAV mapping.
+
+The paper notes that JIM "is also of interest for applications of schema
+mapping inference […] our join queries can be eventually seen as simple GAV
+mappings": the inferred equi-join over the source relations defines a target
+relation (global-as-view).  This module materialises that reading — it turns a
+:class:`~repro.core.queries.JoinQuery` over a candidate table with provenance
+into a :class:`GavMapping`, renders it as a Datalog-style source-to-target
+dependency and as a ``CREATE VIEW`` statement, and can evaluate it on a
+database instance.
+"""
+
+from __future__ import annotations
+
+import string
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..exceptions import CandidateTableError
+from .candidate import CandidateTable
+from .instance import DatabaseInstance
+from .sql import quote_identifier, render_join_sql
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from ..core.queries import JoinQuery
+
+
+@dataclass(frozen=True)
+class GavMapping:
+    """A global-as-view mapping defined by an equi-join over source relations.
+
+    Attributes
+    ----------
+    target:
+        Name of the target (view) relation.
+    source_relations:
+        The source relations joined, in candidate-table order.
+    attribute_variables:
+        For every candidate-table attribute, the variable naming its value in
+        the Datalog rendering; attributes forced equal by the join share one
+        variable.
+    query:
+        The join predicate defining the mapping.
+    """
+
+    target: str
+    source_relations: tuple[str, ...]
+    attribute_variables: dict[str, str]
+    query: "JoinQuery"
+    table: CandidateTable
+
+    @property
+    def target_attributes(self) -> tuple[str, ...]:
+        """The attributes exposed by the target relation (all source columns)."""
+        return self.table.attribute_names
+
+    def to_datalog(self) -> str:
+        """Render the mapping as a Datalog-style source-to-target rule.
+
+        Shared variables express the join equalities, e.g.::
+
+            Package(f, t, a, t, a) :- Flights(f, t, a), Hotels(t, a).
+        """
+        head_terms = [self.attribute_variables[name] for name in self.table.attribute_names]
+        body_atoms = []
+        for relation in self.source_relations:
+            terms = [
+                self.attribute_variables[attr.name]
+                for attr in self.table.attributes
+                if attr.source_relation == relation
+            ]
+            body_atoms.append(f"{relation}({', '.join(terms)})")
+        return f"{self.target}({', '.join(head_terms)}) :- {', '.join(body_atoms)}."
+
+    def to_sql_view(self) -> str:
+        """Render the mapping as a ``CREATE VIEW`` over the source relations."""
+        select = render_join_sql(self.query, self.table)
+        return f"CREATE VIEW {quote_identifier(self.target)} AS {select}"
+
+    def evaluate(self, instance: DatabaseInstance) -> list[tuple]:
+        """Materialise the target relation on a database instance."""
+        fresh = CandidateTable.cross_product(instance, relation_names=self.source_relations)
+        selected = self.query.evaluate(fresh)
+        return [fresh.row(tuple_id) for tuple_id in sorted(selected)]
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_datalog()
+
+
+def _variable_names() -> list[str]:
+    """An inexhaustible-enough supply of readable variable names."""
+    singles = list(string.ascii_lowercase)
+    doubles = [a + b for a in string.ascii_lowercase for b in string.ascii_lowercase]
+    return singles + doubles
+
+
+def as_gav_mapping(
+    query: "JoinQuery",
+    table: CandidateTable,
+    target: str = "Target",
+    source_relations: Optional[Sequence[str]] = None,
+) -> GavMapping:
+    """Read an inferred join query as a GAV mapping over the table's sources.
+
+    The candidate table must carry provenance information (it was built as a
+    cross product of base relations); attributes made equal by the query share
+    a single Datalog variable, which is how the mapping expresses the join.
+    """
+    if not table.has_provenance():
+        raise CandidateTableError(
+            "a GAV mapping needs column provenance; build the candidate table as a "
+            "cross product of the source relations"
+        )
+    if source_relations is None:
+        ordered: list[str] = []
+        for attr in table.attributes:
+            if attr.source_relation not in ordered:
+                ordered.append(attr.source_relation)  # type: ignore[arg-type]
+        source_relations = ordered
+    # Assign one variable per equivalence class of attributes (join equalities
+    # merge classes); untouched attributes get their own variable.
+    class_of: dict[str, int] = {}
+    classes = query.equivalence_classes()
+    for index, members in enumerate(classes):
+        for member in members:
+            class_of[member] = index
+    names = _variable_names()
+    variables: dict[str, str] = {}
+    used = 0
+    class_variable: dict[int, str] = {}
+    for attr in table.attributes:
+        cls = class_of.get(attr.name)
+        if cls is None:
+            variables[attr.name] = names[used]
+            used += 1
+        elif cls in class_variable:
+            variables[attr.name] = class_variable[cls]
+        else:
+            variable = names[used]
+            used += 1
+            class_variable[cls] = variable
+            variables[attr.name] = variable
+    return GavMapping(
+        target=target,
+        source_relations=tuple(source_relations),
+        attribute_variables=variables,
+        query=query,
+        table=table,
+    )

@@ -1,0 +1,153 @@
+"""In-memory relations: a schema plus a bag of tuples.
+
+Relations are the raw inputs of JIM: the user wants to join several of them
+without knowing the schema constraints.  The inference core never reads
+relations directly — it works on the denormalised
+:class:`~repro.relational.candidate.CandidateTable` built from them — but the
+relational layer is what examples, datasets and the SQLite adapter manipulate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from ..exceptions import SchemaError
+from .schema import Attribute, RelationSchema
+from .types import DataType, infer_column_type
+
+Row = tuple
+
+
+class Relation:
+    """A relation instance: a :class:`RelationSchema` and its tuples.
+
+    Tuples are stored in insertion order; duplicates are allowed (bag
+    semantics), matching what a user exporting raw CSV data would have.
+    """
+
+    def __init__(self, schema: RelationSchema, rows: Iterable[Sequence[object]] = ()) -> None:
+        self.schema = schema
+        self._rows: list[Row] = []
+        for row in rows:
+            self.insert(row)
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        attribute_names: Sequence[str],
+        rows: Iterable[Sequence[object]],
+        data_types: Optional[Sequence[DataType]] = None,
+    ) -> "Relation":
+        """Convenience constructor that infers attribute types from the data.
+
+        When ``data_types`` is omitted each column's type is inferred from the
+        provided rows via :func:`~repro.relational.types.infer_column_type`.
+        """
+        materialised = [tuple(row) for row in rows]
+        for row in materialised:
+            if len(row) != len(attribute_names):
+                raise SchemaError(
+                    f"row arity {len(row)} does not match attribute count "
+                    f"{len(attribute_names)} for relation {name!r}"
+                )
+        if data_types is None:
+            data_types = [
+                infer_column_type(row[pos] for row in materialised)
+                for pos in range(len(attribute_names))
+            ]
+        if len(data_types) != len(attribute_names):
+            raise SchemaError("data_types length must match attribute_names length")
+        schema = RelationSchema(
+            name,
+            [Attribute(attr, dtype) for attr, dtype in zip(attribute_names, data_types)],
+        )
+        return cls(schema, materialised)
+
+    @property
+    def name(self) -> str:
+        """Name of the relation."""
+        return self.schema.name
+
+    @property
+    def rows(self) -> tuple[Row, ...]:
+        """All tuples, in insertion order."""
+        return tuple(self._rows)
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return self.schema.arity
+
+    def insert(self, row: Sequence[object]) -> None:
+        """Append a tuple, validating its arity."""
+        values = tuple(row)
+        if len(values) != self.schema.arity:
+            raise SchemaError(
+                f"row arity {len(values)} does not match schema arity "
+                f"{self.schema.arity} for relation {self.name!r}"
+            )
+        self._rows.append(values)
+
+    def extend(self, rows: Iterable[Sequence[object]]) -> None:
+        """Append several tuples."""
+        for row in rows:
+            self.insert(row)
+
+    def column(self, attribute_name: str) -> list[object]:
+        """All values of one attribute, in row order."""
+        position = self.schema.position_of(attribute_name)
+        return [row[position] for row in self._rows]
+
+    def project(self, attribute_names: Sequence[str], name: Optional[str] = None) -> "Relation":
+        """Return a new relation containing only the given attributes."""
+        positions = [self.schema.position_of(attr) for attr in attribute_names]
+        attributes = [self.schema.attributes[pos] for pos in positions]
+        schema = RelationSchema(name or self.name, attributes)
+        projected = Relation(schema)
+        for row in self._rows:
+            projected.insert(tuple(row[pos] for pos in positions))
+        return projected
+
+    def select(self, predicate: Callable[[Row], bool], name: Optional[str] = None) -> "Relation":
+        """Return a new relation with the rows satisfying ``predicate``."""
+        schema = self.schema if name is None else RelationSchema(name, self.schema.attributes)
+        selected = Relation(schema)
+        for row in self._rows:
+            if predicate(row):
+                selected.insert(row)
+        return selected
+
+    def distinct(self) -> "Relation":
+        """Return a copy with duplicate tuples removed (first occurrence kept)."""
+        seen: set[Row] = set()
+        unique = Relation(self.schema)
+        for row in self._rows:
+            if row not in seen:
+                seen.add(row)
+                unique.insert(row)
+        return unique
+
+    def rename(self, name: str) -> "Relation":
+        """Return a copy of the relation under a different name."""
+        schema = RelationSchema(name, [attr.qualify(name) for attr in self.schema.attributes])
+        return Relation(schema, self._rows)
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        """Rows as dictionaries keyed by unqualified attribute name."""
+        names = self.schema.attribute_names
+        return [dict(zip(names, row)) for row in self._rows]
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.schema == other.schema and self._rows == list(other._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Relation({self.name!r}, arity={self.arity}, rows={len(self)})"

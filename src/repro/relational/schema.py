@@ -1,0 +1,194 @@
+"""Relation and database schemas.
+
+A :class:`RelationSchema` is an ordered list of named, typed attributes; a
+:class:`DatabaseSchema` is a named collection of relation schemas.  Attribute
+names are qualified as ``"Relation.attr"`` whenever they participate in a
+multi-relation candidate table, which is how the inference core refers to
+columns unambiguously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+from ..exceptions import SchemaError, UnknownAttributeError, UnknownRelationError
+from .types import DataType
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single named, typed column.
+
+    Parameters
+    ----------
+    name:
+        The attribute name.  May be plain (``"City"``) or qualified
+        (``"Hotels.City"``).
+    data_type:
+        The scalar :class:`~repro.relational.types.DataType` of the column.
+    relation:
+        Name of the base relation this attribute comes from, when known.
+        Attributes of flat, denormalised tables (such as the paper's Figure 1)
+        may have ``relation=None``.
+    """
+
+    name: str
+    data_type: DataType = DataType.TEXT
+    relation: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+
+    @property
+    def qualified_name(self) -> str:
+        """The globally unique name of the attribute.
+
+        ``"Relation.attr"`` when a relation is known and the name is not
+        already qualified, otherwise the plain name.
+        """
+        if self.relation and "." not in self.name:
+            return f"{self.relation}.{self.name}"
+        return self.name
+
+    @property
+    def short_name(self) -> str:
+        """The unqualified column name."""
+        return self.name.rsplit(".", 1)[-1]
+
+    def qualify(self, relation: str) -> "Attribute":
+        """Return a copy of this attribute bound to ``relation``."""
+        return Attribute(name=self.short_name, data_type=self.data_type, relation=relation)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.qualified_name}:{self.data_type.value}"
+
+
+class RelationSchema:
+    """An ordered collection of attributes describing one relation."""
+
+    def __init__(self, name: str, attributes: Iterable[Attribute]) -> None:
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        self.name = name
+        self.attributes: tuple[Attribute, ...] = tuple(
+            attr if attr.relation == name else attr.qualify(name) for attr in attributes
+        )
+        if not self.attributes:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        names = [attr.short_name for attr in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"relation {name!r} has duplicate attribute names")
+        self._index = {attr.short_name: pos for pos, attr in enumerate(self.attributes)}
+
+    @classmethod
+    def from_names(
+        cls,
+        name: str,
+        attribute_names: Iterable[str],
+        data_type: DataType = DataType.TEXT,
+    ) -> "RelationSchema":
+        """Build a schema where every attribute has the same ``data_type``."""
+        return cls(name, [Attribute(attr, data_type) for attr in attribute_names])
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Unqualified attribute names, in schema order."""
+        return tuple(attr.short_name for attr in self.attributes)
+
+    @property
+    def qualified_names(self) -> tuple[str, ...]:
+        """Qualified attribute names (``Relation.attr``), in schema order."""
+        return tuple(attr.qualified_name for attr in self.attributes)
+
+    def position_of(self, attribute_name: str) -> int:
+        """Index of an attribute by plain or qualified name."""
+        short = attribute_name.rsplit(".", 1)[-1]
+        if "." in attribute_name:
+            relation = attribute_name.rsplit(".", 1)[0]
+            if relation != self.name:
+                raise UnknownAttributeError(
+                    f"attribute {attribute_name!r} does not belong to relation {self.name!r}"
+                )
+        if short not in self._index:
+            raise UnknownAttributeError(
+                f"relation {self.name!r} has no attribute {attribute_name!r}"
+            )
+        return self._index[short]
+
+    def attribute(self, attribute_name: str) -> Attribute:
+        """The :class:`Attribute` with the given plain or qualified name."""
+        return self.attributes[self.position_of(attribute_name)]
+
+    def __contains__(self, attribute_name: str) -> bool:
+        try:
+            self.position_of(attribute_name)
+        except UnknownAttributeError:
+            return False
+        return True
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return self.name == other.name and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        attrs = ", ".join(str(attr) for attr in self.attributes)
+        return f"RelationSchema({self.name!r}, [{attrs}])"
+
+
+@dataclass
+class DatabaseSchema:
+    """A named collection of relation schemas."""
+
+    relations: dict[str, RelationSchema] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, *schemas: RelationSchema) -> "DatabaseSchema":
+        """Build a database schema from relation schemas, rejecting duplicates."""
+        database = cls()
+        for schema in schemas:
+            database.add(schema)
+        return database
+
+    def add(self, schema: RelationSchema) -> None:
+        """Register a relation schema; duplicate names are an error."""
+        if schema.name in self.relations:
+            raise SchemaError(f"duplicate relation name {schema.name!r}")
+        self.relations[schema.name] = schema
+
+    def relation(self, name: str) -> RelationSchema:
+        """Look up a relation schema by name."""
+        try:
+            return self.relations[name]
+        except KeyError as exc:
+            raise UnknownRelationError(f"unknown relation {name!r}") from exc
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """Relation names in insertion order."""
+        return tuple(self.relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)

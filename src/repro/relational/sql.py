@@ -1,0 +1,99 @@
+"""Rendering inferred join queries as SQL.
+
+The end product of a JIM session is an equi-join predicate.  A non-expert
+user never sees SQL, but downstream tools do: this module renders an inferred
+:class:`~repro.core.queries.JoinQuery` either as a ``SELECT … FROM … WHERE``
+statement over the base relations or as a filter over the flat candidate
+table, so the result can be executed against SQLite (see
+:mod:`repro.relational.sqlite_adapter`) or any other engine.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..exceptions import CandidateTableError
+from .candidate import CandidateTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from ..core.queries import JoinQuery
+
+
+def quote_identifier(identifier: str) -> str:
+    """Quote an SQL identifier (doubling embedded quotes)."""
+    escaped = identifier.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def _split_qualified(name: str) -> tuple[Optional[str], str]:
+    """Split ``Relation.attr`` into (relation, attr); flat names have no relation."""
+    if "." in name:
+        relation, attr = name.rsplit(".", 1)
+        return relation, attr
+    return None, name
+
+
+def column_reference(name: str) -> str:
+    """Render a possibly-qualified attribute name as an SQL column reference."""
+    relation, attr = _split_qualified(name)
+    if relation is None:
+        return quote_identifier(attr)
+    return f"{quote_identifier(relation)}.{quote_identifier(attr)}"
+
+
+def render_join_sql(
+    query: "JoinQuery",
+    table: CandidateTable,
+    projection: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a join query as SQL over the base relations of ``table``.
+
+    Requires the candidate table to know the provenance of its columns (i.e.
+    it was built as a cross product of base relations); the flat form is
+    available through :func:`render_flat_sql` otherwise.
+    """
+    if not table.has_provenance():
+        raise CandidateTableError(
+            "cannot render relational SQL for a candidate table without column provenance; "
+            "use render_flat_sql instead"
+        )
+    relations = []
+    for attr in table.attributes:
+        if attr.source_relation not in relations:
+            relations.append(attr.source_relation)
+    select_list = (
+        ", ".join(column_reference(name) for name in projection)
+        if projection
+        else ", ".join(column_reference(attr.name) for attr in table.attributes)
+    )
+    from_clause = ", ".join(quote_identifier(relation) for relation in relations)
+    conditions = [
+        f"{column_reference(atom.left)} = {column_reference(atom.right)}"
+        for atom in sorted(query.atoms, key=lambda a: (a.left, a.right))
+    ]
+    sql = f"SELECT {select_list} FROM {from_clause}"
+    if conditions:
+        sql += " WHERE " + " AND ".join(conditions)
+    return sql
+
+
+def render_flat_sql(
+    query: "JoinQuery",
+    table: CandidateTable,
+    table_name: Optional[str] = None,
+) -> str:
+    """Render a join query as a filter over the flat candidate table.
+
+    Column names have their qualification dot replaced by an underscore, the
+    same convention used when exporting a candidate table to SQLite/CSV.
+    """
+    name = quote_identifier((table_name or table.name).replace(".", "_"))
+    conditions = [
+        f"{quote_identifier(atom.left.replace('.', '_'))} = "
+        f"{quote_identifier(atom.right.replace('.', '_'))}"
+        for atom in sorted(query.atoms, key=lambda a: (a.left, a.right))
+    ]
+    sql = f"SELECT * FROM {name}"
+    if conditions:
+        sql += " WHERE " + " AND ".join(conditions)
+    return sql

@@ -1,0 +1,142 @@
+"""SQLite integration: persist instances and execute inferred joins.
+
+JIM's output is an equi-join query; a user who adopted the library would want
+to (a) load their raw tables from an existing SQLite database and (b) run the
+inferred query against it.  This adapter provides both directions using only
+the standard-library ``sqlite3`` module.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from ..exceptions import SchemaError
+from .candidate import CandidateTable, candidate_table_to_relation
+from .instance import DatabaseInstance
+from .relation import Relation
+from .schema import Attribute, RelationSchema
+from .sql import quote_identifier, render_join_sql
+from .types import DataType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from ..core.queries import JoinQuery
+
+PathLike = Union[str, Path]
+
+_SQL_TYPE: dict[DataType, str] = {
+    DataType.TEXT: "TEXT",
+    DataType.INTEGER: "INTEGER",
+    DataType.FLOAT: "REAL",
+    DataType.BOOLEAN: "INTEGER",
+    DataType.DATE: "TEXT",
+    DataType.NULL: "TEXT",
+}
+
+_AFFINITY_TO_TYPE: dict[str, DataType] = {
+    "INTEGER": DataType.INTEGER,
+    "INT": DataType.INTEGER,
+    "REAL": DataType.FLOAT,
+    "FLOAT": DataType.FLOAT,
+    "DOUBLE": DataType.FLOAT,
+    "TEXT": DataType.TEXT,
+    "VARCHAR": DataType.TEXT,
+    "CHAR": DataType.TEXT,
+    "BOOLEAN": DataType.BOOLEAN,
+    "DATE": DataType.DATE,
+}
+
+
+def _sqlite_value(value: object) -> object:
+    """Convert a Python value to something sqlite3 can bind."""
+    if isinstance(value, bool):
+        return int(value)
+    if hasattr(value, "isoformat"):
+        return value.isoformat()  # type: ignore[union-attr]
+    return value
+
+
+def connect(path: PathLike = ":memory:") -> sqlite3.Connection:
+    """Open a SQLite connection (in-memory by default)."""
+    return sqlite3.connect(str(path))
+
+
+def create_table_sql(schema: RelationSchema) -> str:
+    """Render a ``CREATE TABLE`` statement for a relation schema."""
+    columns = ", ".join(
+        f"{quote_identifier(attr.short_name)} {_SQL_TYPE[attr.data_type]}"
+        for attr in schema.attributes
+    )
+    return f"CREATE TABLE {quote_identifier(schema.name)} ({columns})"
+
+
+def write_relation(connection: sqlite3.Connection, relation: Relation) -> None:
+    """Create the relation's table and insert all its tuples."""
+    connection.execute(create_table_sql(relation.schema))
+    placeholders = ", ".join("?" for _ in range(relation.arity))
+    statement = f"INSERT INTO {quote_identifier(relation.name)} VALUES ({placeholders})"
+    connection.executemany(
+        statement, [tuple(_sqlite_value(value) for value in row) for row in relation]
+    )
+    connection.commit()
+
+
+def write_instance(connection: sqlite3.Connection, instance: DatabaseInstance) -> None:
+    """Persist every relation of a database instance."""
+    for relation in instance:
+        write_relation(connection, relation)
+
+
+def write_candidate_table(connection: sqlite3.Connection, table: CandidateTable) -> None:
+    """Persist a flat candidate table (qualified dots become underscores)."""
+    write_relation(connection, candidate_table_to_relation(table))
+
+
+def read_relation(connection: sqlite3.Connection, table_name: str) -> Relation:
+    """Load a SQLite table into a :class:`Relation`."""
+    info = connection.execute(f"PRAGMA table_info({quote_identifier(table_name)})").fetchall()
+    if not info:
+        raise SchemaError(f"SQLite database has no table named {table_name!r}")
+    attributes = []
+    for _, column_name, declared_type, *_rest in info:
+        base_type = (declared_type or "TEXT").split("(")[0].strip().upper()
+        data_type = _AFFINITY_TO_TYPE.get(base_type, DataType.TEXT)
+        attributes.append(Attribute(column_name, data_type))
+    schema = RelationSchema(table_name, attributes)
+    rows = connection.execute(f"SELECT * FROM {quote_identifier(table_name)}").fetchall()
+    return Relation(schema, [tuple(row) for row in rows])
+
+
+def read_instance(
+    connection: sqlite3.Connection,
+    table_names: Optional[Sequence[str]] = None,
+    name: str = "database",
+) -> DatabaseInstance:
+    """Load several (or all) SQLite tables into a :class:`DatabaseInstance`."""
+    if table_names is None:
+        table_names = [
+            row[0]
+            for row in connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table' ORDER BY name"
+            )
+        ]
+    return DatabaseInstance(name, [read_relation(connection, table) for table in table_names])
+
+
+def execute_join(
+    connection: sqlite3.Connection,
+    query: "JoinQuery",
+    table: CandidateTable,
+    projection: Optional[Sequence[str]] = None,
+) -> list[tuple]:
+    """Execute an inferred join query against the base relations in SQLite.
+
+    The relations referenced by the candidate table's provenance must already
+    exist in the connection (use :func:`write_instance`).  Returns the result
+    rows, which — by construction — match what
+    :meth:`JoinQuery.evaluate <repro.core.queries.JoinQuery.evaluate>`
+    selects from the candidate table (modulo row order).
+    """
+    sql = render_join_sql(query, table, projection=projection)
+    return [tuple(row) for row in connection.execute(sql).fetchall()]

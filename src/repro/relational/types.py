@@ -1,0 +1,172 @@
+"""Data types for relation attributes and type inference over raw values.
+
+The relational substrate is deliberately small: it supports the handful of
+scalar types needed to represent the paper's datasets (denormalised travel
+tables, Set-game cards, synthetic integers, TPC-H-like columns) and to decide
+which pairs of attributes are *type compatible* — only compatible pairs give
+rise to candidate equality atoms in the atom universe.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+import math
+from typing import Iterable, Optional
+
+from ..exceptions import DataTypeError
+
+
+class DataType(enum.Enum):
+    """Scalar data types supported by the relational substrate."""
+
+    TEXT = "text"
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+    DATE = "date"
+    NULL = "null"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Groups of types whose values may meaningfully be compared for equality.
+_COMPATIBILITY_GROUPS = (
+    frozenset({DataType.INTEGER, DataType.FLOAT}),
+    frozenset({DataType.TEXT}),
+    frozenset({DataType.BOOLEAN}),
+    frozenset({DataType.DATE}),
+)
+
+
+def infer_type(value: object) -> DataType:
+    """Infer the :class:`DataType` of a single Python value.
+
+    ``None`` maps to :attr:`DataType.NULL`; unsupported values raise
+    :class:`~repro.exceptions.DataTypeError`.
+    """
+    if value is None:
+        return DataType.NULL
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, str):
+        return DataType.TEXT
+    if isinstance(value, datetime.date):
+        return DataType.DATE
+    raise DataTypeError(f"unsupported value type: {type(value).__name__!r}")
+
+
+def infer_column_type(values: Iterable[object]) -> DataType:
+    """Infer the common type of a column of values.
+
+    Nulls are ignored; an all-null (or empty) column is :attr:`DataType.NULL`.
+    Mixed integer/float columns are widened to :attr:`DataType.FLOAT`.  Any
+    other mix raises :class:`~repro.exceptions.DataTypeError`.
+    """
+    seen: set[DataType] = set()
+    for value in values:
+        inferred = infer_type(value)
+        if inferred is not DataType.NULL:
+            seen.add(inferred)
+    if not seen:
+        return DataType.NULL
+    if len(seen) == 1:
+        return next(iter(seen))
+    if seen <= {DataType.INTEGER, DataType.FLOAT}:
+        return DataType.FLOAT
+    names = ", ".join(sorted(t.value for t in seen))
+    raise DataTypeError(f"column mixes incompatible types: {names}")
+
+
+def are_compatible(left: DataType, right: DataType) -> bool:
+    """Return ``True`` when values of the two types can be equality-joined.
+
+    ``NULL`` columns are compatible with everything: an all-null column
+    carries no type evidence, and equality on nulls never holds anyway.
+    """
+    if left is DataType.NULL or right is DataType.NULL:
+        return True
+    if left is right:
+        return True
+    return any(left in group and right in group for group in _COMPATIBILITY_GROUPS)
+
+
+def coerce(value: object, target: DataType) -> object:
+    """Coerce ``value`` to ``target`` or raise :class:`DataTypeError`.
+
+    Used by CSV loading, where every raw cell is a string.
+    """
+    if value is None:
+        return None
+    if target is DataType.NULL:
+        return value
+    if target is DataType.TEXT:
+        return value if isinstance(value, str) else str(value)
+    if target is DataType.INTEGER:
+        try:
+            return int(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError) as exc:
+            raise DataTypeError(f"cannot coerce {value!r} to integer") from exc
+    if target is DataType.FLOAT:
+        try:
+            result = float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError) as exc:
+            raise DataTypeError(f"cannot coerce {value!r} to float") from exc
+        if math.isnan(result):
+            raise DataTypeError("NaN is not a valid float value")
+        return result
+    if target is DataType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in {"true", "t", "1", "yes"}:
+                return True
+            if lowered in {"false", "f", "0", "no"}:
+                return False
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+        raise DataTypeError(f"cannot coerce {value!r} to boolean")
+    if target is DataType.DATE:
+        if isinstance(value, datetime.datetime):
+            return value.date()
+        if isinstance(value, datetime.date):
+            return value
+        if isinstance(value, str):
+            try:
+                return datetime.date.fromisoformat(value.strip())
+            except ValueError as exc:
+                raise DataTypeError(f"cannot coerce {value!r} to date") from exc
+        raise DataTypeError(f"cannot coerce {value!r} to date")
+    raise DataTypeError(f"unknown target type: {target!r}")  # pragma: no cover
+
+
+def parse_cell(raw: str, null_token: str = "") -> Optional[str]:
+    """Turn a raw CSV cell into ``None`` when it equals the null token."""
+    if raw == null_token:
+        return None
+    return raw
+
+
+def detect_and_coerce_column(
+    raw_values: Iterable[Optional[str]],
+) -> tuple[DataType, list[object]]:
+    """Detect the best type of a column of raw strings and coerce it.
+
+    Tries, in order: integer, float, boolean, date, and falls back to text.
+    Returns the detected type and the coerced values (``None`` preserved).
+    """
+    values = list(raw_values)
+    for candidate in (DataType.INTEGER, DataType.FLOAT, DataType.BOOLEAN, DataType.DATE):
+        try:
+            coerced = [None if v is None else coerce(v, candidate) for v in values]
+        except DataTypeError:
+            continue
+        return candidate, coerced
+    coerced = [None if v is None else str(v) for v in values]
+    return DataType.TEXT, coerced

@@ -1,0 +1,34 @@
+"""Interactive sessions: the four interaction types of the demo (Figure 3),
+session statistics, and the "benefit of using a strategy" report (Figure 4).
+"""
+
+from .benefit import BenefitReport, compute_benefit
+from .modes import (
+    GuidedSession,
+    InteractionMode,
+    ManualSession,
+    TopKSession,
+    create_session,
+)
+from .persistence import (
+    SessionPersistenceError,
+    load_session,
+    resume_guided_session,
+    save_session,
+)
+from .statistics import SessionStatistics
+
+__all__ = [
+    "BenefitReport",
+    "GuidedSession",
+    "InteractionMode",
+    "ManualSession",
+    "SessionPersistenceError",
+    "SessionStatistics",
+    "TopKSession",
+    "compute_benefit",
+    "create_session",
+    "load_session",
+    "resume_guided_session",
+    "save_session",
+]

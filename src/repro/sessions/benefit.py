@@ -1,0 +1,97 @@
+"""The "benefit of using a strategy" report (Figure 4 of the paper).
+
+After a free-labeling session (interaction types 1–3), the demo shows the
+attendee "how many interactions she would have done if she had used a strategy
+of proposing informative tuples to her".  :func:`compute_benefit` produces
+exactly that comparison: it takes the query inferred from the user's labels,
+replays a fully guided inference session against it with the requested
+strategy, and reports both interaction counts and the saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..core.engine import JoinInferenceEngine
+from ..core.oracle import GoalQueryOracle
+from ..core.queries import JoinQuery
+from ..core.state import InferenceState
+from ..core.strategies.base import Strategy
+
+
+@dataclass(frozen=True)
+class BenefitReport:
+    """How much effort a strategy would have saved over the user's session."""
+
+    user_interactions: int
+    strategy_interactions: int
+    strategy_name: str
+    inferred_query: JoinQuery
+
+    @property
+    def saved_interactions(self) -> int:
+        """Interactions the strategy would have spared the user (never negative)."""
+        return max(0, self.user_interactions - self.strategy_interactions)
+
+    @property
+    def saved_pct(self) -> float:
+        """Relative saving, as a percentage of the user's interactions."""
+        if self.user_interactions == 0:
+            return 0.0
+        return 100.0 * self.saved_interactions / self.user_interactions
+
+    @property
+    def speedup(self) -> float:
+        """``user_interactions / strategy_interactions`` (∞-free: 0 when undefined)."""
+        if self.strategy_interactions == 0:
+            return 0.0
+        return self.user_interactions / self.strategy_interactions
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dictionary form for logging and rendering."""
+        return {
+            "user_interactions": self.user_interactions,
+            "strategy_interactions": self.strategy_interactions,
+            "strategy": self.strategy_name,
+            "saved_interactions": self.saved_interactions,
+            "saved_pct": round(self.saved_pct, 2),
+            "inferred_query": self.inferred_query.describe(),
+        }
+
+    def summary(self) -> str:
+        """One-line rendering in the spirit of Figure 4."""
+        return (
+            f"you labeled {self.user_interactions} tuple(s); the {self.strategy_name} strategy "
+            f"would have needed {self.strategy_interactions} "
+            f"(saving {self.saved_interactions}, {self.saved_pct:.0f}%)"
+        )
+
+
+def compute_benefit(
+    state: InferenceState,
+    user_interactions: int,
+    strategy: Union[Strategy, str] = "lookahead-entropy",
+    goal: Optional[JoinQuery] = None,
+) -> BenefitReport:
+    """Compare a user's session against a strategy-guided one on the same goal.
+
+    Parameters
+    ----------
+    state:
+        The state at the end of the user's session; its inferred (canonical)
+        query is used as the goal unless ``goal`` is given explicitly.
+    user_interactions:
+        How many labels the user actually provided.
+    strategy:
+        The strategy to replay the inference with.
+    """
+    target = goal if goal is not None else state.inferred_query()
+    engine = JoinInferenceEngine(state.table, strategy=strategy, universe=state.universe)
+    replay = engine.run(GoalQueryOracle(target))
+    return BenefitReport(
+        user_interactions=user_interactions,
+        strategy_interactions=replay.num_interactions,
+        strategy_name=engine.strategy.name,
+        inferred_query=target,
+    )

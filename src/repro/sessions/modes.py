@@ -1,0 +1,278 @@
+"""The four types of interaction of the demonstration scenario (Figure 3).
+
+1. **Labeling all tuples** — the attendee labels whatever tuples she wants,
+   in any order, with no help from the system
+   (:class:`ManualSession` with ``gray_out=False``).
+2. **Interactively graying out uninformative tuples** — same free labeling,
+   but after each label the system grays out the tuples that became
+   uninformative (:class:`ManualSession` with ``gray_out=True``).
+3. **Proposing top-k informative tuples** — the system computes the ``k``
+   most informative tuples and asks the attendee to label only them
+   (:class:`TopKSession`).
+4. **Proposing the most informative tuple** — the fully interactive inference
+   process of Figure 2 (:class:`GuidedSession`).
+
+All sessions share the same underlying :class:`~repro.core.state.InferenceState`
+and therefore the same convergence criterion, statistics and benefit report.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Union
+
+from ..core.engine import Interaction
+from ..core.examples import Label
+from ..core.oracle import Oracle
+from ..core.propagation import PropagationResult
+from ..core.queries import JoinQuery
+from ..core.state import InferenceState
+from ..core.strategies.base import Strategy
+from ..core.strategies.lookahead import EntropyStrategy
+from ..core.strategies.registry import create_strategy
+from ..exceptions import StrategyError
+from ..relational.candidate import CandidateTable
+from .benefit import BenefitReport, compute_benefit
+from .statistics import SessionStatistics
+
+
+class InteractionMode(enum.Enum):
+    """The four interaction types of the demonstration scenario."""
+
+    MANUAL = "manual"
+    MANUAL_WITH_PRUNING = "manual-with-pruning"
+    TOP_K = "top-k"
+    GUIDED = "guided"
+
+
+class _BaseSession:
+    """State, statistics and benefit reporting shared by all session kinds."""
+
+    mode: InteractionMode
+
+    def __init__(
+        self,
+        table: CandidateTable,
+        state: Optional[InferenceState] = None,
+    ) -> None:
+        self.table = table
+        self.state = state if state is not None else InferenceState(table)
+        self.interactions: list[Interaction] = []
+
+    # -- labeling ------------------------------------------------------- #
+    def _record(self, tuple_id: int, label: Label, propagation: PropagationResult) -> None:
+        self.interactions.append(
+            Interaction(
+                step=len(self.interactions) + 1,
+                tuple_id=tuple_id,
+                label=label,
+                pruned=propagation.pruned_count,
+                informative_remaining=propagation.informative_after,
+                elapsed_seconds=0.0,
+            )
+        )
+
+    def label(self, tuple_id: int, label: Union[Label, str, bool]) -> PropagationResult:
+        """Record one user label and propagate it."""
+        parsed = Label.from_value(label)
+        propagation = self.state.add_label(tuple_id, parsed)
+        self._record(tuple_id, parsed, propagation)
+        return propagation
+
+    # -- progress ------------------------------------------------------- #
+    @property
+    def num_interactions(self) -> int:
+        """Number of labels the user has given in this session."""
+        return len(self.interactions)
+
+    def is_converged(self) -> bool:
+        """Whether the labels given so far identify a unique query."""
+        return self.state.is_converged()
+
+    def inferred_query(self) -> JoinQuery:
+        """The canonical query consistent with the labels given so far."""
+        return self.state.inferred_query()
+
+    def statistics(self) -> SessionStatistics:
+        """The progress panel of the demo interface."""
+        return SessionStatistics.from_state(self.state)
+
+    def benefit_report(
+        self,
+        strategy: Union[Strategy, str] = "lookahead-entropy",
+        goal: Optional[JoinQuery] = None,
+    ) -> BenefitReport:
+        """The Figure 4 comparison: this session vs a strategy-guided one."""
+        return compute_benefit(
+            self.state, self.num_interactions, strategy=strategy, goal=goal
+        )
+
+
+class ManualSession(_BaseSession):
+    """Interaction types 1 and 2: the attendee labels tuples in any order.
+
+    With ``gray_out=False`` (type 1) the system gives no feedback at all —
+    :meth:`visible_grayed_out` stays empty even though the state internally
+    knows which tuples became uninformative.  With ``gray_out=True`` (type 2)
+    every label's propagation is surfaced so the interface can gray tuples out.
+    """
+
+    def __init__(
+        self,
+        table: CandidateTable,
+        gray_out: bool = False,
+        state: Optional[InferenceState] = None,
+    ) -> None:
+        super().__init__(table, state)
+        self.gray_out = gray_out
+        self.mode = (
+            InteractionMode.MANUAL_WITH_PRUNING if gray_out else InteractionMode.MANUAL
+        )
+
+    def labelable_ids(self) -> list[int]:
+        """The tuples the attendee may label next.
+
+        Type 1 lets her label any unlabeled tuple; type 2 hides the grayed-out
+        ones and only offers the informative tuples.
+        """
+        if self.gray_out:
+            return self.state.informative_ids()
+        labeled = self.state.labeled_ids()
+        return [tuple_id for tuple_id in self.table.tuple_ids if tuple_id not in labeled]
+
+    def visible_grayed_out(self) -> list[int]:
+        """The tuples the interface currently shows as grayed out."""
+        return self.state.certain_ids() if self.gray_out else []
+
+    def run(self, oracle: Oracle, order: Optional[list[int]] = None) -> JoinQuery:
+        """Simulate an attendee labeling tuples in the given (or table) order.
+
+        The attendee stops as soon as the labels identify a unique query —
+        which, without graying out, she can only notice by exhausting the
+        tuples she considers worth labeling.
+        """
+        sequence = order if order is not None else list(self.table.tuple_ids)
+        for tuple_id in sequence:
+            if self.is_converged():
+                break
+            if tuple_id in self.state.labeled_ids():
+                continue
+            if self.gray_out and self.state.status(tuple_id).is_certain:
+                continue
+            self.label(tuple_id, oracle.label(self.table, tuple_id))
+        return self.inferred_query()
+
+
+class TopKSession(_BaseSession):
+    """Interaction type 3: the system proposes the top-k informative tuples.
+
+    Tuples are ranked with a lookahead score (how much either answer would
+    resolve); the attendee labels the proposed batch, the system re-ranks, and
+    so on until convergence.
+    """
+
+    mode = InteractionMode.TOP_K
+
+    def __init__(
+        self,
+        table: CandidateTable,
+        k: int = 5,
+        state: Optional[InferenceState] = None,
+    ) -> None:
+        if k < 1:
+            raise StrategyError("k must be at least 1")
+        super().__init__(table, state)
+        self.k = k
+        self._scorer = EntropyStrategy()
+
+    def propose(self, k: Optional[int] = None) -> list[int]:
+        """The current top-k informative tuples, best first."""
+        batch_size = k if k is not None else self.k
+        candidates = self.state.informative_ids()
+        scored = sorted(
+            candidates,
+            key=lambda tid: (self._scorer.score(*self.state.prune_counts(tid)), -tid),
+            reverse=True,
+        )
+        return scored[:batch_size]
+
+    def run(self, oracle: Oracle, max_rounds: Optional[int] = None) -> JoinQuery:
+        """Label proposed batches until convergence (or ``max_rounds``)."""
+        rounds = 0
+        while not self.is_converged():
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+            for tuple_id in self.propose():
+                # Earlier labels in the same batch may have made this tuple
+                # uninformative; the attendee skips it in that case.
+                if self.state.status(tuple_id).is_uninformative:
+                    continue
+                self.label(tuple_id, oracle.label(self.table, tuple_id))
+            rounds += 1
+        return self.inferred_query()
+
+
+class GuidedSession(_BaseSession):
+    """Interaction type 4: the core interactive scenario of Figure 2.
+
+    The system repeatedly proposes the most informative tuple according to the
+    chosen strategy; the attendee only answers Yes/No.  The session can be
+    driven step by step (:meth:`next_tuple` / :meth:`answer`) — the
+    programmatic equivalent of the GUI — or run to convergence against an
+    oracle (:meth:`run`).
+    """
+
+    mode = InteractionMode.GUIDED
+
+    def __init__(
+        self,
+        table: CandidateTable,
+        strategy: Union[Strategy, str, None] = None,
+        state: Optional[InferenceState] = None,
+    ) -> None:
+        super().__init__(table, state)
+        if strategy is None:
+            self.strategy: Strategy = EntropyStrategy()
+        elif isinstance(strategy, str):
+            self.strategy = create_strategy(strategy)
+        else:
+            self.strategy = strategy
+        self._pending: Optional[int] = None
+
+    def next_tuple(self) -> int:
+        """The tuple the system asks about next (stable until answered)."""
+        if self._pending is None:
+            self._pending = self.strategy.choose(self.state)
+        return self._pending
+
+    def answer(self, label: Union[Label, str, bool]) -> PropagationResult:
+        """Answer the pending membership query."""
+        tuple_id = self.next_tuple()
+        propagation = self.label(tuple_id, label)
+        self._pending = None
+        return propagation
+
+    def run(self, oracle: Oracle, max_interactions: Optional[int] = None) -> JoinQuery:
+        """Run the guided loop to convergence (or ``max_interactions``)."""
+        while not self.is_converged():
+            if max_interactions is not None and self.num_interactions >= max_interactions:
+                break
+            tuple_id = self.next_tuple()
+            self.answer(oracle.label(self.table, tuple_id))
+        return self.inferred_query()
+
+
+def create_session(
+    mode: Union[InteractionMode, str],
+    table: CandidateTable,
+    **kwargs: object,
+) -> _BaseSession:
+    """Build a session of the requested interaction type."""
+    parsed = InteractionMode(mode) if not isinstance(mode, InteractionMode) else mode
+    if parsed is InteractionMode.MANUAL:
+        return ManualSession(table, gray_out=False, **kwargs)  # type: ignore[arg-type]
+    if parsed is InteractionMode.MANUAL_WITH_PRUNING:
+        return ManualSession(table, gray_out=True, **kwargs)  # type: ignore[arg-type]
+    if parsed is InteractionMode.TOP_K:
+        return TopKSession(table, **kwargs)  # type: ignore[arg-type]
+    return GuidedSession(table, **kwargs)  # type: ignore[arg-type]

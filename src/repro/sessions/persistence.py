@@ -1,0 +1,129 @@
+"""Saving and resuming labeling sessions.
+
+A labeling session — especially a crowdsourced one — rarely happens in one
+sitting.  This module serialises the labels collected so far (plus enough
+metadata to detect that they are being replayed against the same candidate
+table) to a JSON document, and restores an
+:class:`~repro.core.state.InferenceState` from it, so any session kind can be
+resumed exactly where it stopped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.examples import Label
+from ..core.state import InferenceState
+from ..exceptions import ReproError
+from ..relational.candidate import CandidateTable
+
+PathLike = Union[str, Path]
+
+#: Format identifier written into every saved session.
+FORMAT = "jim-session"
+FORMAT_VERSION = 1
+
+
+class SessionPersistenceError(ReproError):
+    """A saved session cannot be read or does not match the candidate table."""
+
+
+def table_fingerprint(table: CandidateTable) -> str:
+    """A stable fingerprint of a candidate table (attributes + rows).
+
+    Used to refuse resuming a session against a different table, where the
+    stored tuple ids would silently mean different tuples.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(table.attribute_names).encode("utf-8"))
+    for row in table.rows:
+        digest.update(repr(row).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def serialize_state(state: InferenceState) -> dict[str, object]:
+    """The JSON-serialisable form of a session's labels and context."""
+    return {
+        "format": FORMAT,
+        "version": FORMAT_VERSION,
+        "table_name": state.table.name,
+        "table_fingerprint": table_fingerprint(state.table),
+        "num_candidates": len(state.table),
+        "atoms": [list(atom.attributes) for atom in state.universe.atoms],
+        "labels": {
+            str(example.tuple_id): example.label.value for example in state.examples
+        },
+        "converged": state.is_converged(),
+        "canonical_query": [list(atom.attributes) for atom in state.inferred_query()],
+    }
+
+
+def save_session(state: InferenceState, path: PathLike) -> None:
+    """Write a session's labels to a JSON file."""
+    payload = serialize_state(state)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+
+
+def deserialize_state(
+    payload: dict[str, object],
+    table: CandidateTable,
+    strict: bool = True,
+    verify_fingerprint: bool = True,
+) -> InferenceState:
+    """Rebuild an :class:`InferenceState` from a serialised session."""
+    if payload.get("format") != FORMAT:
+        raise SessionPersistenceError("not a JIM session document")
+    if payload.get("version") != FORMAT_VERSION:
+        raise SessionPersistenceError(
+            f"unsupported session version {payload.get('version')!r} (expected {FORMAT_VERSION})"
+        )
+    if verify_fingerprint and payload.get("table_fingerprint") != table_fingerprint(table):
+        raise SessionPersistenceError(
+            "the saved session was recorded against a different candidate table"
+        )
+    state = InferenceState(table, strict=strict)
+    labels = payload.get("labels", {})
+    if not isinstance(labels, dict):
+        raise SessionPersistenceError("malformed session: 'labels' must be an object")
+    for tuple_id_text, label_text in labels.items():
+        try:
+            tuple_id = int(tuple_id_text)
+        except (TypeError, ValueError) as exc:
+            raise SessionPersistenceError(
+                f"malformed session: bad tuple id {tuple_id_text!r}"
+            ) from exc
+        state.add_label(tuple_id, Label.from_value(label_text))
+    return state
+
+
+def load_session(
+    path: PathLike,
+    table: CandidateTable,
+    strict: bool = True,
+    verify_fingerprint: bool = True,
+) -> InferenceState:
+    """Load a saved session and replay its labels onto ``table``."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SessionPersistenceError(f"cannot read session file {path!s}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SessionPersistenceError("malformed session: top-level value must be an object")
+    return deserialize_state(
+        payload, table, strict=strict, verify_fingerprint=verify_fingerprint
+    )
+
+
+def resume_guided_session(
+    path: PathLike,
+    table: CandidateTable,
+    strategy: Optional[object] = None,
+):
+    """Convenience helper: load a saved session into a fresh guided session."""
+    from .modes import GuidedSession
+
+    state = load_session(path, table)
+    return GuidedSession(table, strategy=strategy, state=state)

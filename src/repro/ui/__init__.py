@@ -1,0 +1,16 @@
+"""Textual user interface: table rendering, progress reports, console demo."""
+
+from .console import run_console_demo, run_scripted_demo
+from .renderer import STATUS_MARKERS, render_bar_chart, render_state, render_table
+from .report import render_benefit_report, render_strategy_comparison
+
+__all__ = [
+    "STATUS_MARKERS",
+    "render_bar_chart",
+    "render_benefit_report",
+    "render_state",
+    "render_strategy_comparison",
+    "render_table",
+    "run_console_demo",
+    "run_scripted_demo",
+]

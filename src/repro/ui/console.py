@@ -1,0 +1,83 @@
+"""Console demo driver: the terminal stand-in for the JIM GUI.
+
+``run_console_demo`` drives a fully guided session (interaction type 4) at the
+terminal: it prints the candidate table, repeatedly shows the most informative
+tuple, reads a ``y``/``n`` answer, shows what got grayed out, and finally
+prints the inferred query.  ``run_scripted_demo`` does the same against an
+oracle and returns the transcript as a string, which is what the tests and the
+examples use (no interactive input needed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from ..core.oracle import ConsoleOracle, Oracle
+from ..core.queries import JoinQuery
+from ..core.strategies.base import Strategy
+from ..relational.candidate import CandidateTable
+from ..sessions.modes import GuidedSession
+from .renderer import render_state, render_table
+
+Printer = Callable[[str], None]
+
+
+def run_scripted_demo(
+    table: CandidateTable,
+    oracle: Oracle,
+    strategy: Union[Strategy, str, None] = None,
+    max_interactions: Optional[int] = None,
+    show_table_every_step: bool = False,
+) -> tuple[JoinQuery, str]:
+    """Run a guided session against an oracle and return (query, transcript)."""
+    lines: list[str] = []
+
+    def emit(text: str) -> None:
+        lines.append(text)
+
+    query = _drive(table, oracle, strategy, emit, max_interactions, show_table_every_step)
+    return query, "\n".join(lines)
+
+
+def run_console_demo(
+    table: CandidateTable,
+    strategy: Union[Strategy, str, None] = None,
+    max_interactions: Optional[int] = None,
+) -> JoinQuery:
+    """Run a guided session interactively at the terminal (blocking on input)."""
+    return _drive(table, ConsoleOracle(), strategy, print, max_interactions, False)
+
+
+def _drive(
+    table: CandidateTable,
+    oracle: Oracle,
+    strategy: Union[Strategy, str, None],
+    emit: Printer,
+    max_interactions: Optional[int],
+    show_table_every_step: bool,
+) -> JoinQuery:
+    session = GuidedSession(table, strategy=strategy)
+    emit("=== JIM: interactive join query inference ===")
+    emit(render_table(table, max_rows=20))
+    emit("")
+    while not session.is_converged():
+        if max_interactions is not None and session.num_interactions >= max_interactions:
+            emit(f"stopping after {max_interactions} interactions (not converged)")
+            break
+        tuple_id = session.next_tuple()
+        rendered = ", ".join(
+            f"{name}={value!r}" for name, value in zip(table.attribute_names, table.row(tuple_id))
+        )
+        emit(f"[{session.num_interactions + 1}] label tuple ({tuple_id + 1}): {rendered}")
+        label = oracle.label(table, tuple_id)
+        propagation = session.answer(label)
+        emit(f"    answer: {label.value}   {propagation.summary()}")
+        if show_table_every_step:
+            emit(render_state(session.state, max_rows=20))
+            emit("")
+    query = session.inferred_query()
+    emit("")
+    emit(f"inferred join query: {query.describe()}")
+    emit(f"membership queries asked: {session.num_interactions}")
+    emit(session.statistics().summary())
+    return query

@@ -1,0 +1,123 @@
+"""ASCII rendering of candidate tables, labels and grayed-out tuples.
+
+The original JIM is a GUI application; this reproduction renders the same
+information as text: the candidate table with ``+``/``−`` markers for labeled
+tuples and a dimmed marker for tuples grayed out as uninformative — the
+textual counterpart of the screenshots in Figure 3 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ..core.informativeness import TupleStatus
+from ..core.state import InferenceState
+from ..relational.candidate import CandidateTable
+
+#: Marker shown in the leftmost column for each tuple status.
+STATUS_MARKERS: dict[TupleStatus, str] = {
+    TupleStatus.LABELED_POSITIVE: "+",
+    TupleStatus.LABELED_NEGATIVE: "-",
+    TupleStatus.CERTAIN_POSITIVE: "(+)",
+    TupleStatus.CERTAIN_NEGATIVE: "(-)",
+    TupleStatus.INFORMATIVE: "",
+}
+
+
+def _format_value(value: object) -> str:
+    if value is None:
+        return "∅"
+    return str(value)
+
+
+def render_table(
+    table: CandidateTable,
+    statuses: Optional[Mapping[int, TupleStatus]] = None,
+    tuple_ids: Optional[Sequence[int]] = None,
+    max_rows: Optional[int] = 40,
+    show_grayed_out: bool = True,
+) -> str:
+    """Render (part of) a candidate table with per-tuple status markers.
+
+    Parameters
+    ----------
+    statuses:
+        Optional mapping ``tuple_id → TupleStatus``; labeled tuples show
+        ``+``/``−``, grayed-out tuples show ``(+)``/``(−)`` (or are hidden when
+        ``show_grayed_out`` is false), informative tuples show no marker.
+    tuple_ids:
+        Restrict the rendering to these tuples (defaults to all of them).
+    max_rows:
+        Truncate the rendering after this many rows (``None`` = no limit).
+    """
+    ids = list(tuple_ids) if tuple_ids is not None else list(table.tuple_ids)
+    if statuses is not None and not show_grayed_out:
+        ids = [tid for tid in ids if not statuses.get(tid, TupleStatus.INFORMATIVE).is_certain]
+    truncated = 0
+    if max_rows is not None and len(ids) > max_rows:
+        truncated = len(ids) - max_rows
+        ids = ids[:max_rows]
+
+    headers = ["", "#", *table.attribute_names]
+    rows: list[list[str]] = []
+    for tuple_id in ids:
+        status = statuses.get(tuple_id, TupleStatus.INFORMATIVE) if statuses else None
+        marker = STATUS_MARKERS[status] if status is not None else ""
+        rows.append(
+            [marker, f"({tuple_id + 1})", *(_format_value(v) for v in table.row(tuple_id))]
+        )
+
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    lines = [format_row(headers), format_row(["-" * width for width in widths])]
+    lines.extend(format_row(row) for row in rows)
+    if truncated:
+        lines.append(f"… {truncated} more tuple(s) not shown")
+    return "\n".join(lines)
+
+
+def render_state(
+    state: InferenceState,
+    max_rows: Optional[int] = 40,
+    show_grayed_out: bool = True,
+) -> str:
+    """Render the candidate table of an inference state with its current statuses."""
+    header = render_table(
+        state.table,
+        statuses=state.statuses(),
+        max_rows=max_rows,
+        show_grayed_out=show_grayed_out,
+    )
+    stats = state.statistics()
+    footer = (
+        f"labeled: {stats['labeled']:.0f} ({stats['labeled_pct']:.0f}%)   "
+        f"grayed out: {stats['uninformative']:.0f} ({stats['uninformative_pct']:.0f}%)   "
+        f"informative: {stats['informative']:.0f} ({stats['informative_pct']:.0f}%)"
+    )
+    query = f"current candidate query: {state.inferred_query().describe()}"
+    return "\n".join([header, "", footer, query])
+
+
+def render_bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """A horizontal ASCII bar chart (used for the Figure 4 style comparisons)."""
+    if not values:
+        return "(no data)"
+    maximum = max(values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        bar_length = int(round(width * value / maximum)) if maximum else 0
+        bar = "█" * bar_length
+        suffix = f" {value:g}{unit}"
+        lines.append(f"{label.ljust(label_width)} |{bar}{suffix}")
+    return "\n".join(lines)

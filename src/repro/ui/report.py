@@ -1,0 +1,44 @@
+"""Textual reports: the Figure 4 comparison and strategy comparison charts.
+
+The demo shows the attendee, after each inference, bar charts comparing the
+number of interactions she performed against what the strategies would have
+needed.  These helpers produce the same comparisons as text, both for a single
+:class:`~repro.sessions.benefit.BenefitReport` and for multi-strategy
+comparisons coming out of the experiments package.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..sessions.benefit import BenefitReport
+from .renderer import render_bar_chart
+
+
+def render_benefit_report(report: BenefitReport, width: int = 40) -> str:
+    """Render a Figure 4 style "benefit of using a strategy" chart."""
+    chart = render_bar_chart(
+        {
+            "your interactions": float(report.user_interactions),
+            f"with {report.strategy_name}": float(report.strategy_interactions),
+        },
+        width=width,
+        unit=" labels",
+    )
+    return "\n".join(
+        [
+            f"Inferred query: {report.inferred_query.describe()}",
+            chart,
+            report.summary(),
+        ]
+    )
+
+
+def render_strategy_comparison(
+    interactions_by_strategy: Mapping[str, float],
+    title: str = "Interactions to convergence by strategy",
+    width: int = 40,
+) -> str:
+    """Render the strategy-comparison chart of the second demo part."""
+    chart = render_bar_chart(dict(interactions_by_strategy), width=width, unit=" labels")
+    return f"{title}\n{chart}"

@@ -1,0 +1,70 @@
+"""Tests for the pairwise crowdsourced-join baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CandidateTable, GoalQueryOracle, JoinQuery, infer_join
+from repro.baselines.entity_resolution import PairwiseCrowdJoin, pairwise_question_count
+from repro.relational import DatabaseInstance, Relation
+
+
+@pytest.fixture
+def er_table() -> CandidateTable:
+    """Pairs of records from two small 'sources' describing the same entities."""
+    left = Relation.build("L", ["lid", "lname"], [(1, "ada"), (2, "bob"), (3, "cleo")])
+    right = Relation.build("R", ["rid", "rname"], [(1, "ada"), (2, "bob"), (4, "dan")])
+    return CandidateTable.cross_product(DatabaseInstance("er", [left, right]))
+
+
+class TestPairwiseQuestionCount:
+    def test_product_of_sizes(self):
+        assert pairwise_question_count(10, 20) == 200
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_question_count(-1, 5)
+
+
+class TestPairwiseCrowdJoin:
+    def test_asks_one_question_per_pair(self, er_table):
+        goal = JoinQuery.of(("L.lname", "R.rname"))
+        result = PairwiseCrowdJoin().run(er_table, GoalQueryOracle(goal))
+        assert result.questions_asked == len(er_table)
+        assert result.questions_saved_by_transitivity == 0
+
+    def test_matching_pairs_equal_goal_selection(self, er_table):
+        goal = JoinQuery.of(("L.lname", "R.rname"))
+        result = PairwiseCrowdJoin().run(er_table, GoalQueryOracle(goal))
+        assert result.matching_pairs == goal.evaluate(er_table)
+
+    def test_transitivity_saves_questions_when_entities_repeat(self):
+        # Duplicate entities on both sides let the transitive closure answer
+        # some pairs without asking.
+        left = Relation.build("L", ["lname"], [("ada",), ("ada",), ("bob",)])
+        right = Relation.build("R", ["rname"], [("ada",), ("bob",), ("bob",)])
+        table = CandidateTable.cross_product(DatabaseInstance("er", [left, right]))
+        goal = JoinQuery.of(("L.lname", "R.rname"))
+        plain = PairwiseCrowdJoin().run(table, GoalQueryOracle(goal))
+        transitive = PairwiseCrowdJoin(use_transitivity=True).run(
+            table,
+            GoalQueryOracle(goal),
+            left_key_attributes=("L.lname",),
+            right_key_attributes=("R.rname",),
+        )
+        assert transitive.matching_pairs == plain.matching_pairs
+        assert transitive.questions_saved_by_transitivity > 0
+        assert transitive.questions_asked < plain.questions_asked
+        assert transitive.total_pairs == len(table)
+
+    def test_jim_needs_far_fewer_questions(self, er_table):
+        goal = JoinQuery.of(("L.lname", "R.rname"))
+        crowd = PairwiseCrowdJoin().run(er_table, GoalQueryOracle(goal))
+        jim = infer_join(er_table, GoalQueryOracle(goal), strategy="lookahead-entropy")
+        assert jim.num_interactions < crowd.questions_asked
+        assert jim.matches_goal(goal)
+
+    def test_as_dict(self, er_table):
+        goal = JoinQuery.of(("L.lid", "R.rid"))
+        payload = PairwiseCrowdJoin().run(er_table, GoalQueryOracle(goal)).as_dict()
+        assert payload["questions_asked"] == len(er_table)

@@ -1,0 +1,33 @@
+"""Tests for the label-everything baseline."""
+
+from __future__ import annotations
+
+from repro import GoalQueryOracle, infer_join
+from repro.baselines.label_all import exhaustive_inference, label_all_interactions
+from repro.datasets import flights_hotels
+
+
+class TestLabelAll:
+    def test_interaction_count_equals_table_size(self, figure1_table):
+        assert label_all_interactions(figure1_table) == 12
+
+    def test_exhaustive_inference_recovers_q2(self, figure1_table, query_q2):
+        result = exhaustive_inference(figure1_table, GoalQueryOracle(query_q2))
+        assert result.converged
+        assert result.num_interactions == 12
+        assert result.query.instance_equivalent(query_q2, figure1_table)
+
+    def test_exhaustive_inference_recovers_q1(self, figure1_table, query_q1):
+        result = exhaustive_inference(figure1_table, GoalQueryOracle(query_q1))
+        assert result.query.instance_equivalent(query_q1, figure1_table)
+
+    def test_guided_inference_is_never_more_expensive(self, figure1_table, query_q2):
+        exhaustive = exhaustive_inference(figure1_table, GoalQueryOracle(query_q2))
+        guided = infer_join(figure1_table, GoalQueryOracle(query_q2), strategy="lookahead-entropy")
+        assert guided.num_interactions <= exhaustive.num_interactions
+        assert guided.query.instance_equivalent(exhaustive.query, figure1_table)
+
+    def test_as_dict(self, figure1_table, query_q1):
+        payload = exhaustive_inference(figure1_table, GoalQueryOracle(query_q1)).as_dict()
+        assert payload["num_interactions"] == 12
+        assert payload["converged"] is True

@@ -1,0 +1,61 @@
+"""Tests for the unguided random-order labeling baseline."""
+
+from __future__ import annotations
+
+from repro import GoalQueryOracle, infer_join
+from repro.baselines.random_order import RandomOrderBaseline
+from repro.datasets import flights_hotels
+
+
+class TestRandomOrderBaseline:
+    def test_converges_and_matches_goal(self, figure1_table, query_q2):
+        result = RandomOrderBaseline(seed=0).run(figure1_table, GoalQueryOracle(query_q2))
+        assert result.converged
+        assert result.query.instance_equivalent(query_q2, figure1_table)
+        assert 1 <= result.num_interactions <= 12
+
+    def test_reproducible_for_a_seed(self, figure1_table, query_q2):
+        first = RandomOrderBaseline(seed=4).run(figure1_table, GoalQueryOracle(query_q2))
+        second = RandomOrderBaseline(seed=4).run(figure1_table, GoalQueryOracle(query_q2))
+        assert first.num_interactions == second.num_interactions
+
+    def test_informed_pruning_never_wastes_labels(self, figure1_table, query_q2):
+        result = RandomOrderBaseline(seed=1, informed_pruning=True).run(
+            figure1_table, GoalQueryOracle(query_q2)
+        )
+        assert result.wasted_interactions == 0
+
+    def test_uninformed_user_can_waste_labels(self, figure1_table, query_q2):
+        # Across a few seeds the unassisted user must waste at least one label
+        # on an uninformative tuple somewhere (otherwise pruning would be useless).
+        wasted = [
+            RandomOrderBaseline(seed=seed).run(figure1_table, GoalQueryOracle(query_q2)).wasted_interactions
+            for seed in range(6)
+        ]
+        assert any(count > 0 for count in wasted)
+
+    def test_informed_pruning_needs_no_more_labels(self, figure1_table, query_q2):
+        for seed in range(4):
+            plain = RandomOrderBaseline(seed=seed).run(figure1_table, GoalQueryOracle(query_q2))
+            informed = RandomOrderBaseline(seed=seed, informed_pruning=True).run(
+                figure1_table, GoalQueryOracle(query_q2)
+            )
+            assert informed.num_interactions <= plain.num_interactions
+
+    def test_max_interactions_cap(self, figure1_table, query_q2):
+        result = RandomOrderBaseline(seed=0).run(
+            figure1_table, GoalQueryOracle(query_q2), max_interactions=1
+        )
+        assert result.num_interactions == 1
+
+    def test_guided_strategy_beats_or_ties_the_baseline_on_average(self, figure1_table, query_q2):
+        guided = infer_join(figure1_table, GoalQueryOracle(query_q2), strategy="lookahead-entropy")
+        baseline_mean = sum(
+            RandomOrderBaseline(seed=seed).run(figure1_table, GoalQueryOracle(query_q2)).num_interactions
+            for seed in range(5)
+        ) / 5.0
+        assert guided.num_interactions <= baseline_mean
+
+    def test_as_dict(self, figure1_table, query_q1):
+        payload = RandomOrderBaseline(seed=0).run(figure1_table, GoalQueryOracle(query_q1)).as_dict()
+        assert {"query", "num_interactions", "converged", "wasted_interactions"} <= set(payload)

@@ -1,0 +1,84 @@
+"""Shared fixtures: the paper's Figure 1 dataset and small synthetic tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AtomUniverse, CandidateTable, InferenceState, JoinQuery
+from repro.datasets import flights_hotels
+from repro.relational import DatabaseInstance, Relation
+
+
+@pytest.fixture
+def figure1_table() -> CandidateTable:
+    """The denormalised candidate table of Figure 1 (12 tuples)."""
+    return flights_hotels.figure1_table()
+
+
+@pytest.fixture
+def figure1_universe(figure1_table: CandidateTable) -> AtomUniverse:
+    """The default (cross-relation) atom universe over the Figure 1 table."""
+    return AtomUniverse.from_table(figure1_table)
+
+
+@pytest.fixture
+def figure1_state(figure1_table: CandidateTable) -> InferenceState:
+    """A fresh inference state over the Figure 1 table."""
+    return InferenceState(figure1_table)
+
+
+@pytest.fixture
+def query_q1() -> JoinQuery:
+    """Q1: To ≍ City."""
+    return flights_hotels.query_q1()
+
+
+@pytest.fixture
+def query_q2() -> JoinQuery:
+    """Q2: To ≍ City ∧ Airline ≍ Discount."""
+    return flights_hotels.query_q2()
+
+
+@pytest.fixture
+def travel_instance() -> DatabaseInstance:
+    """The two-relation instance (Flights, Hotels) behind Figure 1."""
+    return flights_hotels.travel_instance()
+
+
+@pytest.fixture
+def two_column_table() -> CandidateTable:
+    """A tiny flat table with two comparable columns (single-atom universe)."""
+    return CandidateTable.from_rows(
+        ["a", "b"],
+        [(1, 1), (1, 2), (2, 2), (3, 4)],
+        name="tiny",
+    )
+
+
+@pytest.fixture
+def people_pets_instance() -> DatabaseInstance:
+    """A small two-relation instance used across relational-layer tests."""
+    people = Relation.build(
+        "people",
+        ["pid", "name", "city"],
+        [
+            (1, "Ada", "Paris"),
+            (2, "Bob", "Lille"),
+            (3, "Cleo", "NYC"),
+        ],
+    )
+    pets = Relation.build(
+        "pets",
+        ["owner", "animal"],
+        [
+            (1, "cat"),
+            (1, "dog"),
+            (3, "fish"),
+        ],
+    )
+    return DatabaseInstance("people_pets", [people, pets])
+
+
+def paper_id(number: int) -> int:
+    """The 0-based tuple id of the paper's tuple ``(number)``."""
+    return flights_hotels.paper_tuple_id(number)

@@ -1,0 +1,100 @@
+"""Tests for the local strategy family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GoalQueryOracle, InferenceState, JoinInferenceEngine, Label
+from repro.core.atoms import popcount
+from repro.core.strategies import (
+    LargestTypeStrategy,
+    LexicographicStrategy,
+    LocalMostGeneralStrategy,
+    LocalMostSpecificStrategy,
+)
+from repro.datasets import flights_hotels
+from repro.exceptions import StrategyError
+
+tid = flights_hotels.paper_tuple_id
+
+
+class TestLexicographic:
+    def test_picks_smallest_informative_id(self, figure1_state):
+        assert LexicographicStrategy().choose(figure1_state) == 0
+
+    def test_skips_uninformative_tuples(self, figure1_state):
+        figure1_state.add_label(tid(12), Label.NEGATIVE)  # grays out (1), (5), (9)
+        choice = LexicographicStrategy().choose(figure1_state)
+        assert choice == tid(2)
+
+    def test_raises_after_convergence(self, figure1_state):
+        figure1_state.add_label(tid(3), Label.POSITIVE)
+        figure1_state.add_label(tid(7), Label.NEGATIVE)
+        figure1_state.add_label(tid(8), Label.NEGATIVE)
+        with pytest.raises(StrategyError):
+            LexicographicStrategy().choose(figure1_state)
+
+
+class TestMostSpecificAndGeneral:
+    def test_most_specific_maximises_overlap_with_m(self, figure1_state):
+        choice = LocalMostSpecificStrategy().choose(figure1_state)
+        overlap = popcount(
+            figure1_state.type_index.mask(choice) & figure1_state.space.positive_mask
+        )
+        best = max(
+            popcount(figure1_state.type_index.mask(t) & figure1_state.space.positive_mask)
+            for t in figure1_state.informative_ids()
+        )
+        assert overlap == best
+
+    def test_most_general_minimises_overlap_with_m(self, figure1_state):
+        choice = LocalMostGeneralStrategy().choose(figure1_state)
+        overlap = popcount(
+            figure1_state.type_index.mask(choice) & figure1_state.space.positive_mask
+        )
+        smallest = min(
+            popcount(figure1_state.type_index.mask(t) & figure1_state.space.positive_mask)
+            for t in figure1_state.informative_ids()
+        )
+        assert overlap == smallest
+
+    def test_deterministic_tie_break(self, figure1_state):
+        first = LocalMostSpecificStrategy().choose(figure1_state)
+        second = LocalMostSpecificStrategy().choose(figure1_state)
+        assert first == second
+
+    def test_choices_are_informative(self, figure1_state):
+        figure1_state.add_label(tid(3), Label.POSITIVE)
+        informative = set(figure1_state.informative_ids())
+        for strategy in (
+            LocalMostSpecificStrategy(),
+            LocalMostGeneralStrategy(),
+            LargestTypeStrategy(),
+            LexicographicStrategy(),
+        ):
+            assert strategy.choose(figure1_state) in informative
+
+
+class TestLargestType:
+    def test_prefers_most_frequent_restricted_type(self, figure1_state):
+        choice = LargestTypeStrategy().choose(figure1_state)
+        type_index = figure1_state.type_index
+        positive_mask = figure1_state.space.positive_mask
+        frequency: dict[int, int] = {}
+        for tuple_id in figure1_state.informative_ids():
+            key = type_index.mask(tuple_id) & positive_mask
+            frequency[key] = frequency.get(key, 0) + 1
+        chosen_key = type_index.mask(choice) & positive_mask
+        assert frequency[chosen_key] == max(frequency.values())
+
+
+class TestLocalStrategiesEndToEnd:
+    @pytest.mark.parametrize(
+        "strategy_cls",
+        [LexicographicStrategy, LocalMostSpecificStrategy, LocalMostGeneralStrategy, LargestTypeStrategy],
+    )
+    def test_each_local_strategy_converges_to_goal(self, figure1_table, query_q2, strategy_cls):
+        engine = JoinInferenceEngine(figure1_table, strategy=strategy_cls())
+        result = engine.run(GoalQueryOracle(query_q2))
+        assert result.converged
+        assert result.matches_goal(query_q2)

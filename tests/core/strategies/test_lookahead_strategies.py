@@ -1,0 +1,123 @@
+"""Tests for the lookahead strategy family."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import GoalQueryOracle, JoinInferenceEngine, Label
+from repro.core.strategies import (
+    EntropyStrategy,
+    ExpectedPruneStrategy,
+    KStepLookaheadStrategy,
+    MinMaxPruneStrategy,
+    binary_entropy,
+)
+from repro.datasets import flights_hotels
+from repro.exceptions import StrategyError
+
+tid = flights_hotels.paper_tuple_id
+
+
+class TestBinaryEntropy:
+    def test_extremes_are_zero(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_maximum_at_half(self):
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        assert binary_entropy(0.2) == pytest.approx(binary_entropy(0.8))
+
+    def test_monotone_towards_half(self):
+        assert binary_entropy(0.1) < binary_entropy(0.3) < binary_entropy(0.5)
+
+
+class TestScores:
+    def test_expected_prune_score(self):
+        assert ExpectedPruneStrategy().score(4, 2) == 3.0
+
+    def test_minmax_score(self):
+        assert MinMaxPruneStrategy().score(4, 2) == 2.0
+
+    def test_entropy_score_prefers_balanced_splits(self):
+        strategy = EntropyStrategy()
+        assert strategy.score(3, 3) > strategy.score(5, 1)
+
+    def test_entropy_score_prefers_larger_balanced_splits(self):
+        strategy = EntropyStrategy()
+        assert strategy.score(4, 4) > strategy.score(2, 2)
+
+    def test_entropy_score_zero_total(self):
+        assert EntropyStrategy().score(0, 0) == 0.0
+
+    def test_entropy_tie_break_uses_expected_prune(self):
+        strategy = EntropyStrategy()
+        # Both are completely unbalanced (entropy 0); the bigger one must win.
+        assert strategy.score(6, 0) > strategy.score(2, 0)
+
+
+class TestChoices:
+    def test_chosen_tuple_maximises_the_score(self, figure1_state):
+        for strategy in (ExpectedPruneStrategy(), MinMaxPruneStrategy(), EntropyStrategy()):
+            choice = strategy.choose(figure1_state)
+            chosen_score = strategy.score(*figure1_state.prune_counts(choice))
+            best_score = max(
+                strategy.score(*figure1_state.prune_counts(t))
+                for t in figure1_state.informative_ids()
+            )
+            assert chosen_score == pytest.approx(best_score)
+
+    def test_minmax_picks_a_distinguishing_tuple_after_3(self, figure1_state, query_q1, query_q2):
+        # After (3)+, a minmax choice must make progress whatever the answer:
+        # both prune counts of the chosen tuple are at least 1.
+        figure1_state.add_label(tid(3), Label.POSITIVE)
+        choice = MinMaxPruneStrategy().choose(figure1_state)
+        plus, minus = figure1_state.prune_counts(choice)
+        assert min(plus, minus) >= 1
+
+    def test_raises_when_converged(self, figure1_state):
+        figure1_state.add_label(tid(3), Label.POSITIVE)
+        figure1_state.add_label(tid(7), Label.NEGATIVE)
+        figure1_state.add_label(tid(8), Label.NEGATIVE)
+        with pytest.raises(StrategyError):
+            EntropyStrategy().choose(figure1_state)
+
+
+class TestKStepLookahead:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(StrategyError):
+            KStepLookaheadStrategy(depth=0)
+        with pytest.raises(StrategyError):
+            KStepLookaheadStrategy(depth=1, beam_width=0)
+
+    def test_depth_one_behaves_like_a_greedy_worst_case(self, figure1_state):
+        choice = KStepLookaheadStrategy(depth=1, beam_width=50).choose(figure1_state)
+        assert choice in figure1_state.informative_ids()
+
+    def test_converges_with_depth_two(self, figure1_table, query_q2):
+        engine = JoinInferenceEngine(
+            figure1_table, strategy=KStepLookaheadStrategy(depth=2, beam_width=4)
+        )
+        result = engine.run(GoalQueryOracle(query_q2))
+        assert result.converged
+        assert result.matches_goal(query_q2)
+        assert result.num_interactions <= 5
+
+
+class TestLookaheadEffectiveness:
+    def test_lookahead_never_needs_more_than_label_all(self, figure1_table, query_q2):
+        engine = JoinInferenceEngine(figure1_table, strategy=EntropyStrategy())
+        result = engine.run(GoalQueryOracle(query_q2))
+        assert result.num_interactions < len(figure1_table)
+
+    def test_worst_case_logarithmic_on_figure1(self, figure1_table, query_q1, query_q2):
+        # The Figure 1 query space is tiny; a balanced strategy should stay
+        # well below the number of candidate tuples for both goal queries.
+        for goal in (query_q1, query_q2):
+            result = JoinInferenceEngine(figure1_table, strategy=MinMaxPruneStrategy()).run(
+                GoalQueryOracle(goal)
+            )
+            assert result.num_interactions <= math.ceil(math.log2(len(figure1_table))) + 2

@@ -1,0 +1,103 @@
+"""Tests for the random strategy and the strategy registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GoalQueryOracle, JoinInferenceEngine, Label
+from repro.core.strategies import (
+    LOCAL_STRATEGIES,
+    LOOKAHEAD_STRATEGIES,
+    RandomStrategy,
+    Strategy,
+    available_strategies,
+    create_strategy,
+    register_strategy,
+)
+from repro.core.strategies.registry import _REGISTRY
+from repro.datasets import flights_hotels
+from repro.exceptions import StrategyError
+
+tid = flights_hotels.paper_tuple_id
+
+
+class TestRandomStrategy:
+    def test_chooses_only_informative_tuples(self, figure1_state):
+        figure1_state.add_label(tid(12), Label.NEGATIVE)
+        informative = set(figure1_state.informative_ids())
+        strategy = RandomStrategy(seed=5)
+        for _ in range(20):
+            assert strategy.choose(figure1_state) in informative
+
+    def test_seed_makes_choices_reproducible(self, figure1_state):
+        first = RandomStrategy(seed=7)
+        second = RandomStrategy(seed=7)
+        assert [first.choose(figure1_state) for _ in range(5)] == [
+            second.choose(figure1_state) for _ in range(5)
+        ]
+
+    def test_reset_restores_the_sequence(self, figure1_state):
+        strategy = RandomStrategy(seed=3)
+        sequence = [strategy.choose(figure1_state) for _ in range(5)]
+        strategy.reset()
+        assert [strategy.choose(figure1_state) for _ in range(5)] == sequence
+
+    def test_raises_when_converged(self, figure1_state):
+        figure1_state.add_label(tid(3), Label.POSITIVE)
+        figure1_state.add_label(tid(7), Label.NEGATIVE)
+        figure1_state.add_label(tid(8), Label.NEGATIVE)
+        with pytest.raises(StrategyError):
+            RandomStrategy(seed=0).choose(figure1_state)
+
+    def test_converges_on_figure1(self, figure1_table, query_q2):
+        result = JoinInferenceEngine(figure1_table, strategy=RandomStrategy(seed=1)).run(
+            GoalQueryOracle(query_q2)
+        )
+        assert result.converged
+        assert result.matches_goal(query_q2)
+
+
+class TestRegistry:
+    def test_all_registered_names_instantiable(self):
+        for name in available_strategies():
+            strategy = create_strategy(name, seed=0)
+            assert isinstance(strategy, Strategy)
+            assert strategy.name == name
+
+    def test_families_are_registered(self):
+        names = set(available_strategies())
+        assert set(LOCAL_STRATEGIES) <= names
+        assert set(LOOKAHEAD_STRATEGIES) <= names
+        assert "random" in names
+        assert "optimal" in names
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(StrategyError, match="known strategies"):
+            create_strategy("does-not-exist")
+
+    def test_seed_is_forwarded_to_random(self, figure1_state):
+        first = create_strategy("random", seed=9)
+        second = create_strategy("random", seed=9)
+        assert first.choose(figure1_state) == second.choose(figure1_state)
+
+    def test_kwargs_forwarded_to_factory(self):
+        strategy = create_strategy("lookahead-kstep", depth=3, beam_width=2)
+        assert strategy.depth == 3
+        assert strategy.beam_width == 2
+
+    def test_register_custom_strategy(self, figure1_state):
+        class FirstInformative(Strategy):
+            name = "first-informative"
+
+            def choose(self, state):
+                return self._informative_or_raise(state)[0]
+
+        try:
+            register_strategy("first-informative", FirstInformative)
+            strategy = create_strategy("first-informative")
+            assert strategy.choose(figure1_state) == 0
+            with pytest.raises(StrategyError):
+                register_strategy("first-informative", FirstInformative)
+            register_strategy("first-informative", FirstInformative, overwrite=True)
+        finally:
+            _REGISTRY.pop("first-informative", None)

@@ -1,0 +1,148 @@
+"""Tests for equality atoms, atom scopes and atom universes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AtomScope, AtomUniverse, CandidateTable, EqualityAtom
+from repro.core.atoms import is_subset, popcount
+from repro.exceptions import AtomUniverseError
+from repro.relational.types import DataType
+
+
+class TestEqualityAtom:
+    def test_normalised_orientation(self):
+        assert EqualityAtom.of("b", "a") == EqualityAtom.of("a", "b")
+
+    def test_normalisation_keeps_both_attributes(self):
+        atom = EqualityAtom.of("z", "a")
+        assert atom.left == "a"
+        assert atom.right == "z"
+
+    def test_self_equality_rejected(self):
+        with pytest.raises(AtomUniverseError):
+            EqualityAtom.of("a", "a")
+
+    def test_holds_on_row(self):
+        atom = EqualityAtom.of("a", "b")
+        positions = {"a": 0, "b": 1}
+        assert atom.holds_on((1, 1), positions)
+        assert not atom.holds_on((1, 2), positions)
+
+    def test_null_never_equal(self):
+        atom = EqualityAtom.of("a", "b")
+        positions = {"a": 0, "b": 1}
+        assert not atom.holds_on((None, None), positions)
+
+    def test_ordering_and_str(self):
+        assert EqualityAtom.of("a", "b") < EqualityAtom.of("a", "c")
+        assert str(EqualityAtom.of("a", "b")) == "a ≍ b"
+
+    def test_hashable_and_deduplicated(self):
+        assert len({EqualityAtom.of("a", "b"), EqualityAtom.of("b", "a")}) == 1
+
+
+class TestAtomUniverseConstruction:
+    def test_cross_relation_scope_skips_intra_relation_pairs(self, figure1_table):
+        universe = AtomUniverse.from_table(figure1_table, scope=AtomScope.CROSS_RELATION)
+        assert universe.size == 6
+        assert EqualityAtom.of("From", "To") not in universe
+
+    def test_all_pairs_scope_includes_everything_compatible(self, figure1_table):
+        universe = AtomUniverse.from_table(figure1_table, scope=AtomScope.ALL_PAIRS)
+        assert universe.size == 10  # C(5, 2) pairs, all TEXT-compatible
+
+    def test_cross_relation_falls_back_without_provenance(self):
+        table = CandidateTable.from_rows(["a", "b", "c"], [(1, 1, 2)])
+        universe = AtomUniverse.from_table(table, scope=AtomScope.CROSS_RELATION)
+        assert universe.size == 3
+
+    def test_type_compatibility_filter(self):
+        table = CandidateTable.from_rows(["n", "s"], [(1, "x")])
+        with pytest.raises(AtomUniverseError):
+            AtomUniverse.from_table(table)  # no compatible pair at all
+        universe = AtomUniverse.from_table(table, require_type_compatible=False)
+        assert universe.size == 1
+
+    def test_include_and_exclude_attributes(self, figure1_table):
+        only_to_city = AtomUniverse.from_table(
+            figure1_table, include_attributes=["To", "City"]
+        )
+        assert only_to_city.size == 1
+        without_discount = AtomUniverse.from_table(
+            figure1_table, exclude_attributes=["Discount"]
+        )
+        assert all("Discount" not in atom.attributes for atom in without_discount)
+
+    def test_unknown_attribute_in_custom_atoms_rejected(self, figure1_table):
+        with pytest.raises(AtomUniverseError):
+            AtomUniverse(figure1_table, [EqualityAtom.of("To", "Nowhere")])
+
+    def test_duplicate_atoms_rejected(self, figure1_table):
+        with pytest.raises(AtomUniverseError):
+            AtomUniverse(
+                figure1_table,
+                [EqualityAtom.of("To", "City"), EqualityAtom.of("City", "To")],
+            )
+
+    def test_empty_universe_rejected(self, figure1_table):
+        with pytest.raises(AtomUniverseError):
+            AtomUniverse(figure1_table, [])
+
+
+class TestBitmaskEncoding:
+    @pytest.fixture
+    def universe(self, figure1_table) -> AtomUniverse:
+        return AtomUniverse.from_table(figure1_table)
+
+    def test_full_mask_has_all_bits(self, universe):
+        assert popcount(universe.full_mask) == universe.size
+
+    def test_mask_roundtrip(self, universe):
+        atoms = (EqualityAtom.of("To", "City"), EqualityAtom.of("Airline", "Discount"))
+        mask = universe.mask_of(atoms)
+        assert set(universe.atoms_of(mask)) == set(atoms)
+
+    def test_mask_of_unknown_atom_rejected(self, universe):
+        with pytest.raises(AtomUniverseError):
+            universe.mask_of([EqualityAtom.of("From", "To")])
+
+    def test_atoms_of_out_of_range_mask_rejected(self, universe):
+        with pytest.raises(AtomUniverseError):
+            universe.atoms_of(universe.full_mask + 1)
+
+    def test_equality_mask_of_figure1_tuple_3(self, universe, figure1_table):
+        mask = universe.equality_mask(figure1_table.row(2))
+        assert set(universe.atoms_of(mask)) == {
+            EqualityAtom.of("To", "City"),
+            EqualityAtom.of("Airline", "Discount"),
+        }
+
+    def test_equality_mask_ignores_nulls(self, universe, figure1_table):
+        # Tuple (2): Paris Lille AF | Paris None — From ≍ City holds, nothing with Discount.
+        mask = universe.equality_mask(figure1_table.row(1))
+        assert set(universe.atoms_of(mask)) == {EqualityAtom.of("From", "City")}
+
+    def test_describe_mask(self, universe):
+        mask = universe.mask_of([EqualityAtom.of("To", "City")])
+        assert universe.describe_mask(mask) == "City ≍ To"
+        assert "⊤" in universe.describe_mask(0)
+
+    def test_index_of_and_contains(self, universe):
+        atom = EqualityAtom.of("To", "City")
+        assert universe.atoms[universe.index_of(atom)] == atom
+        assert EqualityAtom.of("From", "To") not in universe
+
+    def test_iteration_and_len(self, universe):
+        assert len(list(universe)) == len(universe) == 6
+
+
+class TestBitHelpers:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_is_subset(self):
+        assert is_subset(0b001, 0b011)
+        assert not is_subset(0b100, 0b011)
+        assert is_subset(0, 0)

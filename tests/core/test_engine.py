@@ -1,0 +1,130 @@
+"""Tests for the interactive inference engine (the Figure 2 loop)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CandidateTable,
+    GoalQueryOracle,
+    InferenceState,
+    JoinInferenceEngine,
+    JoinQuery,
+    Label,
+    infer_join,
+)
+from repro.core.strategies import LexicographicStrategy, RandomStrategy
+from repro.datasets import flights_hotels
+from repro.exceptions import ConvergenceError
+
+tid = flights_hotels.paper_tuple_id
+
+
+class TestEngineRuns:
+    def test_converges_and_matches_goal(self, figure1_table, query_q2):
+        result = JoinInferenceEngine(figure1_table, strategy="lookahead-entropy").run(
+            GoalQueryOracle(query_q2)
+        )
+        assert result.converged
+        assert result.matches_goal(query_q2)
+        assert result.strategy_name == "lookahead-entropy"
+
+    def test_oracle_only_asked_about_informative_tuples(self, figure1_table, query_q2):
+        engine = JoinInferenceEngine(figure1_table, strategy="lookahead-minmax")
+        oracle = GoalQueryOracle(query_q2)
+        result = engine.run(oracle)
+        assert oracle.questions_answered == result.num_interactions
+
+    def test_interactions_never_exceed_table_size(self, figure1_table, query_q1):
+        for strategy in ("random", "local-most-specific", "lookahead-entropy"):
+            result = JoinInferenceEngine(figure1_table, strategy=strategy).run(
+                GoalQueryOracle(query_q1)
+            )
+            assert 1 <= result.num_interactions <= len(figure1_table)
+
+    def test_selected_tuples_match_goal_selection(self, figure1_table, query_q2):
+        result = infer_join(figure1_table, GoalQueryOracle(query_q2))
+        assert result.selected_tuples() == query_q2.evaluate(figure1_table)
+
+    def test_empty_goal_query_inferrable(self, figure1_table):
+        empty_goal = JoinQuery.empty()
+        result = infer_join(figure1_table, GoalQueryOracle(empty_goal))
+        assert result.converged
+        assert result.matches_goal(empty_goal)
+
+    def test_trace_records_every_interaction(self, figure1_table, query_q2):
+        result = infer_join(figure1_table, GoalQueryOracle(query_q2))
+        trace = result.trace
+        assert trace.num_interactions == len(trace.interactions) == len(trace.propagations)
+        assert [i.step for i in trace.interactions] == list(range(1, trace.num_interactions + 1))
+        assert trace.total_seconds >= 0.0
+        assert set(trace.labels()) <= set(figure1_table.tuple_ids)
+
+    def test_interaction_as_dict(self, figure1_table, query_q2):
+        result = infer_join(figure1_table, GoalQueryOracle(query_q2))
+        record = result.trace.interactions[0].as_dict()
+        assert {"step", "tuple_id", "label", "pruned", "informative_remaining"} <= set(record)
+
+    def test_summary_mentions_strategy_and_query(self, figure1_table, query_q2):
+        result = infer_join(figure1_table, GoalQueryOracle(query_q2), strategy="random")
+        summary = result.summary()
+        assert "random" in summary
+        assert "interaction" in summary
+
+
+class TestInterruption:
+    def test_max_interactions_stops_early(self, figure1_table, query_q2):
+        engine = JoinInferenceEngine(figure1_table, strategy=LexicographicStrategy())
+        result = engine.run(GoalQueryOracle(query_q2), max_interactions=1)
+        assert not result.converged
+        assert result.num_interactions == 1
+
+    def test_require_convergence_raises(self, figure1_table, query_q2):
+        engine = JoinInferenceEngine(figure1_table, strategy=LexicographicStrategy())
+        with pytest.raises(ConvergenceError):
+            engine.run(GoalQueryOracle(query_q2), max_interactions=1, require_convergence=True)
+
+    def test_initial_state_is_continued(self, figure1_table, query_q2):
+        engine = JoinInferenceEngine(figure1_table, strategy="lookahead-entropy")
+        state = InferenceState(figure1_table)
+        state.add_label(tid(3), Label.POSITIVE)
+        result = engine.run(GoalQueryOracle(query_q2), initial_state=state)
+        assert result.converged
+        assert result.matches_goal(query_q2)
+        # The pre-labeled example is not re-asked.
+        assert tid(3) not in result.trace.labels()
+
+
+class TestEngineConfiguration:
+    def test_default_strategy_is_entropy_lookahead(self, figure1_table):
+        assert JoinInferenceEngine(figure1_table).strategy.name == "lookahead-entropy"
+
+    def test_strategy_instance_used_verbatim(self, figure1_table):
+        strategy = RandomStrategy(seed=3)
+        engine = JoinInferenceEngine(figure1_table, strategy=strategy)
+        assert engine.strategy is strategy
+
+    def test_single_row_full_type_converges_without_questions(self):
+        # The sole tuple satisfies the only atom, so every query agrees on it.
+        table = CandidateTable.from_rows(["x", "y"], [(1, 1)])
+        result = infer_join(table, GoalQueryOracle(JoinQuery.of(("x", "y"))))
+        assert result.converged
+        assert result.num_interactions == 0
+        assert result.matches_goal(JoinQuery.of(("x", "y")))
+
+    def test_single_row_table_needs_one_question(self):
+        table = CandidateTable.from_rows(["x", "y"], [(1, 2)])
+        result = infer_join(table, GoalQueryOracle(JoinQuery.of(("x", "y"))))
+        assert result.converged
+        assert result.num_interactions == 1
+
+    def test_deterministic_given_seeded_random_strategy(self, figure1_table, query_q2):
+        first = JoinInferenceEngine(figure1_table, strategy=RandomStrategy(seed=11)).run(
+            GoalQueryOracle(query_q2)
+        )
+        second = JoinInferenceEngine(figure1_table, strategy=RandomStrategy(seed=11)).run(
+            GoalQueryOracle(query_q2)
+        )
+        assert [i.tuple_id for i in first.trace.interactions] == [
+            i.tuple_id for i in second.trace.interactions
+        ]

@@ -1,0 +1,62 @@
+"""Tests for the per-tuple equality-type index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AtomUniverse, EqualityAtom, EqualityTypeIndex
+
+
+@pytest.fixture
+def index(figure1_universe) -> EqualityTypeIndex:
+    return EqualityTypeIndex(figure1_universe)
+
+
+class TestMasks:
+    def test_one_mask_per_tuple(self, index, figure1_table):
+        assert len(index) == len(figure1_table)
+        assert len(index.masks) == 12
+
+    def test_selected_by_matches_query_evaluation(self, index, figure1_universe, query_q1):
+        mask = query_q1.mask(figure1_universe)
+        assert index.selected_by(mask) == query_q1.evaluate(figure1_universe.table)
+
+    def test_selected_by_matches_query_evaluation_q2(self, index, figure1_universe, query_q2):
+        mask = query_q2.mask(figure1_universe)
+        assert index.selected_by(mask) == query_q2.evaluate(figure1_universe.table)
+
+    def test_count_selected_by(self, index, figure1_universe, query_q1):
+        mask = query_q1.mask(figure1_universe)
+        assert index.count_selected_by(mask) == len(query_q1.evaluate(figure1_universe.table))
+
+    def test_empty_query_selects_everything(self, index):
+        assert index.count_selected_by(0) == 12
+
+    def test_atom_count(self, index, figure1_universe):
+        tuple3 = 2
+        assert index.atom_count(tuple3) == 2
+
+
+class TestGrouping:
+    def test_groups_partition_the_tuples(self, index):
+        grouped = [tid for mask in index.distinct_masks for tid in index.tuples_with_mask(mask)]
+        assert sorted(grouped) == list(range(12))
+
+    def test_tuples_sharing_a_type_are_indistinguishable(self, index, figure1_universe):
+        # Tuples (3) and (4) of the paper share the type {To≍City, Airline≍Discount}.
+        mask = figure1_universe.mask_of(
+            [EqualityAtom.of("To", "City"), EqualityAtom.of("Airline", "Discount")]
+        )
+        assert set(index.tuples_with_mask(mask)) == {2, 3}
+
+    def test_type_sizes_sum_to_table_size(self, index):
+        assert sum(index.type_sizes().values()) == 12
+
+    def test_unknown_mask_has_no_tuples(self, index, figure1_universe):
+        assert index.tuples_with_mask(figure1_universe.full_mask) == ()
+
+    def test_distinct_types_fewer_than_tuples(self, index):
+        assert 1 <= len(index.distinct_masks) <= 12
+
+    def test_iteration_yields_masks(self, index):
+        assert list(index) == list(index.masks)

@@ -1,0 +1,96 @@
+"""Tests for labels and example sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Example, ExampleSet, Label
+from repro.exceptions import InconsistentLabelError
+
+
+class TestLabel:
+    def test_polarity_properties(self):
+        assert Label.POSITIVE.is_positive and not Label.POSITIVE.is_negative
+        assert Label.NEGATIVE.is_negative and not Label.NEGATIVE.is_positive
+
+    def test_opposite(self):
+        assert Label.POSITIVE.opposite() is Label.NEGATIVE
+        assert Label.NEGATIVE.opposite() is Label.POSITIVE
+
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            ("+", Label.POSITIVE),
+            ("-", Label.NEGATIVE),
+            ("yes", Label.POSITIVE),
+            ("No", Label.NEGATIVE),
+            ("POSITIVE", Label.POSITIVE),
+            (True, Label.POSITIVE),
+            (False, Label.NEGATIVE),
+            (Label.NEGATIVE, Label.NEGATIVE),
+        ],
+    )
+    def test_from_value_spellings(self, value, expected):
+        assert Label.from_value(value) is expected
+
+    def test_from_value_rejects_garbage(self):
+        with pytest.raises(InconsistentLabelError):
+            Label.from_value("maybe")
+
+    def test_str(self):
+        assert str(Label.POSITIVE) == "+"
+
+
+class TestExample:
+    def test_is_positive(self):
+        assert Example(3, Label.POSITIVE).is_positive
+        assert not Example(3, Label.NEGATIVE).is_positive
+
+
+class TestExampleSet:
+    def test_add_and_lookup(self):
+        examples = ExampleSet()
+        examples.add(1, Label.POSITIVE)
+        examples.add(2, Label.NEGATIVE)
+        assert examples.label_of(1) is Label.POSITIVE
+        assert examples.label_of(3) is None
+        assert examples.positives == frozenset({1})
+        assert examples.negatives == frozenset({2})
+        assert examples.labeled_ids == frozenset({1, 2})
+
+    def test_relabel_same_is_noop(self):
+        examples = ExampleSet()
+        examples.add(1, Label.POSITIVE)
+        examples.add(1, Label.POSITIVE)
+        assert len(examples) == 1
+
+    def test_conflicting_relabel_raises(self):
+        examples = ExampleSet()
+        examples.add(1, Label.POSITIVE)
+        with pytest.raises(InconsistentLabelError):
+            examples.add(1, Label.NEGATIVE)
+
+    def test_copy_is_independent(self):
+        examples = ExampleSet({1: Label.POSITIVE})
+        clone = examples.copy()
+        clone.add(2, Label.NEGATIVE)
+        assert 2 not in examples
+        assert 2 in clone
+
+    def test_examples_preserve_insertion_order(self):
+        examples = ExampleSet()
+        examples.add(5, Label.POSITIVE)
+        examples.add(1, Label.NEGATIVE)
+        assert [example.tuple_id for example in examples.examples()] == [5, 1]
+
+    def test_equality_and_as_dict(self):
+        left = ExampleSet({1: Label.POSITIVE})
+        right = ExampleSet()
+        right.add(1, Label.POSITIVE)
+        assert left == right
+        assert left.as_dict() == {1: Label.POSITIVE}
+
+    def test_contains_iter_len(self):
+        examples = ExampleSet({1: Label.POSITIVE, 2: Label.NEGATIVE})
+        assert 1 in examples and 9 not in examples
+        assert len(list(examples)) == len(examples) == 2

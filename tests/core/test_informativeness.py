@@ -1,0 +1,98 @@
+"""Tests for tuple classification (informative / certain / labeled)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConsistentQuerySpace, EqualityTypeIndex, ExampleSet, Label, TupleStatus
+from repro.core import (
+    classify_all,
+    classify_tuple,
+    has_informative_tuple,
+    informative_ids,
+    uninformative_ids,
+)
+from repro.datasets import flights_hotels
+
+tid = flights_hotels.paper_tuple_id
+
+
+@pytest.fixture
+def type_index(figure1_universe) -> EqualityTypeIndex:
+    return EqualityTypeIndex(figure1_universe)
+
+
+def make(type_index, labels):
+    examples = ExampleSet(labels)
+    return ConsistentQuerySpace(type_index, examples), examples
+
+
+class TestTupleStatus:
+    def test_labeled_flags(self):
+        assert TupleStatus.LABELED_POSITIVE.is_labeled
+        assert not TupleStatus.CERTAIN_POSITIVE.is_labeled
+
+    def test_certain_flags(self):
+        assert TupleStatus.CERTAIN_NEGATIVE.is_certain
+        assert not TupleStatus.LABELED_NEGATIVE.is_certain
+
+    def test_uninformative_covers_labeled_and_certain(self):
+        assert TupleStatus.LABELED_POSITIVE.is_uninformative
+        assert TupleStatus.CERTAIN_NEGATIVE.is_uninformative
+        assert not TupleStatus.INFORMATIVE.is_uninformative
+
+    def test_implied_label(self):
+        assert TupleStatus.CERTAIN_POSITIVE.implied_label is Label.POSITIVE
+        assert TupleStatus.LABELED_NEGATIVE.implied_label is Label.NEGATIVE
+        assert TupleStatus.INFORMATIVE.implied_label is None
+
+
+class TestClassification:
+    def test_everything_informative_before_any_label(self, type_index):
+        space, examples = make(type_index, {})
+        statuses = classify_all(space, examples)
+        assert all(status is TupleStatus.INFORMATIVE for status in statuses.values())
+
+    def test_labeled_tuple_reported_as_labeled(self, type_index):
+        space, examples = make(type_index, {tid(3): Label.POSITIVE})
+        assert classify_tuple(space, examples, tid(3)) is TupleStatus.LABELED_POSITIVE
+
+    def test_certain_positive_after_positive_example(self, type_index):
+        space, examples = make(type_index, {tid(3): Label.POSITIVE})
+        assert classify_tuple(space, examples, tid(4)) is TupleStatus.CERTAIN_POSITIVE
+
+    def test_certain_negative_after_negative_example(self, type_index):
+        space, examples = make(type_index, {tid(12): Label.NEGATIVE})
+        assert classify_tuple(space, examples, tid(1)) is TupleStatus.CERTAIN_NEGATIVE
+
+    def test_classify_all_matches_classify_tuple(self, type_index):
+        space, examples = make(type_index, {tid(3): Label.POSITIVE, tid(8): Label.NEGATIVE})
+        statuses = classify_all(space, examples)
+        for tuple_id, status in statuses.items():
+            assert classify_tuple(space, examples, tuple_id) is status
+
+    def test_classify_all_restricted_ids(self, type_index):
+        space, examples = make(type_index, {})
+        statuses = classify_all(space, examples, tuple_ids=[0, 1])
+        assert set(statuses) == {0, 1}
+
+
+class TestHelpers:
+    def test_informative_and_uninformative_partition_unlabeled(self, type_index):
+        space, examples = make(type_index, {tid(3): Label.POSITIVE})
+        informative = set(informative_ids(space, examples))
+        certain = set(uninformative_ids(space, examples))
+        labeled = examples.labeled_ids
+        assert informative.isdisjoint(certain)
+        assert informative | certain | labeled == set(range(12))
+
+    def test_has_informative_tuple_true_mid_inference(self, type_index):
+        space, examples = make(type_index, {tid(3): Label.POSITIVE})
+        assert has_informative_tuple(space, examples)
+
+    def test_has_informative_tuple_false_after_convergence(self, type_index):
+        space, examples = make(
+            type_index,
+            {tid(3): Label.POSITIVE, tid(7): Label.NEGATIVE, tid(8): Label.NEGATIVE},
+        )
+        assert not has_informative_tuple(space, examples)

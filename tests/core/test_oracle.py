@@ -1,0 +1,88 @@
+"""Tests for oracles (simulated users)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GoalQueryOracle, Label, NoisyOracle
+from repro.core.oracle import CallbackOracle, ConsoleOracle, FixedLabelsOracle
+from repro.datasets import flights_hotels
+from repro.exceptions import OracleError
+
+tid = flights_hotels.paper_tuple_id
+
+
+class TestGoalQueryOracle:
+    def test_labels_follow_goal_query(self, figure1_table, query_q2):
+        oracle = GoalQueryOracle(query_q2)
+        assert oracle.label(figure1_table, tid(3)) is Label.POSITIVE
+        assert oracle.label(figure1_table, tid(8)) is Label.NEGATIVE
+
+    def test_question_counter(self, figure1_table, query_q1):
+        oracle = GoalQueryOracle(query_q1)
+        for tuple_id in range(5):
+            oracle.label(figure1_table, tuple_id)
+        assert oracle.questions_answered == 5
+        oracle.reset()
+        assert oracle.questions_answered == 0
+
+    def test_selection_cached_per_table(self, figure1_table, query_q1):
+        oracle = GoalQueryOracle(query_q1)
+        oracle.label(figure1_table, 0)
+        first_cache = oracle._selected(figure1_table)
+        oracle.label(figure1_table, 1)
+        assert oracle._selected(figure1_table) is first_cache
+
+
+class TestNoisyOracle:
+    def test_zero_error_rate_is_faithful(self, figure1_table, query_q2):
+        truthful = GoalQueryOracle(query_q2)
+        noisy = NoisyOracle(GoalQueryOracle(query_q2), error_rate=0.0, seed=1)
+        for tuple_id in figure1_table.tuple_ids:
+            assert noisy.label(figure1_table, tuple_id) == truthful.label(figure1_table, tuple_id)
+        assert noisy.flips == 0
+
+    def test_full_error_rate_always_flips(self, figure1_table, query_q2):
+        truthful = GoalQueryOracle(query_q2)
+        noisy = NoisyOracle(GoalQueryOracle(query_q2), error_rate=1.0, seed=1)
+        for tuple_id in figure1_table.tuple_ids:
+            assert noisy.label(figure1_table, tuple_id) != truthful.label(figure1_table, tuple_id)
+        assert noisy.flips == len(figure1_table)
+
+    def test_invalid_error_rate_rejected(self, query_q1):
+        with pytest.raises(OracleError):
+            NoisyOracle(GoalQueryOracle(query_q1), error_rate=1.5)
+
+    def test_reset_clears_flip_counter(self, figure1_table, query_q2):
+        noisy = NoisyOracle(GoalQueryOracle(query_q2), error_rate=1.0, seed=1)
+        noisy.label(figure1_table, 0)
+        noisy.reset()
+        assert noisy.flips == 0
+
+
+class TestFixedLabelsOracle:
+    def test_replays_predefined_answers(self, figure1_table):
+        oracle = FixedLabelsOracle({tid(3): "+", tid(8): "-"})
+        assert oracle.label(figure1_table, tid(3)) is Label.POSITIVE
+        assert oracle.label(figure1_table, tid(8)) is Label.NEGATIVE
+
+    def test_unexpected_question_raises(self, figure1_table):
+        oracle = FixedLabelsOracle({tid(3): "+"})
+        with pytest.raises(OracleError):
+            oracle.label(figure1_table, tid(5))
+
+
+class TestCallbackAndConsoleOracles:
+    def test_callback_oracle_parses_answers(self, figure1_table):
+        oracle = CallbackOracle(lambda table, tuple_id: tuple_id == tid(3))
+        assert oracle.label(figure1_table, tid(3)) is Label.POSITIVE
+        assert oracle.label(figure1_table, tid(5)) is Label.NEGATIVE
+
+    def test_console_oracle_reads_stdin(self, figure1_table, monkeypatch, capsys):
+        answers = iter(["definitely", "y"])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(answers))
+        oracle = ConsoleOracle()
+        assert oracle.label(figure1_table, tid(3)) is Label.POSITIVE
+        printed = capsys.readouterr().out
+        assert "Tuple #2" in printed  # tuple id rendered
+        assert "Please answer" in printed  # re-asked after the unparseable answer

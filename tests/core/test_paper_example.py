@@ -1,0 +1,194 @@
+"""Pin every claim of the paper's Section 2 worked example (Figure 1).
+
+These tests are the reproduction's ground truth: each assertion corresponds to
+a sentence of the paper's motivating example, so any change to the inference
+model that breaks the paper's semantics fails here first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    EqualityAtom,
+    GoalQueryOracle,
+    InferenceState,
+    JoinInferenceEngine,
+    Label,
+    TupleStatus,
+)
+from repro.datasets import flights_hotels
+from repro.core.strategies import available_strategies
+
+tid = flights_hotels.paper_tuple_id
+
+
+class TestFigure1Data:
+    def test_twelve_candidate_tuples(self, figure1_table):
+        assert len(figure1_table) == 12
+
+    def test_columns_in_paper_order(self, figure1_table):
+        assert figure1_table.attribute_names == ("From", "To", "Airline", "City", "Discount")
+
+    def test_tuple_3_is_paris_lille_af_lille_af(self, figure1_table):
+        assert figure1_table.row(tid(3)) == ("Paris", "Lille", "AF", "Lille", "AF")
+
+    def test_tuple_8_is_nyc_paris_aa_paris_none(self, figure1_table):
+        assert figure1_table.row(tid(8)) == ("NYC", "Paris", "AA", "Paris", None)
+
+    def test_cross_product_of_flights_and_hotels(self, figure1_table, travel_instance):
+        assert len(figure1_table) == travel_instance.cross_product_size()
+
+
+class TestGoalQueries:
+    def test_q1_selects_tuples_3_4_8_10(self, figure1_table, query_q1):
+        assert sorted(query_q1.evaluate(figure1_table)) == [tid(3), tid(4), tid(8), tid(10)]
+
+    def test_q2_selects_tuples_3_and_4(self, figure1_table, query_q2):
+        assert sorted(query_q2.evaluate(figure1_table)) == [tid(3), tid(4)]
+
+    def test_q2_contained_in_q1(self, query_q1, query_q2):
+        # "query Q2 is contained in Q1": every tuple selected by Q2 is selected by Q1.
+        assert query_q2.implies(query_q1)
+        assert not query_q1.implies(query_q2)
+
+    def test_q1_and_q2_both_select_tuple_3(self, figure1_table, query_q1, query_q2):
+        assert query_q1.selects(figure1_table, tid(3))
+        assert query_q2.selects(figure1_table, tid(3))
+
+    def test_tuple_8_distinguishes_q1_from_q2(self, figure1_table, query_q1, query_q2):
+        # "a tuple whose labeling can distinguish between Q1 and Q2 is the tuple (8)
+        #  because Q1 selects it and Q2 does not"
+        assert query_q1.selects(figure1_table, tid(8))
+        assert not query_q2.selects(figure1_table, tid(8))
+
+
+class TestLabelingTuple3:
+    """Claims made after the user labels tuple (3) positively."""
+
+    @pytest.fixture
+    def state(self, figure1_table):
+        state = InferenceState(figure1_table)
+        state.add_label(tid(3), Label.POSITIVE)
+        return state
+
+    def test_both_queries_remain_consistent(self, state, query_q1, query_q2):
+        assert state.space.admits(query_q1)
+        assert state.space.admits(query_q2)
+
+    def test_tuple_4_becomes_uninformative(self, state):
+        # "the labeling of the tuple (4) does not contribute any new information"
+        assert state.status(tid(4)) is TupleStatus.CERTAIN_POSITIVE
+
+    def test_labeling_tuple_4_would_keep_both_queries(self, state, query_q1, query_q2):
+        follow_up = state.simulate_label(tid(4), Label.POSITIVE)
+        assert follow_up.space.admits(query_q1)
+        assert follow_up.space.admits(query_q2)
+
+    def test_tuple_8_still_informative(self, state):
+        assert state.status(tid(8)) is TupleStatus.INFORMATIVE
+
+    def test_negative_label_on_8_returns_q2(self, state, query_q2, figure1_table):
+        # "If the user labels the tuple (8) with −, then the query Q2 is returned"
+        state.add_label(tid(8), Label.NEGATIVE)
+        # The canonical query may contain extra implied atoms; what matters is
+        # instance-equivalence with Q2 (and that Q1 is no longer consistent).
+        assert state.inferred_query().instance_equivalent(query_q2, figure1_table)
+
+    def test_positive_label_on_8_returns_q1(self, state, query_q1, figure1_table):
+        # "otherwise Q1 is returned"
+        state.add_label(tid(8), Label.POSITIVE)
+        assert state.inferred_query().instance_equivalent(query_q1, figure1_table)
+
+    def test_positive_examples_alone_cannot_distinguish(self, state, query_q1, query_q2):
+        # "the use of only positive examples is not sufficient": after any
+        # further positive label both Q1 and Q2 would still be consistent as
+        # long as Q2 selects the labeled tuple.
+        for tuple_id in state.informative_ids():
+            if query_q2.selects(state.table, tuple_id):
+                follow_up = state.simulate_label(tuple_id, Label.POSITIVE)
+                assert follow_up.space.admits(query_q1)
+                assert follow_up.space.admits(query_q2)
+
+
+class TestLabelingTuple12:
+    """The pruning example: the effect of labeling tuple (12) on the fresh instance."""
+
+    def test_positive_label_grays_out_3_4_7(self, figure1_table):
+        state = InferenceState(figure1_table)
+        propagation = state.add_label(tid(12), Label.POSITIVE)
+        assert set(propagation.newly_uninformative) == {tid(3), tid(4), tid(7)}
+
+    def test_negative_label_grays_out_1_5_9(self, figure1_table):
+        state = InferenceState(figure1_table)
+        propagation = state.add_label(tid(12), Label.NEGATIVE)
+        assert set(propagation.newly_uninformative) == {tid(1), tid(5), tid(9)}
+
+    def test_positive_branch_marks_them_certain_positive(self, figure1_table):
+        state = InferenceState(figure1_table)
+        state.add_label(tid(12), Label.POSITIVE)
+        for number in (3, 4, 7):
+            assert state.status(tid(number)) is TupleStatus.CERTAIN_POSITIVE
+
+    def test_negative_branch_marks_them_certain_negative(self, figure1_table):
+        state = InferenceState(figure1_table)
+        state.add_label(tid(12), Label.NEGATIVE)
+        for number in (1, 5, 9):
+            assert state.status(tid(number)) is TupleStatus.CERTAIN_NEGATIVE
+
+
+class TestConvergenceOnQ2:
+    def test_labels_3_7_8_identify_q2(self, figure1_table, query_q2):
+        # "assuming that (3) is a positive example, and (7) and (8) are negative
+        #  examples, there is only one consistent join predicate (i.e., Q2)"
+        state = InferenceState(figure1_table)
+        state.add_label(tid(3), Label.POSITIVE)
+        state.add_label(tid(7), Label.NEGATIVE)
+        state.add_label(tid(8), Label.NEGATIVE)
+        assert state.is_converged()
+        assert state.inferred_query().instance_equivalent(query_q2, figure1_table)
+
+    def test_all_remaining_consistent_queries_are_instance_equivalent(
+        self, figure1_table, query_q2
+    ):
+        state = InferenceState(figure1_table)
+        state.add_label(tid(3), Label.POSITIVE)
+        state.add_label(tid(7), Label.NEGATIVE)
+        state.add_label(tid(8), Label.NEGATIVE)
+        selected_by_q2 = query_q2.evaluate(figure1_table)
+        for query in state.space.consistent_queries():
+            assert query.evaluate(figure1_table) == selected_by_q2
+
+    @pytest.mark.parametrize("strategy", sorted(available_strategies()))
+    def test_every_strategy_infers_q2(self, figure1_table, query_q2, strategy):
+        engine = JoinInferenceEngine(figure1_table, strategy=strategy)
+        result = engine.run(GoalQueryOracle(query_q2))
+        assert result.converged
+        assert result.matches_goal(query_q2)
+        assert result.num_interactions <= len(figure1_table)
+
+    @pytest.mark.parametrize("strategy", sorted(available_strategies()))
+    def test_every_strategy_infers_q1(self, figure1_table, query_q1, strategy):
+        engine = JoinInferenceEngine(figure1_table, strategy=strategy)
+        result = engine.run(GoalQueryOracle(query_q1))
+        assert result.converged
+        assert result.matches_goal(query_q1)
+
+    def test_guided_inference_needs_few_interactions(self, figure1_table, query_q2):
+        engine = JoinInferenceEngine(figure1_table, strategy="lookahead-minmax")
+        result = engine.run(GoalQueryOracle(query_q2))
+        # The paper's point: a handful of membership queries instead of 12 labels.
+        assert result.num_interactions <= 5
+
+
+class TestAtomUniverseOfFigure1:
+    def test_six_cross_relation_atoms(self, figure1_universe):
+        assert figure1_universe.size == 6
+
+    def test_contains_the_atoms_of_q1_and_q2(self, figure1_universe):
+        assert EqualityAtom.of("To", "City") in figure1_universe
+        assert EqualityAtom.of("Airline", "Discount") in figure1_universe
+
+    def test_no_intra_relation_atoms(self, figure1_universe):
+        assert EqualityAtom.of("From", "To") not in figure1_universe
+        assert EqualityAtom.of("City", "Discount") not in figure1_universe

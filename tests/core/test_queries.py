@@ -1,0 +1,133 @@
+"""Tests for join queries: evaluation, containment, equivalence, closure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AtomUniverse, CandidateTable, EqualityAtom, JoinQuery
+
+
+class TestConstruction:
+    def test_of_accepts_pairs_and_atoms(self):
+        query = JoinQuery.of(("a", "b"), EqualityAtom.of("c", "d"))
+        assert len(query) == 2
+
+    def test_duplicate_atoms_collapse(self):
+        query = JoinQuery.of(("a", "b"), ("b", "a"))
+        assert len(query) == 1
+
+    def test_empty_query(self):
+        assert JoinQuery.empty().is_empty
+        assert len(JoinQuery.empty()) == 0
+
+    def test_from_mask_roundtrip(self, figure1_universe, query_q2):
+        mask = query_q2.mask(figure1_universe)
+        assert JoinQuery.from_mask(figure1_universe, mask) == query_q2
+
+    def test_attributes(self, query_q2):
+        assert query_q2.attributes() == {"To", "City", "Airline", "Discount"}
+
+    def test_equality_and_hash(self, query_q1):
+        assert JoinQuery.of(("To", "City")) == query_q1
+        assert hash(JoinQuery.of(("To", "City"))) == hash(query_q1)
+
+    def test_contains_and_iter(self, query_q2):
+        assert ("To", "City") in query_q2
+        assert EqualityAtom.of("From", "To") not in query_q2
+        assert len(list(query_q2)) == 2
+
+
+class TestEvaluation:
+    def test_empty_query_selects_every_tuple(self, figure1_table):
+        assert JoinQuery.empty().evaluate(figure1_table) == frozenset(range(12))
+
+    def test_selects_single_tuple(self, figure1_table, query_q2):
+        assert query_q2.selects(figure1_table, 2)
+        assert not query_q2.selects(figure1_table, 7)
+
+    def test_selectivity(self, figure1_table, query_q1, query_q2):
+        assert query_q1.selectivity(figure1_table) == pytest.approx(4 / 12)
+        assert query_q2.selectivity(figure1_table) == pytest.approx(2 / 12)
+
+    def test_selectivity_of_empty_table(self):
+        table = CandidateTable.from_rows(["a", "b"], [])
+        assert JoinQuery.of(("a", "b")).selectivity(table) == 0.0
+
+    def test_null_values_never_join(self):
+        table = CandidateTable.from_rows(["a", "b"], [(None, None), (1, 1)])
+        assert JoinQuery.of(("a", "b")).evaluate(table) == frozenset({1})
+
+    def test_more_atoms_select_fewer_tuples(self, figure1_table, query_q1, query_q2):
+        assert query_q2.evaluate(figure1_table) <= query_q1.evaluate(figure1_table)
+
+
+class TestLogicalStructure:
+    def test_equivalence_classes_merge_transitively(self):
+        query = JoinQuery.of(("a", "b"), ("b", "c"), ("x", "y"))
+        classes = {frozenset(c) for c in query.equivalence_classes()}
+        assert frozenset({"a", "b", "c"}) in classes
+        assert frozenset({"x", "y"}) in classes
+
+    def test_closure_adds_implied_atoms(self):
+        query = JoinQuery.of(("a", "b"), ("b", "c"))
+        assert EqualityAtom.of("a", "c") in query.closure().atoms
+
+    def test_closure_respects_universe(self, figure1_table):
+        universe = AtomUniverse.from_table(figure1_table)
+        query = JoinQuery.of(("From", "City"), ("To", "City"))
+        closure = query.closure(universe)
+        # From ≍ To is implied but not part of the cross-relation universe.
+        assert EqualityAtom.of("From", "To") not in closure.atoms
+
+    def test_implies_through_transitivity(self):
+        chain = JoinQuery.of(("a", "b"), ("b", "c"))
+        assert chain.implies(JoinQuery.of(("a", "c")))
+        assert not JoinQuery.of(("a", "c")).implies(chain)
+
+    def test_q2_implies_q1(self, query_q1, query_q2):
+        assert query_q2.implies(query_q1)
+
+    def test_is_equivalent_to(self):
+        left = JoinQuery.of(("a", "b"), ("b", "c"))
+        right = JoinQuery.of(("a", "c"), ("c", "b"))
+        assert left.is_equivalent_to(right)
+        assert not left.is_equivalent_to(JoinQuery.of(("a", "b")))
+
+    def test_normalized_is_canonical_for_equivalent_queries(self):
+        left = JoinQuery.of(("a", "b"), ("b", "c"))
+        right = JoinQuery.of(("a", "c"), ("c", "b"))
+        assert left.normalized() == right.normalized()
+
+    def test_normalized_preserves_semantics(self, figure1_table, query_q2):
+        assert query_q2.normalized().evaluate(figure1_table) == query_q2.evaluate(figure1_table)
+
+    def test_instance_equivalence_is_weaker_than_logical_equivalence(self):
+        # Two logically incomparable queries can select exactly the same tuples
+        # of a given instance — the notion JIM's convergence criterion uses.
+        table = CandidateTable.from_rows(["a", "b", "c"], [(1, 1, 1), (2, 3, 4)])
+        left = JoinQuery.of(("a", "b"))
+        right = JoinQuery.of(("b", "c"))
+        assert left.instance_equivalent(right, table)
+        assert not left.is_equivalent_to(right)
+
+
+class TestSetOperations:
+    def test_union_intersection_difference(self, query_q1, query_q2):
+        assert (query_q1 | query_q2) == query_q2
+        assert (query_q1 & query_q2) == query_q1
+        assert (query_q2 - query_q1) == JoinQuery.of(("Airline", "Discount"))
+
+    def test_syntactic_subset_operator(self, query_q1, query_q2):
+        assert query_q1 <= query_q2
+        assert not (query_q2 <= query_q1)
+
+
+class TestRendering:
+    def test_describe_sorts_atoms(self, query_q2):
+        assert query_q2.describe() == "Airline ≍ Discount ∧ City ≍ To"
+
+    def test_describe_empty(self):
+        assert "⊤" in JoinQuery.empty().describe()
+
+    def test_repr_mentions_atoms(self, query_q1):
+        assert "City ≍ To" in repr(query_q1)

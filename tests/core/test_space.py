@@ -1,0 +1,124 @@
+"""Tests for the consistent-query space."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConsistentQuerySpace, EqualityTypeIndex, ExampleSet, JoinQuery, Label
+from repro.datasets import flights_hotels
+
+tid = flights_hotels.paper_tuple_id
+
+
+@pytest.fixture
+def type_index(figure1_universe) -> EqualityTypeIndex:
+    return EqualityTypeIndex(figure1_universe)
+
+
+def space_with(type_index, labels: dict[int, Label]) -> ConsistentQuerySpace:
+    return ConsistentQuerySpace(type_index, ExampleSet(labels))
+
+
+class TestPositiveMask:
+    def test_no_examples_means_full_mask(self, type_index):
+        space = space_with(type_index, {})
+        assert space.positive_mask == type_index.universe.full_mask
+        assert space.negative_masks == ()
+
+    def test_positive_examples_intersect(self, type_index, query_q2, figure1_universe):
+        space = space_with(type_index, {tid(3): Label.POSITIVE, tid(4): Label.POSITIVE})
+        assert space.positive_mask == query_q2.mask(figure1_universe)
+
+    def test_canonical_query_decodes_m(self, type_index, query_q2):
+        space = space_with(type_index, {tid(3): Label.POSITIVE})
+        assert space.canonical_query() == query_q2
+
+
+class TestConsistency:
+    def test_empty_examples_are_consistent(self, type_index):
+        assert space_with(type_index, {}).is_consistent()
+
+    def test_consistent_with_compatible_labels(self, type_index):
+        space = space_with(type_index, {tid(3): Label.POSITIVE, tid(8): Label.NEGATIVE})
+        assert space.is_consistent()
+
+    def test_inconsistent_when_negative_covers_m(self, type_index):
+        # (3) and (4) have identical equality types: labeling one + and the
+        # other − leaves no consistent query.
+        space = space_with(type_index, {tid(3): Label.POSITIVE, tid(4): Label.NEGATIVE})
+        assert not space.is_consistent()
+
+    def test_admits_checks_both_sides(self, type_index, query_q1, query_q2):
+        space = space_with(type_index, {tid(3): Label.POSITIVE, tid(8): Label.NEGATIVE})
+        assert space.admits(query_q2)
+        assert not space.admits(query_q1)  # Q1 selects the negative example (8)
+
+    def test_admits_rejects_queries_outside_m(self, type_index):
+        space = space_with(type_index, {tid(3): Label.POSITIVE})
+        assert not space.admits(JoinQuery.of(("From", "City")))
+
+
+class TestExistenceChecks:
+    def test_exists_selecting_and_rejecting_on_fresh_space(self, type_index):
+        space = space_with(type_index, {})
+        for mask in type_index.distinct_masks:
+            # With no labels every tuple can still be selected by some query
+            # (the empty one) and rejected by another (the full one), unless
+            # its type is the full universe.
+            assert space.exists_selecting(mask)
+            assert space.exists_rejecting(mask) == (mask != type_index.universe.full_mask)
+
+    def test_certain_label_for_positive(self, type_index):
+        space = space_with(type_index, {tid(3): Label.POSITIVE})
+        assert space.certain_label_for(type_index.mask(tid(4))) is True
+
+    def test_certain_label_for_negative(self, type_index):
+        space = space_with(type_index, {tid(12): Label.NEGATIVE})
+        assert space.certain_label_for(type_index.mask(tid(1))) is False
+
+    def test_certain_label_for_informative(self, type_index):
+        space = space_with(type_index, {tid(3): Label.POSITIVE})
+        assert space.certain_label_for(type_index.mask(tid(8))) is None
+
+    def test_with_label_is_functional(self, type_index):
+        space = space_with(type_index, {})
+        updated = space.with_label(tid(3), positive=True)
+        assert updated.positive_mask != space.positive_mask
+        assert space.positive_mask == type_index.universe.full_mask
+
+
+class TestEnumeration:
+    def test_consistent_queries_after_convergence_all_equivalent(
+        self, type_index, query_q2, figure1_table
+    ):
+        space = space_with(
+            type_index,
+            {tid(3): Label.POSITIVE, tid(7): Label.NEGATIVE, tid(8): Label.NEGATIVE},
+        )
+        queries = space.consistent_queries()
+        assert queries  # at least the canonical query
+        target = query_q2.evaluate(figure1_table)
+        assert all(query.evaluate(figure1_table) == target for query in queries)
+
+    def test_count_consistent_queries_decreases_with_labels(self, type_index):
+        fresh = space_with(type_index, {})
+        labeled = space_with(type_index, {tid(3): Label.POSITIVE})
+        assert labeled.count_consistent_queries() < fresh.count_consistent_queries()
+
+    def test_enumeration_limit(self, type_index):
+        space = space_with(type_index, {})
+        assert space.count_consistent_queries(limit=5) == 5
+
+    def test_enumerated_queries_are_admitted(self, type_index):
+        space = space_with(type_index, {tid(3): Label.POSITIVE, tid(8): Label.NEGATIVE})
+        for mask in space.consistent_query_masks():
+            assert space.admits_mask(mask)
+
+    def test_all_consistent_agree_everywhere_matches_convergence(self, type_index):
+        converged = space_with(
+            type_index,
+            {tid(3): Label.POSITIVE, tid(7): Label.NEGATIVE, tid(8): Label.NEGATIVE},
+        )
+        in_progress = space_with(type_index, {tid(3): Label.POSITIVE})
+        assert converged.all_consistent_agree_everywhere()
+        assert not in_progress.all_consistent_agree_everywhere()

@@ -1,0 +1,71 @@
+"""Tests for the Figure 1 flights & hotels dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import flights_hotels as fh
+
+
+class TestBaseRelations:
+    def test_flights_relation(self):
+        flights = fh.flights_relation()
+        assert flights.name == "Flights"
+        assert flights.schema.attribute_names == ("From", "To", "Airline")
+        assert len(flights) == 4
+
+    def test_hotels_relation(self):
+        hotels = fh.hotels_relation()
+        assert hotels.schema.attribute_names == ("City", "Discount")
+        assert len(hotels) == 3
+        assert (None,) not in hotels.rows  # None only in the Discount column
+        assert any(row[1] is None for row in hotels)
+
+    def test_travel_instance(self):
+        instance = fh.travel_instance()
+        assert instance.relation_names == ("Flights", "Hotels")
+        assert instance.cross_product_size() == 12
+
+
+class TestFigure1Table:
+    def test_rows_match_cross_product_order(self):
+        table = fh.figure1_table()
+        assert table.row(0) == ("Paris", "Lille", "AF", "NYC", "AA")
+        assert table.row(11) == ("Paris", "NYC", "AF", "Lille", "AF")
+
+    def test_provenance_recorded(self):
+        table = fh.figure1_table()
+        assert table.source_relations() == ("Flights", "Flights", "Flights", "Hotels", "Hotels")
+
+    def test_paper_tuple_id_translation(self):
+        assert fh.paper_tuple_id(1) == 0
+        assert fh.paper_tuple_id(12) == 11
+
+    def test_paper_tuple_id_out_of_range(self):
+        with pytest.raises(ValueError):
+            fh.paper_tuple_id(0)
+        with pytest.raises(ValueError):
+            fh.paper_tuple_id(13)
+
+    def test_qualified_table_matches_flat_table_rows(self):
+        flat = fh.figure1_table()
+        qualified = fh.qualified_figure1_table()
+        assert list(flat.rows) == list(qualified.rows)
+        assert qualified.attribute_names[0] == "Flights.From"
+
+
+class TestGoalQueries:
+    def test_q1_and_q2_atoms(self):
+        assert len(fh.query_q1()) == 1
+        assert len(fh.query_q2()) == 2
+        assert fh.query_q1() <= fh.query_q2()
+
+    def test_qualified_queries_select_same_paper_tuples(self):
+        flat = fh.figure1_table()
+        qualified = fh.qualified_figure1_table()
+        assert {t for t in fh.query_q2().evaluate(flat)} == {
+            t for t in fh.qualified_query_q2().evaluate(qualified)
+        }
+        assert {t for t in fh.query_q1().evaluate(flat)} == {
+            t for t in fh.qualified_query_q1().evaluate(qualified)
+        }

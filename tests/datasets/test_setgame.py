@@ -1,0 +1,85 @@
+"""Tests for the Set-card (tagged pictures) dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GoalQueryOracle, infer_join
+from repro.datasets import setgame
+
+
+class TestDeck:
+    def test_full_deck_has_81_distinct_cards(self):
+        deck = setgame.full_deck()
+        assert len(deck) == setgame.FULL_DECK_SIZE == 81
+        assert len(set(deck)) == 81
+
+    def test_every_card_uses_valid_feature_values(self):
+        for card in setgame.full_deck():
+            for value, feature in zip(card, setgame.FEATURES):
+                assert value in setgame.FEATURE_VALUES[feature]
+
+    def test_sampled_deck_is_reproducible(self):
+        assert setgame.card_deck(10, seed=3) == setgame.card_deck(10, seed=3)
+        assert setgame.card_deck(10, seed=3) != setgame.card_deck(10, seed=4)
+
+    def test_oversized_deck_request_rejected(self):
+        with pytest.raises(ValueError):
+            setgame.card_deck(100)
+
+    def test_cards_relation(self):
+        relation = setgame.cards_relation("Left", setgame.card_deck(5))
+        assert relation.schema.attribute_names == setgame.FEATURES
+        assert len(relation) == 5
+
+
+class TestPairTable:
+    def test_pair_table_is_square_of_deck_size(self):
+        table = setgame.pair_table(deck_size=7)
+        assert len(table) == 49
+        assert table.attribute_names[:4] == (
+            "Left.number",
+            "Left.symbol",
+            "Left.shading",
+            "Left.color",
+        )
+
+    def test_max_rows_sampling(self):
+        table = setgame.pair_table(deck_size=9, max_rows=20)
+        assert len(table) == 20
+
+    def test_instance_has_left_and_right_copies(self):
+        instance = setgame.setgame_instance(deck_size=6)
+        assert instance.relation_names == ("Left", "Right")
+        assert len(instance.relation("Left")) == len(instance.relation("Right")) == 6
+
+
+class TestFeatureQueries:
+    def test_same_feature_query_atoms(self):
+        query = setgame.same_feature_query("color", "shading")
+        assert len(query) == 2
+        assert ("Left.color", "Right.color") in query
+
+    def test_demo_goal_query_is_color_and_shading(self):
+        assert setgame.demo_goal_query() == setgame.same_feature_query("color", "shading")
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(ValueError):
+            setgame.same_feature_query("size")
+
+    def test_at_least_one_feature_required(self):
+        with pytest.raises(ValueError):
+            setgame.same_feature_query()
+
+    def test_same_color_selects_a_third_of_pairs(self):
+        table = setgame.pair_table(deck_size=None)  # the full 81x81 space
+        query = setgame.same_feature_query("color")
+        assert query.selectivity(table) == pytest.approx(1 / 3, abs=1e-9)
+
+    def test_inference_of_the_demo_query(self):
+        table = setgame.pair_table(deck_size=9, seed=2)
+        goal = setgame.demo_goal_query()
+        result = infer_join(table, GoalQueryOracle(goal), strategy="lookahead-entropy")
+        assert result.converged
+        assert result.matches_goal(goal)
+        assert result.num_interactions < len(table)

@@ -1,0 +1,112 @@
+"""Tests for the synthetic instance and goal-query generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AtomUniverse
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    all_goal_queries,
+    generate_candidate_table,
+    generate_instance,
+    planted_goal_instance,
+    random_goal_query,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        config = SyntheticConfig()
+        assert config.candidate_rows == config.tuples_per_relation**config.num_relations
+        assert config.relation_names == ("R1", "R2")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_relations": 0},
+            {"attributes_per_relation": 0},
+            {"tuples_per_relation": 0},
+            {"domain_size": 1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ExperimentError):
+            SyntheticConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_instance_shape_matches_config(self):
+        config = SyntheticConfig(num_relations=3, attributes_per_relation=2, tuples_per_relation=5)
+        instance = generate_instance(config)
+        assert instance.relation_names == ("R1", "R2", "R3")
+        for relation in instance:
+            assert relation.arity == 2
+            assert len(relation) == 5
+
+    def test_values_stay_in_domain(self):
+        config = SyntheticConfig(domain_size=3, seed=5)
+        instance = generate_instance(config)
+        for relation in instance:
+            for row in relation:
+                assert all(0 <= value < 3 for value in row)
+
+    def test_generation_is_deterministic(self):
+        config = SyntheticConfig(seed=9)
+        assert generate_instance(config).relation("R1").rows == generate_instance(config).relation("R1").rows
+
+    def test_different_seeds_differ(self):
+        first = generate_instance(SyntheticConfig(seed=1)).relation("R1").rows
+        second = generate_instance(SyntheticConfig(seed=2)).relation("R1").rows
+        assert first != second
+
+    def test_candidate_table_size(self):
+        config = SyntheticConfig(num_relations=2, tuples_per_relation=6)
+        assert len(generate_candidate_table(config)) == 36
+
+    def test_candidate_table_sampling(self):
+        config = SyntheticConfig(num_relations=2, tuples_per_relation=20, max_candidate_rows=50)
+        assert len(generate_candidate_table(config)) == 50
+
+
+class TestGoalQueries:
+    def test_random_goal_query_is_nontrivial(self):
+        table = generate_candidate_table(SyntheticConfig(seed=4))
+        goal = random_goal_query(table, 2, seed=4)
+        selected = goal.evaluate(table)
+        assert 0 < len(selected) < len(table)
+        assert len(goal) == 2
+
+    def test_random_goal_query_deterministic(self):
+        table = generate_candidate_table(SyntheticConfig(seed=4))
+        assert random_goal_query(table, 2, seed=7) == random_goal_query(table, 2, seed=7)
+
+    def test_zero_atoms_rejected(self):
+        table = generate_candidate_table(SyntheticConfig())
+        with pytest.raises(ExperimentError):
+            random_goal_query(table, 0)
+
+    def test_too_many_atoms_rejected(self):
+        table = generate_candidate_table(SyntheticConfig(attributes_per_relation=1))
+        with pytest.raises(ExperimentError):
+            random_goal_query(table, 50)
+
+    def test_impossible_requirements_raise(self):
+        # A huge domain makes multi-atom joins empty; requiring non-emptiness must fail.
+        table = generate_candidate_table(
+            SyntheticConfig(tuples_per_relation=3, domain_size=10_000, seed=0)
+        )
+        with pytest.raises(ExperimentError):
+            random_goal_query(table, 3, seed=0, max_attempts=5)
+
+    def test_planted_goal_instance(self):
+        table, goal = planted_goal_instance(SyntheticConfig(seed=3), num_atoms=2)
+        assert 0 < len(goal.evaluate(table)) < len(table)
+
+    def test_all_goal_queries_counts_combinations(self):
+        table = generate_candidate_table(
+            SyntheticConfig(num_relations=2, attributes_per_relation=2, tuples_per_relation=3)
+        )
+        universe = AtomUniverse.from_table(table)
+        assert len(all_goal_queries(table, 2, universe)) == 6  # C(4, 2)

@@ -1,0 +1,113 @@
+"""Tests for the miniature TPC-H-like generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GoalQueryOracle, infer_join
+from repro.datasets.tpch import (
+    TPCH_FK_JOINS,
+    TPCHConfig,
+    fk_join_goal,
+    generate_tpch,
+    relations_of_join,
+    tpch_candidate_table,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestConfig:
+    def test_derived_counts(self):
+        config = TPCHConfig(customers=4, orders_per_customer=3, lineitems_per_order=2)
+        assert config.num_orders == 12
+        assert config.num_lineitems == 24
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ExperimentError):
+            TPCHConfig(customers=0)
+        with pytest.raises(ExperimentError):
+            TPCHConfig(orders_per_customer=0)
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return generate_tpch(TPCHConfig(seed=1))
+
+    def test_all_seven_relations_present(self, instance):
+        assert set(instance.relation_names) == {
+            "region",
+            "nation",
+            "customer",
+            "supplier",
+            "part",
+            "orders",
+            "lineitem",
+        }
+
+    def test_row_counts_match_config(self, instance):
+        config = TPCHConfig(seed=1)
+        assert len(instance.relation("customer")) == config.customers
+        assert len(instance.relation("orders")) == config.num_orders
+        assert len(instance.relation("lineitem")) == config.num_lineitems
+
+    def test_foreign_keys_reference_existing_keys(self, instance):
+        customers = {row[0] for row in instance.relation("customer")}
+        order_custkeys = {row[1] for row in instance.relation("orders")}
+        assert order_custkeys <= customers
+        orders = {row[0] for row in instance.relation("orders")}
+        lineitem_orderkeys = {row[0] for row in instance.relation("lineitem")}
+        assert lineitem_orderkeys <= orders
+
+    def test_generation_deterministic(self):
+        assert (
+            generate_tpch(TPCHConfig(seed=2)).relation("orders").rows
+            == generate_tpch(TPCHConfig(seed=2)).relation("orders").rows
+        )
+
+
+class TestJoins:
+    def test_fk_join_goal_atoms(self):
+        goal = fk_join_goal("orders-customer")
+        assert ("orders.o_custkey", "customer.c_custkey") in goal
+
+    def test_three_way_join_has_two_atoms(self):
+        assert len(fk_join_goal("customer-orders-lineitem")) == 2
+
+    def test_unknown_join_rejected(self):
+        with pytest.raises(ExperimentError):
+            fk_join_goal("orders-part")
+        with pytest.raises(ExperimentError):
+            relations_of_join("orders-part")
+
+    def test_relations_of_join(self):
+        assert set(relations_of_join("customer-orders-lineitem")) == {
+            "customer",
+            "orders",
+            "lineitem",
+        }
+
+    def test_candidate_table_respects_max_rows(self):
+        table = tpch_candidate_table("customer-orders-lineitem", max_rows=300)
+        assert len(table) == 300
+
+    def test_goal_join_selects_expected_pairs(self):
+        config = TPCHConfig(customers=5, orders_per_customer=2)
+        table = tpch_candidate_table("orders-customer", config=config, max_rows=None)
+        goal = fk_join_goal("orders-customer")
+        # Every order matches exactly one customer.
+        assert len(goal.evaluate(table)) == config.num_orders
+
+    def test_every_named_join_is_well_formed(self):
+        for name in TPCH_FK_JOINS:
+            goal = fk_join_goal(name)
+            assert len(goal) >= 1
+
+    def test_inference_of_orders_customer_join(self):
+        config = TPCHConfig(customers=6, orders_per_customer=2, seed=0)
+        table = tpch_candidate_table("orders-customer", config=config, max_rows=None)
+        goal = fk_join_goal("orders-customer")
+        result = infer_join(table, GoalQueryOracle(goal), strategy="lookahead-entropy")
+        assert result.converged
+        assert result.matches_goal(goal)
+        assert result.num_interactions <= 15

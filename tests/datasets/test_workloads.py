@@ -1,0 +1,64 @@
+"""Tests for named workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GoalQueryOracle, infer_join
+from repro.datasets.synthetic import SyntheticConfig
+from repro.datasets.workloads import (
+    default_workload_suite,
+    figure1_workload,
+    setgame_workload,
+    synthetic_workload,
+    tpch_workload,
+)
+
+
+class TestWorkloadBuilders:
+    def test_figure1_workload_goals(self):
+        q1 = figure1_workload("q1")
+        q2 = figure1_workload("Q2")
+        assert q1.goal_size == 1
+        assert q2.goal_size == 2
+        assert q1.num_candidates == q2.num_candidates == 12
+
+    def test_unknown_figure1_goal_rejected(self):
+        with pytest.raises(ValueError):
+            figure1_workload("q3")
+
+    def test_setgame_workload(self):
+        workload = setgame_workload(("color",), deck_size=6)
+        assert workload.num_candidates == 36
+        assert workload.goal_size == 1
+        assert "color" in workload.name
+
+    def test_synthetic_workload_name_encodes_parameters(self):
+        workload = synthetic_workload(
+            SyntheticConfig(tuples_per_relation=7, domain_size=3, seed=2), goal_atoms=2
+        )
+        assert "t7" in workload.name and "d3" in workload.name and "s2" in workload.name
+        assert workload.goal_size == 2
+
+    def test_tpch_workload(self):
+        workload = tpch_workload("orders-customer")
+        assert workload.name == "tpch-orders-customer"
+        assert workload.goal_size == 1
+
+    def test_goal_selectivity_between_zero_and_one(self):
+        workload = figure1_workload("q2")
+        assert 0.0 < workload.goal_selectivity() < 1.0
+
+
+class TestDefaultSuite:
+    def test_suite_is_varied_and_solvable(self):
+        suite = default_workload_suite()
+        assert len(suite) >= 5
+        assert len({workload.name for workload in suite}) == len(suite)
+        for workload in suite:
+            result = infer_join(
+                workload.table, GoalQueryOracle(workload.goal), strategy="lookahead-entropy"
+            )
+            assert result.converged
+            assert result.matches_goal(workload.goal)
+            assert result.num_interactions <= workload.num_candidates

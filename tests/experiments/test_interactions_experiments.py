@@ -1,0 +1,79 @@
+"""Tests for the E2–E4 experiments (interactive effort, modes, strategy benefit)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig
+from repro.datasets.workloads import figure1_workload, synthetic_workload
+from repro.experiments.interactions import (
+    default_e2_workloads,
+    interaction_mode_effort,
+    interactive_vs_label_all,
+    strategy_benefit,
+)
+
+
+@pytest.fixture(scope="module")
+def small_workloads():
+    return [
+        figure1_workload("q2"),
+        synthetic_workload(
+            SyntheticConfig(
+                num_relations=2, attributes_per_relation=3, tuples_per_relation=6, domain_size=3, seed=0
+            ),
+            goal_atoms=2,
+        ),
+    ]
+
+
+class TestInteractiveVsLabelAll:
+    def test_default_workloads_cover_figure1_and_synthetic(self):
+        workloads = default_e2_workloads(tuple_counts=(6,))
+        assert any("figure1" in w.name for w in workloads)
+        assert any("synthetic" in w.name for w in workloads)
+
+    def test_interactive_needs_fewer_labels(self, small_workloads):
+        table = interactive_vs_label_all(small_workloads)
+        assert len(table) == len(small_workloads)
+        for row in table:
+            assert row["interactive_labels"] < row["label_all_labels"]
+            assert row["saving_pct"] > 0
+            assert row["correct"] is True
+
+
+class TestInteractionModeEffort:
+    def test_all_four_modes_reported_and_correct(self, small_workloads):
+        table = interaction_mode_effort(small_workloads, k=3, seed=1)
+        assert len(table) == 4 * len(small_workloads)
+        modes = {row["mode"] for row in table}
+        assert modes == {"1-manual", "2-manual+pruning", "3-top-3", "4-guided"}
+        assert all(row["correct"] for row in table)
+
+    def test_guided_mode_is_the_cheapest_on_average(self, small_workloads):
+        table = interaction_mode_effort(small_workloads, k=3, seed=1)
+        means = table.group_mean(["mode"], "labels_given")
+        guided = means[("4-guided",)]
+        manual = means[("1-manual",)]
+        assert guided <= manual
+
+    def test_pruning_helps_the_manual_user(self, small_workloads):
+        table = interaction_mode_effort(small_workloads, k=3, seed=1)
+        means = table.group_mean(["mode"], "labels_given")
+        assert means[("2-manual+pruning",)] <= means[("1-manual",)]
+
+
+class TestStrategyBenefit:
+    def test_report_shape_and_savings(self, small_workloads):
+        table = strategy_benefit(small_workloads, seeds=(0, 1))
+        assert len(table) == 2 * len(small_workloads)
+        for row in table:
+            assert 0 <= row["saved_pct"] <= 100
+            assert row["saved_interactions"] == max(
+                0, row["user_interactions"] - row["strategy_interactions"]
+            )
+        # An individual random-order user can get lucky, but on average the
+        # guided strategy saves effort (the Figure 4 message).
+        mean_user = sum(row["user_interactions"] for row in table) / len(table)
+        mean_strategy = sum(row["strategy_interactions"] for row in table) / len(table)
+        assert mean_strategy <= mean_user

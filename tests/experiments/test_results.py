@@ -1,0 +1,90 @@
+"""Tests for the result-table container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.results import ResultTable
+from repro.exceptions import ExperimentError
+
+
+@pytest.fixture
+def table() -> ResultTable:
+    table = ResultTable(["strategy", "size", "interactions"])
+    table.extend(
+        [
+            {"strategy": "random", "size": 10, "interactions": 8},
+            {"strategy": "random", "size": 20, "interactions": 12},
+            {"strategy": "lookahead", "size": 10, "interactions": 4},
+            {"strategy": "lookahead", "size": 20, "interactions": 5},
+        ]
+    )
+    return table
+
+
+class TestConstruction:
+    def test_columns_required(self):
+        with pytest.raises(ExperimentError):
+            ResultTable([])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ExperimentError):
+            ResultTable(["a", "a"])
+
+    def test_unknown_column_in_row_rejected(self, table):
+        with pytest.raises(ExperimentError):
+            table.add_row({"strategy": "x", "oops": 1})
+
+    def test_missing_columns_become_none(self):
+        table = ResultTable(["a", "b"])
+        table.add_row({"a": 1})
+        assert table.rows[0]["b"] is None
+
+    def test_len_and_iter(self, table):
+        assert len(table) == 4
+        assert len(list(table)) == 4
+
+
+class TestQueries:
+    def test_column(self, table):
+        assert table.column("interactions") == [8, 12, 4, 5]
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(ExperimentError):
+            table.column("nope")
+
+    def test_filter(self, table):
+        filtered = table.filter(strategy="lookahead")
+        assert len(filtered) == 2
+        assert all(row["strategy"] == "lookahead" for row in filtered)
+
+    def test_group_mean(self, table):
+        means = table.group_mean(["strategy"], "interactions")
+        assert means[("random",)] == pytest.approx(10.0)
+        assert means[("lookahead",)] == pytest.approx(4.5)
+
+    def test_group_mean_skips_none(self):
+        table = ResultTable(["g", "v"])
+        table.extend([{"g": "a", "v": 2}, {"g": "a", "v": None}])
+        assert table.group_mean(["g"], "v")[("a",)] == pytest.approx(2.0)
+
+
+class TestRendering:
+    def test_to_text_alignment_and_truncation(self, table):
+        text = table.to_text(max_rows=2)
+        lines = text.splitlines()
+        assert lines[0].startswith("strategy")
+        assert "… 2 more row(s)" in lines[-1]
+
+    def test_to_text_formats_floats_compactly(self):
+        table = ResultTable(["v"])
+        table.add_row({"v": 1.5})
+        table.add_row({"v": 0.0})
+        text = table.to_text()
+        assert "1.5" in text and "0" in text
+
+    def test_to_csv_roundtrip_header(self, table):
+        csv_text = table.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "strategy,size,interactions"
+        assert len(lines) == 5

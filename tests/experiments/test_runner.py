@@ -1,0 +1,47 @@
+"""Tests for the generic experiment runner."""
+
+from __future__ import annotations
+
+from repro.datasets.workloads import figure1_workload
+from repro.experiments.runner import (
+    RUN_COLUMNS,
+    mean_interactions_by_strategy,
+    run_matrix,
+    run_single,
+)
+
+
+class TestRunSingle:
+    def test_record_has_all_columns(self):
+        record = run_single(figure1_workload("q2"), "lookahead-entropy")
+        assert set(record) == set(RUN_COLUMNS)
+
+    def test_correct_and_converged_on_figure1(self):
+        record = run_single(figure1_workload("q2"), "lookahead-entropy")
+        assert record["converged"] is True
+        assert record["correct"] is True
+        assert 1 <= record["interactions"] <= 12
+
+    def test_max_interactions_propagates(self):
+        record = run_single(figure1_workload("q2"), "local-lexicographic", max_interactions=1)
+        assert record["interactions"] == 1
+        assert record["converged"] is False
+
+    def test_timing_fields_consistent(self):
+        record = run_single(figure1_workload("q1"), "random", seed=1)
+        assert record["total_seconds"] >= 0
+        assert record["seconds_per_interaction"] <= record["total_seconds"]
+
+
+class TestRunMatrix:
+    def test_matrix_size(self):
+        workloads = [figure1_workload("q1"), figure1_workload("q2")]
+        table = run_matrix(workloads, ["random", "lookahead-entropy"], seeds=(0, 1))
+        assert len(table) == 2 * 2 * 2
+
+    def test_mean_interactions_by_strategy(self):
+        workloads = [figure1_workload("q1"), figure1_workload("q2")]
+        table = run_matrix(workloads, ["random", "lookahead-entropy"], seeds=(0,))
+        means = mean_interactions_by_strategy(table)
+        assert set(means) == {"random", "lookahead-entropy"}
+        assert all(value > 0 for value in means.values())

@@ -1,0 +1,91 @@
+"""Tests for the strategy-comparison (E5) and scalability (E7) experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig
+from repro.datasets.workloads import synthetic_workload
+from repro.experiments.scalability import measure_scalability, scalability_workloads
+from repro.experiments.strategy_comparison import (
+    DEFAULT_STRATEGY_PANEL,
+    compare_strategies,
+    family_of,
+    summarize_by_complexity,
+    summarize_by_family,
+    summarize_by_size,
+    sweep_workloads,
+)
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    workloads = sweep_workloads(
+        tuples_per_relation=(5, 8), goal_atoms=(1, 2), domain_size=3, seeds=(0,)
+    )
+    return compare_strategies(workloads, strategies=("random", "local-most-specific", "lookahead-entropy"))
+
+
+class TestSweep:
+    def test_sweep_workload_grid_size(self):
+        workloads = sweep_workloads(tuples_per_relation=(5,), goal_atoms=(1, 2), seeds=(0, 1))
+        assert len(workloads) == 4
+
+    def test_all_runs_converge_and_are_correct(self, small_sweep):
+        assert len(small_sweep) == 2 * 2 * 3
+        assert all(row["converged"] for row in small_sweep)
+        assert all(row["correct"] for row in small_sweep)
+
+    def test_default_panel_registered(self):
+        from repro.core.strategies import available_strategies
+
+        assert set(DEFAULT_STRATEGY_PANEL) <= set(available_strategies())
+
+
+class TestSummaries:
+    def test_summary_by_complexity_covers_all_cells(self, small_sweep):
+        summary = summarize_by_complexity(small_sweep)
+        assert len(summary) == 2 * 3  # goal_atoms × strategies
+        assert all(row["mean_interactions"] > 0 for row in summary)
+
+    def test_summary_by_size(self, small_sweep):
+        summary = summarize_by_size(small_sweep)
+        assert {row["candidates"] for row in summary} == {25, 64}
+
+    def test_summary_by_family(self, small_sweep):
+        summary = summarize_by_family(small_sweep)
+        families = {row["family"] for row in summary}
+        assert families == {"random", "local", "lookahead"}
+
+    def test_lookahead_no_worse_than_random_on_average(self, small_sweep):
+        means = {
+            str(key[0]): value
+            for key, value in small_sweep.group_mean(["strategy"], "interactions").items()
+        }
+        assert means["lookahead-entropy"] <= means["random"] + 1e-9
+
+    def test_family_of(self):
+        assert family_of("random") == "random"
+        assert family_of("local-most-specific") == "local"
+        assert family_of("lookahead-entropy") == "lookahead"
+        assert family_of("optimal") == "optimal"
+
+
+class TestScalability:
+    def test_workload_sizes_grow(self):
+        workloads = scalability_workloads(tuples_per_relation=(5, 10), seed=1)
+        assert [w.num_candidates for w in workloads] == [25, 100]
+
+    def test_measurement_table_shape(self):
+        workloads = [
+            synthetic_workload(
+                SyntheticConfig(tuples_per_relation=5, domain_size=3, seed=0), goal_atoms=1
+            ),
+            synthetic_workload(
+                SyntheticConfig(tuples_per_relation=8, domain_size=3, seed=0), goal_atoms=1
+            ),
+        ]
+        table = measure_scalability(workloads, strategies=("random", "lookahead-entropy"))
+        assert len(table) == 4
+        assert all(row["total_seconds"] >= 0 for row in table)
+        assert all(row["correct"] for row in table)

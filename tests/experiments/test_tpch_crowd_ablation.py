@@ -1,0 +1,105 @@
+"""Tests for the TPC-H (E8), crowdsourcing-cost (E9) and ablation (E10) experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig
+from repro.datasets.tpch import TPCHConfig
+from repro.datasets.workloads import figure1_workload, synthetic_workload
+from repro.experiments.ablation import (
+    ablate_atom_scope,
+    ablate_lookahead_depth,
+    ablate_pruning,
+    default_ablation_workloads,
+)
+from repro.experiments.crowd import compare_crowd_cost, crowd_workloads
+from repro.experiments.tpch_experiment import (
+    discovered_foreign_keys,
+    run_tpch_experiment,
+    tpch_workload_suite,
+)
+
+
+class TestTPCHExperiment:
+    def test_suite_and_runs(self):
+        config = TPCHConfig(customers=5, orders_per_customer=2, lineitems_per_order=1)
+        table = run_tpch_experiment(
+            joins=("orders-customer", "customer-nation"),
+            strategies=("lookahead-entropy",),
+            config=config,
+            max_rows=400,
+        )
+        assert len(table) == 2
+        assert all(row["converged"] for row in table)
+        assert all(row["correct"] for row in table)
+        assert all(row["interactions"] < row["candidates"] for row in table)
+
+    def test_workload_suite_names(self):
+        suite = tpch_workload_suite(("orders-customer",), config=TPCHConfig(customers=4))
+        assert suite[0].name == "tpch-orders-customer"
+
+    def test_discovered_foreign_keys_contains_classics(self):
+        table = discovered_foreign_keys(TPCHConfig(customers=6))
+        pairs = {(row["dependent"], row["referenced"]) for row in table}
+        assert ("orders.o_custkey", "customer.c_custkey") in pairs
+
+
+class TestCrowdCost:
+    def test_jim_asks_far_fewer_questions(self):
+        workloads = crowd_workloads(tuples_per_relation=(6, 10), goal_atoms=1, seed=0)
+        table = compare_crowd_cost(workloads)
+        assert len(table) == 2
+        for row in table:
+            assert row["pairwise_questions"] == row["candidate_pairs"]
+            assert row["jim_questions"] < row["pairwise_questions"]
+            assert row["reduction_factor"] > 1
+            assert row["correct"] is True
+
+    def test_analytic_mode_skips_the_oracle(self):
+        workloads = crowd_workloads(tuples_per_relation=(6,), goal_atoms=1, seed=1)
+        table = compare_crowd_cost(workloads, run_pairwise_oracle=False)
+        assert table.rows[0]["pairwise_questions"] == table.rows[0]["candidate_pairs"]
+
+
+@pytest.fixture(scope="module")
+def tiny_workloads():
+    return [
+        figure1_workload("q2"),
+        synthetic_workload(
+            SyntheticConfig(
+                num_relations=2, attributes_per_relation=2, tuples_per_relation=5, domain_size=3, seed=0
+            ),
+            goal_atoms=1,
+        ),
+    ]
+
+
+class TestAblations:
+    def test_default_ablation_workloads_are_small(self):
+        for workload in default_ablation_workloads():
+            assert workload.num_candidates <= 100
+
+    def test_pruning_ablation_shows_guided_is_cheaper(self, tiny_workloads):
+        table = ablate_pruning(tiny_workloads, seeds=(0, 1))
+        means = table.group_mean(["variant"], "interactions")
+        assert means[("with-pruning (guided)",)] <= means[("no-pruning (random order)",)]
+
+    def test_atom_scope_ablation(self, tiny_workloads):
+        table = ablate_atom_scope(tiny_workloads)
+        assert len(table) == 2 * len(tiny_workloads)
+        by_scope = table.group_mean(["scope"], "universe_size")
+        assert by_scope[("all-pairs",)] > by_scope[("cross-relation",)]
+        assert all(row["correct"] for row in table)
+
+    def test_lookahead_depth_ablation_includes_optimal(self, tiny_workloads):
+        table = ablate_lookahead_depth(tiny_workloads, depths=(1, 2), include_optimal=True)
+        strategies = {row["strategy"] for row in table}
+        assert "optimal" in strategies
+        assert "lookahead-minmax" in strategies
+        assert any(name.startswith("lookahead-kstep") for name in strategies)
+        # Every variant converges to the goal in at most as many questions as
+        # there are candidate tuples (the optimal one being a lower-bound probe,
+        # not necessarily the best on any single goal).
+        for row in table:
+            assert 1 <= row["interactions"] <= row["candidates"]

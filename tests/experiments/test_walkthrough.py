@@ -1,0 +1,38 @@
+"""Tests for the E1 walkthrough experiment."""
+
+from __future__ import annotations
+
+from repro.datasets import flights_hotels
+from repro.experiments.walkthrough import run_walkthrough
+
+tid = flights_hotels.paper_tuple_id
+
+
+class TestWalkthrough:
+    def test_every_paper_fact_is_reproduced(self):
+        report = run_walkthrough()
+        assert report.q1_selected == (tid(3), tid(4), tid(8), tid(10))
+        assert report.q2_selected == (tid(3), tid(4))
+        assert report.tuple4_uninformative_after_3
+        assert report.q1_consistent_after_3
+        assert report.q2_consistent_after_3
+        assert report.tuple8_informative_after_3
+        assert report.grayed_if_12_positive == (tid(3), tid(4), tid(7))
+        assert report.grayed_if_12_negative == (tid(1), tid(5), tid(9))
+        assert report.final_matches_q2
+
+    def test_report_table_rendering(self):
+        table = run_walkthrough().to_table()
+        text = table.to_text()
+        assert "tuples selected by Q1" in text
+        assert "3, 4, 7" in text
+        assert "1, 5, 9" in text
+        assert len(table) == 10
+
+    def test_replayed_interactions_recorded(self):
+        report = run_walkthrough()
+        assert report.interactions_replayed == (
+            (tid(3), "+"),
+            (tid(7), "-"),
+            (tid(8), "-"),
+        )

@@ -1,0 +1,111 @@
+"""Integration tests: the whole pipeline, from raw data to executed SQL."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    CandidateTable,
+    GoalQueryOracle,
+    JoinInferenceEngine,
+    JoinQuery,
+    NoisyOracle,
+    infer_join,
+)
+from repro.datasets import flights_hotels, setgame
+from repro.datasets.tpch import TPCHConfig, fk_join_goal, generate_tpch, tpch_candidate_table
+from repro.relational import sqlite_adapter
+from repro.relational.csv_io import read_relation_csv, write_relation_csv
+from repro.relational.integrity import foreign_key_candidates
+from repro.sessions import GuidedSession
+from repro.ui import run_scripted_demo
+
+
+class TestCsvToInferredSQL:
+    def test_csv_roundtrip_then_inference_then_sqlite(self, tmp_path):
+        # 1. The user's raw data arrives as CSV files.
+        instance = flights_hotels.travel_instance()
+        for relation in instance:
+            write_relation_csv(relation, tmp_path / f"{relation.name}.csv")
+        # 2. Reload them as a database instance and build the candidate table.
+        from repro.relational import DatabaseInstance
+
+        reloaded = DatabaseInstance(
+            "travel",
+            [read_relation_csv(tmp_path / "Flights.csv"), read_relation_csv(tmp_path / "Hotels.csv")],
+        )
+        table = CandidateTable.cross_product(reloaded)
+        assert len(table) == 12
+        # 3. Infer the join from membership queries.
+        goal = flights_hotels.qualified_query_q2()
+        result = infer_join(table, GoalQueryOracle(goal), strategy="lookahead-entropy")
+        assert result.converged and result.matches_goal(goal)
+        # 4. Execute the inferred query in SQLite and compare with the in-memory evaluation.
+        connection = sqlite_adapter.connect()
+        sqlite_adapter.write_instance(connection, reloaded)
+        sql_rows = sqlite_adapter.execute_join(connection, result.query, table)
+        expected_rows = {table.row(tid) for tid in result.query.evaluate(table)}
+        assert {tuple(row) for row in sql_rows} == expected_rows
+        connection.close()
+
+
+class TestTPCHPipeline:
+    def test_discovered_fk_used_as_goal_and_inferred(self):
+        config = TPCHConfig(customers=8, orders_per_customer=2, seed=3)
+        instance = generate_tpch(config)
+        fks = foreign_key_candidates(instance)
+        target = next(
+            dep
+            for dep in fks
+            if dep.as_equality == ("orders.o_custkey", "customer.c_custkey")
+        )
+        goal = JoinQuery.of(target.as_equality)
+        table = tpch_candidate_table("orders-customer", config=config, max_rows=None, instance=instance)
+        result = infer_join(table, GoalQueryOracle(goal), strategy="lookahead-minmax")
+        assert result.converged
+        assert result.matches_goal(fk_join_goal("orders-customer"))
+
+
+class TestRobustnessAndScale:
+    def test_noisy_user_with_non_strict_state(self, figure1_table, query_q2):
+        # A noisy user may produce inconsistent labels; with strict=False the
+        # engine still terminates (everything eventually becomes uninformative).
+        engine = JoinInferenceEngine(figure1_table, strategy="random", strict=False)
+        oracle = NoisyOracle(GoalQueryOracle(query_q2), error_rate=0.3, seed=5)
+        result = engine.run(oracle, max_interactions=30)
+        assert result.num_interactions <= 30
+
+    def test_larger_setgame_space_stays_interactive(self):
+        table = setgame.pair_table(deck_size=20, seed=1)  # 400 pairs
+        goal = setgame.same_feature_query("color", "shading")
+        result = infer_join(table, GoalQueryOracle(goal), strategy="lookahead-entropy")
+        assert result.converged and result.matches_goal(goal)
+        assert result.num_interactions <= 15
+        assert result.trace.total_seconds < 10.0
+
+    def test_scripted_console_demo_end_to_end(self, figure1_table, query_q1):
+        query, transcript = run_scripted_demo(
+            figure1_table, GoalQueryOracle(query_q1), strategy="lookahead-minmax"
+        )
+        assert query.instance_equivalent(query_q1, figure1_table)
+        assert "inferred join query" in transcript
+
+    def test_guided_session_statistics_consistent_with_trace(self, figure1_table, query_q2):
+        session = GuidedSession(figure1_table, strategy="lookahead-entropy")
+        session.run(GoalQueryOracle(query_q2))
+        stats = session.statistics()
+        assert stats.labeled == session.num_interactions
+        assert stats.labeled + stats.grayed_out == len(figure1_table)
+
+
+class TestPublicAPI:
+    def test_top_level_exports_exist(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing top-level export {name}"
+
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2

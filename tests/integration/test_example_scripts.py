@@ -1,0 +1,56 @@
+"""Integration tests: every example script runs successfully end to end."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> str:
+    script = EXAMPLES_DIR / name
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        check=True,
+    )
+    return completed.stdout
+
+
+class TestExampleScripts:
+    def test_there_are_at_least_three_examples(self):
+        assert len(EXAMPLE_SCRIPTS) >= 3
+
+    def test_quickstart_infers_q2(self):
+        output = run_example("quickstart.py")
+        assert "Inferred join query : Airline ≍ Discount ∧ City ≍ To" in output
+        assert "Matches the goal    : True" in output
+
+    def test_travel_packages_reports_all_modes_and_benefit(self):
+        output = run_example("travel_packages.py")
+        for marker in ("[mode 1]", "[mode 2]", "[mode 3]", "[mode 4]", "saving"):
+            assert marker in output
+        assert "Flight&hotel packages produced by the inferred query" in output
+
+    def test_setgame_example_infers_feature_joins(self):
+        output = run_example("setgame_pictures.py")
+        assert "correct  : True" in output
+        assert "Left.color ≍ Right.color" in output
+
+    def test_tpch_example_reports_joins_and_fks(self):
+        output = run_example("tpch_fk_discovery.py")
+        assert "orders-customer" in output
+        assert "correct=True" in output
+        assert "orders.o_custkey ⊆ customer.c_custkey" in output
+
+    def test_crowdsourcing_example_shows_savings(self):
+        output = run_example("crowdsourcing_cost.py")
+        assert "JIM questions" in output
+        assert "%" in output

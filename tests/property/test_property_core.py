@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) for the core inference invariants.
+
+Random candidate tables are generated with small integer domains (so that
+equalities occur often); random goal queries over their atom universes drive
+the interactive loop.  The properties checked are the ones the paper's
+correctness rests on:
+
+* a query selects a tuple iff its atom set is included in the tuple's
+  equality type;
+* uninformative classification is sound: the certain label matches what the
+  goal query would answer, for every goal consistent with the examples;
+* the interactive loop always converges to a query instance-equivalent to the
+  goal and never asks more membership queries than there are tuples;
+* labels produced by a consistent user never make the example set inconsistent.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AtomUniverse,
+    CandidateTable,
+    GoalQueryOracle,
+    InferenceState,
+    JoinInferenceEngine,
+    JoinQuery,
+    Label,
+)
+from repro.core.equality_types import EqualityTypeIndex
+
+SETTINGS = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def candidate_tables(draw, max_columns: int = 4, max_rows: int = 12) -> CandidateTable:
+    """Random flat candidate tables over a small integer domain."""
+    num_columns = draw(st.integers(min_value=2, max_value=max_columns))
+    num_rows = draw(st.integers(min_value=1, max_value=max_rows))
+    domain = draw(st.integers(min_value=2, max_value=4))
+    rows = draw(
+        st.lists(
+            st.tuples(*[st.integers(min_value=0, max_value=domain - 1)] * num_columns),
+            min_size=num_rows,
+            max_size=num_rows,
+        )
+    )
+    names = [f"c{i}" for i in range(num_columns)]
+    return CandidateTable.from_rows(names, rows)
+
+
+@st.composite
+def tables_with_goals(draw) -> tuple[CandidateTable, JoinQuery]:
+    """A random table together with a random goal query over its universe."""
+    table = draw(candidate_tables())
+    universe = AtomUniverse.from_table(table)
+    num_atoms = draw(st.integers(min_value=0, max_value=min(3, universe.size)))
+    atoms = draw(
+        st.lists(st.sampled_from(list(universe.atoms)), min_size=num_atoms, max_size=num_atoms)
+    )
+    return table, JoinQuery(atoms)
+
+
+class TestSelectionSemantics:
+    @SETTINGS
+    @given(data=tables_with_goals())
+    def test_query_selects_iff_atoms_subset_of_equality_type(self, data):
+        table, goal = data
+        universe = AtomUniverse.from_table(table)
+        index = EqualityTypeIndex(universe)
+        goal_mask = goal.mask(universe)
+        selected = goal.evaluate(table)
+        for tuple_id in table.tuple_ids:
+            assert (tuple_id in selected) == (goal_mask & ~index.mask(tuple_id) == 0)
+
+    @SETTINGS
+    @given(data=tables_with_goals())
+    def test_adding_atoms_never_selects_more(self, data):
+        table, goal = data
+        universe = AtomUniverse.from_table(table)
+        extra_atom = universe.atoms[0]
+        larger = JoinQuery(set(goal.atoms) | {extra_atom})
+        assert larger.evaluate(table) <= goal.evaluate(table)
+
+    @SETTINGS
+    @given(table=candidate_tables())
+    def test_equality_type_index_consistent_with_universe(self, table):
+        universe = AtomUniverse.from_table(table)
+        index = EqualityTypeIndex(universe)
+        positions = {name: pos for pos, name in enumerate(table.attribute_names)}
+        for tuple_id, row in enumerate(table.rows):
+            mask = index.mask(tuple_id)
+            for bit, atom in enumerate(universe.atoms):
+                assert bool(mask >> bit & 1) == atom.holds_on(row, positions)
+
+
+class TestInformativenessSoundness:
+    @SETTINGS
+    @given(data=tables_with_goals(), labels=st.data())
+    def test_certain_labels_agree_with_every_consistent_goal(self, data, labels):
+        table, goal = data
+        state = InferenceState(table)
+        oracle = GoalQueryOracle(goal)
+        # Answer a random prefix of membership queries with the goal oracle.
+        steps = labels.draw(st.integers(min_value=0, max_value=min(5, len(table))))
+        for _ in range(steps):
+            informative = state.informative_ids()
+            if not informative:
+                break
+            tuple_id = labels.draw(st.sampled_from(informative))
+            state.add_label(tuple_id, oracle.label(table, tuple_id))
+        # Soundness: any certain tuple's implied label matches the goal's answer,
+        # because the goal is one of the still-consistent queries.
+        goal_selected = goal.evaluate(table)
+        for tuple_id, status in state.statuses().items():
+            if status.is_certain:
+                implied = status.implied_label
+                actual = Label.POSITIVE if tuple_id in goal_selected else Label.NEGATIVE
+                assert implied == actual
+
+    @SETTINGS
+    @given(data=tables_with_goals())
+    def test_goal_query_always_remains_consistent(self, data):
+        table, goal = data
+        state = InferenceState(table)
+        oracle = GoalQueryOracle(goal)
+        while state.has_informative_tuple():
+            tuple_id = state.informative_ids()[0]
+            state.add_label(tuple_id, oracle.label(table, tuple_id))
+            assert state.is_consistent()
+            assert state.space.admits_mask(goal.mask(state.universe))
+
+
+class TestConvergenceProperties:
+    @SETTINGS
+    @given(data=tables_with_goals())
+    def test_engine_converges_to_an_instance_equivalent_query(self, data):
+        table, goal = data
+        engine = JoinInferenceEngine(table, strategy="lookahead-entropy")
+        result = engine.run(GoalQueryOracle(goal))
+        assert result.converged
+        assert result.matches_goal(goal)
+        assert result.num_interactions <= len(table)
+
+    @SETTINGS
+    @given(data=tables_with_goals())
+    def test_all_strategies_agree_on_the_selected_tuples(self, data):
+        table, goal = data
+        target = goal.evaluate(table)
+        for strategy in ("random", "local-most-specific", "lookahead-minmax"):
+            result = JoinInferenceEngine(table, strategy=strategy).run(GoalQueryOracle(goal))
+            assert result.query.evaluate(table) == target
+
+    @SETTINGS
+    @given(table=candidate_tables())
+    def test_prune_counts_match_simulation_on_random_tables(self, table):
+        state = InferenceState(table)
+        informative = state.informative_ids()
+        for tuple_id in informative[:5]:
+            before = set(state.informative_ids())
+            plus, minus = state.prune_counts(tuple_id)
+            after_plus = set(state.simulate_label(tuple_id, Label.POSITIVE).informative_ids())
+            after_minus = set(state.simulate_label(tuple_id, Label.NEGATIVE).informative_ids())
+            assert plus == len(before - after_plus)
+            assert minus == len(before - after_minus)
+
+
+class TestQueryAlgebraProperties:
+    @SETTINGS
+    @given(data=tables_with_goals())
+    def test_normalisation_preserves_selection(self, data):
+        table, goal = data
+        assert goal.normalized().evaluate(table) == goal.evaluate(table)
+
+    @SETTINGS
+    @given(data=tables_with_goals())
+    def test_closure_preserves_selection(self, data):
+        table, goal = data
+        assert goal.closure().evaluate(table) == goal.evaluate(table)
+
+    @SETTINGS
+    @given(left=tables_with_goals(), extra=st.data())
+    def test_union_selects_intersection_of_selections(self, left, extra):
+        table, first = left
+        universe = AtomUniverse.from_table(table)
+        atoms = extra.draw(
+            st.lists(st.sampled_from(list(universe.atoms)), min_size=0, max_size=2)
+        )
+        second = JoinQuery(atoms)
+        combined = first | second
+        assert combined.evaluate(table) == first.evaluate(table) & second.evaluate(table)

@@ -1,0 +1,144 @@
+"""Property-based tests for the relational substrate and the session layer."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import CandidateTable, GoalQueryOracle, JoinQuery
+from repro.baselines.label_all import exhaustive_inference
+from repro.baselines.random_order import RandomOrderBaseline
+from repro.core.atoms import AtomUniverse
+from repro.relational import DatabaseInstance, Relation
+from repro.relational.csv_io import read_relation_csv_text, write_relation_csv
+from repro.sessions.modes import GuidedSession, TopKSession
+
+SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+value_columns = st.lists(
+    st.integers(min_value=0, max_value=3), min_size=1, max_size=6
+)
+
+
+@st.composite
+def small_instances(draw) -> DatabaseInstance:
+    """Instances of two relations with small integer domains."""
+    arity_left = draw(st.integers(min_value=1, max_value=3))
+    arity_right = draw(st.integers(min_value=1, max_value=3))
+    rows_left = draw(st.integers(min_value=1, max_value=5))
+    rows_right = draw(st.integers(min_value=1, max_value=5))
+    left = Relation.build(
+        "L",
+        [f"a{i}" for i in range(arity_left)],
+        [
+            tuple(draw(st.integers(min_value=0, max_value=3)) for _ in range(arity_left))
+            for _ in range(rows_left)
+        ],
+    )
+    right = Relation.build(
+        "R",
+        [f"b{i}" for i in range(arity_right)],
+        [
+            tuple(draw(st.integers(min_value=0, max_value=3)) for _ in range(arity_right))
+            for _ in range(rows_right)
+        ],
+    )
+    return DatabaseInstance("db", [left, right])
+
+
+class TestCrossProductProperties:
+    @SETTINGS
+    @given(instance=small_instances())
+    def test_cross_product_size_is_product_of_relation_sizes(self, instance):
+        table = CandidateTable.cross_product(instance)
+        assert len(table) == instance.cross_product_size()
+
+    @SETTINGS
+    @given(instance=small_instances())
+    def test_cross_product_columns_are_all_base_columns(self, instance):
+        table = CandidateTable.cross_product(instance)
+        expected = sum(relation.arity for relation in instance)
+        assert len(table.attributes) == expected
+        assert table.has_provenance()
+
+    @SETTINGS
+    @given(instance=small_instances(), max_rows=st.integers(min_value=1, max_value=10))
+    def test_sampling_never_invents_rows(self, instance, max_rows):
+        full = CandidateTable.cross_product(instance)
+        sampled = CandidateTable.cross_product(instance, max_rows=max_rows)
+        assert len(sampled) == min(max_rows, len(full))
+        assert set(sampled.rows) <= set(full.rows)
+
+
+class TestCsvRoundTripProperties:
+    @SETTINGS
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(min_value=-1000, max_value=1000),
+                st.text(
+                    alphabet=st.characters(whitelist_categories=("Lu", "Ll"), min_codepoint=32),
+                    min_size=0,
+                    max_size=8,
+                    # A leading marker keeps non-empty values unambiguously textual
+                    # (so CSV type detection cannot reinterpret them as booleans).
+                ).map(lambda s: f"x{s}" if s else s),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_relation_csv_roundtrip(self, rows, tmp_path_factory):
+        relation = Relation.build("R", ["num", "text"], rows)
+        path = tmp_path_factory.mktemp("csv") / "relation.csv"
+        write_relation_csv(relation, path)
+        loaded = read_relation_csv_text(path.read_text(encoding="utf-8"), "R")
+        # Empty strings round-trip as NULL; numbers and non-empty text survive.
+        for original, reloaded in zip(relation.rows, loaded.rows):
+            assert reloaded[0] == original[0]
+            assert reloaded[1] == (original[1] if original[1] != "" else None)
+
+
+class TestSessionEquivalenceProperties:
+    @SETTINGS
+    @given(instance=small_instances(), data=st.data())
+    def test_all_access_paths_agree_on_the_selected_tuples(self, instance, data):
+        table = CandidateTable.cross_product(instance)
+        try:
+            universe = AtomUniverse.from_table(table)
+        except Exception:
+            return  # single-column relations may yield an empty universe
+        atoms = data.draw(
+            st.lists(st.sampled_from(list(universe.atoms)), min_size=1, max_size=2)
+        )
+        goal = JoinQuery(atoms)
+        target = goal.evaluate(table)
+
+        guided = GuidedSession(table, strategy="lookahead-minmax")
+        guided.run(GoalQueryOracle(goal))
+        top_k = TopKSession(table, k=2)
+        top_k.run(GoalQueryOracle(goal))
+        exhaustive = exhaustive_inference(table, GoalQueryOracle(goal))
+        unguided = RandomOrderBaseline(seed=0).run(table, GoalQueryOracle(goal))
+
+        assert guided.inferred_query().evaluate(table) == target
+        assert top_k.inferred_query().evaluate(table) == target
+        assert exhaustive.query.evaluate(table) == target
+        assert unguided.query.evaluate(table) == target
+
+    @SETTINGS
+    @given(instance=small_instances(), data=st.data())
+    def test_guided_session_never_asks_more_than_table_size(self, instance, data):
+        table = CandidateTable.cross_product(instance)
+        try:
+            universe = AtomUniverse.from_table(table)
+        except Exception:
+            return
+        atom = data.draw(st.sampled_from(list(universe.atoms)))
+        goal = JoinQuery([atom])
+        session = GuidedSession(table, strategy="lookahead-entropy")
+        session.run(GoalQueryOracle(goal))
+        assert session.num_interactions <= len(table)
+        assert session.is_converged()

@@ -1,0 +1,158 @@
+"""Tests for candidate tables (denormalised tuple spaces)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.exceptions import CandidateTableError, UnknownAttributeError
+from repro.relational.candidate import (
+    CandidateAttribute,
+    CandidateTable,
+    candidate_table_to_relation,
+    denormalize,
+)
+from repro.relational.relation import Relation
+from repro.relational.types import DataType
+
+
+class TestFromRows:
+    def test_infers_column_types(self):
+        table = CandidateTable.from_rows(["a", "b"], [(1, "x"), (2, "y")])
+        assert table.attribute("a").data_type is DataType.INTEGER
+        assert table.attribute("b").data_type is DataType.TEXT
+
+    def test_source_relations_recorded(self):
+        table = CandidateTable.from_rows(
+            ["a", "b"], [(1, 2)], source_relations=["R", "S"]
+        )
+        assert table.source_relations() == ("R", "S")
+        assert table.has_provenance()
+
+    def test_source_relations_length_checked(self):
+        with pytest.raises(CandidateTableError):
+            CandidateTable.from_rows(["a", "b"], [(1, 2)], source_relations=["R"])
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(CandidateTableError):
+            CandidateTable.from_rows(["a", "a"], [(1, 2)])
+
+    def test_row_arity_validated(self):
+        with pytest.raises(CandidateTableError):
+            CandidateTable.from_rows(["a", "b"], [(1,)])
+
+    def test_empty_attribute_list_rejected(self):
+        with pytest.raises(CandidateTableError):
+            CandidateTable([], [])
+
+
+class TestFromRelation:
+    def test_preserves_rows_and_names(self):
+        relation = Relation.build("flat", ["x", "y"], [(1, 2), (3, 4)])
+        table = CandidateTable.from_relation(relation)
+        assert table.attribute_names == ("x", "y")
+        assert table.rows == ((1, 2), (3, 4))
+        assert not table.has_provenance()
+
+
+class TestCrossProduct:
+    def test_full_cross_product(self, people_pets_instance):
+        table = CandidateTable.cross_product(people_pets_instance)
+        assert len(table) == 9
+        assert table.attribute_names[:3] == ("people.pid", "people.name", "people.city")
+        assert table.has_provenance()
+
+    def test_rows_follow_itertools_product_order(self, people_pets_instance):
+        table = CandidateTable.cross_product(people_pets_instance)
+        people = people_pets_instance.relation("people").rows
+        pets = people_pets_instance.relation("pets").rows
+        expected = [tuple(a + b) for a, b in itertools.product(people, pets)]
+        assert list(table.rows) == expected
+
+    def test_relation_subset_and_order(self, people_pets_instance):
+        table = CandidateTable.cross_product(people_pets_instance, relation_names=["pets"])
+        assert table.attribute_names == ("pets.owner", "pets.animal")
+        assert len(table) == 3
+
+    def test_sampling_caps_rows(self, people_pets_instance):
+        table = CandidateTable.cross_product(
+            people_pets_instance, max_rows=4, rng=random.Random(1)
+        )
+        assert len(table) == 4
+
+    def test_sampled_rows_are_real_combinations(self, people_pets_instance):
+        full = CandidateTable.cross_product(people_pets_instance)
+        sampled = CandidateTable.cross_product(
+            people_pets_instance, max_rows=5, rng=random.Random(3)
+        )
+        assert set(sampled.rows) <= set(full.rows)
+
+    def test_sampling_is_reproducible(self, people_pets_instance):
+        first = CandidateTable.cross_product(
+            people_pets_instance, max_rows=4, rng=random.Random(7)
+        )
+        second = CandidateTable.cross_product(
+            people_pets_instance, max_rows=4, rng=random.Random(7)
+        )
+        assert first.rows == second.rows
+
+    def test_empty_relation_gives_empty_product(self):
+        from repro.relational.instance import DatabaseInstance
+
+        empty = Relation.build("E", ["x"], [])
+        other = Relation.build("O", ["y"], [(1,)])
+        table = CandidateTable.cross_product(DatabaseInstance("db", [empty, other]))
+        assert len(table) == 0
+
+    def test_no_relations_rejected(self, people_pets_instance):
+        with pytest.raises(CandidateTableError):
+            CandidateTable.cross_product(people_pets_instance, relation_names=[])
+
+    def test_denormalize_shorthand(self, people_pets_instance):
+        assert len(denormalize(people_pets_instance)) == 9
+
+
+class TestAccessors:
+    @pytest.fixture
+    def table(self):
+        return CandidateTable.from_rows(["a", "b"], [(1, 2), (3, 4)])
+
+    def test_value_and_row(self, table):
+        assert table.value(1, "b") == 4
+        assert table.row(0) == (1, 2)
+
+    def test_unknown_attribute(self, table):
+        with pytest.raises(UnknownAttributeError):
+            table.position_of("zzz")
+
+    def test_unknown_tuple_id(self, table):
+        with pytest.raises(CandidateTableError):
+            table.row(99)
+
+    def test_column(self, table):
+        assert table.column("a") == [1, 3]
+
+    def test_as_dicts(self, table):
+        assert table.as_dicts()[1] == {"a": 3, "b": 4}
+
+    def test_subset_renumbers_tuples(self, table):
+        subset = table.subset([1])
+        assert len(subset) == 1
+        assert subset.row(0) == (3, 4)
+
+    def test_tuple_ids(self, table):
+        assert list(table.tuple_ids) == [0, 1]
+
+
+class TestConversion:
+    def test_candidate_table_to_relation_replaces_dots(self, people_pets_instance):
+        table = CandidateTable.cross_product(people_pets_instance)
+        relation = candidate_table_to_relation(table)
+        assert "people_pid" in relation.schema.attribute_names
+        assert len(relation) == len(table)
+
+    def test_attribute_dataclass(self):
+        attr = CandidateAttribute("x", DataType.INTEGER, "R")
+        assert str(attr) == "x"

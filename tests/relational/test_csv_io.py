@@ -1,0 +1,90 @@
+"""Tests for CSV import/export of relations and candidate tables."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.candidate import CandidateTable
+from repro.relational.csv_io import (
+    read_candidate_table_csv,
+    read_relation_csv,
+    read_relation_csv_text,
+    write_candidate_table_csv,
+    write_relation_csv,
+)
+from repro.relational.relation import Relation
+from repro.relational.types import DataType
+
+
+class TestReadRelation:
+    def test_reads_header_and_rows(self):
+        relation = read_relation_csv_text("a,b\n1,x\n2,y\n", name="R")
+        assert relation.schema.attribute_names == ("a", "b")
+        assert relation.rows == ((1, "x"), (2, "y"))
+
+    def test_detects_types_per_column(self):
+        relation = read_relation_csv_text("k,price,day\n1,2.5,2014-09-01\n", name="R")
+        types = [attr.data_type for attr in relation.schema.attributes]
+        assert types == [DataType.INTEGER, DataType.FLOAT, DataType.DATE]
+        assert relation.rows[0][2] == datetime.date(2014, 9, 1)
+
+    def test_null_token_becomes_none(self):
+        relation = read_relation_csv_text("a,b\nx,\n", name="R")
+        assert relation.rows[0] == ("x", None)
+
+    def test_blank_lines_skipped(self):
+        relation = read_relation_csv_text("a\n1\n\n2\n", name="R")
+        assert len(relation) == 2
+
+    def test_empty_text_raises(self):
+        with pytest.raises(SchemaError):
+            read_relation_csv_text("", name="R")
+
+    def test_ragged_row_raises(self):
+        with pytest.raises(SchemaError):
+            read_relation_csv_text("a,b\n1\n", name="R")
+
+
+class TestRoundTrips:
+    def test_relation_roundtrip(self, tmp_path):
+        original = Relation.build(
+            "cities", ["name", "pop"], [("Paris", 2100000), ("Lille", 230000)]
+        )
+        path = tmp_path / "cities.csv"
+        write_relation_csv(original, path)
+        loaded = read_relation_csv(path)
+        assert loaded.name == "cities"
+        assert loaded.rows == original.rows
+
+    def test_none_roundtrips_as_null_token(self, tmp_path):
+        original = Relation.build("R", ["a", "b"], [("x", None), ("y", "z")])
+        path = tmp_path / "r.csv"
+        write_relation_csv(original, path)
+        loaded = read_relation_csv(path)
+        assert loaded.rows == original.rows
+
+    def test_candidate_table_roundtrip(self, tmp_path):
+        table = CandidateTable.from_rows(["a", "b"], [(1, 2), (3, 4)])
+        path = tmp_path / "cand.csv"
+        write_candidate_table_csv(table, path)
+        loaded = read_candidate_table_csv(path)
+        assert loaded.rows == table.rows
+
+    def test_candidate_table_with_labels_adds_label_column(self, tmp_path):
+        table = CandidateTable.from_rows(["a"], [(1,), (2,)])
+        path = tmp_path / "labeled.csv"
+        write_candidate_table_csv(table, path, labels={0: "+"})
+        text = path.read_text(encoding="utf-8")
+        assert text.splitlines()[0].startswith("label,")
+        assert text.splitlines()[1].startswith("+,")
+        assert text.splitlines()[2].startswith(",")
+
+    def test_figure1_roundtrip(self, tmp_path, figure1_table):
+        path = tmp_path / "fig1.csv"
+        write_candidate_table_csv(figure1_table, path)
+        loaded = read_candidate_table_csv(path)
+        assert len(loaded) == 12
+        assert loaded.row(2) == figure1_table.row(2)

@@ -1,0 +1,55 @@
+"""Tests for database instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError, UnknownRelationError
+from repro.relational.instance import DatabaseInstance
+from repro.relational.relation import Relation
+
+
+class TestDatabaseInstance:
+    def test_relations_in_insertion_order(self, people_pets_instance):
+        assert people_pets_instance.relation_names == ("people", "pets")
+
+    def test_lookup_by_name(self, people_pets_instance):
+        assert people_pets_instance.relation("pets").name == "pets"
+
+    def test_unknown_relation_raises(self, people_pets_instance):
+        with pytest.raises(UnknownRelationError):
+            people_pets_instance.relation("plants")
+
+    def test_duplicate_relation_rejected(self, people_pets_instance):
+        with pytest.raises(SchemaError):
+            people_pets_instance.add(Relation.build("people", ["x"], [(1,)]))
+
+    def test_schema_reflects_relations(self, people_pets_instance):
+        schema = people_pets_instance.schema
+        assert schema.relation_names == ("people", "pets")
+        assert schema.relation("people").arity == 3
+
+    def test_subset_preserves_order_given(self, people_pets_instance):
+        subset = people_pets_instance.subset(["pets", "people"])
+        assert subset.relation_names == ("pets", "people")
+
+    def test_total_rows(self, people_pets_instance):
+        assert people_pets_instance.total_rows() == 6
+
+    def test_cross_product_size(self, people_pets_instance):
+        assert people_pets_instance.cross_product_size() == 9
+        assert people_pets_instance.cross_product_size(["people"]) == 3
+
+    def test_summary(self, people_pets_instance):
+        assert people_pets_instance.summary() == {"people": 3, "pets": 3}
+
+    def test_contains_iter_len(self, people_pets_instance):
+        assert "people" in people_pets_instance
+        assert "plants" not in people_pets_instance
+        assert len(people_pets_instance) == 2
+        assert [relation.name for relation in people_pets_instance] == ["people", "pets"]
+
+    def test_empty_instance(self):
+        empty = DatabaseInstance("empty")
+        assert len(empty) == 0
+        assert empty.total_rows() == 0

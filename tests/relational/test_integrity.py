@@ -1,0 +1,99 @@
+"""Tests for key and inclusion-dependency discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.tpch import generate_tpch
+from repro.relational.instance import DatabaseInstance
+from repro.relational.integrity import (
+    InclusionDependency,
+    candidate_keys,
+    foreign_key_candidates,
+    join_goal_pairs,
+    unary_inclusion_dependencies,
+)
+from repro.relational.relation import Relation
+
+
+class TestCandidateKeys:
+    def test_unique_column_is_a_key(self):
+        relation = Relation.build("R", ["id", "name"], [(1, "a"), (2, "a")])
+        assert candidate_keys(relation) == ["id"]
+
+    def test_duplicate_values_disqualify(self):
+        relation = Relation.build("R", ["x"], [(1,), (1,)])
+        assert candidate_keys(relation) == []
+
+    def test_null_values_disqualify(self):
+        relation = Relation.build("R", ["x"], [(1,), (None,)])
+        assert candidate_keys(relation) == []
+
+    def test_empty_relation_has_no_keys(self):
+        relation = Relation.build("R", ["x"], [], data_types=None) if False else Relation.build("R", ["x"], [(1,)])
+        empty = relation.select(lambda row: False)
+        assert candidate_keys(empty) == []
+
+
+class TestInclusionDependencies:
+    @pytest.fixture
+    def instance(self, people_pets_instance) -> DatabaseInstance:
+        return people_pets_instance
+
+    def test_fk_column_included_in_key_column(self, instance):
+        dependencies = unary_inclusion_dependencies(instance)
+        assert (
+            InclusionDependency("pets", "owner", "people", "pid") in dependencies
+        )
+
+    def test_incompatible_types_skipped(self, instance):
+        dependencies = unary_inclusion_dependencies(instance)
+        assert all(
+            not (dep.dependent_attribute == "animal" and dep.referenced_attribute == "pid")
+            for dep in dependencies
+        )
+
+    def test_min_overlap_relaxation(self):
+        left = Relation.build("L", ["x"], [(1,), (2,), (9,)])
+        right = Relation.build("R", ["y"], [(1,), (2,), (3,)])
+        instance = DatabaseInstance("db", [left, right])
+        strict = unary_inclusion_dependencies(instance)
+        relaxed = unary_inclusion_dependencies(instance, min_overlap=0.6)
+        assert all(dep.dependent_relation != "L" for dep in strict)
+        assert any(
+            dep.dependent_relation == "L" and dep.referenced_relation == "R" for dep in relaxed
+        )
+
+    def test_invalid_overlap_rejected(self, instance):
+        with pytest.raises(ValueError):
+            unary_inclusion_dependencies(instance, min_overlap=0.0)
+
+    def test_foreign_key_candidates_require_key_target(self, instance):
+        fks = foreign_key_candidates(instance)
+        assert InclusionDependency("pets", "owner", "people", "pid") in fks
+        assert all(dep.referenced_attribute in {"pid", "name", "city", "animal"} for dep in fks)
+
+    def test_join_goal_pairs_deduplicates(self):
+        deps = [
+            InclusionDependency("A", "x", "B", "y"),
+            InclusionDependency("B", "y", "A", "x"),
+        ]
+        pairs = join_goal_pairs(deps)
+        assert len(pairs) == 1
+
+    def test_join_goal_pairs_limit(self):
+        deps = [
+            InclusionDependency("A", "x", "B", "y"),
+            InclusionDependency("A", "z", "B", "y"),
+        ]
+        assert len(join_goal_pairs(deps, limit=1)) == 1
+
+
+class TestTPCHForeignKeys:
+    def test_known_fks_are_discovered(self):
+        instance = generate_tpch()
+        fks = foreign_key_candidates(instance)
+        pairs = {dep.as_equality for dep in fks}
+        assert ("orders.o_custkey", "customer.c_custkey") in pairs
+        assert ("lineitem.l_orderkey", "orders.o_orderkey") in pairs
+        assert ("nation.n_regionkey", "region.r_regionkey") in pairs

@@ -1,0 +1,88 @@
+"""Tests for GAV-mapping rendering of inferred join queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CandidateTable, GoalQueryOracle, JoinQuery, infer_join
+from repro.datasets import flights_hotels
+from repro.exceptions import CandidateTableError
+from repro.relational.mappings import as_gav_mapping
+
+
+@pytest.fixture
+def qualified_table() -> CandidateTable:
+    return flights_hotels.qualified_figure1_table()
+
+
+class TestAsGavMapping:
+    def test_requires_provenance(self, figure1_table):
+        flat = CandidateTable.from_rows(
+            flights_hotels.FIGURE1_COLUMNS, flights_hotels.FIGURE1_ROWS
+        )
+        with pytest.raises(CandidateTableError):
+            as_gav_mapping(flights_hotels.query_q1(), flat)
+
+    def test_source_relations_in_table_order(self, qualified_table):
+        mapping = as_gav_mapping(flights_hotels.qualified_query_q2(), qualified_table)
+        assert mapping.source_relations == ("Flights", "Hotels")
+        assert mapping.target == "Target"
+
+    def test_joined_attributes_share_a_variable(self, qualified_table):
+        mapping = as_gav_mapping(flights_hotels.qualified_query_q2(), qualified_table)
+        variables = mapping.attribute_variables
+        assert variables["Flights.To"] == variables["Hotels.City"]
+        assert variables["Flights.Airline"] == variables["Hotels.Discount"]
+        assert variables["Flights.From"] not in (
+            variables["Flights.To"],
+            variables["Flights.Airline"],
+        )
+
+    def test_unjoined_attributes_have_distinct_variables(self, qualified_table):
+        mapping = as_gav_mapping(JoinQuery.empty(), qualified_table)
+        variables = list(mapping.attribute_variables.values())
+        assert len(set(variables)) == len(variables)
+
+    def test_datalog_rendering(self, qualified_table):
+        mapping = as_gav_mapping(
+            flights_hotels.qualified_query_q2(), qualified_table, target="Package"
+        )
+        rule = mapping.to_datalog()
+        assert rule.startswith("Package(")
+        assert ":- Flights(" in rule and "Hotels(" in rule
+        assert rule.endswith(".")
+        # The hotel atom reuses the flight variables for City and Discount.
+        head, body = rule.split(":-")
+        flights_part = body.split("Flights(")[1].split(")")[0]
+        hotels_part = body.split("Hotels(")[1].split(")")[0]
+        flight_vars = [v.strip() for v in flights_part.split(",")]
+        hotel_vars = [v.strip() for v in hotels_part.split(",")]
+        assert hotel_vars[0] == flight_vars[1]   # City = To
+        assert hotel_vars[1] == flight_vars[2]   # Discount = Airline
+
+    def test_sql_view_rendering(self, qualified_table):
+        mapping = as_gav_mapping(
+            flights_hotels.qualified_query_q1(), qualified_table, target="Packages"
+        )
+        view = mapping.to_sql_view()
+        assert view.startswith('CREATE VIEW "Packages" AS SELECT')
+        assert '"Flights"."To" = "Hotels"."City"' in view
+
+    def test_evaluate_matches_query_evaluation(self, qualified_table):
+        instance = flights_hotels.travel_instance()
+        query = flights_hotels.qualified_query_q2()
+        mapping = as_gav_mapping(query, qualified_table)
+        rows = mapping.evaluate(instance)
+        expected = [qualified_table.row(tid) for tid in sorted(query.evaluate(qualified_table))]
+        assert rows == expected
+
+    def test_mapping_from_inferred_query(self, qualified_table):
+        goal = flights_hotels.qualified_query_q2()
+        result = infer_join(qualified_table, GoalQueryOracle(goal), strategy="lookahead-minmax")
+        mapping = as_gav_mapping(result.query, qualified_table, target="Package")
+        assert "Package(" in mapping.to_datalog()
+        assert str(mapping) == mapping.to_datalog()
+
+    def test_target_attribute_list(self, qualified_table):
+        mapping = as_gav_mapping(flights_hotels.qualified_query_q1(), qualified_table)
+        assert mapping.target_attributes == qualified_table.attribute_names

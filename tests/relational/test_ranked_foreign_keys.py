@@ -1,0 +1,61 @@
+"""Tests for ranked foreign-key discovery."""
+
+from __future__ import annotations
+
+from repro.datasets.tpch import TPCHConfig, generate_tpch
+from repro.relational.integrity import (
+    RankedForeignKey,
+    attribute_name_similarity,
+    ranked_foreign_keys,
+)
+
+
+class TestNameSimilarity:
+    def test_identical_names(self):
+        assert attribute_name_similarity("custkey", "custkey") == 1.0
+
+    def test_prefixed_tpch_names(self):
+        assert attribute_name_similarity("o_custkey", "c_custkey") == 1.0
+        assert attribute_name_similarity("l_orderkey", "o_orderkey") == 1.0
+
+    def test_unrelated_names_score_low(self):
+        assert attribute_name_similarity("o_totalprice", "c_custkey") < 0.6
+
+    def test_long_prefixes_are_not_stripped(self):
+        # Only short (≤2 character) prefixes are treated as relation markers.
+        assert attribute_name_similarity("orders_custkey", "c_custkey") < 1.0
+
+
+class TestRankedForeignKeys:
+    def test_classic_fks_rank_at_the_top(self):
+        ranked = ranked_foreign_keys(generate_tpch(TPCHConfig(seed=1)), min_score=0.6)
+        pairs = [candidate.dependency.as_equality for candidate in ranked]
+        assert ("orders.o_custkey", "customer.c_custkey") in pairs
+        assert ("lineitem.l_orderkey", "orders.o_orderkey") in pairs
+        assert ("nation.n_regionkey", "region.r_regionkey") in pairs
+
+    def test_threshold_filters_chance_inclusions(self):
+        instance = generate_tpch(TPCHConfig(seed=1))
+        unfiltered = ranked_foreign_keys(instance, min_score=-10.0)
+        filtered = ranked_foreign_keys(instance, min_score=0.6)
+        assert len(filtered) < len(unfiltered)
+        assert all(candidate.score >= 0.6 for candidate in filtered)
+
+    def test_key_to_key_inclusions_are_penalised(self):
+        instance = generate_tpch(TPCHConfig(seed=1))
+        ranked = {c.dependency.as_equality: c for c in ranked_foreign_keys(instance, min_score=-10.0)}
+        key_to_key = ranked.get(("region.r_regionkey", "nation.n_nationkey"))
+        real_fk = ranked[("nation.n_regionkey", "region.r_regionkey")]
+        assert real_fk.score > 0.5
+        if key_to_key is not None:
+            assert key_to_key.score < real_fk.score
+
+    def test_results_sorted_by_score(self):
+        ranked = ranked_foreign_keys(generate_tpch(TPCHConfig(seed=0)), min_score=-10.0)
+        scores = [candidate.score for candidate in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_dataclass_shape(self):
+        ranked = ranked_foreign_keys(generate_tpch(TPCHConfig(seed=0)), min_score=0.6)
+        assert ranked and isinstance(ranked[0], RankedForeignKey)
+        assert 0.0 <= ranked[0].name_similarity <= 1.0

@@ -1,0 +1,93 @@
+"""Tests for in-memory relations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.types import DataType
+
+
+@pytest.fixture
+def cities() -> Relation:
+    return Relation.build(
+        "cities",
+        ["name", "population", "country"],
+        [
+            ("Paris", 2_100_000, "FR"),
+            ("Lille", 230_000, "FR"),
+            ("NYC", 8_400_000, "US"),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_build_infers_column_types(self, cities):
+        types = [attr.data_type for attr in cities.schema.attributes]
+        assert types == [DataType.TEXT, DataType.INTEGER, DataType.TEXT]
+
+    def test_build_with_explicit_types(self):
+        relation = Relation.build(
+            "R", ["a"], [(1,)], data_types=[DataType.FLOAT]
+        )
+        assert relation.schema.attributes[0].data_type is DataType.FLOAT
+
+    def test_build_rejects_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            Relation.build("R", ["a", "b"], [(1,)])
+
+    def test_build_rejects_mismatched_type_list(self):
+        with pytest.raises(SchemaError):
+            Relation.build("R", ["a"], [(1,)], data_types=[DataType.INTEGER, DataType.TEXT])
+
+    def test_insert_validates_arity(self, cities):
+        with pytest.raises(SchemaError):
+            cities.insert(("Toulouse",))
+
+    def test_extend_appends_rows(self, cities):
+        cities.extend([("Lyon", 520_000, "FR")])
+        assert len(cities) == 4
+
+
+class TestOperations:
+    def test_column_returns_values_in_order(self, cities):
+        assert cities.column("name") == ["Paris", "Lille", "NYC"]
+
+    def test_project_keeps_selected_attributes(self, cities):
+        projected = cities.project(["name", "country"])
+        assert projected.schema.attribute_names == ("name", "country")
+        assert projected.rows[0] == ("Paris", "FR")
+
+    def test_select_filters_rows(self, cities):
+        french = cities.select(lambda row: row[2] == "FR")
+        assert len(french) == 2
+
+    def test_distinct_removes_duplicates(self):
+        relation = Relation.build("R", ["a"], [(1,), (1,), (2,)])
+        assert len(relation.distinct()) == 2
+
+    def test_distinct_preserves_first_occurrence_order(self):
+        relation = Relation.build("R", ["a"], [(2,), (1,), (2,)])
+        assert [row[0] for row in relation.distinct()] == [2, 1]
+
+    def test_rename_changes_relation_and_qualified_names(self, cities):
+        renamed = cities.rename("towns")
+        assert renamed.name == "towns"
+        assert renamed.schema.qualified_names[0] == "towns.name"
+        assert renamed.rows == cities.rows
+
+    def test_as_dicts(self, cities):
+        first = cities.as_dicts()[0]
+        assert first == {"name": "Paris", "population": 2_100_000, "country": "FR"}
+
+    def test_equality(self):
+        left = Relation.build("R", ["a"], [(1,)])
+        right = Relation(RelationSchema.from_names("R", ["a"]), [(1,)])
+        # Schemas differ in data type (inferred INTEGER vs default TEXT).
+        assert left != right
+        assert left == Relation.build("R", ["a"], [(1,)])
+
+    def test_iteration_and_len(self, cities):
+        assert len(list(cities)) == len(cities) == 3

@@ -1,0 +1,105 @@
+"""Tests for attributes, relation schemas and database schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemaError, UnknownAttributeError, UnknownRelationError
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.types import DataType
+
+
+class TestAttribute:
+    def test_qualified_name_with_relation(self):
+        attr = Attribute("City", DataType.TEXT, relation="Hotels")
+        assert attr.qualified_name == "Hotels.City"
+
+    def test_qualified_name_without_relation(self):
+        assert Attribute("City").qualified_name == "City"
+
+    def test_short_name_strips_qualification(self):
+        assert Attribute("Hotels.City").short_name == "City"
+
+    def test_qualify_binds_relation(self):
+        attr = Attribute("City", DataType.TEXT).qualify("Hotels")
+        assert attr.relation == "Hotels"
+        assert attr.qualified_name == "Hotels.City"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+
+class TestRelationSchema:
+    def test_attributes_are_bound_to_the_relation(self):
+        schema = RelationSchema("Hotels", [Attribute("City"), Attribute("Discount")])
+        assert schema.qualified_names == ("Hotels.City", "Hotels.Discount")
+
+    def test_from_names_builds_uniform_schema(self):
+        schema = RelationSchema.from_names("R", ["a", "b", "c"])
+        assert schema.arity == 3
+        assert schema.attribute_names == ("a", "b", "c")
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [Attribute("a"), Attribute("a")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [])
+
+    def test_position_of_plain_and_qualified(self):
+        schema = RelationSchema.from_names("R", ["a", "b"])
+        assert schema.position_of("b") == 1
+        assert schema.position_of("R.b") == 1
+
+    def test_position_of_wrong_relation_raises(self):
+        schema = RelationSchema.from_names("R", ["a"])
+        with pytest.raises(UnknownAttributeError):
+            schema.position_of("S.a")
+
+    def test_unknown_attribute_raises(self):
+        schema = RelationSchema.from_names("R", ["a"])
+        with pytest.raises(UnknownAttributeError):
+            schema.position_of("z")
+
+    def test_contains(self):
+        schema = RelationSchema.from_names("R", ["a"])
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_equality_and_hash(self):
+        left = RelationSchema.from_names("R", ["a", "b"])
+        right = RelationSchema.from_names("R", ["a", "b"])
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_iteration_order(self):
+        schema = RelationSchema.from_names("R", ["a", "b"])
+        assert [attr.short_name for attr in schema] == ["a", "b"]
+
+
+class TestDatabaseSchema:
+    def test_of_registers_relations_in_order(self):
+        database = DatabaseSchema.of(
+            RelationSchema.from_names("A", ["x"]),
+            RelationSchema.from_names("B", ["y"]),
+        )
+        assert database.relation_names == ("A", "B")
+        assert len(database) == 2
+
+    def test_duplicate_relation_rejected(self):
+        database = DatabaseSchema.of(RelationSchema.from_names("A", ["x"]))
+        with pytest.raises(SchemaError):
+            database.add(RelationSchema.from_names("A", ["y"]))
+
+    def test_unknown_relation_raises(self):
+        database = DatabaseSchema()
+        with pytest.raises(UnknownRelationError):
+            database.relation("missing")
+
+    def test_contains_and_iter(self):
+        schema = RelationSchema.from_names("A", ["x"])
+        database = DatabaseSchema.of(schema)
+        assert "A" in database
+        assert list(database) == [schema]

@@ -1,0 +1,88 @@
+"""Tests for SQL rendering of join queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CandidateTable, JoinQuery
+from repro.datasets import flights_hotels
+from repro.exceptions import CandidateTableError
+from repro.relational.sql import (
+    column_reference,
+    quote_identifier,
+    render_flat_sql,
+    render_join_sql,
+)
+
+
+class TestQuoting:
+    def test_quote_identifier(self):
+        assert quote_identifier("City") == '"City"'
+
+    def test_quote_escapes_embedded_quotes(self):
+        assert quote_identifier('we"ird') == '"we""ird"'
+
+    def test_column_reference_plain(self):
+        assert column_reference("City") == '"City"'
+
+    def test_column_reference_qualified(self):
+        assert column_reference("Hotels.City") == '"Hotels"."City"'
+
+
+class TestRenderJoinSQL:
+    @pytest.fixture
+    def table(self):
+        return flights_hotels.qualified_figure1_table()
+
+    def test_renders_from_and_where(self, table):
+        sql = render_join_sql(flights_hotels.qualified_query_q2(), table)
+        assert sql.startswith("SELECT ")
+        assert 'FROM "Flights", "Hotels"' in sql
+        assert '"Flights"."To" = "Hotels"."City"' in sql
+        assert '"Flights"."Airline" = "Hotels"."Discount"' in sql
+        assert " AND " in sql
+
+    def test_empty_query_has_no_where(self, table):
+        sql = render_join_sql(JoinQuery.empty(), table)
+        assert "WHERE" not in sql
+
+    def test_projection_limits_select_list(self, table):
+        sql = render_join_sql(
+            flights_hotels.qualified_query_q1(), table, projection=["Flights.To"]
+        )
+        assert sql.startswith('SELECT "Flights"."To" FROM')
+
+    def test_requires_provenance(self):
+        flat = CandidateTable.from_rows(
+            flights_hotels.FIGURE1_COLUMNS, flights_hotels.FIGURE1_ROWS
+        )
+        with pytest.raises(CandidateTableError):
+            render_join_sql(flights_hotels.query_q1(), flat)
+
+
+class TestRenderFlatSQL:
+    def test_flat_rendering_uses_underscored_names(self):
+        table = flights_hotels.qualified_figure1_table()
+        sql = render_flat_sql(flights_hotels.qualified_query_q1(), table)
+        assert '"Flights_To" = "Hotels_City"' in sql
+        assert sql.startswith("SELECT * FROM")
+
+    def test_flat_rendering_of_unqualified_table(self, figure1_table):
+        sql = render_flat_sql(flights_hotels.query_q1(), figure1_table)
+        assert '"City" = "To"' in sql or '"To" = "City"' in sql
+
+    def test_to_sql_method_picks_flat_without_provenance(self):
+        flat = CandidateTable.from_rows(
+            flights_hotels.FIGURE1_COLUMNS, flights_hotels.FIGURE1_ROWS
+        )
+        sql = flights_hotels.query_q1().to_sql(flat)
+        assert sql.startswith("SELECT * FROM")
+
+    def test_to_sql_flat_flag_forces_flat_form(self, figure1_table):
+        sql = flights_hotels.query_q1().to_sql(figure1_table, flat=True)
+        assert sql.startswith("SELECT * FROM")
+
+    def test_to_sql_method_picks_relational_when_possible(self):
+        table = flights_hotels.qualified_figure1_table()
+        sql = flights_hotels.qualified_query_q1().to_sql(table)
+        assert 'FROM "Flights", "Hotels"' in sql

@@ -1,0 +1,87 @@
+"""Tests for the SQLite adapter: persistence and executing inferred joins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import flights_hotels
+from repro.exceptions import SchemaError
+from repro.relational import sqlite_adapter
+from repro.relational.candidate import CandidateTable
+from repro.relational.relation import Relation
+from repro.relational.types import DataType
+
+
+@pytest.fixture
+def connection():
+    conn = sqlite_adapter.connect()
+    yield conn
+    conn.close()
+
+
+class TestWriteAndRead:
+    def test_relation_roundtrip(self, connection):
+        original = Relation.build(
+            "cities", ["name", "pop"], [("Paris", 2100000), ("Lille", 230000)]
+        )
+        sqlite_adapter.write_relation(connection, original)
+        loaded = sqlite_adapter.read_relation(connection, "cities")
+        assert loaded.schema.attribute_names == ("name", "pop")
+        assert set(loaded.rows) == set(original.rows)
+
+    def test_boolean_roundtrips_as_integer(self, connection):
+        original = Relation.build("flags", ["ok"], [(True,), (False,)])
+        sqlite_adapter.write_relation(connection, original)
+        loaded = sqlite_adapter.read_relation(connection, "flags")
+        assert set(row[0] for row in loaded.rows) == {0, 1}
+
+    def test_instance_roundtrip(self, connection, people_pets_instance):
+        sqlite_adapter.write_instance(connection, people_pets_instance)
+        loaded = sqlite_adapter.read_instance(connection)
+        assert set(loaded.relation_names) == {"people", "pets"}
+        assert len(loaded.relation("pets")) == 3
+
+    def test_read_missing_table_raises(self, connection):
+        with pytest.raises(SchemaError):
+            sqlite_adapter.read_relation(connection, "missing")
+
+    def test_create_table_sql_types(self):
+        relation = Relation.build("R", ["a", "b"], [(1, 1.5)])
+        sql = sqlite_adapter.create_table_sql(relation.schema)
+        assert '"a" INTEGER' in sql
+        assert '"b" REAL' in sql
+
+    def test_declared_type_mapping(self, connection):
+        connection.execute('CREATE TABLE t ("x" VARCHAR(10), "y" DOUBLE)')
+        connection.execute("INSERT INTO t VALUES ('a', 1.5)")
+        loaded = sqlite_adapter.read_relation(connection, "t")
+        assert loaded.schema.attribute("x").data_type is DataType.TEXT
+        assert loaded.schema.attribute("y").data_type is DataType.FLOAT
+
+    def test_write_candidate_table(self, connection):
+        table = CandidateTable.from_rows(["R.a", "S.b"], [(1, 1), (1, 2)])
+        sqlite_adapter.write_candidate_table(connection, table)
+        rows = connection.execute('SELECT * FROM "candidates"').fetchall()
+        assert len(rows) == 2
+
+
+class TestExecuteJoin:
+    def test_inferred_query_matches_candidate_table_evaluation(self, connection):
+        instance = flights_hotels.travel_instance()
+        table = flights_hotels.qualified_figure1_table()
+        query = flights_hotels.qualified_query_q2()
+        sqlite_adapter.write_instance(connection, instance)
+        sql_rows = sqlite_adapter.execute_join(connection, query, table)
+        expected = {table.row(tid) for tid in query.evaluate(table)}
+        # The Discount ``None`` round-trips as SQL NULL.
+        assert len(sql_rows) == len(expected)
+        assert {tuple(row) for row in sql_rows} == expected
+
+    def test_empty_query_returns_full_cross_product(self, connection):
+        instance = flights_hotels.travel_instance()
+        table = flights_hotels.qualified_figure1_table()
+        sqlite_adapter.write_instance(connection, instance)
+        from repro import JoinQuery
+
+        rows = sqlite_adapter.execute_join(connection, JoinQuery.empty(), table)
+        assert len(rows) == 12

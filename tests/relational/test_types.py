@@ -1,0 +1,143 @@
+"""Tests for data types, inference, compatibility and coercion."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.exceptions import DataTypeError
+from repro.relational.types import (
+    DataType,
+    are_compatible,
+    coerce,
+    detect_and_coerce_column,
+    infer_column_type,
+    infer_type,
+    parse_cell,
+)
+
+
+class TestInferType:
+    def test_none_is_null(self):
+        assert infer_type(None) is DataType.NULL
+
+    def test_bool_is_boolean_not_integer(self):
+        assert infer_type(True) is DataType.BOOLEAN
+
+    def test_int_is_integer(self):
+        assert infer_type(42) is DataType.INTEGER
+
+    def test_float_is_float(self):
+        assert infer_type(3.14) is DataType.FLOAT
+
+    def test_str_is_text(self):
+        assert infer_type("Paris") is DataType.TEXT
+
+    def test_date_is_date(self):
+        assert infer_type(datetime.date(2014, 9, 1)) is DataType.DATE
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(DataTypeError):
+            infer_type([1, 2, 3])
+
+
+class TestInferColumnType:
+    def test_all_null_column_is_null(self):
+        assert infer_column_type([None, None]) is DataType.NULL
+
+    def test_empty_column_is_null(self):
+        assert infer_column_type([]) is DataType.NULL
+
+    def test_nulls_are_ignored(self):
+        assert infer_column_type(["AF", None, "AA"]) is DataType.TEXT
+
+    def test_mixed_int_float_widens_to_float(self):
+        assert infer_column_type([1, 2.5, 3]) is DataType.FLOAT
+
+    def test_incompatible_mix_raises(self):
+        with pytest.raises(DataTypeError):
+            infer_column_type([1, "two"])
+
+
+class TestCompatibility:
+    def test_same_type_compatible(self):
+        assert are_compatible(DataType.TEXT, DataType.TEXT)
+
+    def test_integer_and_float_compatible(self):
+        assert are_compatible(DataType.INTEGER, DataType.FLOAT)
+
+    def test_text_and_integer_incompatible(self):
+        assert not are_compatible(DataType.TEXT, DataType.INTEGER)
+
+    def test_null_compatible_with_everything(self):
+        for data_type in DataType:
+            assert are_compatible(DataType.NULL, data_type)
+
+    def test_compatibility_is_symmetric(self):
+        for left in DataType:
+            for right in DataType:
+                assert are_compatible(left, right) == are_compatible(right, left)
+
+
+class TestCoerce:
+    def test_none_stays_none(self):
+        assert coerce(None, DataType.INTEGER) is None
+
+    def test_string_to_integer(self):
+        assert coerce("42", DataType.INTEGER) == 42
+
+    def test_bad_integer_raises(self):
+        with pytest.raises(DataTypeError):
+            coerce("4.5", DataType.INTEGER)
+
+    def test_string_to_float(self):
+        assert coerce("2.5", DataType.FLOAT) == 2.5
+
+    def test_nan_rejected(self):
+        with pytest.raises(DataTypeError):
+            coerce("nan", DataType.FLOAT)
+
+    def test_boolean_spellings(self):
+        assert coerce("yes", DataType.BOOLEAN) is True
+        assert coerce("0", DataType.BOOLEAN) is False
+
+    def test_bad_boolean_raises(self):
+        with pytest.raises(DataTypeError):
+            coerce("maybe", DataType.BOOLEAN)
+
+    def test_iso_date(self):
+        assert coerce("2014-09-01", DataType.DATE) == datetime.date(2014, 9, 1)
+
+    def test_bad_date_raises(self):
+        with pytest.raises(DataTypeError):
+            coerce("01/09/2014", DataType.DATE)
+
+    def test_anything_to_text(self):
+        assert coerce(42, DataType.TEXT) == "42"
+
+
+class TestCellParsingAndDetection:
+    def test_parse_cell_null_token(self):
+        assert parse_cell("", null_token="") is None
+        assert parse_cell("x") == "x"
+
+    def test_detect_integer_column(self):
+        data_type, values = detect_and_coerce_column(["1", "2", None])
+        assert data_type is DataType.INTEGER
+        assert values == [1, 2, None]
+
+    def test_detect_float_column(self):
+        data_type, values = detect_and_coerce_column(["1.5", "2"])
+        assert data_type is DataType.FLOAT
+        assert values == [1.5, 2.0]
+
+    def test_detect_text_fallback(self):
+        data_type, values = detect_and_coerce_column(["Paris", "Lille"])
+        assert data_type is DataType.TEXT
+        assert values == ["Paris", "Lille"]
+
+    def test_detect_date_column(self):
+        data_type, values = detect_and_coerce_column(["2014-09-01", "2014-09-05"])
+        assert data_type is DataType.DATE
+        assert values[0] == datetime.date(2014, 9, 1)

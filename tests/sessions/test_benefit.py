@@ -1,0 +1,72 @@
+"""Tests for the Figure 4 "benefit of using a strategy" report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import BenefitReport, GoalQueryOracle, InferenceState
+from repro.datasets import flights_hotels
+from repro.sessions.benefit import compute_benefit
+from repro.sessions.modes import ManualSession
+
+tid = flights_hotels.paper_tuple_id
+
+
+class TestBenefitReport:
+    def test_saved_interactions_and_pct(self, query_q2):
+        report = BenefitReport(
+            user_interactions=10, strategy_interactions=4, strategy_name="s", inferred_query=query_q2
+        )
+        assert report.saved_interactions == 6
+        assert report.saved_pct == pytest.approx(60.0)
+        assert report.speedup == pytest.approx(2.5)
+
+    def test_saving_never_negative(self, query_q2):
+        report = BenefitReport(
+            user_interactions=2, strategy_interactions=5, strategy_name="s", inferred_query=query_q2
+        )
+        assert report.saved_interactions == 0
+
+    def test_degenerate_counts(self, query_q2):
+        report = BenefitReport(
+            user_interactions=0, strategy_interactions=0, strategy_name="s", inferred_query=query_q2
+        )
+        assert report.saved_pct == 0.0
+        assert report.speedup == 0.0
+
+    def test_as_dict_and_summary(self, query_q2):
+        report = BenefitReport(
+            user_interactions=8, strategy_interactions=3, strategy_name="lookahead-entropy",
+            inferred_query=query_q2,
+        )
+        payload = report.as_dict()
+        assert payload["saved_interactions"] == 5
+        assert "lookahead-entropy" in report.summary()
+
+
+class TestComputeBenefit:
+    def test_replay_against_the_users_inferred_query(self, figure1_table, query_q2):
+        # Simulate a user who labeled everything in table order (12 labels).
+        session = ManualSession(figure1_table, gray_out=False)
+        session.run(GoalQueryOracle(query_q2), order=list(figure1_table.tuple_ids))
+        report = session.benefit_report(strategy="lookahead-entropy")
+        assert report.user_interactions == session.num_interactions
+        assert report.strategy_interactions <= report.user_interactions
+        assert report.saved_interactions >= 0
+
+    def test_explicit_goal_overrides_inferred_query(self, figure1_table, query_q1, query_q2):
+        state = InferenceState(figure1_table)
+        state.add_label(tid(3), "+")
+        report = compute_benefit(state, user_interactions=1, goal=query_q2)
+        assert report.inferred_query == query_q2
+
+    def test_strategy_object_accepted(self, figure1_table, query_q2):
+        from repro.core.strategies import MinMaxPruneStrategy
+
+        state = InferenceState(figure1_table)
+        state.add_label(tid(3), "+")
+        state.add_label(tid(7), "-")
+        state.add_label(tid(8), "-")
+        report = compute_benefit(state, user_interactions=3, strategy=MinMaxPruneStrategy())
+        assert report.strategy_name == "lookahead-minmax"
+        assert report.strategy_interactions >= 1

@@ -1,0 +1,123 @@
+"""Tests for saving and resuming labeling sessions."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import GoalQueryOracle, InferenceState, Label
+from repro.datasets import flights_hotels
+from repro.sessions.persistence import (
+    SessionPersistenceError,
+    load_session,
+    resume_guided_session,
+    save_session,
+    serialize_state,
+    table_fingerprint,
+)
+
+tid = flights_hotels.paper_tuple_id
+
+
+class TestFingerprint:
+    def test_same_table_same_fingerprint(self, figure1_table):
+        assert table_fingerprint(figure1_table) == table_fingerprint(
+            flights_hotels.figure1_table()
+        )
+
+    def test_different_rows_different_fingerprint(self, figure1_table, two_column_table):
+        assert table_fingerprint(figure1_table) != table_fingerprint(two_column_table)
+
+
+class TestSaveAndLoad:
+    def test_roundtrip_preserves_labels_and_convergence(self, figure1_table, tmp_path):
+        state = InferenceState(figure1_table)
+        state.add_label(tid(3), Label.POSITIVE)
+        state.add_label(tid(8), Label.NEGATIVE)
+        path = tmp_path / "session.json"
+        save_session(state, path)
+
+        restored = load_session(path, flights_hotels.figure1_table())
+        assert restored.examples.as_dict() == state.examples.as_dict()
+        assert restored.is_converged() == state.is_converged()
+        assert restored.inferred_query() == state.inferred_query()
+
+    def test_serialized_document_is_self_describing(self, figure1_table):
+        state = InferenceState(figure1_table)
+        state.add_label(tid(3), Label.POSITIVE)
+        payload = serialize_state(state)
+        assert payload["format"] == "jim-session"
+        assert payload["num_candidates"] == 12
+        assert payload["labels"] == {str(tid(3)): "+"}
+        json.dumps(payload)  # must be JSON-serialisable as-is
+
+    def test_wrong_table_is_rejected(self, figure1_table, two_column_table, tmp_path):
+        state = InferenceState(figure1_table)
+        state.add_label(tid(3), Label.POSITIVE)
+        path = tmp_path / "session.json"
+        save_session(state, path)
+        with pytest.raises(SessionPersistenceError):
+            load_session(path, two_column_table)
+
+    def test_fingerprint_check_can_be_disabled(self, figure1_table, tmp_path):
+        state = InferenceState(figure1_table)
+        state.add_label(tid(3), Label.POSITIVE)
+        path = tmp_path / "session.json"
+        save_session(state, path)
+        reordered = flights_hotels.figure1_table().subset(list(range(12)))
+        restored = load_session(path, reordered, verify_fingerprint=False)
+        assert len(restored.examples) == 1
+
+    def test_malformed_documents_rejected(self, figure1_table, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("not json", encoding="utf-8")
+        with pytest.raises(SessionPersistenceError):
+            load_session(path, figure1_table)
+        path.write_text(json.dumps(["a", "list"]), encoding="utf-8")
+        with pytest.raises(SessionPersistenceError):
+            load_session(path, figure1_table)
+        path.write_text(json.dumps({"format": "other"}), encoding="utf-8")
+        with pytest.raises(SessionPersistenceError):
+            load_session(path, figure1_table)
+
+    def test_unsupported_version_rejected(self, figure1_table, tmp_path):
+        state = InferenceState(figure1_table)
+        payload = serialize_state(state)
+        payload["version"] = 99
+        path = tmp_path / "session.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(SessionPersistenceError):
+            load_session(path, figure1_table)
+
+    def test_bad_tuple_id_rejected(self, figure1_table, tmp_path):
+        state = InferenceState(figure1_table)
+        payload = serialize_state(state)
+        payload["labels"] = {"not-a-number": "+"}
+        path = tmp_path / "session.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(SessionPersistenceError):
+            load_session(path, figure1_table)
+
+
+class TestResume:
+    def test_resumed_guided_session_finishes_the_inference(self, figure1_table, query_q2, tmp_path):
+        # First sitting: two answers, then the session is saved.
+        state = InferenceState(figure1_table)
+        oracle = GoalQueryOracle(query_q2)
+        state.add_label(tid(3), oracle.label(figure1_table, tid(3)))
+        state.add_label(tid(8), oracle.label(figure1_table, tid(8)))
+        path = tmp_path / "session.json"
+        save_session(state, path)
+
+        # Second sitting: resume and run to convergence.
+        session = resume_guided_session(path, flights_hotels.figure1_table(), strategy="lookahead-entropy")
+        already_labeled = len(session.state.examples)
+        session.run(GoalQueryOracle(query_q2))
+        assert session.is_converged()
+        assert session.inferred_query().instance_equivalent(query_q2, figure1_table)
+        # The resumed session does not re-ask the stored labels.
+        assert already_labeled == 2
+        assert all(
+            interaction.tuple_id not in (tid(3), tid(8)) for interaction in session.interactions
+        )

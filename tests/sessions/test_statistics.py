@@ -1,0 +1,63 @@
+"""Tests for session progress statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InferenceState, Label, SessionStatistics
+from repro.datasets import flights_hotels
+
+tid = flights_hotels.paper_tuple_id
+
+
+class TestSessionStatistics:
+    def test_fresh_state_has_everything_informative(self, figure1_state):
+        stats = SessionStatistics.from_state(figure1_state)
+        assert stats.total_tuples == 12
+        assert stats.labeled == 0
+        assert stats.grayed_out == 0
+        assert stats.informative_remaining == 12
+        assert not stats.is_complete
+
+    def test_counts_after_one_label(self, figure1_state):
+        figure1_state.add_label(tid(3), Label.POSITIVE)
+        stats = SessionStatistics.from_state(figure1_state)
+        assert stats.labeled_positive == 1
+        assert stats.labeled_negative == 0
+        assert stats.grayed_out >= 1  # at least tuple (4)
+        assert stats.labeled + stats.grayed_out + stats.informative_remaining == 12
+
+    def test_percentages_sum_to_one_hundred(self, figure1_state):
+        figure1_state.add_label(tid(3), Label.POSITIVE)
+        stats = SessionStatistics.from_state(figure1_state)
+        assert stats.labeled_pct + stats.grayed_out_pct + stats.informative_pct == pytest.approx(
+            100.0
+        )
+
+    def test_complete_after_convergence(self, figure1_state):
+        figure1_state.add_label(tid(3), Label.POSITIVE)
+        figure1_state.add_label(tid(7), Label.NEGATIVE)
+        figure1_state.add_label(tid(8), Label.NEGATIVE)
+        stats = SessionStatistics.from_state(figure1_state)
+        assert stats.is_complete
+        assert stats.resolved == 12
+
+    def test_as_dict_and_summary(self, figure1_state):
+        figure1_state.add_label(tid(3), Label.POSITIVE)
+        stats = SessionStatistics.from_state(figure1_state)
+        payload = stats.as_dict()
+        assert payload["total_tuples"] == 12
+        assert payload["labeled"] == 1
+        assert "grayed out" in stats.summary()
+
+    def test_empty_table_percentages_are_zero(self):
+        stats = SessionStatistics(
+            total_tuples=0,
+            labeled_positive=0,
+            labeled_negative=0,
+            grayed_out=0,
+            informative_remaining=0,
+        )
+        assert stats.labeled_pct == 0.0
+        assert stats.grayed_out_pct == 0.0
+        assert stats.informative_pct == 0.0

@@ -1,0 +1,122 @@
+"""Tests for the ``jim`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, default_goal, load_table, main, parse_goal
+from repro.core.strategies import available_strategies
+from repro.datasets import flights_hotels
+from repro.exceptions import ReproError
+from repro.relational.csv_io import write_candidate_table_csv
+
+
+class TestParseGoal:
+    def test_single_atom(self):
+        assert parse_goal("To=City") == flights_hotels.query_q1()
+
+    def test_multiple_atoms_and_whitespace(self):
+        assert parse_goal(" To = City , Airline=Discount ") == flights_hotels.query_q2()
+
+    @pytest.mark.parametrize("bad", ["", "To", "=City", "To=", ","])
+    def test_malformed_goals_rejected(self, bad):
+        with pytest.raises(ReproError):
+            parse_goal(bad)
+
+
+class TestLoadingAndDefaults:
+    def test_builtin_datasets_load(self):
+        assert len(load_table("flights", None)) == 12
+        assert len(load_table("setgame", None)) == 144
+        assert len(load_table("tpch", None)) > 0
+        assert len(load_table("synthetic", None)) == 100
+
+    def test_csv_overrides_dataset(self, tmp_path):
+        path = tmp_path / "table.csv"
+        write_candidate_table_csv(flights_hotels.figure1_table(), path)
+        table = load_table("flights", str(path))
+        assert len(table) == 12
+        assert not table.has_provenance()
+
+    def test_default_goals_are_well_formed(self):
+        for dataset in ("flights", "setgame", "tpch", "synthetic"):
+            assert len(default_goal(dataset)) >= 1
+
+    def test_parser_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_strategies_command_lists_registry(self, capsys):
+        assert main(["strategies"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert set(printed) == set(available_strategies())
+
+    def test_infer_with_default_goal(self, capsys):
+        assert main(["infer", "--dataset", "flights"]) == 0
+        out = capsys.readouterr().out
+        assert "goal query" in out
+        assert "inferred join query : Airline ≍ Discount ∧ City ≍ To" in out
+        assert "membership queries" in out
+        assert "SQL" in out
+
+    def test_infer_with_explicit_goal_and_strategy(self, capsys):
+        assert main(
+            ["infer", "--dataset", "flights", "--goal", "To=City", "--strategy", "lookahead-minmax"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "inferred join query : City ≍ To" in out
+
+    def test_infer_on_setgame_prints_gav_mapping(self, capsys):
+        assert main(
+            ["infer", "--dataset", "setgame", "--goal", "Left.color=Right.color"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "GAV mapping" in out
+        assert ":- Left(" in out
+
+    def test_infer_from_csv(self, tmp_path, capsys):
+        path = tmp_path / "table.csv"
+        write_candidate_table_csv(flights_hotels.figure1_table(), path)
+        assert main(["infer", "--csv", str(path), "--goal", "To=City"]) == 0
+        out = capsys.readouterr().out
+        assert "City ≍ To" in out
+
+    def test_max_interactions_cap(self, capsys):
+        assert main(
+            ["infer", "--dataset", "flights", "--goal", "To=City,Airline=Discount",
+             "--strategy", "local-lexicographic", "--max-interactions", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "membership queries  : 1" in out
+        assert "converged           : False" in out
+
+    def test_unknown_strategy_reports_error(self, capsys):
+        assert main(["infer", "--dataset", "flights", "--strategy", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_goal_reports_error(self, capsys):
+        assert main(["infer", "--dataset", "flights", "--goal", "nonsense"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_scripted_demo_with_goal(self, capsys):
+        assert main(["demo", "--dataset", "flights", "--goal", "To=City"]) == 0
+        out = capsys.readouterr().out
+        assert "inferred join query : City ≍ To" in out
+
+    def test_interactive_demo_reads_stdin(self, monkeypatch, capsys):
+        goal = flights_hotels.query_q2()
+        table = flights_hotels.figure1_table()
+        selected = goal.evaluate(table)
+
+        def fake_input(prompt: str = "") -> str:
+            out = capsys.readouterr().out
+            lines = [line for line in out.splitlines() if line.startswith("Tuple #")]
+            tuple_id = int(lines[-1].split("#")[1].split(":")[0])
+            return "y" if tuple_id in selected else "n"
+
+        monkeypatch.setattr("builtins.input", fake_input)
+        assert main(["demo", "--dataset", "flights"]) == 0
+        out = capsys.readouterr().out
+        assert "inferred join query : Airline ≍ Discount ∧ City ≍ To" in out

@@ -1,0 +1,93 @@
+"""Tests for the ASCII table renderer and bar charts."""
+
+from __future__ import annotations
+
+from repro import InferenceState, Label, TupleStatus
+from repro.datasets import flights_hotels
+from repro.ui.renderer import STATUS_MARKERS, render_bar_chart, render_state, render_table
+
+tid = flights_hotels.paper_tuple_id
+
+
+class TestRenderTable:
+    def test_header_contains_all_attributes(self, figure1_table):
+        rendered = render_table(figure1_table)
+        header = rendered.splitlines()[0]
+        for name in figure1_table.attribute_names:
+            assert name in header
+
+    def test_all_rows_rendered_by_default(self, figure1_table):
+        rendered = render_table(figure1_table, max_rows=None)
+        assert "(12)" in rendered
+        assert "NYC" in rendered
+
+    def test_truncation_notice(self, figure1_table):
+        rendered = render_table(figure1_table, max_rows=5)
+        assert "more tuple(s) not shown" in rendered
+        assert "(12)" not in rendered
+
+    def test_status_markers_rendered(self, figure1_table):
+        statuses = {
+            tid(3): TupleStatus.LABELED_POSITIVE,
+            tid(8): TupleStatus.LABELED_NEGATIVE,
+            tid(4): TupleStatus.CERTAIN_POSITIVE,
+        }
+        rendered = render_table(figure1_table, statuses=statuses)
+        lines = rendered.splitlines()
+        row3 = next(line for line in lines if "(3)" in line)
+        row8 = next(line for line in lines if "(8)" in line)
+        row4 = next(line for line in lines if "(4)" in line)
+        assert row3.startswith("+")
+        assert row8.startswith("-")
+        assert row4.startswith("(+)")
+
+    def test_grayed_out_rows_can_be_hidden(self, figure1_table):
+        statuses = {tid(4): TupleStatus.CERTAIN_POSITIVE}
+        rendered = render_table(
+            figure1_table, statuses=statuses, show_grayed_out=False, max_rows=None
+        )
+        assert "(4)" not in rendered
+        assert "(5)" in rendered
+
+    def test_none_rendered_as_null_symbol(self, figure1_table):
+        rendered = render_table(figure1_table, max_rows=None)
+        assert "∅" in rendered
+
+    def test_restricted_tuple_ids(self, figure1_table):
+        rendered = render_table(figure1_table, tuple_ids=[tid(3), tid(8)])
+        assert "(3)" in rendered and "(8)" in rendered
+        assert "(5)" not in rendered
+
+    def test_every_status_has_a_marker(self):
+        assert set(STATUS_MARKERS) == set(TupleStatus)
+
+
+class TestRenderState:
+    def test_contains_statistics_and_query(self, figure1_table):
+        state = InferenceState(figure1_table)
+        state.add_label(tid(3), Label.POSITIVE)
+        rendered = render_state(state)
+        assert "labeled: 1" in rendered
+        assert "current candidate query:" in rendered
+        assert "Airline ≍ Discount" in rendered
+
+
+class TestRenderBarChart:
+    def test_bars_scale_with_values(self):
+        chart = render_bar_chart({"user": 10.0, "strategy": 5.0}, width=10)
+        lines = chart.splitlines()
+        user_bar = lines[0].count("█")
+        strategy_bar = lines[1].count("█")
+        assert user_bar == 10
+        assert strategy_bar == 5
+
+    def test_unit_suffix(self):
+        chart = render_bar_chart({"a": 3.0}, unit=" labels")
+        assert "3 labels" in chart
+
+    def test_empty_chart(self):
+        assert render_bar_chart({}) == "(no data)"
+
+    def test_zero_values_do_not_crash(self):
+        chart = render_bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in chart and "b" in chart

@@ -1,0 +1,89 @@
+"""Tests for textual reports and the console demo driver."""
+
+from __future__ import annotations
+
+from repro import BenefitReport, GoalQueryOracle
+from repro.core.oracle import FixedLabelsOracle
+from repro.datasets import flights_hotels
+from repro.ui.console import run_console_demo, run_scripted_demo
+from repro.ui.report import render_benefit_report, render_strategy_comparison
+
+tid = flights_hotels.paper_tuple_id
+
+
+class TestReports:
+    def test_benefit_report_rendering(self, query_q2):
+        report = BenefitReport(
+            user_interactions=12,
+            strategy_interactions=3,
+            strategy_name="lookahead-entropy",
+            inferred_query=query_q2,
+        )
+        rendered = render_benefit_report(report)
+        assert "your interactions" in rendered
+        assert "with lookahead-entropy" in rendered
+        assert "saving" in rendered
+        assert query_q2.describe() in rendered
+
+    def test_strategy_comparison_rendering(self):
+        rendered = render_strategy_comparison(
+            {"random": 9.0, "local": 6.0, "lookahead": 4.0}, title="Figure: comparison"
+        )
+        assert rendered.startswith("Figure: comparison")
+        assert "random" in rendered and "lookahead" in rendered
+
+
+class TestScriptedDemo:
+    def test_transcript_contains_question_answers_and_result(self, figure1_table, query_q2):
+        query, transcript = run_scripted_demo(
+            figure1_table, GoalQueryOracle(query_q2), strategy="lookahead-entropy"
+        )
+        assert query.instance_equivalent(query_q2, figure1_table)
+        assert "JIM: interactive join query inference" in transcript
+        assert "inferred join query:" in transcript
+        assert "membership queries asked:" in transcript
+        assert "label tuple" in transcript
+
+    def test_transcript_with_per_step_tables(self, figure1_table, query_q1):
+        _, transcript = run_scripted_demo(
+            figure1_table,
+            GoalQueryOracle(query_q1),
+            strategy="local-most-specific",
+            show_table_every_step=True,
+        )
+        assert "current candidate query:" in transcript
+
+    def test_interaction_cap_reported(self, figure1_table, query_q2):
+        _, transcript = run_scripted_demo(
+            figure1_table,
+            GoalQueryOracle(query_q2),
+            strategy="local-lexicographic",
+            max_interactions=1,
+        )
+        assert "stopping after 1 interactions" in transcript
+
+
+class TestConsoleDemo:
+    def test_console_demo_reads_answers_from_stdin(self, figure1_table, query_q2, monkeypatch, capsys):
+        oracle = GoalQueryOracle(query_q2)
+
+        def fake_input(prompt: str = "") -> str:
+            # The console oracle prints the tuple before asking; recover the id
+            # from the printed line is fragile, so instead answer based on the
+            # last tuple mentioned in stdout.
+            out = capsys.readouterr().out
+            lines = [line for line in out.splitlines() if line.startswith("Tuple #")]
+            assert lines, "the console oracle should print the tuple before asking"
+            tuple_id = int(lines[-1].split("#")[1].split(":")[0])
+            return "y" if oracle.label(figure1_table, tuple_id).is_positive else "n"
+
+        monkeypatch.setattr("builtins.input", fake_input)
+        inferred = run_console_demo(figure1_table, strategy="lookahead-entropy")
+        assert inferred.instance_equivalent(query_q2, figure1_table)
+
+    def test_scripted_demo_with_all_negative_answers(self, figure1_table):
+        oracle = FixedLabelsOracle({tuple_id: "-" for tuple_id in figure1_table.tuple_ids})
+        query, transcript = run_scripted_demo(figure1_table, oracle, strategy="local-lexicographic")
+        assert "inferred join query:" in transcript
+        # A user who rejects everything ends with a query selecting no tuple.
+        assert query.evaluate(figure1_table) == frozenset()
