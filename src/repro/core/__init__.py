@@ -5,6 +5,16 @@ atom universes, join queries, equality types, example sets, the consistent
 query space, informativeness classification, label propagation, the
 interactive inference engine (Figure 2 of the paper), oracles standing in for
 the user, and the strategy families (random / local / lookahead / optimal).
+
+The hot path is *incremental*: a label is applied as a delta to the
+consistent space (:mod:`.space`) and to the per-type status cache
+(:class:`.informativeness.TypeStatusCache`), propagation results are derived
+from the types the delta flipped (:mod:`.propagation`), and lookahead scores
+are computed against one shared informative-type snapshot per step
+(:meth:`.state.InferenceState.prune_counts_all`).  See the individual module
+docstrings for the delta-update and cache-invalidation rules;
+``benchmarks/bench_incremental_engine.py`` checks the machinery against a
+from-scratch rebuild for observational equivalence and speed.
 """
 
 from .atoms import AtomScope, AtomUniverse, EqualityAtom, is_subset, popcount
@@ -19,6 +29,7 @@ from .equality_types import EqualityTypeIndex
 from .examples import Example, ExampleSet, Label
 from .informativeness import (
     TupleStatus,
+    TypeStatusCache,
     classify_all,
     classify_tuple,
     has_informative_tuple,
@@ -33,7 +44,7 @@ from .oracle import (
     NoisyOracle,
     Oracle,
 )
-from .propagation import PropagationResult, diff_statuses
+from .propagation import PropagationResult, delta_result, diff_statuses
 from .queries import JoinQuery
 from .space import ConsistentQuerySpace
 from .state import InferenceState
@@ -61,8 +72,10 @@ __all__ = [
     "Oracle",
     "PropagationResult",
     "TupleStatus",
+    "TypeStatusCache",
     "classify_all",
     "classify_tuple",
+    "delta_result",
     "diff_statuses",
     "has_informative_tuple",
     "infer_join",

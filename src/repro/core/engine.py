@@ -34,7 +34,13 @@ from .strategies.registry import create_strategy
 
 @dataclass(frozen=True)
 class Interaction:
-    """One answered membership query and its effect."""
+    """One answered membership query and its effect.
+
+    ``elapsed_seconds`` is *engine* time only — choosing the tuple plus
+    propagating the label.  The time the oracle took to answer (human or
+    crowd think-time, network latency, …) is reported separately as
+    ``oracle_seconds`` so timing experiments are not corrupted by it.
+    """
 
     step: int
     tuple_id: int
@@ -42,6 +48,7 @@ class Interaction:
     pruned: int
     informative_remaining: int
     elapsed_seconds: float
+    oracle_seconds: float = 0.0
 
     def as_dict(self) -> dict[str, object]:
         """Plain-dictionary form for experiment logging."""
@@ -52,6 +59,7 @@ class Interaction:
             "pruned": self.pruned,
             "informative_remaining": self.informative_remaining,
             "elapsed_seconds": self.elapsed_seconds,
+            "oracle_seconds": self.oracle_seconds,
         }
 
 
@@ -74,8 +82,17 @@ class InferenceTrace:
 
     @property
     def total_seconds(self) -> float:
-        """Total time spent choosing tuples and propagating labels."""
+        """Total time spent choosing tuples and propagating labels.
+
+        Excludes the time the oracle took to answer; see
+        :attr:`total_oracle_seconds` for that.
+        """
         return sum(interaction.elapsed_seconds for interaction in self.interactions)
+
+    @property
+    def total_oracle_seconds(self) -> float:
+        """Total time spent waiting for the oracle's answers."""
+        return sum(interaction.oracle_seconds for interaction in self.interactions)
 
     def labels(self) -> dict[int, Label]:
         """The labels collected, keyed by tuple id."""
@@ -160,9 +177,30 @@ class JoinInferenceEngine:
             ``require_convergence`` is set).
         initial_state:
             Continue from an existing state (e.g. after a manual-labeling
-            session) instead of starting from scratch.
+            session) instead of starting from scratch.  The state must have
+            been built over this engine's candidate table and an identical
+            atom universe; a mismatch raises :class:`ValueError`, since the
+            oracle would otherwise be asked about tuple ids the state
+            resolves against a different table.
         """
         self.strategy.reset()
+        if initial_state is not None:
+            other = initial_state.table
+            # Structural comparison, not identity: resuming a persisted session
+            # legitimately reloads an equal table in a fresh process.
+            if other is not self.table and (
+                other.attribute_names != self.table.attribute_names
+                or other.rows != self.table.rows
+            ):
+                raise ValueError(
+                    "initial_state was built over a different candidate table than the "
+                    "engine; tuple ids would silently refer to different tuples"
+                )
+            if initial_state.universe.atoms != self.universe.atoms:
+                raise ValueError(
+                    "initial_state uses a different atom universe than the engine "
+                    f"({len(initial_state.universe.atoms)} vs {len(self.universe.atoms)} atoms)"
+                )
         state = initial_state if initial_state is not None else self.new_state()
         trace = InferenceTrace()
         step = 0
@@ -179,11 +217,15 @@ class JoinInferenceEngine:
                     converged=False,
                     strategy_name=self.strategy.name,
                 )
-            started = time.perf_counter()
+            choose_started = time.perf_counter()
             tuple_id = self.strategy.choose(state)
+            choose_seconds = time.perf_counter() - choose_started
+            oracle_started = time.perf_counter()
             label = oracle.label(self.table, tuple_id)
+            oracle_seconds = time.perf_counter() - oracle_started
+            propagate_started = time.perf_counter()
             propagation = state.add_label(tuple_id, label)
-            elapsed = time.perf_counter() - started
+            elapsed = choose_seconds + (time.perf_counter() - propagate_started)
             step += 1
             trace.propagations.append(propagation)
             trace.interactions.append(
@@ -194,6 +236,7 @@ class JoinInferenceEngine:
                     pruned=propagation.pruned_count,
                     informative_remaining=propagation.informative_after,
                     elapsed_seconds=elapsed,
+                    oracle_seconds=oracle_seconds,
                 )
             )
         return InferenceResult(

@@ -13,12 +13,26 @@ tuples into
 The classification of a tuple depends only on its equality type, the positive
 mask ``M`` and the negative types (see :mod:`repro.core.space`), so all the
 functions here work type-wise and are linear in the number of distinct types.
+
+**Incremental classification.**  :class:`TypeStatusCache` memoises the
+per-type certain label and the per-type count of unlabeled tuples, and
+refreshes them with a *delta* after each label instead of re-deriving them
+from scratch.  The invalidation rule exploits a monotonicity invariant of the
+consistent space: while the example set stays consistent, a label only ever
+shrinks ``M`` and grows the negative list, so a type that is already certain
+can never become informative again (and never flips between certain-positive
+and certain-negative).  After a label it therefore suffices to re-evaluate the
+currently *informative* types; when the example set has become inconsistent
+(non-strict mode) the invariant no longer holds and the cache falls back to a
+full per-type recomputation.  The cache is the single source of truth for the
+interactive loop's guard (:func:`has_informative_tuple` and
+:meth:`InferenceState.has_informative_tuple` are both driven by it).
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Optional
+from typing import Iterable, Iterator, Optional
 
 from .examples import ExampleSet, Label
 from .space import ConsistentQuerySpace
@@ -116,6 +130,128 @@ def classify_all(
     return statuses
 
 
+class TypeStatusCache:
+    """Per-equality-type statuses, kept up to date by deltas.
+
+    For every distinct equality type of the table the cache holds
+
+    * the *certain label* the consistent space implies for the type
+      (``True`` / ``False`` / ``None`` when consistent queries disagree), and
+    * the number of *unlabeled* tuples of that type.
+
+    A type is *informative* exactly when its certain label is ``None`` and it
+    still has unlabeled tuples.  :meth:`apply_label` refreshes the cache after
+    one label in O(#informative types × |N|): certain types are never
+    re-evaluated while the example set stays consistent (see the module
+    docstring for why that is sound), and the unlabeled counts change by at
+    most one.  :meth:`copy` is O(#types), which makes cloning an inference
+    state for lookahead simulation cheap.
+    """
+
+    def __init__(self, space: ConsistentQuerySpace, examples: ExampleSet) -> None:
+        type_index = space.type_index
+        labeled = examples.labeled_ids
+        self._certain: dict[int, Optional[bool]] = {
+            mask: space.certain_label_for(mask) for mask in type_index.distinct_masks
+        }
+        self._unlabeled: dict[int, int] = {
+            mask: sum(1 for tid in type_index.tuples_with_mask(mask) if tid not in labeled)
+            for mask in type_index.distinct_masks
+        }
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def certain_label_for(self, type_mask: int) -> Optional[bool]:
+        """The memoised certain label of a type (``None`` = informative)."""
+        return self._certain[type_mask]
+
+    def unlabeled_count(self, type_mask: int) -> int:
+        """Number of unlabeled tuples of the type."""
+        return self._unlabeled[type_mask]
+
+    def informative_types(self) -> Iterator[tuple[int, int]]:
+        """``(type_mask, unlabeled_count)`` for every informative type."""
+        for mask, certain in self._certain.items():
+            if certain is None and self._unlabeled[mask]:
+                yield mask, self._unlabeled[mask]
+
+    def informative_count(self) -> int:
+        """Number of informative tuples (unlabeled tuples of informative types)."""
+        return sum(count for _, count in self.informative_types())
+
+    def has_informative(self) -> bool:
+        """Whether at least one informative tuple remains (the loop's guard)."""
+        return any(True for _ in self.informative_types())
+
+    @classmethod
+    def scan_has_informative(
+        cls, space: ConsistentQuerySpace, examples: ExampleSet
+    ) -> bool:
+        """One-shot loop-guard check, stopping at the first informative type.
+
+        For callers without a long-lived cache: answers the same question as
+        :meth:`has_informative` without materialising per-type state, so the
+        cost is bounded by the types scanned before the first informative one.
+        """
+        type_index = space.type_index
+        labeled = examples.labeled_ids
+        for mask in type_index.distinct_masks:
+            if space.certain_label_for(mask) is not None:
+                continue
+            if any(tid not in labeled for tid in type_index.tuples_with_mask(mask)):
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Delta maintenance
+    # ------------------------------------------------------------------ #
+    def apply_label(
+        self,
+        space: ConsistentQuerySpace,
+        tuple_id: int,
+        newly_labeled: bool,
+        consistent: bool = True,
+    ) -> tuple[list[int], list[int]]:
+        """Refresh the cache after one label against the post-label ``space``.
+
+        Returns ``(types_now_certain_positive, types_now_certain_negative)``
+        — the types that were informative before the label and are certain
+        after it, which is exactly what a
+        :class:`~repro.core.propagation.PropagationResult` needs.
+        """
+        if newly_labeled:
+            self._unlabeled[space.type_index.mask(tuple_id)] -= 1
+        flipped_positive: list[int] = []
+        flipped_negative: list[int] = []
+        if consistent:
+            stale = [mask for mask, certain in self._certain.items() if certain is None]
+        else:
+            # The monotonicity invariant needs consistency; re-check everything.
+            stale = list(self._certain)
+        for mask in stale:
+            was = self._certain[mask]
+            now = space.certain_label_for(mask)
+            if was is not now:
+                self._certain[mask] = now
+                if was is None and now is True:
+                    flipped_positive.append(mask)
+                elif was is None and now is False:
+                    flipped_negative.append(mask)
+        return flipped_positive, flipped_negative
+
+    def copy(self) -> "TypeStatusCache":
+        """An independent copy (O(#types), no space queries)."""
+        clone = TypeStatusCache.__new__(TypeStatusCache)
+        clone._certain = dict(self._certain)
+        clone._unlabeled = dict(self._unlabeled)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        informative = sum(1 for _ in self.informative_types())
+        return f"TypeStatusCache(types={len(self._certain)}, informative_types={informative})"
+
+
 def informative_ids(space: ConsistentQuerySpace, examples: ExampleSet) -> list[int]:
     """Ids of the informative tuples, in tuple-id order."""
     return [
@@ -135,12 +271,12 @@ def uninformative_ids(space: ConsistentQuerySpace, examples: ExampleSet) -> list
 
 
 def has_informative_tuple(space: ConsistentQuerySpace, examples: ExampleSet) -> bool:
-    """Whether at least one informative tuple remains (the loop's guard)."""
-    type_index = space.type_index
-    labeled = examples.labeled_ids
-    for mask in type_index.distinct_masks:
-        if space.certain_label_for(mask) is not None:
-            continue
-        if any(tuple_id not in labeled for tuple_id in type_index.tuples_with_mask(mask)):
-            return True
-    return False
+    """Whether at least one informative tuple remains (the loop's guard).
+
+    Single source of truth for the guard: both this function and
+    :meth:`InferenceState.has_informative_tuple` answer it through
+    :class:`TypeStatusCache` — the state through its long-lived incremental
+    cache, this convenience wrapper through the early-exit
+    :meth:`TypeStatusCache.scan_has_informative`.
+    """
+    return TypeStatusCache.scan_has_informative(space, examples)

@@ -6,12 +6,21 @@ interactively grays out the tuples that become uninformative*.  The
 previously informative tuples became certain-positive or certain-negative,
 and how many informative tuples remain.  It is what the sessions layer shows
 to the user and what lookahead strategies simulate to score candidate tuples.
+
+Two builders produce the result: :func:`diff_statuses` compares two full
+before/after classifications (the from-scratch reference, kept for external
+callers and tests), while :func:`delta_result` assembles the same result
+directly from the equality types the :class:`~repro.core.informativeness.TypeStatusCache`
+reports as flipped by the label — O(#flipped tuples) instead of two full
+table sweeps, which is what the incremental engine uses.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
+from .equality_types import EqualityTypeIndex
 from .examples import Label
 from .informativeness import TupleStatus
 
@@ -93,6 +102,48 @@ def diff_statuses(
         label=label,
         newly_certain_positive=tuple(sorted(newly_positive)),
         newly_certain_negative=tuple(sorted(newly_negative)),
+        informative_before=informative_before,
+        informative_after=informative_after,
+        consistent=consistent,
+    )
+
+
+def delta_result(
+    type_index: EqualityTypeIndex,
+    labeled_ids: frozenset[int],
+    labeled_tuple_id: int,
+    label: Label,
+    flipped_positive_types: Iterable[int],
+    flipped_negative_types: Iterable[int],
+    informative_before: int,
+    informative_after: int,
+    consistent: bool = True,
+) -> PropagationResult:
+    """Build a :class:`PropagationResult` from the types flipped by one label.
+
+    ``flipped_*_types`` are the equality types that were informative before
+    the label and became certain after it (as reported by
+    :meth:`~repro.core.informativeness.TypeStatusCache.apply_label`); the
+    grayed-out tuples are exactly the unlabeled tuples of those types,
+    excluding the tuple that was just labeled.  ``labeled_ids`` must be the
+    labeled set *after* the new label.
+    """
+
+    def _tuples(type_masks: Iterable[int]) -> tuple[int, ...]:
+        return tuple(
+            sorted(
+                tid
+                for mask in type_masks
+                for tid in type_index.tuples_with_mask(mask)
+                if tid not in labeled_ids
+            )
+        )
+
+    return PropagationResult(
+        tuple_id=labeled_tuple_id,
+        label=label,
+        newly_certain_positive=_tuples(flipped_positive_types),
+        newly_certain_negative=_tuples(flipped_negative_types),
         informative_before=informative_before,
         informative_after=informative_after,
         consistent=consistent,

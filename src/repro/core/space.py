@@ -18,6 +18,15 @@ the three questions the interactive scenario needs after every label:
 All checks are O(|N|) bitmask operations.  The canonical consistent query is
 ``M`` itself — the most specific one — and it is what JIM returns once every
 remaining consistent query is instance-equivalent to it.
+
+**Delta updates.**  Because one label only ever touches the representation in
+one of two ways — a positive example ANDs its equality type into ``M``, a
+negative example appends its equality type to the negative list — the space
+never needs to be rebuilt from the full example set after a label.
+:meth:`ConsistentQuerySpace.with_label` applies exactly that delta in
+O(|N|) instead of re-scanning every example, which is what makes the
+interactive loop's per-step cost independent of the number of labels already
+given (see :mod:`repro.core.state` for the companion status cache).
 """
 
 from __future__ import annotations
@@ -120,12 +129,62 @@ class ConsistentQuerySpace:
     # Updates (functional: each returns a new space)
     # ------------------------------------------------------------------ #
     def with_label(self, tuple_id: int, positive: bool) -> "ConsistentQuerySpace":
-        """A new space with one extra example (the example set is copied)."""
+        """A new space with one extra example (the example set is copied).
+
+        The update is a *delta*: the new space reuses the current ``M`` and
+        negative types and folds in only the new example's equality type —
+        O(|N|) instead of re-scanning the whole example set.
+        """
         from .examples import Label
 
+        already_labeled = self.examples.label_of(tuple_id) is not None
         updated = self.examples.copy()
         updated.add(tuple_id, Label.POSITIVE if positive else Label.NEGATIVE)
-        return ConsistentQuerySpace(self.type_index, updated)
+        return self._delta(updated, tuple_id, positive, already_labeled)
+
+    def _delta(
+        self,
+        examples: ExampleSet,
+        tuple_id: int,
+        positive: bool,
+        already_labeled: bool,
+    ) -> "ConsistentQuerySpace":
+        """The space for ``examples`` = this space's examples + one label.
+
+        ``examples`` must extend this space's example set by exactly the
+        ``(tuple_id, positive)`` label (``already_labeled`` flags the no-op
+        relabeling case, where the representation is unchanged).  Used by
+        :meth:`with_label` and by :class:`~repro.core.state.InferenceState`,
+        which shares its live example set with the space it holds.
+        """
+        clone = ConsistentQuerySpace.__new__(ConsistentQuerySpace)
+        clone.type_index = self.type_index
+        clone.universe = self.universe
+        clone.examples = examples
+        mask = self.type_index.mask(tuple_id)
+        if positive:
+            clone._positive_mask = self._positive_mask & mask
+            clone._negative_masks = list(self._negative_masks)
+        else:
+            clone._positive_mask = self._positive_mask
+            clone._negative_masks = list(self._negative_masks)
+            if not already_labeled:
+                clone._negative_masks.append(mask)
+        return clone
+
+    def _clone_with_examples(self, examples: ExampleSet) -> "ConsistentQuerySpace":
+        """A copy of this space bound to ``examples`` (which must be equal).
+
+        Copy-on-write support for :meth:`InferenceState.copy`: the masks are
+        reused verbatim instead of being rebuilt from the example set.
+        """
+        clone = ConsistentQuerySpace.__new__(ConsistentQuerySpace)
+        clone.type_index = self.type_index
+        clone.universe = self.universe
+        clone.examples = examples
+        clone._positive_mask = self._positive_mask
+        clone._negative_masks = list(self._negative_masks)
+        return clone
 
     # ------------------------------------------------------------------ #
     # Explicit enumeration (small universes only)

@@ -10,21 +10,40 @@ query space, and exposes the operations the interactive scenario of the paper
 * ``informative_ids`` / ``status`` — which tuples are still worth asking about;
 * ``is_converged`` / ``inferred_query`` — detect that a unique query (up to
   instance-equivalence) remains and return it;
-* ``prune_counts`` / ``simulate_label`` — the "what would this label give us?"
-  primitives on which the lookahead strategies are built.
+* ``prune_counts`` / ``prune_counts_all`` / ``simulate_label`` — the "what
+  would this label give us?" primitives on which the lookahead strategies are
+  built.
+
+**Incremental propagation.**  The state never rebuilds its machinery from the
+full example set.  One label is applied as a *delta*:
+
+1. the consistent space folds the new example's equality type into ``(M, N)``
+   (:meth:`ConsistentQuerySpace._delta`, O(|N|));
+2. the :class:`~repro.core.informativeness.TypeStatusCache` re-evaluates only
+   the currently informative equality types (certain types can never revert
+   while the examples stay consistent) and reports which types flipped;
+3. the :class:`~repro.core.propagation.PropagationResult` is assembled from
+   the flipped types alone — no before/after full-table classification.
+
+``statuses()``, ``informative_ids()`` and ``has_informative_tuple()`` read the
+cache instead of sweeping the table, ``prune_counts_all`` scores a whole
+candidate set against one shared informative-type snapshot (deduplicated by
+restricted equality type), and :meth:`copy` clones the cache and space in
+O(#types) so lookahead simulation (``simulate_label``) is copy-on-write
+instead of rebuild-from-scratch.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Iterable, Optional, Union
 
 from ..exceptions import InconsistentLabelError
 from ..relational.candidate import CandidateTable
 from .atoms import AtomScope, AtomUniverse, is_subset
 from .equality_types import EqualityTypeIndex
 from .examples import ExampleSet, Label
-from .informativeness import TupleStatus, classify_all, classify_tuple
-from .propagation import PropagationResult, diff_statuses
+from .informativeness import TupleStatus, TypeStatusCache
+from .propagation import PropagationResult, delta_result
 from .queries import JoinQuery
 from .space import ConsistentQuerySpace
 
@@ -46,12 +65,13 @@ class InferenceState:
         self.examples = examples.copy() if examples is not None else ExampleSet()
         self.strict = strict
         self.space = ConsistentQuerySpace(self.type_index, self.examples)
+        self._cache = TypeStatusCache(self.space, self.examples)
 
     # ------------------------------------------------------------------ #
     # Labeling
     # ------------------------------------------------------------------ #
     def add_label(self, tuple_id: int, label: Union[Label, str, bool]) -> PropagationResult:
-        """Record a membership-query answer and propagate it.
+        """Record a membership-query answer and propagate it incrementally.
 
         Returns a :class:`~repro.core.propagation.PropagationResult` listing
         the tuples grayed out by the new label.  In strict mode (the default)
@@ -59,63 +79,105 @@ class InferenceState:
         certain-positive tuple as negative — raises
         :class:`~repro.exceptions.InconsistentLabelError` and leaves the state
         unchanged.
+
+        The label is applied as a delta to the space and the status cache (see
+        the module docstring); the cost is O(#informative types × |N|)
+        instead of a full rebuild plus two table sweeps.
         """
         parsed = Label.from_value(label)
         if tuple_id not in self.table.tuple_ids:
             raise InconsistentLabelError(f"unknown tuple id {tuple_id}")
-        before = self.statuses()
-        status_before = before[tuple_id]
+        status_before = self.status(tuple_id)
         if self.strict and status_before.implied_label not in (None, parsed):
             raise InconsistentLabelError(
                 f"tuple {tuple_id} is {status_before.value}; labeling it {parsed.value!r} "
                 "would contradict the labels given so far"
             )
+        informative_before = self._cache.informative_count()
+        already_labeled = self.examples.label_of(tuple_id) is not None
         self.examples.add(tuple_id, parsed)
-        self.space = ConsistentQuerySpace(self.type_index, self.examples)
+        self.space = self.space._delta(self.examples, tuple_id, parsed.is_positive, already_labeled)
         consistent = self.space.is_consistent()
         if self.strict and not consistent:  # pragma: no cover - defensive; the guard above prevents it
             raise InconsistentLabelError(
                 f"labeling tuple {tuple_id} as {parsed.value!r} leaves no consistent join query"
             )
-        after = self.statuses()
-        return diff_statuses(before, after, tuple_id, parsed, consistent=consistent)
+        flipped_positive, flipped_negative = self._cache.apply_label(
+            self.space, tuple_id, newly_labeled=not already_labeled, consistent=consistent
+        )
+        return delta_result(
+            self.type_index,
+            self.examples.labeled_ids,
+            tuple_id,
+            parsed,
+            flipped_positive,
+            flipped_negative,
+            informative_before=informative_before,
+            informative_after=self._cache.informative_count(),
+            consistent=consistent,
+        )
 
     # ------------------------------------------------------------------ #
     # Classification
     # ------------------------------------------------------------------ #
     def status(self, tuple_id: int) -> TupleStatus:
-        """The status of one tuple under the current examples."""
-        return classify_tuple(self.space, self.examples, tuple_id)
+        """The status of one tuple under the current examples (O(1), cached)."""
+        label = self.examples.label_of(tuple_id)
+        if label is Label.POSITIVE:
+            return TupleStatus.LABELED_POSITIVE
+        if label is Label.NEGATIVE:
+            return TupleStatus.LABELED_NEGATIVE
+        certain = self._cache.certain_label_for(self.type_index.mask(tuple_id))
+        if certain is True:
+            return TupleStatus.CERTAIN_POSITIVE
+        if certain is False:
+            return TupleStatus.CERTAIN_NEGATIVE
+        return TupleStatus.INFORMATIVE
 
     def statuses(self) -> dict[int, TupleStatus]:
-        """The status of every tuple under the current examples."""
-        return classify_all(self.space, self.examples)
+        """The status of every tuple under the current examples.
+
+        Reads the per-type cache, so the cost is O(#tuples) with no subset
+        checks.
+        """
+        return {tuple_id: self.status(tuple_id) for tuple_id in range(len(self.type_index))}
 
     def informative_ids(self) -> list[int]:
         """Ids of the tuples still worth asking about, in id order."""
-        return [
+        labeled = self.examples.labeled_ids
+        ids = [
             tuple_id
-            for tuple_id, status in self.statuses().items()
-            if status is TupleStatus.INFORMATIVE
+            for mask, _ in self._cache.informative_types()
+            for tuple_id in self.type_index.tuples_with_mask(mask)
+            if tuple_id not in labeled
         ]
+        ids.sort()
+        return ids
 
     def certain_ids(self) -> list[int]:
         """Ids of unlabeled tuples whose label is implied (grayed out)."""
-        return [tuple_id for tuple_id, status in self.statuses().items() if status.is_certain]
+        labeled = self.examples.labeled_ids
+        ids = [
+            tuple_id
+            for mask in self.type_index.distinct_masks
+            if self._cache.certain_label_for(mask) is not None
+            for tuple_id in self.type_index.tuples_with_mask(mask)
+            if tuple_id not in labeled
+        ]
+        ids.sort()
+        return ids
 
     def labeled_ids(self) -> frozenset[int]:
         """Ids of explicitly labeled tuples."""
         return self.examples.labeled_ids
 
     def has_informative_tuple(self) -> bool:
-        """Whether the interactive loop should keep asking questions."""
-        labeled = self.examples.labeled_ids
-        for mask in self.type_index.distinct_masks:
-            if self.space.certain_label_for(mask) is not None:
-                continue
-            if any(tid not in labeled for tid in self.type_index.tuples_with_mask(mask)):
-                return True
-        return False
+        """Whether the interactive loop should keep asking questions.
+
+        Delegates to the status cache — the same source of truth as
+        :func:`repro.core.informativeness.has_informative_tuple`.
+        """
+        return self._cache.has_informative()
 
     def is_converged(self) -> bool:
         """Whether all consistent queries are instance-equivalent (inference done)."""
@@ -136,6 +198,14 @@ class InferenceState:
     # ------------------------------------------------------------------ #
     # Lookahead primitives
     # ------------------------------------------------------------------ #
+    def informative_type_snapshot(self) -> list[tuple[int, int]]:
+        """``(type_mask, unlabeled_count)`` per informative type, this step.
+
+        The snapshot every lookahead score is computed against; taking it is
+        O(#informative types) thanks to the status cache.
+        """
+        return list(self._cache.informative_types())
+
     def prune_counts(self, tuple_id: int) -> tuple[int, int]:
         """How many informative tuples each label of ``tuple_id`` would resolve.
 
@@ -144,24 +214,55 @@ class InferenceState:
         that would stop being informative.  This is the quantity the paper's
         question "labeling which tuple allows us to prune as many tuples as
         possible?" refers to, and the building block of lookahead strategies.
+
+        Scoring many candidates?  Use :meth:`prune_counts_all`, which shares
+        one informative-type snapshot across the whole candidate set.
+        """
+        snapshot = self.informative_type_snapshot()
+        restricted = self.type_index.mask(tuple_id) & self.space.positive_mask
+        return self._prune_counts_for_restricted_type(restricted, snapshot)
+
+    def prune_counts_all(
+        self, tuple_ids: Optional[Iterable[int]] = None
+    ) -> dict[int, tuple[int, int]]:
+        """:meth:`prune_counts` for every candidate, against one shared snapshot.
+
+        The informative-type snapshot is computed once per call and candidates
+        sharing a restricted equality type ``E(t) ∩ M`` share one score, so
+        scoring a whole candidate set costs O(#distinct candidate types ×
+        #informative types × |N|) instead of recomputing the snapshot per
+        candidate.  ``tuple_ids`` defaults to the informative tuples.
+        """
+        candidates = list(tuple_ids) if tuple_ids is not None else self.informative_ids()
+        snapshot = self.informative_type_snapshot()
+        positive_mask = self.space.positive_mask
+        by_restricted_type: dict[int, tuple[int, int]] = {}
+        counts: dict[int, tuple[int, int]] = {}
+        for tuple_id in candidates:
+            restricted = self.type_index.mask(tuple_id) & positive_mask
+            if restricted not in by_restricted_type:
+                by_restricted_type[restricted] = self._prune_counts_for_restricted_type(
+                    restricted, snapshot
+                )
+            counts[tuple_id] = by_restricted_type[restricted]
+        return counts
+
+    def _prune_counts_for_restricted_type(
+        self, restricted_candidate: int, snapshot: list[tuple[int, int]]
+    ) -> tuple[int, int]:
+        """Prune counts of a candidate with restricted type ``E(t) ∩ M``.
+
+        The counts only depend on the candidate through ``E(t) ∩ M``: a
+        positive label shrinks ``M`` to ``M ∩ E(t)``, a negative label adds
+        ``E(t)`` to the negative types, and every subset test below happens
+        under ``M``.
         """
         positive_mask = self.space.positive_mask
         negative_masks = self.space.negative_masks
-        candidate_type = self.type_index.mask(tuple_id)
-        labeled = self.examples.labeled_ids
-
-        informative_types: list[tuple[int, int]] = []
-        for mask in self.type_index.distinct_masks:
-            if self.space.certain_label_for(mask) is not None:
-                continue
-            count = sum(1 for tid in self.type_index.tuples_with_mask(mask) if tid not in labeled)
-            if count:
-                informative_types.append((mask, count))
-
-        new_positive_mask = positive_mask & candidate_type
+        new_positive_mask = positive_mask & restricted_candidate
         resolved_if_positive = 0
         resolved_if_negative = 0
-        for mask, count in informative_types:
+        for mask, count in snapshot:
             # If labeled positive: M shrinks to M ∩ E(t).
             restricted = new_positive_mask & mask
             certain_positive = is_subset(new_positive_mask, mask)
@@ -169,12 +270,17 @@ class InferenceState:
             if certain_positive or certain_negative:
                 resolved_if_positive += count
             # If labeled negative: E(t) joins the negative types.
-            if is_subset(positive_mask & mask, candidate_type):
+            if is_subset(positive_mask & mask, restricted_candidate):
                 resolved_if_negative += count
         return resolved_if_positive, resolved_if_negative
 
     def simulate_label(self, tuple_id: int, label: Union[Label, str, bool]) -> "InferenceState":
-        """A copy of the state with one extra label (the current state is untouched)."""
+        """A copy of the state with one extra label (the current state is untouched).
+
+        Copy-on-write: the clone shares the table/universe/type index and
+        starts from copies of the example set, space masks and status cache,
+        so the simulation costs one delta update — not a rebuild.
+        """
         clone = self.copy()
         clone.add_label(tuple_id, label)
         return clone
@@ -183,14 +289,19 @@ class InferenceState:
     # Bookkeeping
     # ------------------------------------------------------------------ #
     def copy(self) -> "InferenceState":
-        """An independent copy sharing the immutable table/universe/type index."""
+        """An independent copy sharing the immutable table/universe/type index.
+
+        The example set, space and status cache are copied in O(#types +
+        #labels) — no re-derivation from the example set.
+        """
         clone = InferenceState.__new__(InferenceState)
         clone.table = self.table
         clone.universe = self.universe
         clone.type_index = self.type_index
         clone.examples = self.examples.copy()
         clone.strict = self.strict
-        clone.space = ConsistentQuerySpace(self.type_index, clone.examples)
+        clone.space = self.space._clone_with_examples(clone.examples)
+        clone._cache = self._cache.copy()
         return clone
 
     def statistics(self) -> dict[str, float]:

@@ -87,14 +87,19 @@ class LargestTypeStrategy(Strategy):
     name = "local-largest-type"
 
     def choose(self, state: InferenceState) -> int:
-        """The informative tuple whose restricted type has the most members."""
+        """The informative tuple whose restricted type has the most members.
+
+        The frequencies come from the state's informative-type snapshot (one
+        cache read) rather than a per-candidate sweep; two full types with the
+        same restriction under ``M`` pool their members, exactly as before.
+        """
         candidates = self._informative_or_raise(state)
         positive_mask = state.space.positive_mask
         type_index = state.type_index
         frequency: dict[int, int] = {}
-        for tuple_id in candidates:
-            restricted = type_index.mask(tuple_id) & positive_mask
-            frequency[restricted] = frequency.get(restricted, 0) + 1
+        for mask, count in state.informative_type_snapshot():
+            restricted = mask & positive_mask
+            frequency[restricted] = frequency.get(restricted, 0) + count
         return max(
             candidates,
             key=lambda tid: (frequency[type_index.mask(tid) & positive_mask], -tid),

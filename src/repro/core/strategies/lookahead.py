@@ -4,9 +4,12 @@ Where local strategies rely on fixed orders, lookahead strategies "take into
 account the quantity of information that labeling an informative tuple could
 bring to the inference process, by using a generalized notion of entropy"
 (Section 2 of the paper).  All strategies below are built on the same
-primitive, :meth:`InferenceState.prune_counts`: for an informative tuple ``t``
-it returns how many informative tuples would be *resolved* (labeled or grayed
-out) if the user answered ``+`` and if she answered ``−``.
+primitive, :meth:`InferenceState.prune_counts_all`: for every informative
+tuple ``t`` it returns how many informative tuples would be *resolved*
+(labeled or grayed out) if the user answered ``+`` and if she answered ``−``,
+computing the informative-type snapshot those counts are scored against once
+per step and sharing scores between candidates of the same restricted
+equality type.
 
 Given those two counts ``(a, b)`` for every informative tuple the strategies
 differ only in the score they maximise:
@@ -54,10 +57,11 @@ class _ScoredLookaheadStrategy(Strategy):
     def choose(self, state: InferenceState) -> int:
         """The informative tuple with the best score (ties: smallest id)."""
         candidates = self._informative_or_raise(state)
+        counts = state.prune_counts_all(candidates)
         best_id = None
         best_key: tuple[float, int] = (-math.inf, 0)
         for tuple_id in candidates:
-            resolved_plus, resolved_minus = state.prune_counts(tuple_id)
+            resolved_plus, resolved_minus = counts[tuple_id]
             key = (self.score(resolved_plus, resolved_minus), -tuple_id)
             if key > best_key:
                 best_key = key
@@ -131,9 +135,10 @@ class KStepLookaheadStrategy(Strategy):
 
     def _beam(self, state: InferenceState, candidates: list[int]) -> list[int]:
         """The most promising candidates according to the one-step score."""
+        counts = state.prune_counts_all(candidates)
         scored = sorted(
             candidates,
-            key=lambda tid: (min(state.prune_counts(tid)), -tid),
+            key=lambda tid: (min(counts[tid]), -tid),
             reverse=True,
         )
         return scored[: self.beam_width]

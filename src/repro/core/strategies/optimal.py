@@ -59,16 +59,24 @@ class OptimalStrategy(Strategy):
         return positive_mask, negatives
 
     def _representatives(self, state: InferenceState) -> list[int]:
-        """One informative tuple per distinct restricted equality type."""
+        """One informative tuple per distinct restricted equality type.
+
+        Reads the informative-type snapshot instead of materialising every
+        informative tuple id; the representative of a restricted type is its
+        smallest unlabeled tuple id, as before.
+        """
         positive_mask = state.space.positive_mask
-        seen: set[int] = set()
-        representatives = []
-        for tuple_id in state.informative_ids():
-            restricted = state.type_index.mask(tuple_id) & positive_mask
-            if restricted not in seen:
-                seen.add(restricted)
-                representatives.append(tuple_id)
-        return representatives
+        labeled = state.examples.labeled_ids
+        best_by_restricted: dict[int, int] = {}
+        for mask, _ in state.informative_type_snapshot():
+            restricted = mask & positive_mask
+            for tuple_id in state.type_index.tuples_with_mask(mask):
+                if tuple_id not in labeled:
+                    current = best_by_restricted.get(restricted)
+                    if current is None or tuple_id < current:
+                        best_by_restricted[restricted] = tuple_id
+                    break  # ids within a type are ascending: first unlabeled is its minimum
+        return sorted(best_by_restricted.values())
 
     def value(self, state: InferenceState) -> int:
         """Minimum worst-case number of questions to convergence from ``state``."""

@@ -189,9 +189,10 @@ class TopKSession(_BaseSession):
         """The current top-k informative tuples, best first."""
         batch_size = k if k is not None else self.k
         candidates = self.state.informative_ids()
+        counts = self.state.prune_counts_all(candidates)
         scored = sorted(
             candidates,
-            key=lambda tid: (self._scorer.score(*self.state.prune_counts(tid)), -tid),
+            key=lambda tid: (self._scorer.score(*counts[tid]), -tid),
             reverse=True,
         )
         return scored[:batch_size]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro import (
@@ -13,6 +15,7 @@ from repro import (
     Label,
     infer_join,
 )
+from repro.core.oracle import Oracle
 from repro.core.strategies import LexicographicStrategy, RandomStrategy
 from repro.datasets import flights_hotels
 from repro.exceptions import ConvergenceError
@@ -93,6 +96,71 @@ class TestInterruption:
         assert result.matches_goal(query_q2)
         # The pre-labeled example is not re-asked.
         assert tid(3) not in result.trace.labels()
+
+    def test_initial_state_over_equal_reloaded_table_accepted(self, figure1_table, query_q2):
+        # Resuming a persisted session reloads an equal (but distinct) table
+        # object; structural equality must be enough.
+        reloaded = CandidateTable(
+            figure1_table.attributes, [list(row) for row in figure1_table.rows]
+        )
+        engine = JoinInferenceEngine(figure1_table, strategy="lookahead-entropy")
+        state = InferenceState(reloaded)
+        state.add_label(tid(3), Label.POSITIVE)
+        result = engine.run(GoalQueryOracle(query_q2), initial_state=state)
+        assert result.converged
+        assert result.matches_goal(query_q2)
+
+    def test_initial_state_over_other_table_rejected(self, figure1_table, query_q2):
+        # Regression: a state built over a different table used to be accepted
+        # silently, making the oracle answer about the wrong tuples.
+        engine = JoinInferenceEngine(figure1_table, strategy="lookahead-entropy")
+        other_table = CandidateTable.from_rows(["a", "b"], [(1, 1), (1, 2)])
+        foreign_state = InferenceState(other_table)
+        with pytest.raises(ValueError):
+            engine.run(GoalQueryOracle(query_q2), initial_state=foreign_state)
+
+    def test_initial_state_with_other_universe_rejected(self, figure1_table, query_q2):
+        from repro import AtomUniverse
+
+        engine = JoinInferenceEngine(figure1_table, strategy="lookahead-entropy")
+        narrow = AtomUniverse.from_table(figure1_table, include_attributes=["To", "City"])
+        foreign_state = InferenceState(figure1_table, universe=narrow)
+        with pytest.raises(ValueError):
+            engine.run(GoalQueryOracle(query_q2), initial_state=foreign_state)
+
+
+class _SlowOracle(Oracle):
+    """Wraps a goal oracle and sleeps before answering (simulated think-time)."""
+
+    def __init__(self, goal: JoinQuery, delay: float) -> None:
+        self._inner = GoalQueryOracle(goal)
+        self.delay = delay
+
+    def label(self, table: CandidateTable, tuple_id: int) -> Label:
+        time.sleep(self.delay)
+        return self._inner.label(table, tuple_id)
+
+
+class TestTimingSeparation:
+    def test_oracle_think_time_not_counted_as_engine_time(self, figure1_table, query_q2):
+        # Regression: elapsed_seconds used to wrap oracle.label(), so human
+        # think-time silently inflated every timing experiment.
+        delay = 0.05
+        engine = JoinInferenceEngine(figure1_table, strategy="lookahead-entropy")
+        result = engine.run(_SlowOracle(query_q2, delay))
+        trace = result.trace
+        assert trace.num_interactions >= 1
+        for interaction in trace.interactions:
+            assert interaction.oracle_seconds >= delay
+            assert interaction.elapsed_seconds < delay
+        assert trace.total_oracle_seconds >= delay * trace.num_interactions
+        assert trace.total_seconds < delay * trace.num_interactions
+
+    def test_interaction_dict_exposes_oracle_seconds(self, figure1_table, query_q2):
+        result = infer_join(figure1_table, GoalQueryOracle(query_q2))
+        record = result.trace.interactions[0].as_dict()
+        assert "oracle_seconds" in record
+        assert record["oracle_seconds"] >= 0.0
 
 
 class TestEngineConfiguration:
