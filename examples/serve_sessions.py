@@ -1,0 +1,254 @@
+"""Serve interactive inference sessions over HTTP — the JSON protocol demo.
+
+The sans-IO redesign makes the inference loop a conversation of JSON events
+(``question`` → ``label_applied`` → … → ``converged``).  This example maps
+that conversation onto HTTP endpoints with nothing but the stdlib
+``http.server``, fronted by a thread-safe
+:class:`~repro.service.service.SessionService` so many labelers can work
+concurrently:
+
+====== =============================== ==========================================
+Method Path                            Meaning
+====== =============================== ==========================================
+GET    /tables                         registered tables (fingerprint -> name)
+POST   /sessions                       create {table, mode, strategy, k}
+GET    /sessions                       list live session descriptors
+GET    /sessions/<id>                  describe one session
+GET    /sessions/<id>/question         next protocol event
+POST   /sessions/<id>/answer           {label, tuple_id?} -> applied + next event
+POST   /sessions/<id>/save             session as a v2 persistence document
+POST   /sessions/resume                {document} -> fresh session of saved kind
+DELETE /sessions/<id>                  close the session
+====== =============================== ==========================================
+
+Run a server::
+
+    PYTHONPATH=src python examples/serve_sessions.py --serve --port 8080
+
+Run the scripted end-to-end demo (default; used by CI): starts a server on an
+ephemeral port, drives one guided session over real HTTP — create, answer,
+save mid-session, resume, answer to convergence — and checks the inferred
+query matches the goal::
+
+    PYTHONPATH=src python examples/serve_sessions.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+import threading
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro import GoalQueryOracle, ReproError, SessionService
+from repro.datasets import flights_hotels
+from repro.service import event_to_wire
+from repro.service.service import SessionServiceError
+
+_SESSION_PATH = re.compile(r"^/sessions/(?P<sid>[0-9a-f]+)(?P<rest>/\w+)?$")
+
+
+class SessionApi:
+    """Transport-free request handling: (method, path, body) -> (status, payload)."""
+
+    def __init__(self, service: SessionService) -> None:
+        self.service = service
+        self._names: dict[str, str] = {}
+
+    def register(self, name: str, table) -> str:
+        """Register a table under a friendly name (and its fingerprint)."""
+        fingerprint = self.service.register_table(table)
+        self._names[name] = fingerprint
+        return fingerprint
+
+    def _fingerprint(self, ref: str) -> str:
+        return self._names.get(ref, ref)
+
+    def handle(self, method: str, path: str, body: Optional[dict]) -> tuple[int, dict]:
+        try:
+            return self._route(method, path, body or {})
+        except SessionServiceError as error:
+            return 404, {"error": str(error)}
+        except ReproError as error:
+            return 400, {"error": str(error)}
+        except (KeyError, TypeError, ValueError) as error:
+            return 400, {"error": str(error)}
+
+    def _route(self, method: str, path: str, body: dict) -> tuple[int, dict]:
+        if method == "GET" and path == "/tables":
+            return 200, {"tables": self.service.tables(), "names": dict(self._names)}
+        if path == "/sessions":
+            if method == "GET":
+                return 200, {
+                    "sessions": [
+                        self.service.describe(sid).as_dict()
+                        for sid in self.service.session_ids()
+                    ]
+                }
+            if method == "POST":
+                descriptor = self.service.create(
+                    self._fingerprint(body["table"]),
+                    mode=body.get("mode", "guided"),
+                    strategy=body.get("strategy"),
+                    k=body.get("k"),
+                )
+                return 201, descriptor.as_dict()
+        if method == "POST" and path == "/sessions/resume":
+            descriptor = self.service.resume(body["document"])
+            return 201, descriptor.as_dict()
+        match = _SESSION_PATH.match(path)
+        if match is None:
+            return 404, {"error": f"no route for {method} {path}"}
+        sid, rest = match.group("sid"), match.group("rest")
+        if rest is None:
+            if method == "GET":
+                return 200, self.service.describe(sid).as_dict()
+            if method == "DELETE":
+                return 200, self.service.close(sid).as_dict()
+        if method == "GET" and rest == "/question":
+            return 200, event_to_wire(self.service.next_question(sid))
+        if method == "POST" and rest == "/answer":
+            applied = self.service.answer(sid, body["label"], tuple_id=body.get("tuple_id"))
+            return 200, {
+                "applied": event_to_wire(applied),
+                "next": event_to_wire(self.service.next_question(sid)),
+            }
+        if method == "POST" and rest == "/save":
+            return 200, {"document": self.service.save(sid)}
+        return 404, {"error": f"no route for {method} {path}"}
+
+
+def make_server(api: SessionApi, port: int) -> ThreadingHTTPServer:
+    """An HTTP server speaking the session protocol (port 0 = ephemeral)."""
+
+    class Handler(BaseHTTPRequestHandler):
+        def _respond(self, body: Optional[dict]) -> None:
+            status, payload = api.handle(self.command, self.path, body)
+            data = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            self._respond(None)
+
+        def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+            self._respond(None)
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                body = json.loads(raw.decode("utf-8") or "{}")
+            except json.JSONDecodeError:
+                self._respond(None)
+                return
+            self._respond(body)
+
+        def log_message(self, format: str, *args: object) -> None:
+            pass  # keep the scripted demo's stdout clean
+
+    return ThreadingHTTPServer(("127.0.0.1", port), Handler)
+
+
+def _request(base: str, method: str, path: str, body: Optional[dict] = None) -> dict:
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(base + path, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def scripted_session(base: str) -> int:
+    """Drive one guided session over HTTP: answer, save, resume, converge."""
+    table = flights_hotels.figure1_table()
+    goal = flights_hotels.query_q2()
+    oracle = GoalQueryOracle(goal)
+
+    print(f"tables: {_request(base, 'GET', '/tables')['names']}")
+    created = _request(base, "POST", "/sessions", {"table": "flights", "mode": "guided"})
+    sid = created["session_id"]
+    print(f"created guided session {sid[:8]}… over {created['table_name']!r}")
+
+    # First sitting: two answers, then save and close.
+    for _ in range(2):
+        question = _request(base, "GET", f"/sessions/{sid}/question")
+        label = oracle.label(table, question["tuple_id"]).value
+        result = _request(
+            base, "POST", f"/sessions/{sid}/answer", {"label": label}
+        )
+        applied = result["applied"]
+        print(
+            f"  Q{applied['step']}: tuple {applied['tuple_id']} -> {applied['label']} "
+            f"(pruned {applied['pruned']}, {applied['informative_remaining']} informative left)"
+        )
+    document = _request(base, "POST", f"/sessions/{sid}/save")["document"]
+    _request(base, "DELETE", f"/sessions/{sid}")
+    print("saved mid-session and closed; resuming in a fresh session…")
+
+    # Second sitting: resume and run to convergence.
+    resumed = _request(base, "POST", "/sessions/resume", {"document": document})
+    sid = resumed["session_id"]
+    assert resumed["mode"] == "guided" and resumed["num_labels"] == 2
+    while True:
+        event = _request(base, "GET", f"/sessions/{sid}/question")
+        if event["type"] == "converged":
+            print(f"converged: {event['query']} after {event['step']} answers")
+            inferred = event
+            break
+        label = oracle.label(table, event["tuple_id"]).value
+        result = _request(base, "POST", f"/sessions/{sid}/answer", {"label": label})
+        applied = result["applied"]
+        print(f"  Q{applied['step']}: tuple {applied['tuple_id']} -> {applied['label']}")
+
+    expected = {frozenset(atom.attributes) for atom in goal}
+    actual = {frozenset(pair) for pair in inferred["atoms"]}
+    if actual != expected:
+        print(f"FAIL: inferred {inferred['query']!r} does not match the goal")
+        return 1
+    print("ok: the HTTP-driven session inferred the goal query")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--serve", action="store_true", help="run a blocking server instead of the scripted demo"
+    )
+    parser.add_argument("--port", type=int, default=8080, help="port for --serve")
+    args = parser.parse_args(argv)
+
+    service = SessionService()
+    api = SessionApi(service)
+    api.register("flights", flights_hotels.figure1_table())
+
+    if args.serve:
+        server = make_server(api, args.port)
+        print(f"serving inference sessions on http://127.0.0.1:{server.server_address[1]}/")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+        return 0
+
+    server = make_server(api, 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        return scripted_session(f"http://127.0.0.1:{server.server_address[1]}")
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

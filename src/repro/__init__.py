@@ -24,7 +24,7 @@ Quickstart::
     print(result.num_interactions)                   # far fewer than 12 labels
 """
 
-from . import baselines, core, datasets, experiments, relational, sessions, ui
+from . import baselines, core, datasets, experiments, relational, service, sessions, ui
 from .core import (
     AtomScope,
     AtomUniverse,
@@ -71,6 +71,7 @@ from .relational import (
     RelationSchema,
     denormalize,
 )
+from .service import InferenceSession, SessionService
 from .sessions import (
     BenefitReport,
     GuidedSession,
@@ -106,6 +107,7 @@ __all__ = [
     "GuidedSession",
     "InconsistentLabelError",
     "InferenceResult",
+    "InferenceSession",
     "InferenceState",
     "InferenceTrace",
     "Interaction",
@@ -122,6 +124,7 @@ __all__ = [
     "RelationSchema",
     "ReproError",
     "SchemaError",
+    "SessionService",
     "SessionStatistics",
     "StrategyError",
     "TopKSession",
@@ -133,6 +136,7 @@ __all__ = [
     "experiments",
     "infer_join",
     "relational",
+    "service",
     "sessions",
     "strategies",
     "ui",

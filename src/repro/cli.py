@@ -40,6 +40,7 @@ from .exceptions import ReproError
 from .relational.candidate import CandidateTable
 from .relational.csv_io import read_candidate_table_csv
 from .relational.mappings import as_gav_mapping
+from .service.stepper import InferenceSession
 from .ui.renderer import render_table
 
 #: Built-in datasets selectable with ``--dataset``.
@@ -140,21 +141,51 @@ def default_goal(dataset: str) -> JoinQuery:
     )
 
 
-def run_inference(args: argparse.Namespace, oracle: Oracle, echo: bool) -> int:
-    """Shared driver of the ``demo`` and ``infer`` subcommands."""
+def _print_outcome(
+    table: CandidateTable, query: JoinQuery, num_interactions: int, converged: bool
+) -> None:
+    """The result block shared by the ``demo`` and ``infer`` subcommands."""
+    print(f"inferred join query : {query.describe()}")
+    print(f"membership queries  : {num_interactions} (of {len(table)} candidate tuples)")
+    print(f"converged           : {converged}")
+    print(f"SQL                 : {query.to_sql(table)}")
+    if table.has_provenance() and not query.is_empty:
+        mapping = as_gav_mapping(query, table, target="InferredJoin")
+        print(f"GAV mapping         : {mapping.to_datalog()}")
+
+
+def run_inference(args: argparse.Namespace, oracle: Oracle) -> int:
+    """Driver of the ``infer`` subcommand (blocking engine run)."""
     table = load_table(args.dataset, args.csv)
-    if echo:
-        print(render_table(table, max_rows=20))
-        print()
     engine = JoinInferenceEngine(table, strategy=args.strategy)
     result = engine.run(oracle, max_interactions=args.max_interactions)
-    print(f"inferred join query : {result.query.describe()}")
-    print(f"membership queries  : {result.num_interactions} (of {len(table)} candidate tuples)")
-    print(f"converged           : {result.converged}")
-    print(f"SQL                 : {result.query.to_sql(table)}")
-    if table.has_provenance() and not result.query.is_empty:
-        mapping = as_gav_mapping(result.query, table, target="InferredJoin")
-        print(f"GAV mapping         : {mapping.to_datalog()}")
+    _print_outcome(table, result.query, result.num_interactions, result.converged)
+    return 0
+
+
+def run_demo(args: argparse.Namespace, oracle: Oracle) -> int:
+    """Driver of the ``demo`` subcommand.
+
+    The CLI is a frontend like any other since the sans-IO redesign: it steps
+    an :class:`~repro.service.stepper.InferenceSession`, consulting the
+    oracle (a human at the terminal, or a goal query for scripted runs) for
+    each :class:`~repro.service.protocol.QuestionAsked` event.
+    """
+    table = load_table(args.dataset, args.csv)
+    print(render_table(table, max_rows=20))
+    print()
+    session = InferenceSession(table, mode="guided", strategy=args.strategy)
+    converged = True
+    while not session.is_converged():
+        if (
+            args.max_interactions is not None
+            and session.num_interactions >= args.max_interactions
+        ):
+            converged = False
+            break
+        question = session.next_question()
+        session.submit(oracle.label(table, question.tuple_id))
+    _print_outcome(table, session.inferred_query(), session.num_interactions, converged)
     return 0
 
 
@@ -170,13 +201,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "infer":
             goal = parse_goal(args.goal) if args.goal else default_goal(args.dataset)
             print(f"goal query          : {goal.describe()}")
-            return run_inference(args, GoalQueryOracle(goal), echo=False)
+            return run_inference(args, GoalQueryOracle(goal))
         # demo: a human answers unless a goal is given for scripted runs.
         if args.goal:
             oracle: Oracle = GoalQueryOracle(parse_goal(args.goal))
         else:
             oracle = ConsoleOracle()
-        return run_inference(args, oracle, echo=True)
+        return run_demo(args, oracle)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

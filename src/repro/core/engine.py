@@ -9,8 +9,13 @@ the label — → ``output: inferred join query``.
 :class:`~repro.core.strategies.base.Strategy`, records every interaction in an
 :class:`InferenceTrace`, and returns an :class:`InferenceResult` containing
 the inferred query, the number of membership queries asked, and convergence
-diagnostics.  It is the single entry point used by the sessions layer, the
-examples and all experiments.
+diagnostics.
+
+Since the sans-IO redesign the engine is a thin *adapter*: the loop itself
+lives in :class:`~repro.service.stepper.InferenceSession` (the caller-driven
+stepper every frontend shares) and :meth:`JoinInferenceEngine.run` merely
+feeds it oracle answers.  The blocking oracle-callback signature is kept for
+the experiments, the CLI and existing callers.
 """
 
 from __future__ import annotations
@@ -202,46 +207,32 @@ class JoinInferenceEngine:
                     f"({len(initial_state.universe.atoms)} vs {len(self.universe.atoms)} atoms)"
                 )
         state = initial_state if initial_state is not None else self.new_state()
-        trace = InferenceTrace()
-        step = 0
-        while state.has_informative_tuple():
-            if max_interactions is not None and step >= max_interactions:
+        # Imported lazily: the service layer builds on top of the core types
+        # defined above, so a module-level import would be circular.
+        from ..service.stepper import InferenceSession
+
+        session = InferenceSession(self.table, mode="guided", strategy=self.strategy, state=state)
+        while not session.is_converged():
+            if max_interactions is not None and session.num_interactions >= max_interactions:
                 if require_convergence:
                     raise ConvergenceError(
                         f"inference did not converge within {max_interactions} interactions"
                     )
                 return InferenceResult(
                     query=state.inferred_query(),
-                    trace=trace,
+                    trace=session.trace,
                     state=state,
                     converged=False,
                     strategy_name=self.strategy.name,
                 )
-            choose_started = time.perf_counter()
-            tuple_id = self.strategy.choose(state)
-            choose_seconds = time.perf_counter() - choose_started
+            question = session.next_question()
             oracle_started = time.perf_counter()
-            label = oracle.label(self.table, tuple_id)
+            label = oracle.label(self.table, question.tuple_id)
             oracle_seconds = time.perf_counter() - oracle_started
-            propagate_started = time.perf_counter()
-            propagation = state.add_label(tuple_id, label)
-            elapsed = choose_seconds + (time.perf_counter() - propagate_started)
-            step += 1
-            trace.propagations.append(propagation)
-            trace.interactions.append(
-                Interaction(
-                    step=step,
-                    tuple_id=tuple_id,
-                    label=label,
-                    pruned=propagation.pruned_count,
-                    informative_remaining=propagation.informative_after,
-                    elapsed_seconds=elapsed,
-                    oracle_seconds=oracle_seconds,
-                )
-            )
+            session.submit(label, oracle_seconds=oracle_seconds)
         return InferenceResult(
             query=state.inferred_query(),
-            trace=trace,
+            trace=session.trace,
             state=state,
             converged=True,
             strategy_name=self.strategy.name,
@@ -254,13 +245,26 @@ def infer_join(
     strategy: Union[Strategy, str, None] = None,
     scope: AtomScope = AtomScope.CROSS_RELATION,
     max_interactions: Optional[int] = None,
+    universe: Optional[AtomUniverse] = None,
+    strict: bool = True,
+    require_convergence: bool = False,
 ) -> InferenceResult:
     """One-call convenience wrapper: build an engine and run it.
+
+    Exposes the engine's full configuration surface — ``universe`` (restrict
+    the candidate atoms instead of deriving them from ``scope``), ``strict``
+    (whether contradicting labels raise) and ``require_convergence`` (raise
+    :class:`~repro.exceptions.ConvergenceError` when ``max_interactions`` is
+    hit before convergence) — rather than silently using the defaults.
 
     This is the function the quickstart example uses::
 
         result = infer_join(table, GoalQueryOracle(goal), strategy="lookahead-entropy")
         print(result.query.describe(), result.num_interactions)
     """
-    engine = JoinInferenceEngine(table, strategy=strategy, scope=scope)
-    return engine.run(oracle, max_interactions=max_interactions)
+    engine = JoinInferenceEngine(
+        table, strategy=strategy, universe=universe, scope=scope, strict=strict
+    )
+    return engine.run(
+        oracle, max_interactions=max_interactions, require_convergence=require_convergence
+    )

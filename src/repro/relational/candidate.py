@@ -20,7 +20,6 @@ from typing import Iterable, Iterator, Optional, Sequence
 from ..exceptions import CandidateTableError, UnknownAttributeError
 from .instance import DatabaseInstance
 from .relation import Relation
-from .schema import Attribute
 from .types import DataType, infer_column_type
 
 Row = tuple

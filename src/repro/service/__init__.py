@@ -1,0 +1,53 @@
+"""The sans-IO session protocol and the multi-tenant session service.
+
+This package inverts the engine's control flow so any frontend can drive
+inference:
+
+* :mod:`~repro.service.protocol` — the typed event vocabulary
+  (:class:`QuestionAsked`, :class:`LabelApplied`, :class:`Converged`, …) with
+  a stable JSON wire form;
+* :mod:`~repro.service.stepper` — :class:`InferenceSession`, the pure
+  state machine the caller steps with ``next_question()`` / ``submit()``;
+* :mod:`~repro.service.service` — :class:`SessionService`, a thread-safe
+  facade managing many concurrent sessions by id over a fingerprint-keyed
+  table registry, with save/resume backed by the v2 persistence format.
+
+The historical blocking surfaces (``JoinInferenceEngine.run``, the
+``sessions.modes`` classes, the console demo) are thin adapters over this
+package.
+"""
+
+from .protocol import (
+    BatchQuestionsAsked,
+    Converged,
+    Event,
+    InteractionMode,
+    LabelApplied,
+    ProtocolError,
+    QuestionAsked,
+    decode_event,
+    encode_event,
+    event_from_wire,
+    event_to_wire,
+)
+from .service import SessionDescriptor, SessionService, SessionServiceError
+from .stepper import InferenceSession, validate_mode_options
+
+__all__ = [
+    "BatchQuestionsAsked",
+    "Converged",
+    "Event",
+    "InferenceSession",
+    "InteractionMode",
+    "LabelApplied",
+    "ProtocolError",
+    "QuestionAsked",
+    "SessionDescriptor",
+    "SessionService",
+    "SessionServiceError",
+    "decode_event",
+    "encode_event",
+    "event_from_wire",
+    "event_to_wire",
+    "validate_mode_options",
+]

@@ -1,0 +1,285 @@
+"""A thread-safe, multi-tenant session service over the sans-IO stepper.
+
+:class:`SessionService` is the facade a web / crowd frontend talks to: it
+manages many concurrent :class:`~repro.service.stepper.InferenceSession`\\ s
+by id over a fingerprint-keyed table registry, with a small
+create / describe / question / answer / save / resume / close lifecycle.  All
+methods exchange plain data (protocol events, descriptors, JSON documents),
+so mapping the service onto a transport is mechanical —
+``examples/serve_sessions.py`` does it with the stdlib ``http.server``.
+
+Concurrency model: a registry lock guards the table and session maps, and
+each session carries its own lock, so sessions advance independently — two
+labelers never block each other, only concurrent commands against the *same*
+session serialise.
+
+Saved sessions use the v2 persistence format, which records the interaction
+mode, strategy name and ``k`` alongside the labels; :meth:`resume` therefore
+restores a top-k session as a top-k session, in this service instance or a
+completely fresh one.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..core.strategies.base import Strategy
+from ..exceptions import ReproError
+from ..relational.candidate import CandidateTable
+from .protocol import Event, InteractionMode, LabelApplied
+from .stepper import AnswerSet, InferenceSession, LabelLike, validate_mode_options
+
+
+class SessionServiceError(ReproError):
+    """A service command referenced an unknown session, table, or lifecycle state."""
+
+
+@dataclass(frozen=True)
+class SessionDescriptor:
+    """A snapshot of one managed session, safe to serialise to clients."""
+
+    session_id: str
+    mode: str
+    strategy: Optional[str]
+    k: Optional[int]
+    table_fingerprint: str
+    table_name: str
+    num_candidates: int
+    num_labels: int
+    converged: bool
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dictionary form for JSON responses."""
+        return {
+            "session_id": self.session_id,
+            "mode": self.mode,
+            "strategy": self.strategy,
+            "k": self.k,
+            "table_fingerprint": self.table_fingerprint,
+            "table_name": self.table_name,
+            "num_candidates": self.num_candidates,
+            "num_labels": self.num_labels,
+            "converged": self.converged,
+        }
+
+
+class _ManagedSession:
+    """A stepper plus the bookkeeping the service needs around it."""
+
+    __slots__ = ("session_id", "stepper", "fingerprint", "strategy_name", "lock")
+
+    def __init__(
+        self,
+        session_id: str,
+        stepper: InferenceSession,
+        fingerprint: str,
+        strategy_name: Optional[str],
+    ) -> None:
+        self.session_id = session_id
+        self.stepper = stepper
+        self.fingerprint = fingerprint
+        self.strategy_name = strategy_name
+        self.lock = threading.Lock()
+
+
+class SessionService:
+    """Manages many concurrent inference sessions over registered tables."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._tables: dict[str, CandidateTable] = {}
+        self._sessions: dict[str, _ManagedSession] = {}
+
+    # ------------------------------------------------------------------ #
+    # Table registry
+    # ------------------------------------------------------------------ #
+    def register_table(self, table: CandidateTable) -> str:
+        """Register a candidate table and return its fingerprint (idempotent)."""
+        from ..sessions.persistence import table_fingerprint
+
+        fingerprint = table_fingerprint(table)
+        with self._lock:
+            self._tables.setdefault(fingerprint, table)
+        return fingerprint
+
+    def tables(self) -> dict[str, str]:
+        """The registered tables: ``fingerprint -> table name``."""
+        with self._lock:
+            return {fp: table.name for fp, table in self._tables.items()}
+
+    def table(self, fingerprint: str) -> CandidateTable:
+        """The registered table with the given fingerprint."""
+        with self._lock:
+            try:
+                return self._tables[fingerprint]
+            except KeyError:
+                raise SessionServiceError(
+                    f"no table registered under fingerprint {fingerprint!r}"
+                ) from None
+
+    def _resolve_table(self, table: Union[CandidateTable, str]) -> tuple[CandidateTable, str]:
+        if isinstance(table, CandidateTable):
+            return table, self.register_table(table)
+        return self.table(table), table
+
+    # ------------------------------------------------------------------ #
+    # Session lifecycle
+    # ------------------------------------------------------------------ #
+    def create(
+        self,
+        table: Union[CandidateTable, str],
+        mode: Union[InteractionMode, str] = InteractionMode.GUIDED,
+        strategy: Union[Strategy, str, None] = None,
+        k: Optional[int] = None,
+        strict: bool = True,
+    ) -> SessionDescriptor:
+        """Create a session over a table (instance, or fingerprint of a registered one).
+
+        Options are validated against the mode up front (see
+        :func:`~repro.service.stepper.validate_mode_options`).
+        """
+        parsed_mode = validate_mode_options(mode, {"strategy": strategy, "k": k})
+        resolved, fingerprint = self._resolve_table(table)
+        stepper = InferenceSession(
+            resolved, mode=parsed_mode, strategy=strategy, k=k, strict=strict
+        )
+        strategy_name = (
+            stepper.strategy.name if parsed_mode is InteractionMode.GUIDED else None
+        )
+        session_id = uuid.uuid4().hex
+        managed = _ManagedSession(session_id, stepper, fingerprint, strategy_name)
+        with self._lock:
+            self._sessions[session_id] = managed
+        return self._describe(managed)
+
+    def session_ids(self) -> list[str]:
+        """Ids of all live sessions."""
+        with self._lock:
+            return list(self._sessions)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def _managed(self, session_id: str) -> _ManagedSession:
+        with self._lock:
+            try:
+                return self._sessions[session_id]
+            except KeyError:
+                raise SessionServiceError(f"unknown session id {session_id!r}") from None
+
+    def _describe(self, managed: _ManagedSession) -> SessionDescriptor:
+        stepper = managed.stepper
+        return SessionDescriptor(
+            session_id=managed.session_id,
+            mode=stepper.mode.value,
+            strategy=managed.strategy_name,
+            k=stepper.k if stepper.mode is InteractionMode.TOP_K else None,
+            table_fingerprint=managed.fingerprint,
+            table_name=stepper.table.name,
+            num_candidates=len(stepper.table),
+            # Count labels in the state, not this sitting's trace, so a
+            # resumed session reports the labels it restored.
+            num_labels=len(stepper.state.labeled_ids()),
+            converged=stepper.is_converged(),
+        )
+
+    def describe(self, session_id: str) -> SessionDescriptor:
+        """A snapshot of the session's kind and progress."""
+        managed = self._managed(session_id)
+        with managed.lock:
+            return self._describe(managed)
+
+    def close(self, session_id: str) -> SessionDescriptor:
+        """Remove a session from the service and return its final snapshot."""
+        with self._lock:
+            try:
+                managed = self._sessions.pop(session_id)
+            except KeyError:
+                raise SessionServiceError(f"unknown session id {session_id!r}") from None
+        with managed.lock:
+            return self._describe(managed)
+
+    # ------------------------------------------------------------------ #
+    # Stepping
+    # ------------------------------------------------------------------ #
+    def next_question(self, session_id: str) -> Event:
+        """The session's next protocol event (question, batch, or converged)."""
+        managed = self._managed(session_id)
+        with managed.lock:
+            return managed.stepper.next_question()
+
+    def answer(
+        self, session_id: str, label: LabelLike, tuple_id: Optional[int] = None
+    ) -> LabelApplied:
+        """Apply one label to the session (see :meth:`InferenceSession.submit`)."""
+        managed = self._managed(session_id)
+        with managed.lock:
+            return managed.stepper.submit(label, tuple_id=tuple_id)
+
+    def answer_many(self, session_id: str, answers: AnswerSet) -> list[LabelApplied]:
+        """Apply a batch of ``tuple_id -> label`` answers to the session."""
+        managed = self._managed(session_id)
+        with managed.lock:
+            return managed.stepper.submit_many(answers)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, session_id: str) -> dict[str, object]:
+        """The session as a v2 persistence document (labels + session kind)."""
+        from ..sessions.persistence import serialize_state
+
+        managed = self._managed(session_id)
+        with managed.lock:
+            stepper = managed.stepper
+            return serialize_state(
+                stepper.state,
+                mode=stepper.mode.value,
+                strategy=managed.strategy_name,
+                k=stepper.k if stepper.mode is InteractionMode.TOP_K else None,
+            )
+
+    def resume(
+        self,
+        payload: dict[str, object],
+        table: Union[CandidateTable, str, None] = None,
+    ) -> SessionDescriptor:
+        """Restore a saved session as a new live session of the recorded kind.
+
+        The table is taken from ``table`` (instance or fingerprint) or looked
+        up in the registry by the document's fingerprint.  v1 documents (no
+        session metadata) resume as guided sessions.
+        """
+        from ..sessions.persistence import deserialize_state, session_options
+
+        if table is None:
+            fingerprint = payload.get("table_fingerprint")
+            if not isinstance(fingerprint, str):
+                raise SessionServiceError(
+                    "the session document carries no table fingerprint; pass the table explicitly"
+                )
+            resolved, fingerprint = self._resolve_table(fingerprint)
+        else:
+            resolved, fingerprint = self._resolve_table(table)
+        state = deserialize_state(payload, resolved)
+        options = session_options(payload)
+        mode = validate_mode_options(
+            options["mode"], {"strategy": options["strategy"], "k": options["k"]}
+        )
+        stepper = InferenceSession(
+            resolved,
+            mode=mode,
+            strategy=options["strategy"],
+            k=options["k"],
+            state=state,
+        )
+        strategy_name = stepper.strategy.name if mode is InteractionMode.GUIDED else None
+        session_id = uuid.uuid4().hex
+        managed = _ManagedSession(session_id, stepper, fingerprint, strategy_name)
+        with self._lock:
+            self._sessions[session_id] = managed
+        return self._describe(managed)

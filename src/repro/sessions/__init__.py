@@ -15,6 +15,8 @@ from .persistence import (
     load_session,
     resume_guided_session,
     save_session,
+    session_options,
+    table_fingerprint,
 )
 from .statistics import SessionStatistics
 
@@ -31,4 +33,6 @@ __all__ = [
     "load_session",
     "resume_guided_session",
     "save_session",
+    "session_options",
+    "table_fingerprint",
 ]

@@ -12,13 +12,18 @@
 4. **Proposing the most informative tuple** — the fully interactive inference
    process of Figure 2 (:class:`GuidedSession`).
 
-All sessions share the same underlying :class:`~repro.core.state.InferenceState`
-and therefore the same convergence criterion, statistics and benefit report.
+Since the sans-IO redesign all four classes are thin adapters over one
+:class:`~repro.service.stepper.InferenceSession` (exposed as ``stepper``):
+they translate the historical method surface (``label``, ``propose``,
+``next_tuple`` / ``answer``, ``run``) into stepper commands, so every
+frontend — these classes, the engine, the CLI, the HTTP service — drives the
+identical state machine.  The underlying
+:class:`~repro.core.state.InferenceState` and the convergence criterion,
+statistics and benefit report are therefore shared as before.
 """
 
 from __future__ import annotations
 
-import enum
 from typing import Optional, Union
 
 from ..core.engine import Interaction
@@ -28,70 +33,75 @@ from ..core.propagation import PropagationResult
 from ..core.queries import JoinQuery
 from ..core.state import InferenceState
 from ..core.strategies.base import Strategy
-from ..core.strategies.lookahead import EntropyStrategy
-from ..core.strategies.registry import create_strategy
 from ..exceptions import StrategyError
 from ..relational.candidate import CandidateTable
+from ..service.protocol import Converged, InteractionMode
+from ..service.stepper import (
+    DEFAULT_K,
+    MODE_OPTIONS,
+    InferenceSession,
+    parse_mode,
+    validate_mode_options,
+)
 from .benefit import BenefitReport, compute_benefit
 from .statistics import SessionStatistics
 
-
-class InteractionMode(enum.Enum):
-    """The four interaction types of the demonstration scenario."""
-
-    MANUAL = "manual"
-    MANUAL_WITH_PRUNING = "manual-with-pruning"
-    TOP_K = "top-k"
-    GUIDED = "guided"
+__all__ = [
+    "GuidedSession",
+    "InteractionMode",
+    "ManualSession",
+    "TopKSession",
+    "create_session",
+]
 
 
 class _BaseSession:
-    """State, statistics and benefit reporting shared by all session kinds."""
+    """Adapter plumbing shared by all session kinds.
 
-    mode: InteractionMode
+    Wraps an :class:`~repro.service.stepper.InferenceSession` and re-exposes
+    its state, interaction log, statistics and benefit reporting under the
+    historical attribute names.
+    """
 
     def __init__(
         self,
         table: CandidateTable,
+        mode: InteractionMode,
         state: Optional[InferenceState] = None,
+        strategy: Union[Strategy, str, None] = None,
+        k: Optional[int] = None,
     ) -> None:
         self.table = table
-        self.state = state if state is not None else InferenceState(table)
-        self.interactions: list[Interaction] = []
+        self.mode = mode
+        self.stepper = InferenceSession(
+            table, mode=mode, strategy=strategy, k=k, state=state
+        )
+        self.state = self.stepper.state
 
     # -- labeling ------------------------------------------------------- #
-    def _record(self, tuple_id: int, label: Label, propagation: PropagationResult) -> None:
-        self.interactions.append(
-            Interaction(
-                step=len(self.interactions) + 1,
-                tuple_id=tuple_id,
-                label=label,
-                pruned=propagation.pruned_count,
-                informative_remaining=propagation.informative_after,
-                elapsed_seconds=0.0,
-            )
-        )
-
     def label(self, tuple_id: int, label: Union[Label, str, bool]) -> PropagationResult:
         """Record one user label and propagate it."""
-        parsed = Label.from_value(label)
-        propagation = self.state.add_label(tuple_id, parsed)
-        self._record(tuple_id, parsed, propagation)
-        return propagation
+        self.stepper.submit(label, tuple_id=tuple_id)
+        return self.stepper.last_propagation()
 
     # -- progress ------------------------------------------------------- #
     @property
+    def interactions(self) -> list[Interaction]:
+        """The labels given so far (the stepper's interaction log)."""
+        return self.stepper.interactions
+
+    @property
     def num_interactions(self) -> int:
         """Number of labels the user has given in this session."""
-        return len(self.interactions)
+        return self.stepper.num_interactions
 
     def is_converged(self) -> bool:
         """Whether the labels given so far identify a unique query."""
-        return self.state.is_converged()
+        return self.stepper.is_converged()
 
     def inferred_query(self) -> JoinQuery:
         """The canonical query consistent with the labels given so far."""
-        return self.state.inferred_query()
+        return self.stepper.inferred_query()
 
     def statistics(self) -> SessionStatistics:
         """The progress panel of the demo interface."""
@@ -123,11 +133,11 @@ class ManualSession(_BaseSession):
         gray_out: bool = False,
         state: Optional[InferenceState] = None,
     ) -> None:
-        super().__init__(table, state)
-        self.gray_out = gray_out
-        self.mode = (
+        mode = (
             InteractionMode.MANUAL_WITH_PRUNING if gray_out else InteractionMode.MANUAL
         )
+        super().__init__(table, mode, state=state)
+        self.gray_out = gray_out
 
     def labelable_ids(self) -> list[int]:
         """The tuples the attendee may label next.
@@ -135,10 +145,7 @@ class ManualSession(_BaseSession):
         Type 1 lets her label any unlabeled tuple; type 2 hides the grayed-out
         ones and only offers the informative tuples.
         """
-        if self.gray_out:
-            return self.state.informative_ids()
-        labeled = self.state.labeled_ids()
-        return [tuple_id for tuple_id in self.table.tuple_ids if tuple_id not in labeled]
+        return self.stepper.labelable_ids()
 
     def visible_grayed_out(self) -> list[int]:
         """The tuples the interface currently shows as grayed out."""
@@ -171,31 +178,18 @@ class TopKSession(_BaseSession):
     so on until convergence.
     """
 
-    mode = InteractionMode.TOP_K
-
     def __init__(
         self,
         table: CandidateTable,
-        k: int = 5,
+        k: int = DEFAULT_K,
         state: Optional[InferenceState] = None,
     ) -> None:
-        if k < 1:
-            raise StrategyError("k must be at least 1")
-        super().__init__(table, state)
+        super().__init__(table, InteractionMode.TOP_K, state=state, k=k)
         self.k = k
-        self._scorer = EntropyStrategy()
 
     def propose(self, k: Optional[int] = None) -> list[int]:
         """The current top-k informative tuples, best first."""
-        batch_size = k if k is not None else self.k
-        candidates = self.state.informative_ids()
-        counts = self.state.prune_counts_all(candidates)
-        scored = sorted(
-            candidates,
-            key=lambda tid: (self._scorer.score(*counts[tid]), -tid),
-            reverse=True,
-        )
-        return scored[:batch_size]
+        return self.stepper.propose_batch(k)
 
     def run(self, oracle: Oracle, max_rounds: Optional[int] = None) -> JoinQuery:
         """Label proposed batches until convergence (or ``max_rounds``)."""
@@ -203,12 +197,13 @@ class TopKSession(_BaseSession):
         while not self.is_converged():
             if max_rounds is not None and rounds >= max_rounds:
                 break
-            for tuple_id in self.propose():
-                # Earlier labels in the same batch may have made this tuple
-                # uninformative; the attendee skips it in that case.
-                if self.state.status(tuple_id).is_uninformative:
-                    continue
-                self.label(tuple_id, oracle.label(self.table, tuple_id))
+            # Earlier labels in the same batch may make later tuples
+            # uninformative; submit_many skips them, as the attendee would.
+            self.stepper.submit_many(
+                (tuple_id, oracle.label(self.table, tuple_id))
+                for tuple_id in self.propose()
+                if not self.state.status(tuple_id).is_uninformative
+            )
             rounds += 1
         return self.inferred_query()
 
@@ -223,35 +218,26 @@ class GuidedSession(_BaseSession):
     oracle (:meth:`run`).
     """
 
-    mode = InteractionMode.GUIDED
-
     def __init__(
         self,
         table: CandidateTable,
         strategy: Union[Strategy, str, None] = None,
         state: Optional[InferenceState] = None,
     ) -> None:
-        super().__init__(table, state)
-        if strategy is None:
-            self.strategy: Strategy = EntropyStrategy()
-        elif isinstance(strategy, str):
-            self.strategy = create_strategy(strategy)
-        else:
-            self.strategy = strategy
-        self._pending: Optional[int] = None
+        super().__init__(table, InteractionMode.GUIDED, state=state, strategy=strategy)
+        self.strategy = self.stepper.strategy
 
     def next_tuple(self) -> int:
         """The tuple the system asks about next (stable until answered)."""
-        if self._pending is None:
-            self._pending = self.strategy.choose(self.state)
-        return self._pending
+        event = self.stepper.next_question()
+        if isinstance(event, Converged):
+            raise StrategyError("no informative tuple remains; the session has converged")
+        return event.tuple_id
 
     def answer(self, label: Union[Label, str, bool]) -> PropagationResult:
         """Answer the pending membership query."""
-        tuple_id = self.next_tuple()
-        propagation = self.label(tuple_id, label)
-        self._pending = None
-        return propagation
+        self.stepper.submit(label)
+        return self.stepper.last_propagation()
 
     def run(self, oracle: Oracle, max_interactions: Optional[int] = None) -> JoinQuery:
         """Run the guided loop to convergence (or ``max_interactions``)."""
@@ -268,12 +254,47 @@ def create_session(
     table: CandidateTable,
     **kwargs: object,
 ) -> _BaseSession:
-    """Build a session of the requested interaction type."""
-    parsed = InteractionMode(mode) if not isinstance(mode, InteractionMode) else mode
+    """Build a session of the requested interaction type.
+
+    Keyword arguments are validated against the mode *before* construction:
+    an option the mode does not understand — e.g. passing ``k`` to a guided
+    session, or ``strategy`` to a manual one — raises :class:`ValueError`
+    naming the mode, and a recognised-but-invalid value (e.g. ``k=0``) raises
+    :class:`~repro.exceptions.StrategyError`, instead of failing late or
+    being silently swallowed.  The per-mode option table is the stepper's
+    (:data:`~repro.service.stepper.MODE_OPTIONS`), plus ``state`` which every
+    mode accepts; options set to ``None`` mean "use the default".
+    """
+    parsed = parse_mode(mode)
+    allowed = MODE_OPTIONS[parsed] | {"state"}
+    unknown = sorted(set(kwargs) - allowed)
+    if unknown:
+        extras = ", ".join(repr(name) for name in unknown)
+        accepted = ", ".join(sorted(allowed))
+        raise ValueError(
+            f"session mode {parsed.value!r} does not accept {extras} "
+            f"(accepted keyword arguments: {accepted})"
+        )
+    validate_mode_options(
+        parsed, {name: kwargs.get(name) for name in MODE_OPTIONS[parsed]}
+    )
+    state = kwargs.get("state")
+    if state is not None and not isinstance(state, InferenceState):
+        raise ValueError(
+            f"session mode {parsed.value!r}: 'state' must be an InferenceState, "
+            f"got {type(state).__name__}"
+        )
     if parsed is InteractionMode.MANUAL:
-        return ManualSession(table, gray_out=False, **kwargs)  # type: ignore[arg-type]
+        return ManualSession(table, gray_out=False, state=state)
     if parsed is InteractionMode.MANUAL_WITH_PRUNING:
-        return ManualSession(table, gray_out=True, **kwargs)  # type: ignore[arg-type]
+        return ManualSession(table, gray_out=True, state=state)
     if parsed is InteractionMode.TOP_K:
-        return TopKSession(table, **kwargs)  # type: ignore[arg-type]
-    return GuidedSession(table, **kwargs)  # type: ignore[arg-type]
+        k = kwargs.get("k")
+        return TopKSession(table, k=DEFAULT_K if k is None else k, state=state)
+    strategy = kwargs.get("strategy")
+    if strategy is not None and not isinstance(strategy, (Strategy, str)):
+        raise ValueError(
+            "session mode 'guided': 'strategy' must be a Strategy instance or a "
+            f"registry name, got {type(strategy).__name__}"
+        )
+    return GuidedSession(table, strategy=strategy, state=state)

@@ -6,6 +6,19 @@ metadata to detect that they are being replayed against the same candidate
 table) to a JSON document, and restores an
 :class:`~repro.core.state.InferenceState` from it, so any session kind can be
 resumed exactly where it stopped.
+
+Format history
+--------------
+* **v1** — labels + table fingerprint + (write-only) convergence summary.
+* **v2** — adds an optional ``"session"`` object recording the interaction
+  ``mode``, the ``strategy`` name and ``k``, so a multi-session service can
+  restore a saved session *as the right kind of session*, not just as raw
+  labels.  v1 documents are still read.
+
+On load the stored ``canonical_query`` / ``converged`` fields are verified
+against the replayed labels (they used to be written but never read); a
+mismatch — a corrupted or hand-edited document whose labels no longer
+reproduce the recorded outcome — raises :class:`SessionPersistenceError`.
 """
 
 from __future__ import annotations
@@ -24,7 +37,9 @@ PathLike = Union[str, Path]
 
 #: Format identifier written into every saved session.
 FORMAT = "jim-session"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Versions :func:`deserialize_state` accepts.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 class SessionPersistenceError(ReproError):
@@ -35,7 +50,9 @@ def table_fingerprint(table: CandidateTable) -> str:
     """A stable fingerprint of a candidate table (attributes + rows).
 
     Used to refuse resuming a session against a different table, where the
-    stored tuple ids would silently mean different tuples.
+    stored tuple ids would silently mean different tuples.  The same
+    fingerprint keys the table registry of
+    :class:`~repro.service.service.SessionService`.
     """
     digest = hashlib.sha256()
     digest.update(repr(table.attribute_names).encode("utf-8"))
@@ -44,9 +61,19 @@ def table_fingerprint(table: CandidateTable) -> str:
     return digest.hexdigest()
 
 
-def serialize_state(state: InferenceState) -> dict[str, object]:
-    """The JSON-serialisable form of a session's labels and context."""
-    return {
+def serialize_state(
+    state: InferenceState,
+    mode: Optional[str] = None,
+    strategy: Optional[str] = None,
+    k: Optional[int] = None,
+) -> dict[str, object]:
+    """The JSON-serialisable form of a session's labels and context.
+
+    ``mode`` / ``strategy`` / ``k`` record how the session was being driven
+    (v2); when all are omitted the document carries labels only, which any
+    session kind can adopt.
+    """
+    payload: dict[str, object] = {
         "format": FORMAT,
         "version": FORMAT_VERSION,
         "table_name": state.table.name,
@@ -59,12 +86,81 @@ def serialize_state(state: InferenceState) -> dict[str, object]:
         "converged": state.is_converged(),
         "canonical_query": [list(atom.attributes) for atom in state.inferred_query()],
     }
+    if mode is not None or strategy is not None or k is not None:
+        payload["session"] = {"mode": mode, "strategy": strategy, "k": k}
+    return payload
 
 
-def save_session(state: InferenceState, path: PathLike) -> None:
-    """Write a session's labels to a JSON file."""
-    payload = serialize_state(state)
+def save_session(
+    state: InferenceState,
+    path: PathLike,
+    mode: Optional[str] = None,
+    strategy: Optional[str] = None,
+    k: Optional[int] = None,
+) -> None:
+    """Write a session's labels (and optional session metadata) to a JSON file."""
+    payload = serialize_state(state, mode=mode, strategy=strategy, k=k)
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+
+
+def session_options(payload: dict[str, object]) -> dict[str, object]:
+    """The session metadata of a saved document: ``mode``, ``strategy``, ``k``.
+
+    v1 documents (and v2 documents saved without metadata) default to a
+    guided session with the default strategy, the historical resume
+    behaviour.
+    """
+    raw = payload.get("session")
+    if raw is None:
+        return {"mode": "guided", "strategy": None, "k": None}
+    if not isinstance(raw, dict):
+        raise SessionPersistenceError("malformed session: 'session' must be an object")
+    mode = raw.get("mode") or "guided"
+    strategy = raw.get("strategy")
+    k = raw.get("k")
+    if not isinstance(mode, str):
+        raise SessionPersistenceError(
+            f"malformed session: 'session.mode' must be a string, got {mode!r}"
+        )
+    if strategy is not None and not isinstance(strategy, str):
+        raise SessionPersistenceError(
+            f"malformed session: 'session.strategy' must be a strategy name, got {strategy!r}"
+        )
+    if k is not None and (not isinstance(k, int) or isinstance(k, bool)):
+        raise SessionPersistenceError(
+            f"malformed session: 'session.k' must be an integer, got {k!r}"
+        )
+    return {"mode": mode, "strategy": strategy, "k": k}
+
+
+def _verify_outcome(payload: dict[str, object], state: InferenceState) -> None:
+    """Check the replayed labels reproduce the stored convergence summary."""
+    stored_converged = payload.get("converged")
+    if isinstance(stored_converged, bool) and stored_converged != state.is_converged():
+        raise SessionPersistenceError(
+            "corrupt session: the replayed labels "
+            f"{'do' if state.is_converged() else 'do not'} converge but the document "
+            f"records converged={stored_converged}"
+        )
+    stored_query = payload.get("canonical_query")
+    if stored_query is not None:
+        if not isinstance(stored_query, list):
+            raise SessionPersistenceError(
+                "malformed session: 'canonical_query' must be a list of attribute pairs"
+            )
+        try:
+            stored_atoms = {frozenset(pair) for pair in stored_query}
+        except TypeError as exc:
+            raise SessionPersistenceError(
+                "malformed session: 'canonical_query' must be a list of attribute pairs"
+            ) from exc
+        replayed_atoms = {frozenset(atom.attributes) for atom in state.inferred_query()}
+        if stored_atoms != replayed_atoms:
+            raise SessionPersistenceError(
+                "corrupt session: replaying the stored labels yields canonical query "
+                f"{sorted(sorted(a) for a in replayed_atoms)} but the document records "
+                f"{sorted(sorted(a) for a in stored_atoms)}"
+            )
 
 
 def deserialize_state(
@@ -72,15 +168,31 @@ def deserialize_state(
     table: CandidateTable,
     strict: bool = True,
     verify_fingerprint: bool = True,
+    verify_integrity: bool = True,
 ) -> InferenceState:
-    """Rebuild an :class:`InferenceState` from a serialised session."""
+    """Rebuild an :class:`InferenceState` from a serialised session.
+
+    ``verify_integrity`` replays the labels and checks they reproduce the
+    stored ``canonical_query`` / ``converged`` summary, catching corrupted or
+    hand-edited documents; it only applies when those fields are present and
+    the fingerprint matches (a deliberately cross-table load with
+    ``verify_fingerprint=False`` legitimately yields a different query).
+    """
     if payload.get("format") != FORMAT:
         raise SessionPersistenceError("not a JIM session document")
-    if payload.get("version") != FORMAT_VERSION:
+    if payload.get("version") not in SUPPORTED_VERSIONS:
+        supported = ", ".join(str(v) for v in SUPPORTED_VERSIONS)
         raise SessionPersistenceError(
-            f"unsupported session version {payload.get('version')!r} (expected {FORMAT_VERSION})"
+            f"unsupported session version {payload.get('version')!r} (expected one of {supported})"
         )
-    if verify_fingerprint and payload.get("table_fingerprint") != table_fingerprint(table):
+    # Hashing every row is not free on large tables; skip it entirely when
+    # neither check needs the answer.
+    fingerprint_matches = (
+        payload.get("table_fingerprint") == table_fingerprint(table)
+        if (verify_fingerprint or verify_integrity)
+        else False
+    )
+    if verify_fingerprint and not fingerprint_matches:
         raise SessionPersistenceError(
             "the saved session was recorded against a different candidate table"
         )
@@ -96,6 +208,8 @@ def deserialize_state(
                 f"malformed session: bad tuple id {tuple_id_text!r}"
             ) from exc
         state.add_label(tuple_id, Label.from_value(label_text))
+    if verify_integrity and fingerprint_matches:
+        _verify_outcome(payload, state)
     return state
 
 
@@ -104,17 +218,28 @@ def load_session(
     table: CandidateTable,
     strict: bool = True,
     verify_fingerprint: bool = True,
+    verify_integrity: bool = True,
 ) -> InferenceState:
     """Load a saved session and replay its labels onto ``table``."""
+    payload = read_session_document(path)
+    return deserialize_state(
+        payload,
+        table,
+        strict=strict,
+        verify_fingerprint=verify_fingerprint,
+        verify_integrity=verify_integrity,
+    )
+
+
+def read_session_document(path: PathLike) -> dict[str, object]:
+    """Read and structurally validate a saved session file (no replay)."""
     try:
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
         raise SessionPersistenceError(f"cannot read session file {path!s}: {exc}") from exc
     if not isinstance(payload, dict):
         raise SessionPersistenceError("malformed session: top-level value must be an object")
-    return deserialize_state(
-        payload, table, strict=strict, verify_fingerprint=verify_fingerprint
-    )
+    return payload
 
 
 def resume_guided_session(
@@ -122,8 +247,15 @@ def resume_guided_session(
     table: CandidateTable,
     strategy: Optional[object] = None,
 ):
-    """Convenience helper: load a saved session into a fresh guided session."""
+    """Convenience helper: load a saved session into a fresh guided session.
+
+    The explicit ``strategy`` argument wins; otherwise the strategy name
+    recorded in a v2 document is used, falling back to the default.
+    """
     from .modes import GuidedSession
 
-    state = load_session(path, table)
+    payload = read_session_document(path)
+    state = deserialize_state(payload, table)
+    if strategy is None:
+        strategy = session_options(payload)["strategy"]
     return GuidedSession(table, strategy=strategy, state=state)

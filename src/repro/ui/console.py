@@ -6,6 +6,12 @@ tuple, reads a ``y``/``n`` answer, shows what got grayed out, and finally
 prints the inferred query.  ``run_scripted_demo`` does the same against an
 oracle and returns the transcript as a string, which is what the tests and the
 examples use (no interactive input needed).
+
+Both are adapters over the sans-IO stepper: the loop below consumes
+:class:`~repro.service.protocol.QuestionAsked` events — which carry the row
+to render — answers them via the oracle, and feeds the labels back with
+``submit``.  It is the same protocol conversation the HTTP demo has, printed
+instead of serialised.
 """
 
 from __future__ import annotations
@@ -16,7 +22,8 @@ from ..core.oracle import ConsoleOracle, Oracle
 from ..core.queries import JoinQuery
 from ..core.strategies.base import Strategy
 from ..relational.candidate import CandidateTable
-from ..sessions.modes import GuidedSession
+from ..service.stepper import InferenceSession
+from ..sessions.statistics import SessionStatistics
 from .renderer import render_state, render_table
 
 Printer = Callable[[str], None]
@@ -56,7 +63,7 @@ def _drive(
     max_interactions: Optional[int],
     show_table_every_step: bool,
 ) -> JoinQuery:
-    session = GuidedSession(table, strategy=strategy)
+    session = InferenceSession(table, mode="guided", strategy=strategy)
     emit("=== JIM: interactive join query inference ===")
     emit(render_table(table, max_rows=20))
     emit("")
@@ -64,14 +71,14 @@ def _drive(
         if max_interactions is not None and session.num_interactions >= max_interactions:
             emit(f"stopping after {max_interactions} interactions (not converged)")
             break
-        tuple_id = session.next_tuple()
+        event = session.next_question()
         rendered = ", ".join(
-            f"{name}={value!r}" for name, value in zip(table.attribute_names, table.row(tuple_id))
+            f"{name}={value!r}" for name, value in zip(event.attributes, event.row)
         )
-        emit(f"[{session.num_interactions + 1}] label tuple ({tuple_id + 1}): {rendered}")
-        label = oracle.label(table, tuple_id)
-        propagation = session.answer(label)
-        emit(f"    answer: {label.value}   {propagation.summary()}")
+        emit(f"[{event.step}] label tuple ({event.tuple_id + 1}): {rendered}")
+        label = oracle.label(table, event.tuple_id)
+        session.submit(label)
+        emit(f"    answer: {label.value}   {session.last_propagation().summary()}")
         if show_table_every_step:
             emit(render_state(session.state, max_rows=20))
             emit("")
@@ -79,5 +86,5 @@ def _drive(
     emit("")
     emit(f"inferred join query: {query.describe()}")
     emit(f"membership queries asked: {session.num_interactions}")
-    emit(session.statistics().summary())
+    emit(SessionStatistics.from_state(session.state).summary())
     return query

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from repro import GoalQueryOracle, infer_join
 from repro.baselines.label_all import exhaustive_inference, label_all_interactions
-from repro.datasets import flights_hotels
 
 
 class TestLabelAll:

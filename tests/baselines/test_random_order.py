@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from repro import GoalQueryOracle, infer_join
 from repro.baselines.random_order import RandomOrderBaseline
-from repro.datasets import flights_hotels
 
 
 class TestRandomOrderBaseline:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import GoalQueryOracle, InferenceState, JoinInferenceEngine, Label
+from repro import GoalQueryOracle, JoinInferenceEngine, Label
 from repro.core.atoms import popcount
 from repro.core.strategies import (
     LargestTypeStrategy,

@@ -71,9 +71,6 @@ class TestOptimalChoice:
             optimal_run = JoinInferenceEngine(table, strategy=OptimalStrategy()).run(
                 GoalQueryOracle(goal)
             )
-            minmax_run = JoinInferenceEngine(table, strategy=MinMaxPruneStrategy()).run(
-                GoalQueryOracle(goal)
-            )
             assert optimal_run.matches_goal(goal)
             # The optimal *worst case* bounds the heuristic's worst case; on any
             # single goal the heuristic may tie but the optimal may not be

@@ -7,7 +7,6 @@ import pytest
 from repro import AtomScope, AtomUniverse, CandidateTable, EqualityAtom
 from repro.core.atoms import is_subset, popcount
 from repro.exceptions import AtomUniverseError
-from repro.relational.types import DataType
 
 
 class TestEqualityAtom:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import AtomUniverse, EqualityAtom, EqualityTypeIndex
+from repro import EqualityAtom, EqualityTypeIndex
 
 
 @pytest.fixture

@@ -1,0 +1,198 @@
+"""Tests for the thread-safe multi-session `SessionService`."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import GoalQueryOracle, JoinInferenceEngine, SessionService
+from repro.datasets import flights_hotels, synthetic
+from repro.exceptions import StrategyError
+from repro.service.protocol import Converged, QuestionAsked
+from repro.service.service import SessionServiceError
+from repro.sessions.persistence import table_fingerprint
+
+
+def drive_to_convergence(service: SessionService, session_id: str, table, goal) -> None:
+    oracle = GoalQueryOracle(goal)
+    while True:
+        event = service.next_question(session_id)
+        if isinstance(event, Converged):
+            return
+        service.answer(session_id, oracle.label(table, event.tuple_id))
+
+
+class TestTableRegistry:
+    def test_register_is_idempotent_and_fingerprint_keyed(self, figure1_table):
+        service = SessionService()
+        fp1 = service.register_table(figure1_table)
+        fp2 = service.register_table(flights_hotels.figure1_table())
+        assert fp1 == fp2 == table_fingerprint(figure1_table)
+        assert service.tables() == {fp1: figure1_table.name}
+
+    def test_create_by_fingerprint(self, figure1_table):
+        service = SessionService()
+        fingerprint = service.register_table(figure1_table)
+        descriptor = service.create(fingerprint, mode="guided")
+        assert descriptor.table_fingerprint == fingerprint
+        assert descriptor.num_candidates == len(figure1_table)
+
+    def test_unknown_fingerprint_rejected(self):
+        service = SessionService()
+        with pytest.raises(SessionServiceError, match="no table registered"):
+            service.create("deadbeef")
+
+
+class TestLifecycle:
+    def test_create_describe_answer_close(self, figure1_table, query_q2):
+        service = SessionService()
+        descriptor = service.create(figure1_table, mode="guided", strategy="lookahead-entropy")
+        sid = descriptor.session_id
+        assert descriptor.mode == "guided"
+        assert descriptor.strategy == "lookahead-entropy"
+        assert not descriptor.converged
+
+        question = service.next_question(sid)
+        assert isinstance(question, QuestionAsked)
+        oracle = GoalQueryOracle(query_q2)
+        applied = service.answer(sid, oracle.label(figure1_table, question.tuple_id))
+        assert applied.step == 1
+        assert service.describe(sid).num_labels == 1
+
+        final = service.close(sid)
+        assert final.num_labels == 1
+        with pytest.raises(SessionServiceError, match="unknown session id"):
+            service.describe(sid)
+
+    def test_descriptor_dict_is_json_shaped(self, figure1_table):
+        import json
+
+        service = SessionService()
+        descriptor = service.create(figure1_table, mode="top-k", k=4)
+        payload = descriptor.as_dict()
+        json.dumps(payload)
+        assert payload["mode"] == "top-k"
+        assert payload["k"] == 4
+
+    def test_mode_options_validated_at_create(self, figure1_table):
+        service = SessionService()
+        with pytest.raises(ValueError, match="guided"):
+            service.create(figure1_table, mode="guided", k=3)
+        with pytest.raises(StrategyError):
+            service.create(figure1_table, mode="top-k", k=-1)
+        assert len(service) == 0
+
+    def test_answer_many_on_top_k_session(self, figure1_table, query_q2):
+        service = SessionService()
+        sid = service.create(figure1_table, mode="top-k", k=3).session_id
+        oracle = GoalQueryOracle(query_q2)
+        while not service.describe(sid).converged:
+            batch = service.next_question(sid).tuple_ids
+            service.answer_many(
+                sid, [(tid, oracle.label(figure1_table, tid)) for tid in batch]
+            )
+        event = service.next_question(sid)
+        assert event.as_join_query().instance_equivalent(query_q2, figure1_table)
+
+
+class TestSaveResume:
+    def test_mid_session_save_resume_matches_uninterrupted_run(
+        self, figure1_table, query_q2
+    ):
+        # Uninterrupted reference run.
+        reference = JoinInferenceEngine(figure1_table, strategy="lookahead-entropy").run(
+            GoalQueryOracle(query_q2)
+        )
+
+        # Interrupted run: two answers, save, resume in a FRESH service.
+        service = SessionService()
+        sid = service.create(
+            figure1_table, mode="guided", strategy="lookahead-entropy"
+        ).session_id
+        oracle = GoalQueryOracle(query_q2)
+        for _ in range(2):
+            question = service.next_question(sid)
+            service.answer(sid, oracle.label(figure1_table, question.tuple_id))
+        document = service.save(sid)
+        service.close(sid)
+
+        fresh = SessionService()
+        fresh.register_table(flights_hotels.figure1_table())
+        resumed = fresh.resume(document)
+        assert resumed.mode == "guided"
+        assert resumed.strategy == "lookahead-entropy"
+        assert resumed.num_labels == 2
+        # Protocol steps keep counting from the restored labels.
+        assert fresh.next_question(resumed.session_id).step == 3
+        drive_to_convergence(fresh, resumed.session_id, figure1_table, query_q2)
+        final = fresh.next_question(resumed.session_id)
+        assert final.as_join_query().instance_equivalent(reference.query, figure1_table)
+        assert final.step == fresh.describe(resumed.session_id).num_labels
+
+    def test_resume_restores_the_right_session_kind(self, figure1_table):
+        service = SessionService()
+        sid = service.create(figure1_table, mode="top-k", k=2).session_id
+        document = service.save(sid)
+        assert document["session"] == {"mode": "top-k", "strategy": None, "k": 2}
+
+        fresh = SessionService()
+        resumed = fresh.resume(document, table=flights_hotels.figure1_table())
+        assert resumed.mode == "top-k"
+        assert resumed.k == 2
+        assert len(fresh.next_question(resumed.session_id).tuple_ids) == 2
+
+    def test_resume_without_registered_table_fails_clearly(self, figure1_table):
+        service = SessionService()
+        sid = service.create(figure1_table).session_id
+        document = service.save(sid)
+        fresh = SessionService()
+        with pytest.raises(SessionServiceError, match="no table registered"):
+            fresh.resume(document)
+
+
+class TestConcurrency:
+    def test_distinct_sessions_answered_concurrently(self):
+        # Several labelers, each with their own session (and even their own
+        # table), all stepping through one shared service from worker threads.
+        service = SessionService()
+        tables = {
+            "flights": flights_hotels.figure1_table(),
+            "synthetic": synthetic.generate_candidate_table(
+                synthetic.SyntheticConfig(tuples_per_relation=8, domain_size=3, seed=4)
+            ),
+        }
+        goals = {
+            "flights": flights_hotels.query_q2(),
+            "synthetic": synthetic.random_goal_query(tables["synthetic"], num_atoms=2, seed=9),
+        }
+        jobs = []
+        for worker in range(8):
+            kind = "flights" if worker % 2 == 0 else "synthetic"
+            descriptor = service.create(tables[kind], mode="guided", strategy="lookahead-entropy")
+            jobs.append((descriptor.session_id, kind))
+
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(len(jobs))
+
+        def labeler(session_id: str, kind: str) -> None:
+            try:
+                barrier.wait(timeout=30)
+                drive_to_convergence(service, session_id, tables[kind], goals[kind])
+            except BaseException as exc:  # noqa: BLE001 - surfaced to the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=labeler, args=job, daemon=True) for job in jobs
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+
+        for session_id, kind in jobs:
+            descriptor = service.describe(session_id)
+            assert descriptor.converged
+            event = service.next_question(session_id)
+            assert event.as_join_query().instance_equivalent(goals[kind], tables[kind])

@@ -163,3 +163,36 @@ class TestCreateSession:
         assert [interaction.step for interaction in session.interactions] == list(
             range(1, session.num_interactions + 1)
         )
+
+
+class TestCreateSessionValidation:
+    def test_unknown_mode_names_the_known_modes(self, figure1_table):
+        with pytest.raises(ValueError, match="unknown interaction mode"):
+            create_session("telepathy", figure1_table)
+
+    def test_k_rejected_for_guided_session(self, figure1_table):
+        with pytest.raises(ValueError, match="'guided' does not accept 'k'"):
+            create_session("guided", figure1_table, k=3)
+
+    def test_strategy_rejected_for_top_k_session(self, figure1_table):
+        with pytest.raises(ValueError, match="'top-k' does not accept 'strategy'"):
+            create_session("top-k", figure1_table, strategy="random")
+
+    def test_unknown_kwarg_names_the_mode(self, figure1_table):
+        with pytest.raises(ValueError, match="'manual' does not accept 'gray_out'"):
+            create_session("manual", figure1_table, gray_out=True)
+
+    def test_invalid_k_value_raises_strategy_error(self, figure1_table):
+        with pytest.raises(StrategyError):
+            create_session("top-k", figure1_table, k=0)
+        with pytest.raises(StrategyError, match="positive integer"):
+            create_session("top-k", figure1_table, k="five")
+
+    def test_non_state_state_rejected(self, figure1_table):
+        with pytest.raises(ValueError, match="'state' must be an InferenceState"):
+            create_session("guided", figure1_table, state="not-a-state")
+
+    def test_valid_kwargs_still_accepted(self, figure1_table):
+        assert create_session("top-k", figure1_table, k=2).k == 2
+        session = create_session("guided", figure1_table, strategy="random")
+        assert session.strategy.name == "random"

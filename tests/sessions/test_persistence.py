@@ -100,6 +100,83 @@ class TestSaveAndLoad:
             load_session(path, figure1_table)
 
 
+class TestIntegrityCheck:
+    """The stored convergence summary is verified against the replayed labels."""
+
+    def _saved_payload(self, figure1_table):
+        state = InferenceState(figure1_table)
+        state.add_label(tid(3), Label.POSITIVE)
+        state.add_label(tid(8), Label.NEGATIVE)
+        return serialize_state(state)
+
+    def test_tampered_canonical_query_rejected(self, figure1_table, tmp_path):
+        payload = self._saved_payload(figure1_table)
+        payload["canonical_query"] = [["Airline", "City"]]
+        path = tmp_path / "session.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(SessionPersistenceError, match="canonical query"):
+            load_session(path, figure1_table)
+
+    def test_tampered_convergence_flag_rejected(self, figure1_table, tmp_path):
+        payload = self._saved_payload(figure1_table)
+        payload["converged"] = not payload["converged"]
+        path = tmp_path / "session.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(SessionPersistenceError, match="converged"):
+            load_session(path, figure1_table)
+
+    def test_malformed_canonical_query_rejected(self, figure1_table, tmp_path):
+        payload = self._saved_payload(figure1_table)
+        payload["canonical_query"] = "To=City"
+        path = tmp_path / "session.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(SessionPersistenceError, match="canonical_query"):
+            load_session(path, figure1_table)
+
+    def test_integrity_check_can_be_disabled(self, figure1_table, tmp_path):
+        payload = self._saved_payload(figure1_table)
+        payload["canonical_query"] = [["Airline", "City"]]
+        path = tmp_path / "session.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        state = load_session(path, figure1_table, verify_integrity=False)
+        assert len(state.examples) == 2
+
+    def test_v1_documents_still_load_and_are_verified(self, figure1_table, tmp_path):
+        # A v1 document: same fields, no "session" object, version 1.
+        payload = self._saved_payload(figure1_table)
+        payload["version"] = 1
+        payload.pop("session", None)
+        path = tmp_path / "session.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        state = load_session(path, figure1_table)
+        assert len(state.examples) == 2
+        from repro.sessions.persistence import session_options
+
+        assert session_options(payload) == {"mode": "guided", "strategy": None, "k": None}
+
+    def test_malformed_session_metadata_rejected(self, figure1_table):
+        from repro.sessions.persistence import session_options
+
+        with pytest.raises(SessionPersistenceError, match="session.strategy"):
+            session_options({"session": {"mode": "guided", "strategy": 5}})
+        with pytest.raises(SessionPersistenceError, match="session.k"):
+            session_options({"session": {"mode": "top-k", "k": "three"}})
+        with pytest.raises(SessionPersistenceError, match="session.mode"):
+            session_options({"session": {"mode": 7}})
+        with pytest.raises(SessionPersistenceError, match="must be an object"):
+            session_options({"session": ["guided"]})
+
+    def test_v2_documents_record_the_session_kind(self, figure1_table, tmp_path):
+        state = InferenceState(figure1_table)
+        path = tmp_path / "session.json"
+        save_session(state, path, mode="top-k", strategy=None, k=3)
+        from repro.sessions.persistence import read_session_document, session_options
+
+        document = read_session_document(path)
+        assert document["version"] == 2
+        assert session_options(document) == {"mode": "top-k", "strategy": None, "k": 3}
+
+
 class TestResume:
     def test_resumed_guided_session_finishes_the_inference(self, figure1_table, query_q2, tmp_path):
         # First sitting: two answers, then the session is saved.
@@ -121,3 +198,15 @@ class TestResume:
         assert all(
             interaction.tuple_id not in (tid(3), tid(8)) for interaction in session.interactions
         )
+
+    def test_resume_uses_the_recorded_strategy_by_default(self, figure1_table, tmp_path):
+        state = InferenceState(figure1_table)
+        path = tmp_path / "session.json"
+        save_session(state, path, mode="guided", strategy="local-lexicographic")
+        session = resume_guided_session(path, flights_hotels.figure1_table())
+        assert session.strategy.name == "local-lexicographic"
+        # An explicit strategy still wins.
+        session = resume_guided_session(
+            path, flights_hotels.figure1_table(), strategy="random"
+        )
+        assert session.strategy.name == "random"

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import InferenceState, Label, SessionStatistics
+from repro import Label, SessionStatistics
 from repro.datasets import flights_hotels
 
 tid = flights_hotels.paper_tuple_id
