@@ -166,6 +166,15 @@ class AtomUniverse:
         """Bitmask with every atom present (the most specific query Ω)."""
         return (1 << len(self.atoms)) - 1
 
+    @property
+    def attribute_positions(self) -> tuple[tuple[int, int], ...]:
+        """Per atom, the (left, right) column positions it relates.
+
+        The column-pair view of the universe, in bit order — what the
+        columnar equality-type construction iterates over.
+        """
+        return tuple(self._attribute_positions)
+
     def index_of(self, atom: EqualityAtom) -> int:
         """Bit position of an atom."""
         try:

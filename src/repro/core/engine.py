@@ -192,10 +192,13 @@ class JoinInferenceEngine:
         if initial_state is not None:
             other = initial_state.table
             # Structural comparison, not identity: resuming a persisted session
-            # legitimately reloads an equal table in a fresh process.
+            # legitimately reloads an equal table in a fresh process.  The
+            # cheap checks run first so the same-table fast path never forces
+            # a factorized table to materialise its rows.
             if other is not self.table and (
                 other.attribute_names != self.table.attribute_names
-                or other.rows != self.table.rows
+                or len(other) != len(self.table)
+                or any(a != b for a, b in zip(other, self.table))
             ):
                 raise ValueError(
                     "initial_state was built over a different candidate table than the "

@@ -106,10 +106,16 @@ def classify_all(
     so the cost is O(#distinct types × #negatives) plus O(#tuples).
     """
     type_index = space.type_index
-    ids = list(tuple_ids) if tuple_ids is not None else list(range(len(type_index)))
+    if tuple_ids is not None:
+        pairs = ((tuple_id, type_index.mask(tuple_id)) for tuple_id in tuple_ids)
+    else:
+        # Full sweep: stream the masks in tuple_id order — cheaper than a
+        # per-id decode on factorized tables, without caching an O(#tuples)
+        # materialisation on the index.
+        pairs = zip(range(len(type_index)), type_index.iter_masks())
     certain_by_type: dict[int, Optional[bool]] = {}
     statuses: dict[int, TupleStatus] = {}
-    for tuple_id in ids:
+    for tuple_id, mask in pairs:
         label = examples.label_of(tuple_id)
         if label is Label.POSITIVE:
             statuses[tuple_id] = TupleStatus.LABELED_POSITIVE
@@ -117,7 +123,6 @@ def classify_all(
         if label is Label.NEGATIVE:
             statuses[tuple_id] = TupleStatus.LABELED_NEGATIVE
             continue
-        mask = type_index.mask(tuple_id)
         if mask not in certain_by_type:
             certain_by_type[mask] = space.certain_label_for(mask)
         certain = certain_by_type[mask]
@@ -150,14 +155,14 @@ class TypeStatusCache:
 
     def __init__(self, space: ConsistentQuerySpace, examples: ExampleSet) -> None:
         type_index = space.type_index
-        labeled = examples.labeled_ids
         self._certain: dict[int, Optional[bool]] = {
             mask: space.certain_label_for(mask) for mask in type_index.distinct_masks
         }
-        self._unlabeled: dict[int, int] = {
-            mask: sum(1 for tid in type_index.tuples_with_mask(mask) if tid not in labeled)
-            for mask in type_index.distinct_masks
-        }
+        # Type-level: start from the cached type sizes and subtract the
+        # (few) labeled tuples, instead of enumerating every tuple per type.
+        self._unlabeled: dict[int, int] = dict(type_index.type_sizes())
+        for tuple_id in examples.labeled_ids:
+            self._unlabeled[type_index.mask(tuple_id)] -= 1
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -192,14 +197,19 @@ class TypeStatusCache:
 
         For callers without a long-lived cache: answers the same question as
         :meth:`has_informative` without materialising per-type state, so the
-        cost is bounded by the types scanned before the first informative one.
+        cost is bounded by the types scanned before the first informative one
+        (plus one type lookup per labeled tuple).
         """
         type_index = space.type_index
-        labeled = examples.labeled_ids
+        labeled_per_type: dict[int, int] = {}
+        for tuple_id in examples.labeled_ids:
+            mask = type_index.mask(tuple_id)
+            labeled_per_type[mask] = labeled_per_type.get(mask, 0) + 1
+        sizes = type_index.type_sizes()
         for mask in type_index.distinct_masks:
             if space.certain_label_for(mask) is not None:
                 continue
-            if any(tid not in labeled for tid in type_index.tuples_with_mask(mask)):
+            if sizes[mask] > labeled_per_type.get(mask, 0):
                 return True
         return False
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence, Union
 
+from ..relational import columnar
 from ..relational.candidate import CandidateTable
 from .atoms import AtomUniverse, EqualityAtom
 
@@ -101,20 +102,70 @@ class JoinQuery:
         position_of = {name: pos for pos, name in enumerate(table.attribute_names)}
         return self.selects_row(table.row(tuple_id), position_of)
 
+    def _factorized_match(self, table: CandidateTable):
+        """``(grouping, pairs)`` for factorized evaluation, or ``None``.
+
+        Applicable when the table is an unsampled cross product whose cells
+        can be value-interned; the query is then evaluated once per
+        combination of base-relation groups instead of once per candidate.
+        """
+        factorization = table.factorization()
+        if factorization is None:
+            return None
+        position_of = {name: pos for pos, name in enumerate(table.attribute_names)}
+        pairs = [
+            (position_of[atom.left], position_of[atom.right]) for atom in sorted(self._atoms)
+        ]
+        used = sorted({position for pair in pairs for position in pair})
+        try:
+            grouping = table.factor_grouping(used)
+        except columnar.UnencodableValue:
+            return None
+        return grouping, pairs
+
     def evaluate(self, table: CandidateTable) -> frozenset[int]:
         """The set of tuple ids of ``table`` selected by the query."""
+        match = self._factorized_match(table)
+        if match is not None:
+            grouping, pairs = match
+            full = (1 << len(pairs)) - 1
+            selected: list[int] = []
+            for combo, mask, _ in columnar.combo_equalities(grouping, pairs):
+                if mask == full:
+                    selected.extend(grouping.ids_of_combo(combo))
+            return frozenset(selected)
         position_of = {name: pos for pos, name in enumerate(table.attribute_names)}
+        # Streamed iteration: the fallback must not force a factorized table
+        # (e.g. one with unhashable cells) to materialise its flat rows.
         return frozenset(
             tuple_id
-            for tuple_id, row in enumerate(table.rows)
+            for tuple_id, row in enumerate(table)
             if self.selects_row(row, position_of)
         )
+
+    def count_selected(self, table: CandidateTable) -> int:
+        """Number of tuples selected — without enumerating them when factorized.
+
+        On an unsampled cross product the count is the sum of the group-
+        cardinality products of the matching group combinations, so it is
+        independent of the candidate-table size.
+        """
+        match = self._factorized_match(table)
+        if match is not None:
+            grouping, pairs = match
+            full = (1 << len(pairs)) - 1
+            return sum(
+                count
+                for _, mask, count in columnar.combo_equalities(grouping, pairs)
+                if mask == full
+            )
+        return len(self.evaluate(table))
 
     def selectivity(self, table: CandidateTable) -> float:
         """Fraction of candidate tuples selected (0.0 for an empty table)."""
         if len(table) == 0:
             return 0.0
-        return len(self.evaluate(table)) / len(table)
+        return self.count_selected(table) / len(table)
 
     # ------------------------------------------------------------------ #
     # Logical structure

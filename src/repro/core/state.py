@@ -171,6 +171,10 @@ class InferenceState:
         """Ids of explicitly labeled tuples."""
         return self.examples.labeled_ids
 
+    def informative_count(self) -> int:
+        """Number of informative tuples (one cache read, no table sweep)."""
+        return self._cache.informative_count()
+
     def has_informative_tuple(self) -> bool:
         """Whether the interactive loop should keep asking questions.
 
@@ -309,14 +313,16 @@ class InferenceState:
 
         Counts and relative percentages of explicitly labeled tuples, tuples
         deemed uninformative (grayed out), and tuples still informative.
+        Computed type-level (labeled + informative from the cache, certain as
+        the remainder) — no per-tuple sweep.
         """
-        statuses = self.statuses()
-        total = len(statuses) or 1
-        labeled = sum(1 for status in statuses.values() if status.is_labeled)
-        certain = sum(1 for status in statuses.values() if status.is_certain)
-        informative = sum(1 for status in statuses.values() if status is TupleStatus.INFORMATIVE)
+        total_tuples = len(self.table)
+        total = total_tuples or 1
+        labeled = len(self.examples.labeled_ids)
+        informative = self._cache.informative_count()
+        certain = total_tuples - labeled - informative
         return {
-            "total_tuples": len(statuses),
+            "total_tuples": total_tuples,
             "labeled": labeled,
             "labeled_pct": 100.0 * labeled / total,
             "uninformative": certain,

@@ -135,7 +135,10 @@ def random_goal_query(
     for _ in range(max_attempts):
         atoms = rng.sample(list(universe.atoms), num_atoms)
         goal = JoinQuery(atoms)
-        selected = len(goal.evaluate(table))
+        # Count-only check: on factorized cross products this never
+        # enumerates (or materialises) the candidate tuples, which is what
+        # makes goal drawing over large instances feasible.
+        selected = goal.count_selected(table)
         if require_nonempty and selected == 0:
             continue
         if require_proper and selected == total:

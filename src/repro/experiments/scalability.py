@@ -42,6 +42,30 @@ def scalability_workloads(
     ]
 
 
+def setup_scale_workloads(
+    tuples_per_relation: Sequence[int] = (100, 200, 400),
+    goal_atoms: int = 2,
+    domain_size: int = 4,
+    seed: int = 0,
+) -> list[Workload]:
+    """Large instances exercising the *setup* pipeline, not the question loop.
+
+    These sizes (10⁴–10⁵+ candidate tuples) were out of reach for the seed's
+    row-at-a-time construction — the cross product was materialised eagerly
+    and every tuple's equality type was computed individually.  The
+    columnar/factorized pipeline builds them in milliseconds, which is what
+    ``benchmarks/bench_setup_pipeline.py`` measures.  Workload generation
+    itself stays factorized end to end: goal queries are drawn with
+    count-only evaluation, so no flat row tuple is ever materialised here.
+    """
+    return scalability_workloads(
+        tuples_per_relation=tuples_per_relation,
+        goal_atoms=goal_atoms,
+        domain_size=domain_size,
+        seed=seed,
+    )
+
+
 def measure_scalability(
     workloads: Optional[Sequence[Workload]] = None,
     strategies: Sequence[str] = ("local-most-specific", "lookahead-entropy", "random"),

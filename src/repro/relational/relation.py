@@ -13,7 +13,7 @@ from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from ..exceptions import SchemaError
 from .schema import Attribute, RelationSchema
-from .types import DataType, infer_column_type
+from .types import DataType, infer_row_types
 
 Row = tuple
 
@@ -52,10 +52,7 @@ class Relation:
                     f"{len(attribute_names)} for relation {name!r}"
                 )
         if data_types is None:
-            data_types = [
-                infer_column_type(row[pos] for row in materialised)
-                for pos in range(len(attribute_names))
-            ]
+            data_types = infer_row_types(materialised, len(attribute_names))
         if len(data_types) != len(attribute_names):
             raise SchemaError("data_types length must match attribute_names length")
         schema = RelationSchema(

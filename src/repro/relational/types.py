@@ -12,7 +12,7 @@ from __future__ import annotations
 import datetime
 import enum
 import math
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from ..exceptions import DataTypeError
 
@@ -61,6 +61,18 @@ def infer_type(value: object) -> DataType:
     raise DataTypeError(f"unsupported value type: {type(value).__name__!r}")
 
 
+def _resolve_column_type(seen: set[DataType]) -> DataType:
+    """Reduce the set of (non-null) types seen in a column to one type."""
+    if not seen:
+        return DataType.NULL
+    if len(seen) == 1:
+        return next(iter(seen))
+    if seen <= {DataType.INTEGER, DataType.FLOAT}:
+        return DataType.FLOAT
+    names = ", ".join(sorted(t.value for t in seen))
+    raise DataTypeError(f"column mixes incompatible types: {names}")
+
+
 def infer_column_type(values: Iterable[object]) -> DataType:
     """Infer the common type of a column of values.
 
@@ -73,14 +85,23 @@ def infer_column_type(values: Iterable[object]) -> DataType:
         inferred = infer_type(value)
         if inferred is not DataType.NULL:
             seen.add(inferred)
-    if not seen:
-        return DataType.NULL
-    if len(seen) == 1:
-        return next(iter(seen))
-    if seen <= {DataType.INTEGER, DataType.FLOAT}:
-        return DataType.FLOAT
-    names = ", ".join(sorted(t.value for t in seen))
-    raise DataTypeError(f"column mixes incompatible types: {names}")
+    return _resolve_column_type(seen)
+
+
+def infer_row_types(rows: Iterable[Sequence[object]], num_columns: int) -> list[DataType]:
+    """Infer every column's type in a *single* pass over row-major data.
+
+    Equivalent to calling :func:`infer_column_type` once per column, but the
+    rows are only traversed once — the difference matters when the rows are
+    large or reconstructed on demand.
+    """
+    seen: list[set[DataType]] = [set() for _ in range(num_columns)]
+    for row in rows:
+        for position, value in enumerate(row):
+            inferred = infer_type(value)
+            if inferred is not DataType.NULL:
+                seen[position].add(inferred)
+    return [_resolve_column_type(column_seen) for column_seen in seen]
 
 
 def are_compatible(left: DataType, right: DataType) -> bool:

@@ -23,7 +23,6 @@ reproduce the recorded outcome — raises :class:`SessionPersistenceError`.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from pathlib import Path
 from typing import Optional, Union
@@ -53,12 +52,13 @@ def table_fingerprint(table: CandidateTable) -> str:
     stored tuple ids would silently mean different tuples.  The same
     fingerprint keys the table registry of
     :class:`~repro.service.service.SessionService`.
+
+    Memoised on the table instance (tables are immutable), so repeated
+    ``register_table``/``create``/``save`` calls hash the rows only once —
+    and factorized cross products are hashed streaming, without
+    materialising their flat rows.
     """
-    digest = hashlib.sha256()
-    digest.update(repr(table.attribute_names).encode("utf-8"))
-    for row in table.rows:
-        digest.update(repr(row).encode("utf-8"))
-    return digest.hexdigest()
+    return table.fingerprint()
 
 
 def serialize_state(

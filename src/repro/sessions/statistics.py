@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.informativeness import TupleStatus
 from ..core.state import InferenceState
 
 
@@ -58,20 +57,22 @@ class SessionStatistics:
 
     @classmethod
     def from_state(cls, state: InferenceState) -> "SessionStatistics":
-        """Snapshot the statistics of an inference state."""
-        statuses = state.statuses()
+        """Snapshot the statistics of an inference state.
+
+        Type-level: the counts come from the example set and the state's
+        per-type status cache, so the snapshot never sweeps the table.
+        """
+        total_tuples = len(state.table)
+        labeled_positive = len(state.examples.positives)
+        labeled_negative = len(state.examples.negatives)
+        informative = state.informative_count()
+        grayed_out = total_tuples - labeled_positive - labeled_negative - informative
         return cls(
-            total_tuples=len(statuses),
-            labeled_positive=sum(
-                1 for status in statuses.values() if status is TupleStatus.LABELED_POSITIVE
-            ),
-            labeled_negative=sum(
-                1 for status in statuses.values() if status is TupleStatus.LABELED_NEGATIVE
-            ),
-            grayed_out=sum(1 for status in statuses.values() if status.is_certain),
-            informative_remaining=sum(
-                1 for status in statuses.values() if status is TupleStatus.INFORMATIVE
-            ),
+            total_tuples=total_tuples,
+            labeled_positive=labeled_positive,
+            labeled_negative=labeled_negative,
+            grayed_out=grayed_out,
+            informative_remaining=informative,
         )
 
     def as_dict(self) -> dict[str, float]:

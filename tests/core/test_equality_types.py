@@ -37,6 +37,55 @@ class TestMasks:
         assert index.atom_count(tuple3) == 2
 
 
+class TestFactorizedIndex:
+    @pytest.fixture
+    def product_index(self):
+        from repro.core.atoms import AtomUniverse
+        from repro.datasets.synthetic import SyntheticConfig, generate_instance
+        from repro.relational.candidate import CandidateTable
+
+        instance = generate_instance(
+            SyntheticConfig(
+                num_relations=2, attributes_per_relation=2, tuples_per_relation=6, domain_size=3
+            )
+        )
+        table = CandidateTable.cross_product(instance)
+        return EqualityTypeIndex(AtomUniverse.from_table(table))
+
+    def test_construction_does_not_materialize_rows(self, product_index):
+        assert not product_index.table.is_materialized()
+
+    def test_type_sizes_cover_the_table_without_enumeration(self, product_index):
+        assert sum(product_index.type_sizes().values()) == len(product_index.table)
+        assert not product_index.table.is_materialized()
+
+    def test_masks_match_row_at_a_time_evaluation(self, product_index):
+        universe = product_index.universe
+        expected = tuple(universe.equality_mask(row) for row in product_index.table.rows)
+        assert product_index.masks == expected
+        assert [product_index.mask(tid) for tid in range(len(expected))] == list(expected)
+
+    def test_tuples_with_mask_enumerated_lazily_and_sorted(self, product_index):
+        for mask in product_index.distinct_masks:
+            ids = product_index.tuples_with_mask(mask)
+            assert list(ids) == sorted(ids)
+            assert len(ids) == product_index.type_sizes()[mask]
+
+    def test_iter_masks_streams_without_caching(self, product_index):
+        universe = product_index.universe
+        expected = [universe.equality_mask(row) for row in product_index.table]
+        assert list(product_index.iter_masks()) == expected
+        assert product_index._masks is None  # no O(#tuples) cache left behind
+
+    def test_distinct_masks_and_type_sizes_are_cached(self, product_index):
+        assert product_index.distinct_masks is product_index.distinct_masks
+        assert product_index.type_sizes() is product_index.type_sizes()
+
+    def test_type_sizes_view_is_read_only(self, product_index):
+        with pytest.raises(TypeError):
+            product_index.type_sizes()[0] = 99
+
+
 class TestGrouping:
     def test_groups_partition_the_tuples(self, index):
         grouped = [tid for mask in index.distinct_masks for tid in index.tuples_with_mask(mask)]

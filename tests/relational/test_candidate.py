@@ -47,6 +47,11 @@ class TestFromRows:
         with pytest.raises(CandidateTableError):
             CandidateTable([], [])
 
+    def test_zero_row_table_defaults_to_text_types(self):
+        table = CandidateTable.from_rows(["a", "b"], [])
+        assert table.attribute("a").data_type is DataType.TEXT
+        assert table.attribute("b").data_type is DataType.TEXT
+
 
 class TestFromRelation:
     def test_preserves_rows_and_names(self):
@@ -144,6 +149,69 @@ class TestAccessors:
 
     def test_tuple_ids(self, table):
         assert list(table.tuple_ids) == [0, 1]
+
+
+class TestFactorizedCrossProduct:
+    def test_unsampled_product_is_not_materialized(self, people_pets_instance):
+        table = CandidateTable.cross_product(people_pets_instance)
+        assert table.factorization() is not None
+        assert not table.is_materialized()
+        assert len(table) == 9  # O(1), no rows built
+
+    def test_row_access_decodes_without_materializing(self, people_pets_instance):
+        table = CandidateTable.cross_product(people_pets_instance)
+        people = people_pets_instance.relation("people").rows
+        pets = people_pets_instance.relation("pets").rows
+        assert table.row(4) == tuple(people[1]) + tuple(pets[1])
+        assert table.value(4, "pets.animal") == pets[1][1]
+        assert not table.is_materialized()
+
+    def test_column_uses_tile_repeat_without_materializing(self, people_pets_instance):
+        table = CandidateTable.cross_product(people_pets_instance)
+        expected = [row[0] for row in people_pets_instance.relation("pets").rows] * 3
+        assert table.column("pets.owner") == expected
+        assert not table.is_materialized()
+
+    def test_rows_property_materializes_lazily_and_caches(self, people_pets_instance):
+        table = CandidateTable.cross_product(people_pets_instance)
+        first = table.rows
+        assert table.is_materialized()
+        assert table.rows is first
+
+    def test_flat_and_sampled_tables_have_no_factorization(self, people_pets_instance):
+        flat = CandidateTable.from_rows(["a", "b"], [(1, 2)])
+        assert flat.factorization() is None
+        sampled = CandidateTable.cross_product(
+            people_pets_instance, max_rows=4, rng=random.Random(1)
+        )
+        assert sampled.factorization() is None
+
+    def test_fingerprint_is_memoised_and_matches_flat_equivalent(self, people_pets_instance):
+        table = CandidateTable.cross_product(people_pets_instance)
+        flat = CandidateTable(table.attributes, list(table), name=table.name)
+        assert table.fingerprint() == flat.fingerprint()
+        assert table.fingerprint() is table.fingerprint()
+
+    def test_equality_codes_follow_equality_semantics(self):
+        table = CandidateTable.from_rows(
+            ["a", "b"], [(1, 1.0), (2, 3.0), (None, None)], name="codes"
+        )
+        left, right = table.equality_codes([0, 1])
+        assert left[0] == right[0]  # 1 == 1.0 shares a code
+        assert left[1] != right[1]  # 2 != 3.0
+        assert left[2] < 0 and right[2] < 0  # None never matches anything
+
+    def test_equality_codes_do_not_materialize_factorized_tables(self, people_pets_instance):
+        table = CandidateTable.cross_product(people_pets_instance)
+        codes = table.equality_codes()
+        assert all(len(column) == len(table) for column in codes)
+        assert not table.is_materialized()
+
+    def test_unknown_tuple_id_raises_without_materializing(self, people_pets_instance):
+        table = CandidateTable.cross_product(people_pets_instance)
+        with pytest.raises(CandidateTableError):
+            table.row(99)
+        assert not table.is_materialized()
 
 
 class TestConversion:
