@@ -1,11 +1,10 @@
-"""Serve interactive inference sessions over HTTP — the JSON protocol demo.
+"""Serve interactive inference sessions over asyncio HTTP — streaming included.
 
-The sans-IO redesign makes the inference loop a conversation of JSON events
-(``question`` → ``label_applied`` → … → ``converged``).  This example maps
-that conversation onto HTTP endpoints with nothing but the stdlib
-``http.server``, fronted by a thread-safe
-:class:`~repro.service.service.SessionService` so many labelers can work
-concurrently:
+Since the async serving layer, the JSON session protocol is served by an
+:class:`~repro.service.aio.AsyncSessionService` on a single event loop: the
+CPU-bound inference steps run on its bounded executor, so one process serves
+many labelers concurrently without a thread per request.  This example maps
+the protocol onto HTTP with nothing but ``asyncio.start_server``:
 
 ====== =============================== ==========================================
 Method Path                            Meaning
@@ -18,17 +17,26 @@ GET    /sessions/<id>/question         next protocol event
 POST   /sessions/<id>/answer           {label, tuple_id?} -> applied + next event
 POST   /sessions/<id>/save             session as a v2 persistence document
 POST   /sessions/resume                {document} -> fresh session of saved kind
+GET    /sessions/<id>/events           ND-JSON event stream (ends on close)
 DELETE /sessions/<id>                  close the session
 ====== =============================== ==========================================
+
+The streaming endpoint replays the session's full event history, then keeps
+the connection open and writes one JSON line per live protocol event until
+the session is closed (``Connection: close`` framing — the end of the stream
+is the end of the body; see ``docs/protocol.md``).
 
 Run a server::
 
     PYTHONPATH=src python examples/serve_sessions.py --serve --port 8080
 
 Run the scripted end-to-end demo (default; used by CI): starts a server on an
-ephemeral port, drives one guided session over real HTTP — create, answer,
-save mid-session, resume, answer to convergence — and checks the inferred
-query matches the goal::
+ephemeral port and, over real HTTP, (1) drives one guided session — create,
+subscribe to its event stream, answer, save mid-session, resume, converge —
+checking the streamed events match the answers given, and (2) reproduces the
+paper's crowdsourcing scenario: a top-k session whose batches are dispatched
+to 5 simulated workers, each flipping 10% of its answers, with majority-vote
+aggregation absorbing the noise::
 
     PYTHONPATH=src python examples/serve_sessions.py
 """
@@ -36,41 +44,55 @@ query matches the goal::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import re
 import sys
-import threading
-import urllib.request
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import AsyncIterator, Optional
 
-from repro import GoalQueryOracle, ReproError, SessionService
+from repro import GoalQueryOracle, ReproError
 from repro.datasets import flights_hotels
-from repro.service import event_to_wire
+from repro.service import (
+    AsyncSessionService,
+    CrowdDispatcher,
+    event_to_wire,
+    simulated_crowd,
+)
 from repro.service.service import SessionServiceError
 
 _SESSION_PATH = re.compile(r"^/sessions/(?P<sid>[0-9a-f]+)(?P<rest>/\w+)?$")
 
 
-class SessionApi:
-    """Transport-free request handling: (method, path, body) -> (status, payload)."""
+class AsyncSessionApi:
+    """Transport-free request handling: (method, path, body) -> (status, payload).
 
-    def __init__(self, service: SessionService) -> None:
+    The streaming endpoint is special-cased by :func:`handle_connection`;
+    everything else goes through :meth:`handle` and returns one JSON object.
+    """
+
+    def __init__(self, service: AsyncSessionService) -> None:
         self.service = service
         self._names: dict[str, str] = {}
 
-    def register(self, name: str, table) -> str:
+    async def register(self, name: str, table) -> str:
         """Register a table under a friendly name (and its fingerprint)."""
-        fingerprint = self.service.register_table(table)
+        fingerprint = await self.service.register_table(table)
         self._names[name] = fingerprint
         return fingerprint
 
     def _fingerprint(self, ref: str) -> str:
         return self._names.get(ref, ref)
 
-    def handle(self, method: str, path: str, body: Optional[dict]) -> tuple[int, dict]:
+    def stream_for(self, method: str, path: str) -> Optional[str]:
+        """The session id when the request addresses the event stream."""
+        match = _SESSION_PATH.match(path)
+        if method == "GET" and match is not None and match.group("rest") == "/events":
+            return match.group("sid")
+        return None
+
+    async def handle(self, method: str, path: str, body: Optional[dict]) -> tuple[int, dict]:
         try:
-            return self._route(method, path, body or {})
+            return await self._route(method, path, body or {})
         except SessionServiceError as error:
             return 404, {"error": str(error)}
         except ReproError as error:
@@ -78,19 +100,21 @@ class SessionApi:
         except (KeyError, TypeError, ValueError) as error:
             return 400, {"error": str(error)}
 
-    def _route(self, method: str, path: str, body: dict) -> tuple[int, dict]:
+    async def _route(self, method: str, path: str, body: dict) -> tuple[int, dict]:
+        service = self.service
         if method == "GET" and path == "/tables":
-            return 200, {"tables": self.service.tables(), "names": dict(self._names)}
+            return 200, {"tables": await service.tables(), "names": dict(self._names)}
         if path == "/sessions":
             if method == "GET":
-                return 200, {
-                    "sessions": [
-                        self.service.describe(sid).as_dict()
-                        for sid in self.service.session_ids()
-                    ]
-                }
+                descriptors = []
+                for sid in await service.session_ids():
+                    try:
+                        descriptors.append((await service.describe(sid)).as_dict())
+                    except SessionServiceError:
+                        continue  # closed between the snapshot and the describe
+                return 200, {"sessions": descriptors}
             if method == "POST":
-                descriptor = self.service.create(
+                descriptor = await service.create(
                     self._fingerprint(body["table"]),
                     mode=body.get("mode", "guided"),
                     strategy=body.get("strategy"),
@@ -98,7 +122,7 @@ class SessionApi:
                 )
                 return 201, descriptor.as_dict()
         if method == "POST" and path == "/sessions/resume":
-            descriptor = self.service.resume(body["document"])
+            descriptor = await service.resume(body["document"])
             return 201, descriptor.as_dict()
         match = _SESSION_PATH.match(path)
         if match is None:
@@ -106,107 +130,261 @@ class SessionApi:
         sid, rest = match.group("sid"), match.group("rest")
         if rest is None:
             if method == "GET":
-                return 200, self.service.describe(sid).as_dict()
+                return 200, (await service.describe(sid)).as_dict()
             if method == "DELETE":
-                return 200, self.service.close(sid).as_dict()
+                return 200, (await service.close(sid)).as_dict()
         if method == "GET" and rest == "/question":
-            return 200, event_to_wire(self.service.next_question(sid))
+            return 200, event_to_wire(await service.next_question(sid))
         if method == "POST" and rest == "/answer":
-            applied = self.service.answer(sid, body["label"], tuple_id=body.get("tuple_id"))
+            applied = await service.answer(sid, body["label"], tuple_id=body.get("tuple_id"))
             return 200, {
                 "applied": event_to_wire(applied),
-                "next": event_to_wire(self.service.next_question(sid)),
+                "next": event_to_wire(await service.next_question(sid)),
             }
         if method == "POST" and rest == "/save":
-            return 200, {"document": self.service.save(sid)}
+            return 200, {"document": await service.save(sid)}
         return 404, {"error": f"no route for {method} {path}"}
 
 
-def make_server(api: SessionApi, port: int) -> ThreadingHTTPServer:
-    """An HTTP server speaking the session protocol (port 0 = ephemeral)."""
+# --------------------------------------------------------------------------- #
+# Minimal HTTP/1.1 on asyncio streams (Connection: close per request)
+# --------------------------------------------------------------------------- #
+class _BadRequest(Exception):
+    """A request the parser cannot make sense of (answered with a 400)."""
 
-    class Handler(BaseHTTPRequestHandler):
-        def _respond(self, body: Optional[dict]) -> None:
-            status, payload = api.handle(self.command, self.path, body)
-            data = json.dumps(payload).encode("utf-8")
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(data)))
-            self.end_headers()
-            self.wfile.write(data)
 
-        def do_GET(self) -> None:  # noqa: N802 - http.server API
-            self._respond(None)
-
-        def do_DELETE(self) -> None:  # noqa: N802 - http.server API
-            self._respond(None)
-
-        def do_POST(self) -> None:  # noqa: N802 - http.server API
-            length = int(self.headers.get("Content-Length") or 0)
-            raw = self.rfile.read(length) if length else b"{}"
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[tuple[str, str, Optional[dict]]]:
+    request_line = await reader.readline()
+    if not request_line.strip():
+        return None
+    try:
+        method, path, _version = request_line.decode("latin-1").split()
+    except ValueError:
+        return None
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
             try:
-                body = json.loads(raw.decode("utf-8") or "{}")
-            except json.JSONDecodeError:
-                self._respond(None)
+                content_length = int(value.strip())
+            except ValueError:
+                raise _BadRequest(f"malformed Content-Length: {value.strip()!r}") from None
+            if content_length < 0:
+                raise _BadRequest(f"malformed Content-Length: {content_length}")
+    body: Optional[dict] = None
+    if content_length:
+        raw = await reader.readexactly(content_length)
+        try:
+            body = json.loads(raw.decode("utf-8"))
+        except json.JSONDecodeError:
+            body = None
+    return method, path, body
+
+
+def _response_head(status: int, extra: str = "") -> bytes:
+    reason = {200: "OK", 201: "Created", 404: "Not Found", 400: "Bad Request"}.get(
+        status, "OK"
+    )
+    return (
+        f"HTTP/1.1 {status} {reason}\r\nConnection: close\r\n{extra}\r\n"
+    ).encode("latin-1")
+
+
+async def handle_connection(
+    api: AsyncSessionApi, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    """Serve one request per connection; the events endpoint streams."""
+    try:
+        try:
+            request = await _read_request(reader)
+        except _BadRequest as error:
+            data = json.dumps({"error": str(error)}).encode("utf-8")
+            writer.write(
+                _response_head(
+                    400,
+                    f"Content-Type: application/json\r\nContent-Length: {len(data)}\r\n",
+                )
+            )
+            writer.write(data)
+            await writer.drain()
+            return
+        if request is None:
+            return
+        method, path, body = request
+        stream_sid = api.stream_for(method, path)
+        if stream_sid is not None:
+            # Check existence before committing to a 200 head, so an unknown
+            # session gets the documented 404 rather than an empty stream.
+            try:
+                await api.service.describe(stream_sid)
+            except SessionServiceError as error:
+                data = json.dumps({"error": str(error)}).encode("utf-8")
+                writer.write(
+                    _response_head(
+                        404,
+                        f"Content-Type: application/json\r\nContent-Length: {len(data)}\r\n",
+                    )
+                )
+                writer.write(data)
+                await writer.drain()
                 return
-            self._respond(body)
+            writer.write(
+                _response_head(200, "Content-Type: application/x-ndjson\r\n")
+            )
+            await writer.drain()
+            try:
+                async for wire in api.service.events(stream_sid):
+                    writer.write((json.dumps(wire, sort_keys=True) + "\n").encode())
+                    await writer.drain()
+            except SessionServiceError:
+                pass  # the session closed between the check and the subscribe
+            return
+        status, payload = await api.handle(method, path, body)
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        writer.write(
+            _response_head(
+                status,
+                f"Content-Type: application/json\r\nContent-Length: {len(data)}\r\n",
+            )
+        )
+        writer.write(data)
+        await writer.drain()
+    except (ConnectionResetError, asyncio.IncompleteReadError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
 
-        def log_message(self, format: str, *args: object) -> None:
-            pass  # keep the scripted demo's stdout clean
 
-    return ThreadingHTTPServer(("127.0.0.1", port), Handler)
-
-
-def _request(base: str, method: str, path: str, body: Optional[dict] = None) -> dict:
-    data = json.dumps(body).encode("utf-8") if body is not None else None
-    request = urllib.request.Request(base + path, data=data, method=method)
-    if data is not None:
-        request.add_header("Content-Type", "application/json")
-    with urllib.request.urlopen(request) as response:
-        return json.loads(response.read().decode("utf-8"))
+async def start_http_server(api: AsyncSessionApi, port: int) -> asyncio.Server:
+    """An asyncio HTTP server speaking the session protocol (port 0 = ephemeral)."""
+    return await asyncio.start_server(
+        lambda reader, writer: handle_connection(api, reader, writer),
+        "127.0.0.1",
+        port,
+    )
 
 
-def scripted_session(base: str) -> int:
-    """Drive one guided session over HTTP: answer, save, resume, converge."""
+# --------------------------------------------------------------------------- #
+# A tiny asyncio HTTP client for the scripted demo
+# --------------------------------------------------------------------------- #
+async def _request(
+    port: int, method: str, path: str, body: Optional[dict] = None
+) -> dict:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        data = json.dumps(body).encode("utf-8") if body is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\nHost: localhost\r\n"
+            f"Content-Length: {len(data)}\r\nConnection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + data)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    status = int(head.split(None, 2)[1])
+    if status >= 400:
+        raise RuntimeError(f"{method} {path} -> {status}: {payload.decode('utf-8')}")
+    return json.loads(payload.decode("utf-8"))
+
+
+async def _stream_lines(port: int, path: str) -> AsyncIterator[dict]:
+    """Yield the ND-JSON lines of a streaming endpoint until the server closes."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        while True:  # skip response head
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            yield json.loads(line.decode("utf-8"))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+# --------------------------------------------------------------------------- #
+# The scripted demo (CI path)
+# --------------------------------------------------------------------------- #
+async def scripted_session(port: int, service: AsyncSessionService) -> int:
     table = flights_hotels.figure1_table()
     goal = flights_hotels.query_q2()
     oracle = GoalQueryOracle(goal)
 
-    print(f"tables: {_request(base, 'GET', '/tables')['names']}")
-    created = _request(base, "POST", "/sessions", {"table": "flights", "mode": "guided"})
+    print(f"tables: {(await _request(port, 'GET', '/tables'))['names']}")
+    created = await _request(
+        port, "POST", "/sessions", {"table": "flights", "mode": "guided"}
+    )
     sid = created["session_id"]
     print(f"created guided session {sid[:8]}… over {created['table_name']!r}")
 
-    # First sitting: two answers, then save and close.
+    # Subscribe to the session's event stream before answering anything.
+    streamed: list[dict] = []
+
+    async def stream_reader(session_id: str) -> None:
+        async for wire in _stream_lines(port, f"/sessions/{session_id}/events"):
+            streamed.append(wire)
+
+    reader_task = asyncio.create_task(stream_reader(sid))
+
+    # First sitting: two answers, then save and close (which ends the stream).
     for _ in range(2):
-        question = _request(base, "GET", f"/sessions/{sid}/question")
+        question = await _request(port, "GET", f"/sessions/{sid}/question")
         label = oracle.label(table, question["tuple_id"]).value
-        result = _request(
-            base, "POST", f"/sessions/{sid}/answer", {"label": label}
-        )
+        result = await _request(port, "POST", f"/sessions/{sid}/answer", {"label": label})
         applied = result["applied"]
         print(
             f"  Q{applied['step']}: tuple {applied['tuple_id']} -> {applied['label']} "
             f"(pruned {applied['pruned']}, {applied['informative_remaining']} informative left)"
         )
-    document = _request(base, "POST", f"/sessions/{sid}/save")["document"]
-    _request(base, "DELETE", f"/sessions/{sid}")
-    print("saved mid-session and closed; resuming in a fresh session…")
+    document = (await _request(port, "POST", f"/sessions/{sid}/save"))["document"]
+    await _request(port, "DELETE", f"/sessions/{sid}")
+    await asyncio.wait_for(reader_task, timeout=10)
+    applied_streamed = [w for w in streamed if w["type"] == "label_applied"]
+    if len(applied_streamed) != 2:
+        print(f"FAIL: stream saw {len(applied_streamed)} labels, expected 2")
+        return 1
+    print(
+        f"event stream ended with the session: {len(streamed)} events "
+        f"({len(applied_streamed)} labels) — saved mid-session, resuming…"
+    )
 
     # Second sitting: resume and run to convergence.
-    resumed = _request(base, "POST", "/sessions/resume", {"document": document})
+    resumed = await _request(port, "POST", "/sessions/resume", {"document": document})
     sid = resumed["session_id"]
     assert resumed["mode"] == "guided" and resumed["num_labels"] == 2
     while True:
-        event = _request(base, "GET", f"/sessions/{sid}/question")
+        event = await _request(port, "GET", f"/sessions/{sid}/question")
         if event["type"] == "converged":
             print(f"converged: {event['query']} after {event['step']} answers")
             inferred = event
             break
         label = oracle.label(table, event["tuple_id"]).value
-        result = _request(base, "POST", f"/sessions/{sid}/answer", {"label": label})
+        result = await _request(port, "POST", f"/sessions/{sid}/answer", {"label": label})
         applied = result["applied"]
         print(f"  Q{applied['step']}: tuple {applied['tuple_id']} -> {applied['label']}")
+    await _request(port, "DELETE", f"/sessions/{sid}")
 
     expected = {frozenset(atom.attributes) for atom in goal}
     actual = {frozenset(pair) for pair in inferred["atoms"]}
@@ -214,7 +392,57 @@ def scripted_session(base: str) -> int:
         print(f"FAIL: inferred {inferred['query']!r} does not match the goal")
         return 1
     print("ok: the HTTP-driven session inferred the goal query")
+
+    # The crowdsourcing scenario: a top-k session whose batches go to 5
+    # simulated workers (50ms mean latency, each answer flipped with 10%
+    # probability) with majority-vote aggregation.
+    descriptor = await service.create(table, mode="top-k", k=3)
+    workers = simulated_crowd(
+        goal, num_workers=5, error_rate=0.1, mean_latency=0.05,
+        latency_jitter=0.02, seed=11,
+    )
+    dispatcher = CrowdDispatcher(service, workers, votes_per_question=3)
+    report = await dispatcher.run(descriptor.session_id)
+    await service.close(descriptor.session_id)
+    print(
+        f"crowd batch: {report.questions} questions × {dispatcher.votes_per_question} votes "
+        f"= {report.votes} worker answers in {report.rounds} rounds "
+        f"({report.contested} contested)"
+    )
+    errors = sum(worker.errors_made for worker in workers)
+    crowd_atoms = {frozenset(pair) for pair in (report.atoms or ())}
+    if not report.converged or crowd_atoms != expected:
+        print(f"FAIL: crowd-dispatched session inferred {report.query!r}")
+        return 1
+    print(f"ok: majority vote absorbed {errors} noisy answer(s); crowd session inferred the goal query")
     return 0
+
+
+async def _serve_forever(api: AsyncSessionApi, port: int) -> int:
+    server = await start_http_server(api, port)
+    host, bound_port = server.sockets[0].getsockname()[:2]
+    print(f"serving inference sessions on http://{host}:{bound_port}/")
+    try:
+        async with server:
+            await server.serve_forever()
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    return 0
+
+
+async def _main_async(serve: bool, port: int) -> int:
+    async with AsyncSessionService(max_sessions=1024) as service:
+        api = AsyncSessionApi(service)
+        await api.register("flights", flights_hotels.figure1_table())
+        if serve:
+            return await _serve_forever(api, port)
+        server = await start_http_server(api, 0)
+        bound_port = server.sockets[0].getsockname()[1]
+        try:
+            return await scripted_session(bound_port, service)
+        finally:
+            server.close()
+            await server.wait_closed()
 
 
 def main(argv=None) -> int:
@@ -224,30 +452,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--port", type=int, default=8080, help="port for --serve")
     args = parser.parse_args(argv)
-
-    service = SessionService()
-    api = SessionApi(service)
-    api.register("flights", flights_hotels.figure1_table())
-
-    if args.serve:
-        server = make_server(api, args.port)
-        print(f"serving inference sessions on http://127.0.0.1:{server.server_address[1]}/")
-        try:
-            server.serve_forever()
-        except KeyboardInterrupt:
-            pass
-        finally:
-            server.server_close()
-        return 0
-
-    server = make_server(api, 0)
-    thread = threading.Thread(target=server.serve_forever, daemon=True)
-    thread.start()
-    try:
-        return scripted_session(f"http://127.0.0.1:{server.server_address[1]}")
-    finally:
-        server.shutdown()
-        server.server_close()
+    return asyncio.run(_main_async(args.serve, args.port))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,177 @@
+"""Execute every fenced ``python`` code block in README.md and docs/*.md.
+
+Documentation rots when its examples stop running.  This script makes the
+fenced snippets part of the test surface: it extracts every code block whose
+info string starts with ``python`` (blocks tagged ``python no-run`` and
+non-python languages are skipped), concatenates the blocks of each file in
+order into one script — so later snippets may build on earlier ones — and
+runs it in a fresh subprocess with ``src`` on ``PYTHONPATH``.
+
+Usage::
+
+    python scripts/check_docs.py              # check README.md + docs/*.md
+    python scripts/check_docs.py --list       # show what would run
+    python scripts/check_docs.py --verbose    # echo each script's output
+
+Exit status is non-zero when any documentation file fails to execute; the
+failing file, the offending block's source line, and the subprocess output
+are printed.  CI runs this on every push.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import textwrap
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_FENCE = re.compile(r"^(```+|~~~+)\s*(?P<info>[^`]*)$")
+
+
+@dataclass(frozen=True)
+class CodeBlock:
+    """One fenced code block: where it starts and what it contains."""
+
+    path: Path
+    start_line: int  # 1-based line of the opening fence
+    info: str
+    source: str
+
+    @property
+    def runnable(self) -> bool:
+        words = self.info.split()
+        return bool(words) and words[0] == "python" and "no-run" not in words[1:]
+
+
+def extract_blocks(path: Path) -> list[CodeBlock]:
+    """All fenced code blocks of a markdown file, in order."""
+    blocks: list[CodeBlock] = []
+    fence: Optional[str] = None
+    info = ""
+    start = 0
+    lines: list[str] = []
+    for number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        stripped = line.strip()
+        if fence is None:
+            match = _FENCE.match(stripped)
+            if match:
+                fence = match.group(1)
+                info = match.group("info").strip()
+                start = number
+                lines = []
+        elif stripped == fence or (stripped.startswith(fence) and not stripped.rstrip(fence[0])):
+            blocks.append(
+                CodeBlock(path=path, start_line=start, info=info, source="\n".join(lines))
+            )
+            fence = None
+        else:
+            lines.append(line)
+    if fence is not None:
+        raise ValueError(f"{path}: unterminated code fence opened at line {start}")
+    return blocks
+
+
+def documentation_files(root: Path = REPO_ROOT) -> list[Path]:
+    """The markdown files whose snippets must execute."""
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return files
+
+
+def compose_script(blocks: Sequence[CodeBlock]) -> str:
+    """One python script running a file's runnable blocks in order."""
+    parts = []
+    for block in blocks:
+        parts.append(f"# --- {block.path.name}: block at line {block.start_line} ---")
+        # Fences inside markdown lists carry the list indentation.
+        parts.append(textwrap.dedent(block.source))
+    return "\n\n".join(parts) + "\n"
+
+
+def run_file(path: Path, verbose: bool, timeout: float) -> Optional[str]:
+    """Execute a file's snippets; the error report, or None on success."""
+    runnable = [block for block in extract_blocks(path) if block.runnable]
+    if not runnable:
+        return None
+    script = compose_script(runnable)
+    with tempfile.TemporaryDirectory(prefix="check_docs_") as tmp:
+        script_path = Path(tmp) / f"{path.stem}_snippets.py"
+        script_path.write_text(script, encoding="utf-8")
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        try:
+            completed = subprocess.run(
+                [sys.executable, str(script_path)],
+                capture_output=True,
+                text=True,
+                cwd=REPO_ROOT,
+                env=env,
+                timeout=timeout,
+            )
+        except subprocess.TimeoutExpired:
+            return f"{path}: snippets timed out after {timeout:.0f}s"
+    if verbose and completed.stdout:
+        print(completed.stdout, end="")
+    if completed.returncode != 0:
+        lines = " + ".join(f"L{block.start_line}" for block in runnable)
+        return (
+            f"{path} (blocks {lines}) exited with {completed.returncode}\n"
+            f"{completed.stdout}{completed.stderr}"
+        )
+    return None
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--list", action="store_true", help="list runnable blocks, run nothing")
+    parser.add_argument("--verbose", action="store_true", help="echo each script's stdout")
+    parser.add_argument(
+        "--timeout", type=float, default=180.0, help="per-file execution timeout (seconds)"
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path, help="markdown files (default: README.md + docs/*.md)"
+    )
+    args = parser.parse_args(argv)
+
+    files = [path.resolve() for path in args.paths] or documentation_files()
+    if args.list:
+        for path in files:
+            label = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
+            for block in extract_blocks(path):
+                marker = "run " if block.runnable else "skip"
+                info = block.info or "plain"
+                print(f"[{marker}] {label}:{block.start_line} ({info})")
+        return 0
+
+    failures = []
+    for path in files:
+        report = run_file(path, verbose=args.verbose, timeout=args.timeout)
+        label = path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) else path
+        if report is None:
+            count = sum(1 for block in extract_blocks(path) if block.runnable)
+            print(f"ok: {label} ({count} runnable block(s))")
+        else:
+            print(f"FAIL: {label}")
+            failures.append(report)
+    if failures:
+        print("\n== failures ==")
+        for report in failures:
+            print(report)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,7 +71,7 @@ from .relational import (
     RelationSchema,
     denormalize,
 )
-from .service import InferenceSession, SessionService
+from .service import AsyncSessionService, CrowdDispatcher, InferenceSession, SessionService
 from .sessions import (
     BenefitReport,
     GuidedSession,
@@ -84,6 +84,7 @@ from .sessions import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AsyncSessionService",
     "AtomScope",
     "AtomUniverse",
     "AtomUniverseError",
@@ -94,6 +95,7 @@ __all__ = [
     "CandidateTableError",
     "ConsistentQuerySpace",
     "ConvergenceError",
+    "CrowdDispatcher",
     "DataType",
     "DataTypeError",
     "DatabaseInstance",

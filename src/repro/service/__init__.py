@@ -10,13 +10,31 @@ inference:
   state machine the caller steps with ``next_question()`` / ``submit()``;
 * :mod:`~repro.service.service` — :class:`SessionService`, a thread-safe
   facade managing many concurrent sessions by id over a fingerprint-keyed
-  table registry, with save/resume backed by the v2 persistence format.
+  table registry, with save/resume backed by the v2 persistence format;
+* :mod:`~repro.service.aio` — :class:`AsyncSessionService`, the
+  asyncio-native facade: per-session ordering, bounded-executor offload of
+  the CPU-bound steps, backpressure on create, and per-session event
+  streams (``async for event in service.events(sid)``);
+* :mod:`~repro.service.dispatch` — the crowd-batch dispatcher: simulated
+  workers with latency/noise models, majority-vote aggregation, and
+  :class:`CrowdDispatcher` multiplexing a session's question batches across
+  a worker pool.
 
 The historical blocking surfaces (``JoinInferenceEngine.run``, the
 ``sessions.modes`` classes, the console demo) are thin adapters over this
 package.
 """
 
+from .aio import AsyncSessionService
+from .dispatch import (
+    CrowdDispatcher,
+    CrowdRunReport,
+    DispatchError,
+    SimulatedWorker,
+    WorkerProfile,
+    majority_vote,
+    simulated_crowd,
+)
 from .protocol import (
     BatchQuestionsAsked,
     Converged,
@@ -34,8 +52,12 @@ from .service import SessionDescriptor, SessionService, SessionServiceError
 from .stepper import InferenceSession, validate_mode_options
 
 __all__ = [
+    "AsyncSessionService",
     "BatchQuestionsAsked",
     "Converged",
+    "CrowdDispatcher",
+    "CrowdRunReport",
+    "DispatchError",
     "Event",
     "InferenceSession",
     "InteractionMode",
@@ -45,9 +67,13 @@ __all__ = [
     "SessionDescriptor",
     "SessionService",
     "SessionServiceError",
+    "SimulatedWorker",
+    "WorkerProfile",
     "decode_event",
     "encode_event",
     "event_from_wire",
     "event_to_wire",
+    "majority_vote",
+    "simulated_crowd",
     "validate_mode_options",
 ]

@@ -86,7 +86,16 @@ class _ManagedSession:
 
 
 class SessionService:
-    """Manages many concurrent inference sessions over registered tables."""
+    """Manages many concurrent inference sessions over registered tables.
+
+    Thread-safety: every public method may be called from any thread.  A
+    registry lock guards the table and session maps; each session carries its
+    own lock, so commands against *distinct* sessions run concurrently while
+    commands against the *same* session serialise in arrival order.  Methods
+    that reference a session raise :class:`SessionServiceError` when the id
+    is unknown — including after :meth:`close` (so an answer racing a close
+    fails cleanly rather than resurrecting the session).
+    """
 
     def __init__(self) -> None:
         self._lock = threading.RLock()
@@ -97,7 +106,12 @@ class SessionService:
     # Table registry
     # ------------------------------------------------------------------ #
     def register_table(self, table: CandidateTable) -> str:
-        """Register a candidate table and return its fingerprint (idempotent)."""
+        """Register a candidate table and return its fingerprint (idempotent).
+
+        Registering the same table (by content) twice keeps the first
+        instance.  Never raises for a valid table; the fingerprint hashing
+        cost is paid once per table instance (memoised).
+        """
         from ..sessions.persistence import table_fingerprint
 
         fingerprint = table_fingerprint(table)
@@ -111,7 +125,10 @@ class SessionService:
             return {fp: table.name for fp, table in self._tables.items()}
 
     def table(self, fingerprint: str) -> CandidateTable:
-        """The registered table with the given fingerprint."""
+        """The registered table with the given fingerprint.
+
+        Raises :class:`SessionServiceError` for an unknown fingerprint.
+        """
         with self._lock:
             try:
                 return self._tables[fingerprint]
@@ -139,7 +156,12 @@ class SessionService:
         """Create a session over a table (instance, or fingerprint of a registered one).
 
         Options are validated against the mode up front (see
-        :func:`~repro.service.stepper.validate_mode_options`).
+        :func:`~repro.service.stepper.validate_mode_options`): raises
+        :class:`ValueError` for options the mode does not accept or an
+        unknown mode name, :class:`~repro.exceptions.StrategyError` for
+        invalid option values or an unknown strategy name, and
+        :class:`SessionServiceError` for an unknown table fingerprint.  No
+        session is registered when validation fails.
         """
         parsed_mode = validate_mode_options(mode, {"strategy": strategy, "k": k})
         resolved, fingerprint = self._resolve_table(table)
@@ -188,13 +210,24 @@ class SessionService:
         )
 
     def describe(self, session_id: str) -> SessionDescriptor:
-        """A snapshot of the session's kind and progress."""
+        """A snapshot of the session's kind and progress.
+
+        Taken under the session lock, so the label count and convergence
+        flag are mutually consistent.  Raises :class:`SessionServiceError`
+        for an unknown session id.
+        """
         managed = self._managed(session_id)
         with managed.lock:
             return self._describe(managed)
 
     def close(self, session_id: str) -> SessionDescriptor:
-        """Remove a session from the service and return its final snapshot."""
+        """Remove a session from the service and return its final snapshot.
+
+        Raises :class:`SessionServiceError` for an unknown session id — in
+        particular on a double close (exactly one of two racing closes
+        wins).  An in-flight command holding the session lock finishes
+        before the final snapshot is taken.
+        """
         with self._lock:
             try:
                 managed = self._sessions.pop(session_id)
@@ -207,7 +240,12 @@ class SessionService:
     # Stepping
     # ------------------------------------------------------------------ #
     def next_question(self, session_id: str) -> Event:
-        """The session's next protocol event (question, batch, or converged)."""
+        """The session's next protocol event (question, batch, or converged).
+
+        Raises :class:`SessionServiceError` for an unknown session id and
+        :class:`~repro.exceptions.StrategyError` when the strategy cannot
+        choose; the session is left unchanged on error.
+        """
         managed = self._managed(session_id)
         with managed.lock:
             return managed.stepper.next_question()
@@ -215,13 +253,26 @@ class SessionService:
     def answer(
         self, session_id: str, label: LabelLike, tuple_id: Optional[int] = None
     ) -> LabelApplied:
-        """Apply one label to the session (see :meth:`InferenceSession.submit`)."""
+        """Apply one label to the session (see :meth:`InferenceSession.submit`).
+
+        Raises :class:`SessionServiceError` for an unknown session id,
+        :class:`~repro.exceptions.StrategyError` when a batch/manual session
+        is answered without ``tuple_id``, and
+        :class:`~repro.exceptions.InconsistentLabelError` for an unparseable
+        label or a contradicting one on a strict session.
+        """
         managed = self._managed(session_id)
         with managed.lock:
             return managed.stepper.submit(label, tuple_id=tuple_id)
 
     def answer_many(self, session_id: str, answers: AnswerSet) -> list[LabelApplied]:
-        """Apply a batch of ``tuple_id -> label`` answers to the session."""
+        """Apply a batch of ``tuple_id -> label`` answers to the session.
+
+        The whole batch runs under the session lock (concurrent callers see
+        it as atomic); exceptions as for :meth:`answer`.  Tuples made
+        uninformative by earlier answers of the same batch are skipped, per
+        :meth:`InferenceSession.submit_many`.
+        """
         managed = self._managed(session_id)
         with managed.lock:
             return managed.stepper.submit_many(answers)
@@ -230,7 +281,12 @@ class SessionService:
     # Persistence
     # ------------------------------------------------------------------ #
     def save(self, session_id: str) -> dict[str, object]:
-        """The session as a v2 persistence document (labels + session kind)."""
+        """The session as a v2 persistence document (labels + session kind).
+
+        Taken under the session lock, so the document is a consistent
+        snapshot even while other threads are answering.  Raises
+        :class:`SessionServiceError` for an unknown session id.
+        """
         from ..sessions.persistence import serialize_state
 
         managed = self._managed(session_id)
@@ -253,6 +309,12 @@ class SessionService:
         The table is taken from ``table`` (instance or fingerprint) or looked
         up in the registry by the document's fingerprint.  v1 documents (no
         session metadata) resume as guided sessions.
+
+        Raises :class:`SessionServiceError` when the fingerprint is unknown
+        (or the document carries none and no table is passed),
+        :class:`~repro.sessions.persistence.SessionPersistenceError` for a
+        malformed, corrupted, or wrong-table document, and the
+        :meth:`create` validation errors for inconsistent session metadata.
         """
         from ..sessions.persistence import deserialize_state, session_options
 

@@ -131,6 +131,16 @@ class InferenceSession:
         polymorphically) and is shared with the caller, not copied.
     strict:
         Whether contradicting labels raise (forwarded to a fresh state).
+
+    Thread-safety: a session is a plain state machine with **no internal
+    locking** — drive it from one thread (or one asyncio task) at a time.
+    :class:`~repro.service.service.SessionService` adds the per-session lock
+    for multi-threaded frontends;
+    :class:`~repro.service.aio.AsyncSessionService` does the same for
+    asyncio.  Raises :class:`ValueError` /
+    :class:`~repro.exceptions.StrategyError` at construction for options the
+    mode does not accept (see :func:`validate_mode_options`) and
+    :class:`~repro.exceptions.StrategyError` for an unknown strategy name.
     """
 
     def __init__(
@@ -166,6 +176,18 @@ class InferenceSession:
         """Whether the labels given so far identify a unique query."""
         return not self.state.has_informative_tuple()
 
+    def _drop_stale_pending(self) -> None:
+        """Forget the pending guided question if it can no longer teach us.
+
+        A label submitted with an explicit tuple_id (batch answering a guided
+        session, e.g. through the crowd dispatcher) may have labeled or
+        grayed out the pending question; proposing or answering it would
+        waste the question on a tuple whose label is already certain.
+        """
+        if self._pending is not None and self.state.status(self._pending).is_uninformative:
+            self._pending = None
+            self._choose_seconds = 0.0
+
     def _labels_in_state(self) -> int:
         """Total labels the session carries, including restored ones.
 
@@ -181,14 +203,19 @@ class InferenceSession:
         Returns :class:`~repro.service.protocol.Converged` once the session
         has converged; otherwise a
         :class:`~repro.service.protocol.QuestionAsked` (guided mode — stable
-        until answered) or a
+        until answered, unless an out-of-band label made the pending tuple
+        uninformative, in which case a fresh question is chosen) or a
         :class:`~repro.service.protocol.BatchQuestionsAsked` (top-k and
         manual modes).
+
+        Raises :class:`~repro.exceptions.StrategyError` when the strategy
+        cannot choose a tuple (the session is left unchanged).
         """
         if self.is_converged():
             return converged_event(self._labels_in_state(), self.state.inferred_query())
         step = self._labels_in_state() + 1
         if self.mode is InteractionMode.GUIDED:
+            self._drop_stale_pending()
             if self._pending is None:
                 started = time.perf_counter()
                 self._pending = self.strategy.choose(self.state)
@@ -221,12 +248,31 @@ class InferenceSession:
         label applies to that tuple and a pending guided question, if any,
         stays pending (mirroring the historical session semantics).
         ``oracle_seconds`` is recorded as answer think-time in the trace.
+
+        Raises :class:`~repro.exceptions.StrategyError` when a batch/manual
+        session is answered without ``tuple_id`` — or when the pending
+        guided question was resolved by out-of-band labels in the meantime
+        (the answer would be misattributed; fetch a fresh question instead) —
+        and :class:`~repro.exceptions.InconsistentLabelError` for a label
+        :meth:`~repro.core.examples.Label.from_value` cannot parse or one
+        that contradicts the labels before on a strict session (the state is
+        unchanged in every error case).
         """
         answered_pending = tuple_id is None
         if tuple_id is None:
             if self.mode is not InteractionMode.GUIDED:
                 raise StrategyError(
                     f"a {self.mode.value!r} session needs an explicit tuple_id to label"
+                )
+            stale = self._pending
+            self._drop_stale_pending()
+            if stale is not None and self._pending is None:
+                # The caller is answering a question that other labels have
+                # already resolved; applying their answer to a different,
+                # freshly chosen tuple would misattribute it.
+                raise StrategyError(
+                    f"the pending question (tuple {stale}) was resolved by other labels; "
+                    "call next_question() for a fresh question"
                 )
             if self._pending is None:
                 started = time.perf_counter()
@@ -267,20 +313,34 @@ class InferenceSession:
         Tuples that became uninformative through earlier labels of the same
         batch are skipped (the batch-labeling semantics of the top-k mode),
         as are tuples already labeled.
+
+        Exceptions as for :meth:`submit`; on error, answers applied earlier
+        in the batch stay applied, the failing answer and everything after
+        it do not.  The events of those already-applied answers are attached
+        to the raised exception as ``applied_events`` so a caller relaying
+        events (e.g. to a stream) can still report them.
         """
         pairs = answers.items() if isinstance(answers, Mapping) else answers
-        events = []
+        events: list[LabelApplied] = []
         for tuple_id, label in pairs:
             if self.state.status(tuple_id).is_uninformative:
                 continue
-            events.append(self.submit(label, tuple_id=tuple_id))
+            try:
+                events.append(self.submit(label, tuple_id=tuple_id))
+            except Exception as exc:
+                exc.applied_events = tuple(events)
+                raise
         return events
 
     # ------------------------------------------------------------------ #
     # Mode-specific views
     # ------------------------------------------------------------------ #
     def propose_batch(self, k: Optional[int] = None) -> list[int]:
-        """The current top-k informative tuples, best first (top-k mode)."""
+        """The current top-k informative tuples, best first (top-k mode).
+
+        Returns fewer than ``k`` ids (possibly none) when fewer informative
+        tuples remain; never raises.
+        """
         batch_size = k if k is not None else self.k
         candidates = self.state.informative_ids()
         counts = self.state.prune_counts_all(candidates)
@@ -316,11 +376,19 @@ class InferenceSession:
         return self.trace.interactions
 
     def inferred_query(self) -> JoinQuery:
-        """The canonical query consistent with the labels given so far."""
+        """The canonical query consistent with the labels given so far.
+
+        Well-defined at any point of the session (before convergence it is
+        the most-specific consistent query); never raises.
+        """
         return self.state.inferred_query()
 
     def last_propagation(self) -> PropagationResult:
-        """The propagation of the most recent label."""
+        """The propagation of the most recent label.
+
+        Raises :class:`~repro.exceptions.StrategyError` when no label has
+        been applied in this sitting.
+        """
         if not self.trace.propagations:
             raise StrategyError("no label has been applied yet")
         return self.trace.propagations[-1]

@@ -1,0 +1,466 @@
+"""Tests for the asyncio session service (`repro.service.aio`).
+
+The suite uses plain ``asyncio.run`` helpers (no pytest-asyncio dependency):
+each test defines an ``async def scenario()`` and runs it synchronously.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import GoalQueryOracle, SessionService
+from repro.datasets import flights_hotels
+from repro.service import AsyncSessionService, Converged, QuestionAsked, event_to_wire
+from repro.service.service import SessionServiceError
+
+
+def run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, timeout=60))
+
+
+async def drive_to_convergence(service, session_id, table, goal) -> Converged:
+    oracle = GoalQueryOracle(goal)
+    while True:
+        event = await service.next_question(session_id)
+        if isinstance(event, Converged):
+            return event
+        await service.answer(session_id, oracle.label(table, event.tuple_id))
+
+
+class TestLifecycle:
+    def test_create_describe_answer_close(self, figure1_table, query_q2):
+        async def scenario():
+            async with AsyncSessionService() as service:
+                descriptor = await service.create(
+                    figure1_table, mode="guided", strategy="lookahead-entropy"
+                )
+                sid = descriptor.session_id
+                assert descriptor.mode == "guided"
+                question = await service.next_question(sid)
+                assert isinstance(question, QuestionAsked)
+                oracle = GoalQueryOracle(query_q2)
+                applied = await service.answer(
+                    sid, oracle.label(figure1_table, question.tuple_id)
+                )
+                assert applied.step == 1
+                assert (await service.describe(sid)).num_labels == 1
+                final = await service.close(sid)
+                assert final.num_labels == 1
+                with pytest.raises(SessionServiceError, match="unknown session id"):
+                    await service.describe(sid)
+
+        run(scenario())
+
+    def test_session_converges_to_goal(self, figure1_table, query_q2):
+        async def scenario():
+            async with AsyncSessionService() as service:
+                sid = (
+                    await service.create(figure1_table, strategy="lookahead-entropy")
+                ).session_id
+                converged = await drive_to_convergence(
+                    service, sid, figure1_table, query_q2
+                )
+                assert converged.as_join_query().instance_equivalent(
+                    query_q2, figure1_table
+                )
+
+        run(scenario())
+
+    def test_mode_options_validated_and_slot_released(self, figure1_table):
+        async def scenario():
+            async with AsyncSessionService(max_sessions=1) as service:
+                with pytest.raises(ValueError, match="guided"):
+                    await service.create(figure1_table, mode="guided", k=3)
+                # The failed create must have released its slot.
+                descriptor = await asyncio.wait_for(
+                    service.create(figure1_table), timeout=5
+                )
+                assert descriptor.session_id
+
+        run(scenario())
+
+    def test_save_resume_round_trip(self, figure1_table, query_q2):
+        async def scenario():
+            async with AsyncSessionService() as service:
+                await service.register_table(figure1_table)
+                sid = (
+                    await service.create(figure1_table, strategy="lookahead-entropy")
+                ).session_id
+                oracle = GoalQueryOracle(query_q2)
+                for _ in range(2):
+                    question = await service.next_question(sid)
+                    await service.answer(
+                        sid, oracle.label(figure1_table, question.tuple_id)
+                    )
+                document = await service.save(sid)
+                await service.close(sid)
+
+                resumed = await service.resume(document)
+                assert resumed.num_labels == 2
+                event = await service.next_question(resumed.session_id)
+                assert event.step == 3
+
+        run(scenario())
+
+
+class TestErrorPaths:
+    def test_answer_after_close_raises(self, figure1_table):
+        async def scenario():
+            async with AsyncSessionService() as service:
+                sid = (await service.create(figure1_table)).session_id
+                await service.close(sid)
+                with pytest.raises(SessionServiceError, match="unknown session id"):
+                    await service.answer(sid, "+")
+
+        run(scenario())
+
+    def test_double_close_raises(self, figure1_table):
+        async def scenario():
+            async with AsyncSessionService() as service:
+                sid = (await service.create(figure1_table)).session_id
+                await service.close(sid)
+                with pytest.raises(SessionServiceError, match="unknown session id"):
+                    await service.close(sid)
+
+        run(scenario())
+
+    def test_resume_with_unknown_fingerprint_raises(self, figure1_table):
+        async def scenario():
+            async with AsyncSessionService() as service:
+                sid = (await service.create(figure1_table)).session_id
+                document = await service.save(sid)
+                fresh = AsyncSessionService()
+                async with fresh:
+                    with pytest.raises(SessionServiceError, match="no table registered"):
+                        await fresh.resume(document)
+
+        run(scenario())
+
+    def test_commands_after_aclose_raise(self, figure1_table):
+        async def scenario():
+            service = AsyncSessionService()
+            await service.aclose()
+            with pytest.raises(SessionServiceError, match="closed"):
+                await service.create(figure1_table)
+
+        run(scenario())
+
+
+class TestBackpressure:
+    def test_create_waits_for_a_free_slot(self, figure1_table):
+        async def scenario():
+            async with AsyncSessionService(max_sessions=1) as service:
+                first = await service.create(figure1_table)
+                second = asyncio.create_task(service.create(figure1_table))
+                # The second create must not complete while the slot is held.
+                await asyncio.sleep(0.05)
+                assert not second.done()
+                await service.close(first.session_id)
+                descriptor = await asyncio.wait_for(second, timeout=5)
+                assert descriptor.session_id != first.session_id
+
+        run(scenario())
+
+    def test_aclose_wakes_waiters_blocked_on_a_slot(self, figure1_table):
+        async def scenario():
+            service = AsyncSessionService(max_sessions=1)
+            await service.create(figure1_table)
+            waiters = [
+                asyncio.create_task(service.create(figure1_table)) for _ in range(3)
+            ]
+            await asyncio.sleep(0.05)
+            assert not any(task.done() for task in waiters)
+            await service.aclose()
+            # Every blocked create must raise promptly instead of hanging.
+            results = await asyncio.wait_for(
+                asyncio.gather(*waiters, return_exceptions=True), timeout=5
+            )
+            assert all(isinstance(r, SessionServiceError) for r in results)
+
+        run(scenario())
+
+    def test_cancelled_create_leaks_no_session(self, figure1_table):
+        # Cancelling a create mid-executor (a request timeout) must not leave
+        # an untracked session alive in the wrapped service.
+        class SlowCreateService(SessionService):
+            def create(self, *args, **kwargs):
+                import time
+
+                time.sleep(0.05)
+                return super().create(*args, **kwargs)
+
+        async def scenario():
+            sync_service = SlowCreateService()
+            async with AsyncSessionService(sync_service, max_sessions=4) as service:
+                task = asyncio.create_task(service.create(figure1_table))
+                await asyncio.sleep(0.01)  # let the executor call start
+                task.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await task
+                # The orphaned sync create completes, then gets discarded.
+                for _ in range(100):
+                    await asyncio.sleep(0.01)
+                    if not sync_service.session_ids():
+                        break
+                assert sync_service.session_ids() == []
+                # The slot was released: a full set of creates still fits.
+                for _ in range(4):
+                    await asyncio.wait_for(service.create(figure1_table), timeout=5)
+
+        run(scenario())
+
+    def test_invalid_max_sessions_rejected(self):
+        with pytest.raises(ValueError, match="max_sessions"):
+            AsyncSessionService(max_sessions=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            AsyncSessionService(max_workers=0)
+
+
+class TestEventStream:
+    def test_stream_replays_history_and_ends_on_close(self, figure1_table, query_q2):
+        async def scenario():
+            async with AsyncSessionService() as service:
+                sid = (
+                    await service.create(figure1_table, strategy="lookahead-entropy")
+                ).session_id
+                oracle = GoalQueryOracle(query_q2)
+                expected = []
+                # Two answers *before* subscribing: the stream must replay them.
+                for _ in range(2):
+                    question = await service.next_question(sid)
+                    expected.append(event_to_wire(question))
+                    applied = await service.answer(
+                        sid, oracle.label(figure1_table, question.tuple_id)
+                    )
+                    expected.append(event_to_wire(applied))
+
+                collected: list[dict] = []
+
+                async def consume():
+                    async for wire in service.events(sid):
+                        collected.append(wire)
+
+                consumer = asyncio.create_task(consume())
+                await asyncio.sleep(0)  # let the consumer subscribe
+                converged = await drive_to_convergence(
+                    service, sid, figure1_table, query_q2
+                )
+                await service.close(sid)
+                await asyncio.wait_for(consumer, timeout=10)
+
+                assert collected[: len(expected)] == expected
+                assert collected[-1] == event_to_wire(converged)
+                assert all(isinstance(wire, dict) and "type" in wire for wire in collected)
+
+        run(scenario())
+
+    def test_two_consumers_see_the_same_stream(self, figure1_table, query_q2):
+        async def scenario():
+            async with AsyncSessionService() as service:
+                sid = (
+                    await service.create(figure1_table, strategy="lookahead-entropy")
+                ).session_id
+
+                async def consume():
+                    return [wire async for wire in service.events(sid)]
+
+                consumers = [asyncio.create_task(consume()) for _ in range(2)]
+                await asyncio.sleep(0)
+                await drive_to_convergence(service, sid, figure1_table, query_q2)
+                await service.close(sid)
+                first, second = await asyncio.gather(*consumers)
+                assert first == second
+                assert first  # not empty
+
+        run(scenario())
+
+    def test_mid_batch_failure_still_publishes_applied_events(self, figure1_table):
+        from repro.exceptions import InconsistentLabelError
+
+        async def scenario():
+            async with AsyncSessionService() as service:
+                sid = (
+                    await service.create(figure1_table, mode="manual")
+                ).session_id
+                collected: list[dict] = []
+
+                async def consume():
+                    async for wire in service.events(sid):
+                        collected.append(wire)
+
+                consumer = asyncio.create_task(consume())
+                await asyncio.sleep(0)
+                with pytest.raises(InconsistentLabelError):
+                    await service.answer_many(sid, [(0, "-"), (2, "bogus")])
+                # The first label was applied and must be in the stream.
+                assert (await service.describe(sid)).num_labels == 1
+                await service.close(sid)
+                await asyncio.wait_for(consumer, timeout=5)
+                applied = [w for w in collected if w["type"] == "label_applied"]
+                assert [w["tuple_id"] for w in applied] == [0]
+
+        run(scenario())
+
+    def test_stream_for_unknown_session_raises(self):
+        async def scenario():
+            async with AsyncSessionService() as service:
+                with pytest.raises(SessionServiceError, match="unknown session id"):
+                    async for _ in service.events("deadbeef"):
+                        pass
+
+        run(scenario())
+
+
+class TestSharedSyncService:
+    def test_sync_side_close_still_frees_slot_and_ends_stream(self, figure1_table):
+        # A synchronous thread sharing the wrapped service may close a
+        # session behind the facade's back; the async close then raises, but
+        # must still end the event stream and release the backpressure slot.
+        async def scenario():
+            sync_service = SessionService()
+            async with AsyncSessionService(sync_service, max_sessions=1) as service:
+                sid = (await service.create(figure1_table)).session_id
+
+                async def consume():
+                    return [wire async for wire in service.events(sid)]
+
+                consumer = asyncio.create_task(consume())
+                await asyncio.sleep(0)
+                sync_service.close(sid)  # behind the facade's back
+                with pytest.raises(SessionServiceError, match="unknown session id"):
+                    await service.close(sid)
+                await asyncio.wait_for(consumer, timeout=5)  # stream ended
+                # Slot released: the next create must not block.
+                replacement = await asyncio.wait_for(
+                    service.create(figure1_table), timeout=5
+                )
+                assert replacement.session_id != sid
+
+        run(scenario())
+
+    def test_any_command_reaps_a_sync_side_closed_session(self, figure1_table):
+        # Not just close(): an answer/describe discovering the session gone
+        # must also end its streams and free its backpressure slot.
+        async def scenario():
+            sync_service = SessionService()
+            async with AsyncSessionService(sync_service, max_sessions=1) as service:
+                sid = (await service.create(figure1_table)).session_id
+
+                async def consume():
+                    return [wire async for wire in service.events(sid)]
+
+                consumer = asyncio.create_task(consume())
+                await asyncio.sleep(0)
+                sync_service.close(sid)
+                with pytest.raises(SessionServiceError, match="unknown session id"):
+                    await service.answer(sid, "+")
+                await asyncio.wait_for(consumer, timeout=5)  # stream ended
+                replacement = await asyncio.wait_for(
+                    service.create(figure1_table), timeout=5
+                )
+                assert replacement.session_id != sid
+
+        run(scenario())
+
+    def test_commands_and_streams_after_aclose_do_not_adopt(self, figure1_table):
+        # After aclose, a session still living in the shared sync service
+        # must not be silently re-adopted into the cleared facade maps.
+        async def scenario():
+            sync_service = SessionService()
+            service = AsyncSessionService(sync_service)
+            sid = (await service.create(figure1_table)).session_id
+            await service.aclose()
+            assert sid in sync_service.session_ids()  # facade did not close it
+            with pytest.raises(SessionServiceError, match="closed"):
+                await service.answer(sid, "+")
+            with pytest.raises(SessionServiceError, match="closed"):
+                async for _ in service.events(sid):
+                    pass
+
+        run(scenario())
+
+    def test_adopts_sessions_created_on_the_wrapped_service(
+        self, figure1_table, query_q2
+    ):
+        async def scenario():
+            sync_service = SessionService()
+            sid = sync_service.create(
+                figure1_table, mode="guided", strategy="lookahead-entropy"
+            ).session_id
+            async with AsyncSessionService(sync_service) as service:
+                converged = await drive_to_convergence(
+                    service, sid, figure1_table, query_q2
+                )
+                assert converged.as_join_query().instance_equivalent(
+                    query_q2, figure1_table
+                )
+                await service.close(sid)
+            assert sid not in sync_service.session_ids()
+
+        run(scenario())
+
+
+class TestConcurrency:
+    def test_many_sessions_progress_concurrently(self, figure1_table, query_q2):
+        async def scenario():
+            async with AsyncSessionService(max_sessions=16) as service:
+                descriptors = [
+                    await service.create(figure1_table, strategy="lookahead-entropy")
+                    for _ in range(8)
+                ]
+                results = await asyncio.gather(
+                    *(
+                        drive_to_convergence(
+                            service, d.session_id, figure1_table, query_q2
+                        )
+                        for d in descriptors
+                    )
+                )
+                for converged in results:
+                    assert converged.as_join_query().instance_equivalent(
+                        query_q2, figure1_table
+                    )
+                for descriptor in descriptors:
+                    await service.close(descriptor.session_id)
+
+        run(scenario())
+
+    def test_async_trace_matches_sync_service(self, figure1_table, query_q2):
+        # The same command sequence through both facades must produce the
+        # same wire events (the benchmark gates this broadly; this is the
+        # fast in-suite version).
+        def sync_trace():
+            service = SessionService()
+            sid = service.create(figure1_table, strategy="lookahead-entropy").session_id
+            oracle = GoalQueryOracle(query_q2)
+            events = []
+            while True:
+                event = service.next_question(sid)
+                events.append(event_to_wire(event))
+                if isinstance(event, Converged):
+                    return events
+                applied = service.answer(
+                    sid, oracle.label(figure1_table, event.tuple_id)
+                )
+                events.append(event_to_wire(applied))
+
+        async def async_trace():
+            async with AsyncSessionService() as service:
+                sid = (
+                    await service.create(figure1_table, strategy="lookahead-entropy")
+                ).session_id
+                oracle = GoalQueryOracle(query_q2)
+                events = []
+                while True:
+                    event = await service.next_question(sid)
+                    events.append(event_to_wire(event))
+                    if isinstance(event, Converged):
+                        return events
+                    applied = await service.answer(
+                        sid, oracle.label(figure1_table, event.tuple_id)
+                    )
+                    events.append(event_to_wire(applied))
+
+        assert run(async_trace()) == sync_trace()

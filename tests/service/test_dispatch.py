@@ -1,0 +1,201 @@
+"""Tests for the crowd-batch dispatcher (`repro.service.dispatch`)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.examples import Label
+from repro.service import AsyncSessionService
+from repro.service.dispatch import (
+    CrowdDispatcher,
+    DispatchError,
+    SimulatedWorker,
+    WorkerProfile,
+    majority_vote,
+    simulated_crowd,
+)
+
+
+def run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, timeout=60))
+
+
+class TestMajorityVote:
+    def test_majority_wins(self):
+        assert majority_vote([Label.POSITIVE, Label.NEGATIVE, Label.POSITIVE]) is Label.POSITIVE
+        assert majority_vote([Label.NEGATIVE]) is Label.NEGATIVE
+
+    def test_empty_and_tied_votes_rejected(self):
+        with pytest.raises(DispatchError, match="empty"):
+            majority_vote([])
+        with pytest.raises(DispatchError, match="tied"):
+            majority_vote([Label.POSITIVE, Label.NEGATIVE])
+
+
+class TestWorkerModel:
+    def test_profile_validation(self):
+        with pytest.raises(DispatchError, match="latency"):
+            WorkerProfile("w", mean_latency=-1.0)
+        with pytest.raises(DispatchError, match="error_rate"):
+            WorkerProfile("w", error_rate=1.5)
+
+    def test_perfect_worker_reports_ground_truth(self, figure1_table, query_q2):
+        workers = simulated_crowd(query_q2, num_workers=1)
+        selected = query_q2.evaluate(figure1_table)
+
+        async def scenario():
+            worker = workers[0]
+            for tuple_id in figure1_table.tuple_ids:
+                label = await worker.answer(figure1_table, tuple_id)
+                assert (label is Label.POSITIVE) == (tuple_id in selected)
+            assert worker.answers_given == len(figure1_table)
+            assert worker.errors_made == 0
+
+        run(scenario())
+
+    def test_noisy_worker_errs_deterministically_per_seed(
+        self, figure1_table, query_q2
+    ):
+        async def answers_with_seed(seed):
+            worker = simulated_crowd(query_q2, num_workers=1, error_rate=0.5, seed=seed)[0]
+            return [
+                (await worker.answer(figure1_table, tid)).value
+                for tid in figure1_table.tuple_ids
+            ], worker.errors_made
+
+        first, errors_first = run(answers_with_seed(1))
+        again, errors_again = run(answers_with_seed(1))
+        other, _ = run(answers_with_seed(2))
+        assert first == again and errors_first == errors_again
+        assert errors_first > 0
+        assert first != other  # different seed, different error pattern
+
+    def test_simulated_crowd_validation(self, query_q2):
+        with pytest.raises(DispatchError, match="num_workers"):
+            simulated_crowd(query_q2, num_workers=0)
+
+
+class TestDispatcherValidation:
+    def test_configuration_errors(self, query_q2):
+        async def scenario():
+            async with AsyncSessionService() as service:
+                workers = simulated_crowd(query_q2, num_workers=3)
+                with pytest.raises(DispatchError, match="empty"):
+                    CrowdDispatcher(service, [])
+                with pytest.raises(DispatchError, match="odd"):
+                    CrowdDispatcher(service, workers, votes_per_question=2)
+                with pytest.raises(DispatchError, match="exceeds the pool"):
+                    CrowdDispatcher(service, workers, votes_per_question=5)
+                with pytest.raises(DispatchError, match="max_rounds"):
+                    CrowdDispatcher(service, workers, max_rounds=0)
+
+        run(scenario())
+
+
+class TestDispatchRuns:
+    def test_perfect_crowd_converges_topk_session(self, figure1_table, query_q2):
+        async def scenario():
+            async with AsyncSessionService() as service:
+                descriptor = await service.create(figure1_table, mode="top-k", k=3)
+                workers = simulated_crowd(query_q2, num_workers=5, seed=0)
+                dispatcher = CrowdDispatcher(service, workers, votes_per_question=3)
+                report = await dispatcher.run(descriptor.session_id)
+                assert report.converged
+                assert report.contested == 0
+                assert report.votes == report.questions * 3
+                assert {frozenset(pair) for pair in report.atoms} == {
+                    frozenset(atom.attributes) for atom in query_q2
+                }
+                # JSON-shaped report for serving frontends.
+                import json
+
+                json.dumps(report.as_dict())
+
+        run(scenario())
+
+    def test_guided_session_is_dispatched_as_batches_of_one(
+        self, figure1_table, query_q2
+    ):
+        async def scenario():
+            async with AsyncSessionService() as service:
+                descriptor = await service.create(
+                    figure1_table, strategy="lookahead-entropy"
+                )
+                workers = simulated_crowd(query_q2, num_workers=3, seed=0)
+                dispatcher = CrowdDispatcher(service, workers, votes_per_question=3)
+                report = await dispatcher.run(descriptor.session_id)
+                assert report.converged
+                assert report.rounds == report.questions  # one question per round
+                assert {frozenset(pair) for pair in report.atoms} == {
+                    frozenset(atom.attributes) for atom in query_q2
+                }
+
+        run(scenario())
+
+    def test_majority_vote_absorbs_a_noisy_minority(self, figure1_table, query_q2):
+        # One worker answers randomly half the time; with three votes per
+        # question the two perfect workers always outvote it.
+        async def scenario():
+            async with AsyncSessionService() as service:
+                descriptor = await service.create(figure1_table, mode="top-k", k=3)
+                noisy = simulated_crowd(query_q2, num_workers=1, error_rate=0.5, seed=5)
+                perfect = simulated_crowd(query_q2, num_workers=2, seed=6)
+                dispatcher = CrowdDispatcher(
+                    service, noisy + perfect, votes_per_question=3
+                )
+                report = await dispatcher.run(descriptor.session_id)
+                assert report.converged
+                assert noisy[0].errors_made > 0
+                assert report.contested > 0
+                assert {frozenset(pair) for pair in report.atoms} == {
+                    frozenset(atom.attributes) for atom in query_q2
+                }
+
+        run(scenario())
+
+    def test_max_rounds_gives_up_without_convergence(self, figure1_table, query_q2):
+        async def scenario():
+            async with AsyncSessionService() as service:
+                descriptor = await service.create(figure1_table, mode="top-k", k=1)
+                workers = simulated_crowd(query_q2, num_workers=3, seed=0)
+                dispatcher = CrowdDispatcher(
+                    service, workers, votes_per_question=3, max_rounds=1
+                )
+                report = await dispatcher.run(descriptor.session_id)
+                assert report.rounds == 1
+                assert not report.converged
+                assert report.query is None
+
+        run(scenario())
+
+    def test_latency_overlaps_across_concurrent_sessions(
+        self, figure1_table, query_q2
+    ):
+        # Two sessions with real (simulated) worker latency must overlap:
+        # running them concurrently takes well under 2x one session's time.
+        import time
+
+        async def one_run(service, dispatcher):
+            descriptor = await service.create(figure1_table, mode="top-k", k=3)
+            report = await dispatcher.run(descriptor.session_id)
+            assert report.converged
+            await service.close(descriptor.session_id)
+
+        async def scenario():
+            async with AsyncSessionService() as service:
+                workers = simulated_crowd(
+                    query_q2, num_workers=6, mean_latency=0.05, seed=0
+                )
+                dispatcher = CrowdDispatcher(service, workers, votes_per_question=3)
+                started = time.perf_counter()
+                await one_run(service, dispatcher)
+                solo = time.perf_counter() - started
+
+                started = time.perf_counter()
+                await asyncio.gather(*(one_run(service, dispatcher) for _ in range(2)))
+                pair = time.perf_counter() - started
+                assert pair < 2 * solo
+
+        run(scenario())

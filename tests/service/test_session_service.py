@@ -96,6 +96,46 @@ class TestLifecycle:
         assert event.as_join_query().instance_equivalent(query_q2, figure1_table)
 
 
+class TestErrorPaths:
+    def test_answer_after_close_raises(self, figure1_table):
+        service = SessionService()
+        sid = service.create(figure1_table).session_id
+        service.close(sid)
+        with pytest.raises(SessionServiceError, match="unknown session id"):
+            service.answer(sid, "+")
+        with pytest.raises(SessionServiceError, match="unknown session id"):
+            service.next_question(sid)
+
+    def test_double_close_raises(self, figure1_table):
+        service = SessionService()
+        sid = service.create(figure1_table).session_id
+        service.close(sid)
+        with pytest.raises(SessionServiceError, match="unknown session id"):
+            service.close(sid)
+
+    def test_resume_with_unknown_fingerprint_reference_raises(self, figure1_table):
+        service = SessionService()
+        document = service.save(service.create(figure1_table).session_id)
+        fresh = SessionService()
+        # Explicit unknown fingerprint reference (not just an empty registry).
+        with pytest.raises(SessionServiceError, match="no table registered"):
+            fresh.resume(document, table="deadbeef")
+
+    def test_resume_document_without_fingerprint_raises(self, figure1_table):
+        service = SessionService()
+        document = service.save(service.create(figure1_table).session_id)
+        document.pop("table_fingerprint")
+        with pytest.raises(SessionServiceError, match="no table fingerprint"):
+            SessionService().resume(document)
+
+    def test_save_after_close_raises(self, figure1_table):
+        service = SessionService()
+        sid = service.create(figure1_table).session_id
+        service.close(sid)
+        with pytest.raises(SessionServiceError, match="unknown session id"):
+            service.save(sid)
+
+
 class TestSaveResume:
     def test_mid_session_save_resume_matches_uninterrupted_run(
         self, figure1_table, query_q2

@@ -55,6 +55,34 @@ class TestGuidedStepping:
         assert applied.tuple_id == first.tuple_id
         assert session.next_question().tuple_id != first.tuple_id
 
+    def test_pending_question_is_rechosen_when_made_uninformative(self, figure1_table):
+        # Answering a guided session out-of-band (explicit tuple_id, as the
+        # crowd dispatcher does) may label or gray out the pending question;
+        # the session must then choose a fresh one instead of re-proposing a
+        # tuple that can no longer teach us anything.
+        session = InferenceSession(figure1_table, strategy="local-lexicographic")
+        pending = session.next_question()
+        session.submit("-", tuple_id=pending.tuple_id)
+        following = session.next_question()
+        assert isinstance(following, QuestionAsked)
+        assert following.tuple_id != pending.tuple_id
+        assert not session.state.status(following.tuple_id).is_uninformative
+
+    def test_answering_a_stale_pending_question_raises(self, figure1_table):
+        # A frontend answering the question it was shown must not have its
+        # label silently applied to a different tuple after out-of-band
+        # labels resolved that question.
+        session = InferenceSession(figure1_table, strategy="local-lexicographic")
+        pending = session.next_question()
+        session.submit("-", tuple_id=pending.tuple_id)  # out-of-band
+        with pytest.raises(StrategyError, match="resolved by other labels"):
+            session.submit("+")
+        # The session recovers: a fresh question is choosable and answerable.
+        fresh = session.next_question()
+        assert fresh.tuple_id != pending.tuple_id
+        applied = session.submit("-")
+        assert applied.tuple_id == fresh.tuple_id
+
     def test_converged_event_reports_the_query(self, figure1_table, query_q2):
         session = InferenceSession(figure1_table)
         drive(session, GoalQueryOracle(query_q2), figure1_table)
