@@ -30,6 +30,13 @@ Run a server::
 
     PYTHONPATH=src python examples/serve_sessions.py --serve --port 8080
 
+Shard the sessions across worker *processes* — same endpoints, same wire
+protocol, real multi-core parallelism (the
+:class:`~repro.service.cluster.ClusterSessionService` tier slots in under
+the async facade)::
+
+    PYTHONPATH=src python examples/serve_sessions.py --serve --port 8080 --workers 4
+
 Run the scripted end-to-end demo (default; used by CI): starts a server on an
 ephemeral port and, over real HTTP, (1) drives one guided session — create,
 subscribe to its event stream, answer, save mid-session, resume, converge —
@@ -45,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
 import json
 import re
 import sys
@@ -54,6 +62,7 @@ from repro import GoalQueryOracle, ReproError
 from repro.datasets import flights_hotels
 from repro.service import (
     AsyncSessionService,
+    ClusterSessionService,
     CrowdDispatcher,
     event_to_wire,
     simulated_crowd,
@@ -430,19 +439,30 @@ async def _serve_forever(api: AsyncSessionApi, port: int) -> int:
     return 0
 
 
-async def _main_async(serve: bool, port: int) -> int:
-    async with AsyncSessionService(max_sessions=1024) as service:
-        api = AsyncSessionApi(service)
-        await api.register("flights", flights_hotels.figure1_table())
-        if serve:
-            return await _serve_forever(api, port)
-        server = await start_http_server(api, 0)
-        bound_port = server.sockets[0].getsockname()[1]
-        try:
-            return await scripted_session(bound_port, service)
-        finally:
-            server.close()
-            await server.wait_closed()
+async def _main_async(serve: bool, port: int, workers: int) -> int:
+    with contextlib.ExitStack() as stack:
+        if workers:
+            # The multi-process tier: same facade, same endpoints, the
+            # CPU-bound inference sharded across worker processes.  One
+            # executor thread per worker keeps every process busy.
+            backing = stack.enter_context(ClusterSessionService(num_workers=workers))
+            facade = AsyncSessionService(
+                backing, max_sessions=1024, max_workers=max(4, workers)
+            )
+        else:
+            facade = AsyncSessionService(max_sessions=1024)
+        async with facade as service:
+            api = AsyncSessionApi(service)
+            await api.register("flights", flights_hotels.figure1_table())
+            if serve:
+                return await _serve_forever(api, port)
+            server = await start_http_server(api, 0)
+            bound_port = server.sockets[0].getsockname()[1]
+            try:
+                return await scripted_session(bound_port, service)
+            finally:
+                server.close()
+                await server.wait_closed()
 
 
 def main(argv=None) -> int:
@@ -451,8 +471,14 @@ def main(argv=None) -> int:
         "--serve", action="store_true", help="run a blocking server instead of the scripted demo"
     )
     parser.add_argument("--port", type=int, default=8080, help="port for --serve")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard sessions across N worker processes (0 = in-process service)",
+    )
     args = parser.parse_args(argv)
-    return asyncio.run(_main_async(args.serve, args.port))
+    return asyncio.run(_main_async(args.serve, args.port, args.workers))
 
 
 if __name__ == "__main__":

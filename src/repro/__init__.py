@@ -71,7 +71,13 @@ from .relational import (
     RelationSchema,
     denormalize,
 )
-from .service import AsyncSessionService, CrowdDispatcher, InferenceSession, SessionService
+from .service import (
+    AsyncSessionService,
+    ClusterSessionService,
+    CrowdDispatcher,
+    InferenceSession,
+    SessionService,
+)
 from .sessions import (
     BenefitReport,
     GuidedSession,
@@ -93,6 +99,7 @@ __all__ = [
     "CandidateAttribute",
     "CandidateTable",
     "CandidateTableError",
+    "ClusterSessionService",
     "ConsistentQuerySpace",
     "ConvergenceError",
     "CrowdDispatcher",

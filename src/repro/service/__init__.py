@@ -18,7 +18,13 @@ inference:
 * :mod:`~repro.service.dispatch` — the crowd-batch dispatcher: simulated
   workers with latency/noise models, majority-vote aggregation, and
   :class:`CrowdDispatcher` multiplexing a session's question batches across
-  a worker pool.
+  a worker pool;
+* :mod:`~repro.service.cluster` — :class:`ClusterSessionService`, the
+  multi-process sharded tier: N worker processes each running a
+  `SessionService`, consistent ``session_id -> worker`` routing, JSON wire
+  commands over pipes, the same facade as the single-process service (wrap
+  it in :class:`AsyncSessionService` for streams and backpressure on real
+  multi-core parallelism).
 
 The historical blocking surfaces (``JoinInferenceEngine.run``, the
 ``sessions.modes`` classes, the console demo) are thin adapters over this
@@ -26,6 +32,7 @@ package.
 """
 
 from .aio import AsyncSessionService
+from .cluster import ClusterServiceError, ClusterSessionService, ClusterWorkerError
 from .dispatch import (
     CrowdDispatcher,
     CrowdRunReport,
@@ -54,6 +61,9 @@ from .stepper import InferenceSession, validate_mode_options
 __all__ = [
     "AsyncSessionService",
     "BatchQuestionsAsked",
+    "ClusterServiceError",
+    "ClusterSessionService",
+    "ClusterWorkerError",
     "Converged",
     "CrowdDispatcher",
     "CrowdRunReport",

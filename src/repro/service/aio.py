@@ -66,31 +66,72 @@ T = TypeVar("T")
 DEFAULT_MAX_WORKERS = 4
 
 
+#: Default per-subscriber event-queue bound (see ``stream_buffer``).
+DEFAULT_STREAM_BUFFER = 256
+
+
+class _StreamSubscriber:
+    """One consumer's bounded queue plus its lag state."""
+
+    __slots__ = ("queue", "dropped")
+
+    def __init__(self, buffer_size: int) -> None:
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=buffer_size)
+        self.dropped = False
+
+
 class _SessionStream:
     """The event log of one session plus its live subscribers.
 
-    ``history`` holds every published wire event in order; each subscriber is
-    an unbounded :class:`asyncio.Queue` that receives events published after
-    the subscription.  All mutation happens on the event loop thread, between
+    ``history`` holds every published wire event in order; each subscriber
+    carries a *bounded* :class:`asyncio.Queue` that receives events published
+    after the subscription.  A subscriber whose queue overflows — a stream
+    consumer that stalled while the session kept producing — is marked
+    ``dropped``: it receives no further events and its stream ends once it
+    has drained what it already buffered, so one stalled consumer can never
+    grow memory without limit.  Publishing after :meth:`finish` is
+    *impossible* by contract: the event is dropped, recorded in neither the
+    history nor any queue (the sentinel marking the end of each queue stays
+    the final item).  All mutation happens on the event loop thread, between
     awaits, so no further locking is needed.
     """
 
-    __slots__ = ("history", "subscribers", "closed")
+    __slots__ = ("history", "subscribers", "closed", "buffer_size")
 
-    def __init__(self) -> None:
+    def __init__(self, buffer_size: int = DEFAULT_STREAM_BUFFER) -> None:
         self.history: list[dict[str, object]] = []
-        self.subscribers: list[asyncio.Queue] = []
+        self.subscribers: list[_StreamSubscriber] = []
         self.closed = False
+        self.buffer_size = buffer_size
 
-    def publish(self, wire: dict[str, object]) -> None:
+    def subscribe(self) -> _StreamSubscriber:
+        subscriber = _StreamSubscriber(self.buffer_size)
+        self.subscribers.append(subscriber)
+        return subscriber
+
+    def _offer(self, subscriber: _StreamSubscriber, item: Optional[dict]) -> None:
+        if subscriber.dropped:
+            return
+        try:
+            subscriber.queue.put_nowait(item)
+        except asyncio.QueueFull:
+            subscriber.dropped = True
+
+    def publish(self, wire: dict[str, object]) -> bool:
+        """Record and fan out one event; a no-op returning False after :meth:`finish`."""
+        if self.closed:
+            return False
         self.history.append(wire)
-        for queue in self.subscribers:
-            queue.put_nowait(wire)
+        for subscriber in self.subscribers:
+            self._offer(subscriber, wire)
+        return True
 
     def finish(self) -> None:
+        if self.closed:
+            return
         self.closed = True
-        for queue in self.subscribers:
-            queue.put_nowait(None)
+        for subscriber in self.subscribers:
+            self._offer(subscriber, None)
 
 
 class AsyncSessionService:
@@ -109,7 +150,16 @@ class AsyncSessionService:
     max_workers:
         Size of the bounded thread pool the CPU-bound inference steps run on.
         This caps how many sessions make progress simultaneously; further
-        commands queue in the executor, they do not block the loop.
+        commands queue in the executor, they do not block the loop.  When
+        wrapping a :class:`~repro.service.cluster.ClusterSessionService`,
+        size it at least to the cluster's worker count — each executor
+        thread blocks on one worker pipe, so fewer threads than workers
+        leaves processes idle.
+    stream_buffer:
+        Bound of each stream subscriber's event queue.  A consumer that
+        falls more than this many events behind is disconnected (its stream
+        ends after it drains what it buffered) instead of growing memory
+        without limit.
 
     Use as an async context manager (or call :meth:`aclose`) so the executor
     threads are released deterministically.
@@ -121,13 +171,17 @@ class AsyncSessionService:
         *,
         max_sessions: Optional[int] = None,
         max_workers: int = DEFAULT_MAX_WORKERS,
+        stream_buffer: int = DEFAULT_STREAM_BUFFER,
     ) -> None:
         if max_sessions is not None and max_sessions < 1:
             raise ValueError(f"max_sessions must be a positive integer, got {max_sessions!r}")
         if max_workers < 1:
             raise ValueError(f"max_workers must be a positive integer, got {max_workers!r}")
+        if stream_buffer < 1:
+            raise ValueError(f"stream_buffer must be a positive integer, got {stream_buffer!r}")
         self.service = service if service is not None else SessionService()
         self.max_sessions = max_sessions
+        self.stream_buffer = stream_buffer
         self._slots = asyncio.Semaphore(max_sessions) if max_sessions is not None else None
         self._slot_holders: set[str] = set()
         self._executor = ThreadPoolExecutor(
@@ -155,21 +209,33 @@ class AsyncSessionService:
         # to its stream already — replacing the lock/stream would orphan
         # those subscribers and void the per-session ordering.
         self._locks.setdefault(session_id, asyncio.Lock())
-        self._streams.setdefault(session_id, _SessionStream())
+        self._streams.setdefault(session_id, _SessionStream(self.stream_buffer))
         if holds_slot:
             self._slot_holders.add(session_id)
 
-    def _adopt_if_foreign(self, session_id: str) -> None:
-        """Adopt a session created directly on the wrapped sync service."""
+    async def _adopt_if_foreign(self, session_id: str) -> None:
+        """Adopt a session created directly on the wrapped sync service.
+
+        The membership check runs on the executor: with a slow backing
+        (e.g. a :class:`~repro.service.cluster.ClusterSessionService`,
+        where ``session_ids`` is a pipe broadcast to every worker) a
+        synchronous call here would stall the whole event loop on every
+        unknown-id command.
+        """
+        if self._closed or session_id in self._locks:
+            return
+        known = await self._call(self.service.session_ids)
         if self._closed:
             return  # never re-populate the maps aclose() cleared
-        if session_id not in self._locks and session_id in self.service.session_ids():
+        if session_id in known:
             self._register(session_id, holds_slot=False)
 
-    def _lock_for(self, session_id: str) -> asyncio.Lock:
+    async def _lock_for(self, session_id: str) -> asyncio.Lock:
         if self._closed:
             raise SessionServiceError("the async session service is closed")
-        self._adopt_if_foreign(session_id)
+        await self._adopt_if_foreign(session_id)
+        if self._closed:
+            raise SessionServiceError("the async session service is closed")
         try:
             return self._locks[session_id]
         except KeyError:
@@ -260,13 +326,29 @@ class AsyncSessionService:
             future.add_done_callback(self._discard_orphan)
             raise
 
+    def _close_orphan(self, session_id: str) -> None:
+        """Close an orphaned wrapped-service session off the event loop.
+
+        Runs on the executor while it accepts work (a slow backing must not
+        stall the loop); the synchronous fallback only covers a shutdown
+        race where the executor is already gone.
+        """
+
+        def close_quietly() -> None:
+            try:
+                self.service.close(session_id)
+            except SessionServiceError:
+                pass
+
+        try:
+            self._executor.submit(close_quietly)
+        except RuntimeError:  # executor already shut down (aclose raced us)
+            close_quietly()
+
     def _discard_orphan(self, future: "asyncio.Future[SessionDescriptor]") -> None:
         if future.cancelled() or future.exception() is not None:
             return
-        try:
-            self.service.close(future.result().session_id)
-        except SessionServiceError:
-            pass
+        self._close_orphan(future.result().session_id)
 
     def _admit(self, descriptor: SessionDescriptor) -> SessionDescriptor:
         """Register a freshly created/resumed session — unless the service
@@ -275,10 +357,7 @@ class AsyncSessionService:
         and :class:`SessionServiceError` raised (nothing would ever finish
         its event stream otherwise)."""
         if self._closed:
-            try:
-                self.service.close(descriptor.session_id)
-            except SessionServiceError:
-                pass
+            self._close_orphan(descriptor.session_id)
             if self._slots is not None:
                 self._slots.release()
             raise SessionServiceError("the async session service is closed")
@@ -287,7 +366,7 @@ class AsyncSessionService:
 
     def _publish(self, session_id: str, event: Event) -> None:
         stream = self._streams.get(session_id)
-        if stream is not None and not stream.closed:
+        if stream is not None:
             stream.publish(event_to_wire(event))
 
     # ------------------------------------------------------------------ #
@@ -369,13 +448,13 @@ class AsyncSessionService:
         return await self._call(self.service.session_ids)
 
     async def save(self, session_id: str) -> dict[str, object]:
-        """The session as a v2 persistence document (labels + session kind).
+        """The session as a v3 persistence document (labels + session kind + strictness).
 
         Taken under the session lock, so the document is a consistent
         snapshot even while other tasks are answering.  Raises
         :class:`SessionServiceError` for an unknown session id.
         """
-        lock = self._lock_for(session_id)
+        lock = await self._lock_for(session_id)
         async with lock:
             return await self._session_call(session_id, self.service.save, session_id)
 
@@ -390,7 +469,7 @@ class AsyncSessionService:
         service raises — e.g. when a synchronous thread sharing the service
         closed the session first — so streams end and slots never leak.
         """
-        lock = self._lock_for(session_id)
+        lock = await self._lock_for(session_id)
         async with lock:
             try:
                 return await self._call(self.service.close, session_id)
@@ -408,7 +487,7 @@ class AsyncSessionService:
         :class:`~repro.exceptions.StrategyError` when the underlying strategy
         cannot choose (both leave the session unchanged).
         """
-        lock = self._lock_for(session_id)
+        lock = await self._lock_for(session_id)
         async with lock:
             event = await self._session_call(
                 session_id, self.service.next_question, session_id
@@ -428,7 +507,7 @@ class AsyncSessionService:
         :class:`~repro.exceptions.InconsistentLabelError` for an unparseable
         label or a contradicting one on a strict session.
         """
-        lock = self._lock_for(session_id)
+        lock = await self._lock_for(session_id)
         async with lock:
             applied = await self._session_call(
                 session_id, self.service.answer, session_id, label, tuple_id=tuple_id
@@ -450,7 +529,7 @@ class AsyncSessionService:
         their events are still published to the stream (the log stays
         gap-free) before the exception propagates.
         """
-        lock = self._lock_for(session_id)
+        lock = await self._lock_for(session_id)
         async with lock:
             try:
                 events = await self._session_call(
@@ -475,18 +554,20 @@ class AsyncSessionService:
         Yields every event the session has already produced (unless
         ``replay=False``), then live events as commands produce them, and
         ends when the session is closed.  Multiple consumers may stream the
-        same session; each gets the full sequence.  Raises
-        :class:`SessionServiceError` if the session id is unknown when the
-        stream starts, or the service is closed.
+        same session; each gets the full sequence.  A consumer that falls
+        more than ``stream_buffer`` events behind is disconnected: its
+        stream ends early (after the events it already buffered) rather
+        than buffering without bound.  Raises :class:`SessionServiceError`
+        if the session id is unknown when the stream starts, or the service
+        is closed.
         """
         if self._closed:
             raise SessionServiceError("the async session service is closed")
-        self._adopt_if_foreign(session_id)
+        await self._adopt_if_foreign(session_id)
         stream = self._streams.get(session_id)
         if stream is None:
             raise SessionServiceError(f"unknown session id {session_id!r}")
-        queue: asyncio.Queue = asyncio.Queue()
-        stream.subscribers.append(queue)
+        subscriber = stream.subscribe()
         # Snapshot synchronously, *after* subscribing: anything published
         # from here on lands in the queue, so the hand-off is gap-free.
         history = list(stream.history) if replay else []
@@ -496,14 +577,19 @@ class AsyncSessionService:
                 yield wire
             if already_closed:
                 return
+            queue = subscriber.queue
             while True:
+                # A dropped (lagging) subscriber receives nothing further —
+                # once its buffered backlog is drained, the stream ends.
+                if subscriber.dropped and queue.empty():
+                    return
                 wire = await queue.get()
                 if wire is None:
                     return
                 yield wire
         finally:
-            if queue in stream.subscribers:
-                stream.subscribers.remove(queue)
+            if subscriber in stream.subscribers:
+                stream.subscribers.remove(subscriber)
 
     # ------------------------------------------------------------------ #
     # Shutdown

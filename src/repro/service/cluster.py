@@ -1,0 +1,757 @@
+"""Multi-process sharded serving: :class:`ClusterSessionService`.
+
+One Python process can only run one inference step at a time — the strategy
+scoring that dominates a guided session is pure CPU work, and the GIL caps
+the :class:`~repro.service.aio.AsyncSessionService` executor at one core no
+matter how many threads it carries.  This module scales the serving layer
+*out* instead of up, in the spirit of hybrid scale-out designs: N worker
+processes, each running its own single-process
+:class:`~repro.service.service.SessionService`, behind one facade that
+speaks the exact same API.
+
+Design
+------
+* **Consistent routing.**  The facade generates every ``session_id`` itself
+  (a uuid4 hex string) and routes *every* command for a session to the
+  worker ``int(session_id, 16) % num_workers``.  No routing table, no
+  rebalancing: the id alone names the shard, for this facade or any other
+  facade pointed at the same cluster layout.
+* **JSON wire commands.**  Workers are driven over
+  :mod:`multiprocessing` pipes carrying single-line JSON text — commands in,
+  ``{"status": "ok"/"error", …}`` replies out.  Protocol events cross the
+  boundary in their existing wire form (:func:`~repro.service.protocol.event_to_wire`),
+  descriptors as their ``as_dict`` form, persistence documents as-is.
+  Nothing unpicklable (and nothing pickled, beyond the str framing) crosses
+  the process boundary; worker-side exceptions are re-raised in the parent
+  with their original type and message.
+* **Tables broadcast once.**  A candidate table is registered by content
+  fingerprint and broadcast to every worker exactly once (rows, attribute
+  types and relation provenance travel in a JSON table form), because any
+  worker may be asked to host a session over it.  A table first seen by a
+  `create`/`resume` travels inline to the routed worker and is broadcast to
+  the rest only after success, so a failed command registers nothing
+  anywhere.  Cell values must be JSON-representable (str/int/float/bool/
+  None, plus dates, which the codec tags).
+* **Same facade.**  :class:`ClusterSessionService` duck-types
+  :class:`~repro.service.service.SessionService` — create / describe /
+  next_question / answer / answer_many / save / resume / close, thread-safe,
+  same exception types — so every consumer of the single-process service
+  works unchanged: wrap it in an
+  :class:`~repro.service.aio.AsyncSessionService` to get per-session event
+  streams, backpressure, and the crowd dispatcher on top of real
+  multi-core parallelism (size ``max_workers`` at least to the cluster's
+  worker count, one blocking pipe per in-flight command).
+
+Quickstart::
+
+    with ClusterSessionService(num_workers=4) as cluster:
+        fingerprint = cluster.register_table(table)   # broadcast to workers
+        sid = cluster.create(fingerprint, strategy="lookahead-entropy").session_id
+        event = cluster.next_question(sid)            # runs in a worker process
+        ...
+
+``benchmarks/bench_cluster_service.py`` gates this layer: per-session wire
+traces identical to the single-process service, and a wall-clock speedup for
+concurrent CPU-bound sessions over the single-process async service on
+multi-core machines.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import multiprocessing
+import os
+import threading
+import uuid
+from typing import Optional, Union
+
+from ..core.strategies.base import Strategy
+from ..core.strategies.registry import create_strategy
+from ..exceptions import (
+    InconsistentLabelError,
+    OracleError,
+    ReproError,
+    StrategyError,
+)
+from ..relational.candidate import CandidateAttribute, CandidateTable
+from ..relational.types import DataType
+from ..sessions.persistence import SessionPersistenceError, table_fingerprint
+from .protocol import (
+    Event,
+    InteractionMode,
+    LabelApplied,
+    ProtocolError,
+    event_from_wire,
+    event_to_wire,
+)
+from .service import SessionDescriptor, SessionService, SessionServiceError
+from .stepper import AnswerSet, LabelLike, validate_mode_options
+
+#: Default worker count: one per core, capped so a big machine does not fork
+#: dozens of interpreters for a demo.
+DEFAULT_WORKERS = max(1, min(8, os.cpu_count() or 1))
+
+
+class ClusterServiceError(SessionServiceError):
+    """A cluster-level failure: a dead worker, a closed cluster, or a value
+    that cannot cross the process boundary.
+
+    Subclasses :class:`~repro.service.service.SessionServiceError` so every
+    existing consumer of the service facade (the asyncio layer, the HTTP
+    example) treats transport failures like any other service error instead
+    of crashing on an unknown exception type.  In particular, a dead
+    worker's sessions *are* gone — reaping their streams/slots, as the
+    asyncio facade does for service errors, is the correct reaction.
+    """
+
+
+class ClusterWorkerError(ReproError):
+    """A worker raised an exception type the wire protocol does not carry.
+
+    Deliberately *not* a :class:`SessionServiceError`: an unexpected
+    worker-side bug (say, an ``AttributeError``) does not mean the session
+    is gone, so the asyncio facade must not reap its streams or
+    backpressure slot over it.
+    """
+
+
+# --------------------------------------------------------------------------- #
+# The JSON wire forms: cells, tables, errors
+# --------------------------------------------------------------------------- #
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def _cell_to_wire(value: object) -> object:
+    """One table cell as JSON (dates tagged, scalars as-is)."""
+    if isinstance(value, datetime.datetime):  # before date: datetime is a date
+        return {"$datetime": value.isoformat()}
+    if isinstance(value, datetime.date):
+        return {"$date": value.isoformat()}
+    if isinstance(value, _JSON_SCALARS):
+        return value
+    raise ClusterServiceError(
+        f"table cell {value!r} of type {type(value).__name__} cannot cross the "
+        "process boundary; cluster tables need JSON-representable cells"
+    )
+
+
+def _cell_from_wire(value: object) -> object:
+    if isinstance(value, dict):
+        if "$datetime" in value:
+            return datetime.datetime.fromisoformat(value["$datetime"])
+        if "$date" in value:
+            return datetime.date.fromisoformat(value["$date"])
+    return value
+
+
+def table_to_wire(table: CandidateTable) -> dict[str, object]:
+    """A candidate table as a JSON object (schema, provenance, and rows).
+
+    The form preserves everything the inference core reads — attribute
+    names, data types, source relations, row values — so the rebuilt table
+    has the identical atom universe and the identical content fingerprint.
+    Raises :class:`ClusterServiceError` for cell values JSON cannot carry.
+    """
+    return {
+        "name": table.name,
+        "attributes": [
+            {
+                "name": attribute.name,
+                "data_type": attribute.data_type.value,
+                "source_relation": attribute.source_relation,
+            }
+            for attribute in table.attributes
+        ],
+        "rows": [[_cell_to_wire(value) for value in row] for row in table],
+    }
+
+
+def table_from_wire(payload: dict[str, object]) -> CandidateTable:
+    """Rebuild a candidate table from its :func:`table_to_wire` form."""
+    attributes = [
+        CandidateAttribute(
+            name=spec["name"],
+            data_type=DataType(spec["data_type"]),
+            source_relation=spec.get("source_relation"),
+        )
+        for spec in payload["attributes"]
+    ]
+    rows = [[_cell_from_wire(value) for value in row] for row in payload["rows"]]
+    return CandidateTable(attributes, rows, name=payload["name"])
+
+
+#: Exception types a worker may raise that the parent re-raises as-is.
+_ERROR_KINDS: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        SessionServiceError,
+        ClusterServiceError,
+        StrategyError,
+        InconsistentLabelError,
+        OracleError,
+        ProtocolError,
+        ReproError,
+        SessionPersistenceError,
+        ValueError,
+        TypeError,
+        KeyError,
+        IndexError,
+    )
+}
+
+
+def _rebuild_error(reply: dict[str, object]) -> BaseException:
+    """The parent-side exception for a worker's ``{"status": "error"}`` reply."""
+    kind = reply.get("kind")
+    message = str(reply.get("message", ""))
+    cls = _ERROR_KINDS.get(kind) if isinstance(kind, str) else None
+    if cls is None:
+        # Not a ClusterServiceError: an unexpected worker exception does not
+        # mean the session is gone, so it must not read as a service error.
+        error: BaseException = ClusterWorkerError(f"worker raised {kind}: {message}")
+    elif cls is KeyError and message.startswith("'") and message.endswith("'"):
+        error = KeyError(message[1:-1])
+    else:
+        error = cls(message)
+    applied = reply.get("applied_events")
+    if applied:
+        # submit_many attaches the already-applied events to the exception so
+        # stream relays stay gap-free; carry them across the boundary too.
+        error.applied_events = tuple(event_from_wire(wire) for wire in applied)
+    return error
+
+
+# --------------------------------------------------------------------------- #
+# The worker process
+# --------------------------------------------------------------------------- #
+def _execute(service: SessionService, request: dict[str, object]) -> object:
+    """Apply one wire command to the worker's service; the JSON-able result."""
+    command = request["cmd"]
+    if command == "ping":
+        return {"pid": os.getpid()}
+    if command == "register_table":
+        return service.register_table(table_from_wire(request["table"]))
+    if command == "create":
+        # A table the worker has not seen yet arrives inline; the service's
+        # atomic create registers it together with the session, or not at all.
+        table: Union[CandidateTable, str] = (
+            table_from_wire(request["table"])
+            if "table" in request
+            else request["fingerprint"]
+        )
+        return service.create(
+            table,
+            mode=request["mode"],
+            strategy=request.get("strategy"),
+            k=request.get("k"),
+            strict=request.get("strict", True),
+            session_id=request["session_id"],
+        ).as_dict()
+    if command == "resume":
+        table = (
+            table_from_wire(request["table"])
+            if "table" in request
+            else request["fingerprint"]
+        )
+        return service.resume(
+            request["document"],
+            table=table,
+            session_id=request["session_id"],
+        ).as_dict()
+    if command == "describe":
+        return service.describe(request["session_id"]).as_dict()
+    if command == "close":
+        return service.close(request["session_id"]).as_dict()
+    if command == "next_question":
+        return event_to_wire(service.next_question(request["session_id"]))
+    if command == "answer":
+        return event_to_wire(
+            service.answer(
+                request["session_id"], request["label"], tuple_id=request.get("tuple_id")
+            )
+        )
+    if command == "answer_many":
+        applied = service.answer_many(
+            request["session_id"],
+            [(int(tuple_id), label) for tuple_id, label in request["answers"]],
+        )
+        return [event_to_wire(event) for event in applied]
+    if command == "save":
+        return service.save(request["session_id"])
+    if command == "session_ids":
+        return service.session_ids()
+    raise ClusterServiceError(f"unknown cluster command {command!r}")
+
+
+def _worker_main(conn) -> None:
+    """The worker loop: one `SessionService`, JSON commands in, replies out."""
+    service = SessionService()
+    while True:
+        try:
+            text = conn.recv()
+        except (EOFError, OSError):
+            break  # the parent went away; nothing left to serve
+        request = json.loads(text)
+        if request.get("cmd") == "shutdown":
+            try:
+                conn.send(json.dumps({"status": "ok", "result": None}))
+            except (BrokenPipeError, OSError):
+                pass
+            break
+        try:
+            reply: dict[str, object] = {"status": "ok", "result": _execute(service, request)}
+        except Exception as exc:
+            reply = {"status": "error", "kind": type(exc).__name__, "message": str(exc)}
+            applied = getattr(exc, "applied_events", None)
+            if applied:
+                reply["applied_events"] = [event_to_wire(event) for event in applied]
+        try:
+            conn.send(json.dumps(reply))
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class _WorkerHandle:
+    """The parent's view of one worker: process, pipe, and a request lock.
+
+    A worker executes one command at a time (its loop is serial), so the
+    lock both serialises access to the pipe and models the worker's real
+    capacity; commands for sessions on *different* workers run in parallel.
+    """
+
+    __slots__ = ("index", "process", "conn", "lock")
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()
+
+    def request(self, payload: dict[str, object]) -> object:
+        with self.lock:
+            try:
+                self.conn.send(json.dumps(payload))
+                reply = json.loads(self.conn.recv())
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                raise ClusterServiceError(
+                    f"cluster worker {self.index} is unreachable "
+                    f"({type(exc).__name__}); its sessions are lost"
+                ) from exc
+        if reply.get("status") == "ok":
+            return reply.get("result")
+        raise _rebuild_error(reply)
+
+
+# --------------------------------------------------------------------------- #
+# The facade
+# --------------------------------------------------------------------------- #
+class ClusterSessionService:
+    """Shards sessions across N worker processes behind the `SessionService` API.
+
+    Parameters
+    ----------
+    num_workers:
+        How many worker processes to spawn (default: one per core, capped at
+        8).  Each runs its own :class:`~repro.service.service.SessionService`.
+    mp_context:
+        The :mod:`multiprocessing` start method (default ``"spawn"`` — safe
+        in processes that also run threads or an asyncio loop; pass
+        ``"fork"`` on POSIX for faster start-up when that does not apply).
+
+    Thread-safety: every public method may be called from any thread, like
+    the single-process service.  Commands against sessions on different
+    workers run in parallel (that is the point); commands against the same
+    worker serialise on its pipe.  Exceptions mirror the single-process
+    service — :class:`SessionServiceError` (unknown ids), ``ValueError`` /
+    :class:`~repro.exceptions.StrategyError` (bad options),
+    :class:`~repro.exceptions.InconsistentLabelError` (contradictions on a
+    strict session) — re-raised in the parent with the worker's message;
+    transport-level failures raise :class:`ClusterServiceError`.
+
+    Use as a context manager (or call :meth:`shutdown`) so the worker
+    processes exit deterministically; they are daemonic, so an unclean exit
+    cannot leak them past the parent.
+    """
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        mp_context: str = "spawn",
+    ) -> None:
+        count = DEFAULT_WORKERS if num_workers is None else num_workers
+        if count < 1:
+            raise ValueError(f"num_workers must be a positive integer, got {num_workers!r}")
+        context = multiprocessing.get_context(mp_context)
+        self._lock = threading.RLock()
+        self._tables: dict[str, CandidateTable] = {}
+        self._closed = False
+        self._workers: list[_WorkerHandle] = []
+        try:
+            for index in range(count):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(child_conn,),
+                    name=f"repro-cluster-{index}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._workers.append(_WorkerHandle(index, process, parent_conn))
+            # One round trip per worker up front: surfaces import/start-up
+            # failures at construction instead of on the first command.
+            for worker in self._workers:
+                worker.request({"cmd": "ping"})
+        except BaseException:
+            self.shutdown()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def num_workers(self) -> int:
+        """How many worker processes the cluster runs."""
+        return len(self._workers)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ClusterServiceError("the cluster session service is shut down")
+
+    def _worker_for(self, session_id: str) -> _WorkerHandle:
+        """The worker owning a session: ``int(session_id, 16) % num_workers``."""
+        self._check_open()
+        try:
+            shard = int(session_id, 16)
+        except (TypeError, ValueError):
+            # Ids the cluster did not mint cannot name a shard; mirror the
+            # single-process service's unknown-id error.
+            raise SessionServiceError(f"unknown session id {session_id!r}") from None
+        return self._workers[shard % len(self._workers)]
+
+    def _broadcast(self, payload: dict[str, object]) -> list[object]:
+        self._check_open()
+        return [worker.request(payload) for worker in self._workers]
+
+    @staticmethod
+    def _label_to_wire(label: LabelLike) -> object:
+        value = getattr(label, "value", label)
+        if not isinstance(value, (str, bool)):
+            raise ClusterServiceError(
+                f"label {label!r} cannot cross the process boundary; "
+                "pass a Label, its string value, or a boolean"
+            )
+        return value
+
+    @staticmethod
+    def _strategy_to_wire(strategy: Union[Strategy, str, None]) -> Optional[str]:
+        if strategy is None or isinstance(strategy, str):
+            return strategy
+        raise ClusterServiceError(
+            "a cluster session takes its strategy by registry name "
+            f"(got the instance {strategy!r}); strategy objects cannot cross "
+            "the process boundary"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Table registry
+    # ------------------------------------------------------------------ #
+    def register_table(self, table: CandidateTable) -> str:
+        """Register a table and broadcast it to every worker (idempotent).
+
+        Returns the content fingerprint.  The rows travel to each worker
+        exactly once per cluster; re-registering the same content is free.
+        Raises :class:`ClusterServiceError` for cell values JSON cannot
+        carry, or when a worker is unreachable.
+        """
+        fingerprint = table_fingerprint(table)
+        with self._lock:
+            self._check_open()
+            if fingerprint in self._tables:
+                return fingerprint
+            wire = table_to_wire(table)
+            echoed = self._broadcast({"cmd": "register_table", "table": wire})
+            if any(echo != fingerprint for echo in echoed):
+                raise ClusterServiceError(
+                    f"table {table.name!r} changed fingerprint crossing the wire; "
+                    "its cell values do not round-trip through JSON"
+                )
+            self._tables[fingerprint] = table
+        return fingerprint
+
+    def tables(self) -> dict[str, str]:
+        """The registered tables: ``fingerprint -> table name``."""
+        with self._lock:
+            return {fp: table.name for fp, table in self._tables.items()}
+
+    def table(self, fingerprint: str) -> CandidateTable:
+        """The registered table with the given fingerprint.
+
+        Served from the facade's own registry (every registered table is on
+        every worker); raises :class:`SessionServiceError` for an unknown
+        fingerprint.
+        """
+        with self._lock:
+            try:
+                return self._tables[fingerprint]
+            except KeyError:
+                raise SessionServiceError(
+                    f"no table registered under fingerprint {fingerprint!r}"
+                ) from None
+
+    def _table_reference(
+        self, table: Union[CandidateTable, str]
+    ) -> tuple[str, Optional[dict], Optional[CandidateTable]]:
+        """How the routed worker gets the table: ``(fingerprint, inline wire, instance)``.
+
+        A table instance the cluster has not seen yet travels *inline* with
+        the create/resume command instead of being broadcast up front — the
+        worker-side create is atomic, so a failed command registers the
+        table nowhere; :meth:`_finish_registration` broadcasts it to the
+        remaining workers only after success.  Known fingerprints (and
+        already-registered instances) yield no inline form.
+        """
+        if isinstance(table, CandidateTable):
+            fingerprint = table_fingerprint(table)
+            with self._lock:
+                if fingerprint in self._tables:
+                    return fingerprint, None, None
+            return fingerprint, table_to_wire(table), table
+        self.table(table)  # raises SessionServiceError when unknown
+        return table, None, None
+
+    def _finish_registration(
+        self,
+        fingerprint: str,
+        table: CandidateTable,
+        wire: dict,
+        owner: _WorkerHandle,
+    ) -> None:
+        """Record a table the routed worker just adopted; broadcast to the rest."""
+        with self._lock:
+            if self._closed or fingerprint in self._tables:
+                return  # a concurrent command completed the broadcast
+        for worker in self._workers:
+            if worker is not owner:
+                worker.request({"cmd": "register_table", "table": wire})
+        with self._lock:
+            self._tables.setdefault(fingerprint, table)
+
+    @staticmethod
+    def _mint_session_id(session_id: Optional[str]) -> str:
+        """A fresh hex id, or the caller's — which must name a shard."""
+        if session_id is None:
+            return uuid.uuid4().hex
+        try:
+            int(session_id, 16)
+        except (TypeError, ValueError):
+            raise ClusterServiceError(
+                f"cluster session ids must be hexadecimal strings, got {session_id!r} "
+                "(the worker shard is derived from the id)"
+            ) from None
+        return session_id
+
+    # ------------------------------------------------------------------ #
+    # Session lifecycle
+    # ------------------------------------------------------------------ #
+    def create(
+        self,
+        table: Union[CandidateTable, str],
+        mode: Union[InteractionMode, str] = InteractionMode.GUIDED,
+        strategy: Union[Strategy, str, None] = None,
+        k: Optional[int] = None,
+        strict: bool = True,
+        session_id: Optional[str] = None,
+    ) -> SessionDescriptor:
+        """Create a session on the worker its id hashes to.
+
+        Arguments and validation are those of
+        :meth:`~repro.service.service.SessionService.create`; the strategy
+        must be a registry *name* (instances cannot cross the process
+        boundary) and an explicit ``session_id`` must be hexadecimal (the
+        shard is derived from it).  A new table instance travels inline to
+        the routed worker and is broadcast to the rest only after success,
+        so a failed create registers neither a session nor a table —
+        anywhere in the cluster.
+        """
+        strategy_name = self._strategy_to_wire(strategy)
+        validate_mode_options(mode, {"strategy": strategy_name, "k": k})
+        if strategy_name is not None:
+            create_strategy(strategy_name)  # unknown names fail before any send
+        fingerprint, wire, instance = self._table_reference(table)
+        session_id = self._mint_session_id(session_id)
+        worker = self._worker_for(session_id)
+        request = {
+            "cmd": "create",
+            "fingerprint": fingerprint,
+            "mode": mode.value if isinstance(mode, InteractionMode) else mode,
+            "strategy": strategy_name,
+            "k": k,
+            "strict": strict,
+            "session_id": session_id,
+        }
+        if wire is not None:
+            request["table"] = wire
+        payload = worker.request(request)
+        if wire is not None:
+            self._finish_registration(fingerprint, instance, wire, worker)
+        return SessionDescriptor.from_dict(payload)
+
+    def resume(
+        self,
+        payload: dict[str, object],
+        table: Union[CandidateTable, str, None] = None,
+        session_id: Optional[str] = None,
+    ) -> SessionDescriptor:
+        """Restore a saved session document on the worker its new id hashes to.
+
+        Semantics of :meth:`~repro.service.service.SessionService.resume`,
+        including the strictness pass-through (a lenient session resumes
+        lenient on its worker) and the no-trace-on-failure guarantee: a new
+        table instance travels inline to the routed worker and is broadcast
+        to the rest only after the resume succeeds, so a malformed or
+        corrupt document registers nothing anywhere.  The table is found
+        like there — explicit instance, explicit fingerprint, or the
+        document's fingerprint, which must already be registered with the
+        cluster.
+        """
+        if table is None:
+            fingerprint = payload.get("table_fingerprint")
+            if not isinstance(fingerprint, str):
+                raise SessionServiceError(
+                    "the session document carries no table fingerprint; pass the table explicitly"
+                )
+            fingerprint, wire, instance = self._table_reference(fingerprint)
+        else:
+            fingerprint, wire, instance = self._table_reference(table)
+        session_id = self._mint_session_id(session_id)
+        worker = self._worker_for(session_id)
+        request = {
+            "cmd": "resume",
+            "document": payload,
+            "fingerprint": fingerprint,
+            "session_id": session_id,
+        }
+        if wire is not None:
+            request["table"] = wire
+        reply = worker.request(request)
+        if wire is not None:
+            self._finish_registration(fingerprint, instance, wire, worker)
+        return SessionDescriptor.from_dict(reply)
+
+    def session_ids(self) -> list[str]:
+        """Ids of all live sessions, across all workers."""
+        return [sid for ids in self._broadcast({"cmd": "session_ids"}) for sid in ids]
+
+    def __len__(self) -> int:
+        return len(self.session_ids())
+
+    def describe(self, session_id: str) -> SessionDescriptor:
+        """A snapshot of the session's kind and progress (from its worker)."""
+        reply = self._worker_for(session_id).request(
+            {"cmd": "describe", "session_id": session_id}
+        )
+        return SessionDescriptor.from_dict(reply)
+
+    def close(self, session_id: str) -> SessionDescriptor:
+        """Remove a session from its worker and return its final snapshot."""
+        reply = self._worker_for(session_id).request(
+            {"cmd": "close", "session_id": session_id}
+        )
+        return SessionDescriptor.from_dict(reply)
+
+    # ------------------------------------------------------------------ #
+    # Stepping
+    # ------------------------------------------------------------------ #
+    def next_question(self, session_id: str) -> Event:
+        """The session's next protocol event, computed in its worker process."""
+        wire = self._worker_for(session_id).request(
+            {"cmd": "next_question", "session_id": session_id}
+        )
+        return event_from_wire(wire)
+
+    def answer(
+        self, session_id: str, label: LabelLike, tuple_id: Optional[int] = None
+    ) -> LabelApplied:
+        """Apply one label in the session's worker process.
+
+        Exceptions as for :meth:`~repro.service.service.SessionService.answer`,
+        re-raised in the parent with the worker's message.
+        """
+        wire = self._worker_for(session_id).request(
+            {
+                "cmd": "answer",
+                "session_id": session_id,
+                "label": self._label_to_wire(label),
+                "tuple_id": tuple_id,
+            }
+        )
+        return event_from_wire(wire)
+
+    def answer_many(self, session_id: str, answers: AnswerSet) -> list[LabelApplied]:
+        """Apply a batch of ``tuple_id -> label`` answers in the worker.
+
+        On a mid-batch error the events of the already-applied answers cross
+        the boundary on the re-raised exception (``applied_events``), exactly
+        like the single-process service.
+        """
+        pairs = answers.items() if hasattr(answers, "items") else answers
+        wire_pairs = [
+            [int(tuple_id), self._label_to_wire(label)] for tuple_id, label in pairs
+        ]
+        replies = self._worker_for(session_id).request(
+            {"cmd": "answer_many", "session_id": session_id, "answers": wire_pairs}
+        )
+        return [event_from_wire(wire) for wire in replies]
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, session_id: str) -> dict[str, object]:
+        """The session as a v3 persistence document, taken in its worker."""
+        return self._worker_for(session_id).request(
+            {"cmd": "save", "session_id": session_id}
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shutdown
+    # ------------------------------------------------------------------ #
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop every worker process.  Idempotent.
+
+        Live sessions die with their workers (save what must survive first);
+        commands after shutdown raise :class:`ClusterServiceError`.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers)
+        for worker in workers:
+            with worker.lock:
+                try:
+                    worker.conn.send(json.dumps({"cmd": "shutdown"}))
+                    worker.conn.recv()
+                except (EOFError, BrokenPipeError, OSError):
+                    pass
+                worker.conn.close()
+        for worker in workers:
+            worker.process.join(timeout=timeout)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=timeout)
+
+    def __enter__(self) -> "ClusterSessionService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "closed" if self._closed else "open"
+        return (
+            f"ClusterSessionService(workers={len(self._workers)}, "
+            f"tables={len(self._tables)}, {state})"
+        )

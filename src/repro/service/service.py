@@ -13,10 +13,10 @@ each session carries its own lock, so sessions advance independently — two
 labelers never block each other, only concurrent commands against the *same*
 session serialise.
 
-Saved sessions use the v2 persistence format, which records the interaction
-mode, strategy name and ``k`` alongside the labels; :meth:`resume` therefore
-restores a top-k session as a top-k session, in this service instance or a
-completely fresh one.
+Saved sessions use the v3 persistence format, which records the interaction
+mode, strategy name, ``k`` and strictness alongside the labels; :meth:`resume`
+therefore restores a top-k session as a top-k session — and a lenient session
+as a lenient one — in this service instance or a completely fresh one.
 """
 
 from __future__ import annotations
@@ -39,12 +39,18 @@ class SessionServiceError(ReproError):
 
 @dataclass(frozen=True)
 class SessionDescriptor:
-    """A snapshot of one managed session, safe to serialise to clients."""
+    """A snapshot of one managed session, safe to serialise to clients.
+
+    ``strict`` reports whether the session rejects contradicting labels, so a
+    client can tell a lenient (crowd/noisy) session from a strict one — in
+    particular after a save/resume cycle.
+    """
 
     session_id: str
     mode: str
     strategy: Optional[str]
     k: Optional[int]
+    strict: bool
     table_fingerprint: str
     table_name: str
     num_candidates: int
@@ -58,12 +64,18 @@ class SessionDescriptor:
             "mode": self.mode,
             "strategy": self.strategy,
             "k": self.k,
+            "strict": self.strict,
             "table_fingerprint": self.table_fingerprint,
             "table_name": self.table_name,
             "num_candidates": self.num_candidates,
             "num_labels": self.num_labels,
             "converged": self.converged,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, object]) -> "SessionDescriptor":
+        """Rebuild a descriptor from its :meth:`as_dict` form (wire transport)."""
+        return cls(**{field: payload[field] for field in cls.__dataclass_fields__})
 
 
 class _ManagedSession:
@@ -137,10 +149,29 @@ class SessionService:
                     f"no table registered under fingerprint {fingerprint!r}"
                 ) from None
 
-    def _resolve_table(self, table: Union[CandidateTable, str]) -> tuple[CandidateTable, str]:
+    def _peek_table(self, table: Union[CandidateTable, str]) -> tuple[CandidateTable, str]:
+        """Resolve a table reference *without* mutating the registry.
+
+        A table instance is fingerprinted but not yet registered — the
+        registration happens atomically with the session registration in
+        :meth:`_commit_session`, so a create/resume that fails validation
+        later leaves no trace in the registry.
+        """
         if isinstance(table, CandidateTable):
-            return table, self.register_table(table)
+            from ..sessions.persistence import table_fingerprint
+
+            return table, table_fingerprint(table)
         return self.table(table), table
+
+    def _commit_session(self, managed: _ManagedSession, table: CandidateTable) -> None:
+        """Register a fully built session (and its table) in one locked step."""
+        with self._lock:
+            if managed.session_id in self._sessions:
+                raise SessionServiceError(
+                    f"session id {managed.session_id!r} is already in use"
+                )
+            self._tables.setdefault(managed.fingerprint, table)
+            self._sessions[managed.session_id] = managed
 
     # ------------------------------------------------------------------ #
     # Session lifecycle
@@ -152,6 +183,7 @@ class SessionService:
         strategy: Union[Strategy, str, None] = None,
         k: Optional[int] = None,
         strict: bool = True,
+        session_id: Optional[str] = None,
     ) -> SessionDescriptor:
         """Create a session over a table (instance, or fingerprint of a registered one).
 
@@ -160,21 +192,26 @@ class SessionService:
         :class:`ValueError` for options the mode does not accept or an
         unknown mode name, :class:`~repro.exceptions.StrategyError` for
         invalid option values or an unknown strategy name, and
-        :class:`SessionServiceError` for an unknown table fingerprint.  No
-        session is registered when validation fails.
+        :class:`SessionServiceError` for an unknown table fingerprint or an
+        already-used ``session_id``.  Neither a session nor the table is
+        registered when any step fails.
+
+        ``session_id`` lets a routing layer (e.g.
+        :class:`~repro.service.cluster.ClusterSessionService`) pick the id
+        up front; by default the service generates one.
         """
         parsed_mode = validate_mode_options(mode, {"strategy": strategy, "k": k})
-        resolved, fingerprint = self._resolve_table(table)
+        resolved, fingerprint = self._peek_table(table)
         stepper = InferenceSession(
             resolved, mode=parsed_mode, strategy=strategy, k=k, strict=strict
         )
         strategy_name = (
             stepper.strategy.name if parsed_mode is InteractionMode.GUIDED else None
         )
-        session_id = uuid.uuid4().hex
+        if session_id is None:
+            session_id = uuid.uuid4().hex
         managed = _ManagedSession(session_id, stepper, fingerprint, strategy_name)
-        with self._lock:
-            self._sessions[session_id] = managed
+        self._commit_session(managed, resolved)
         return self._describe(managed)
 
     def session_ids(self) -> list[str]:
@@ -200,6 +237,7 @@ class SessionService:
             mode=stepper.mode.value,
             strategy=managed.strategy_name,
             k=stepper.k if stepper.mode is InteractionMode.TOP_K else None,
+            strict=stepper.state.strict,
             table_fingerprint=managed.fingerprint,
             table_name=stepper.table.name,
             num_candidates=len(stepper.table),
@@ -281,7 +319,7 @@ class SessionService:
     # Persistence
     # ------------------------------------------------------------------ #
     def save(self, session_id: str) -> dict[str, object]:
-        """The session as a v2 persistence document (labels + session kind).
+        """The session as a v3 persistence document (labels + session kind + strictness).
 
         Taken under the session lock, so the document is a consistent
         snapshot even while other threads are answering.  Raises
@@ -303,18 +341,23 @@ class SessionService:
         self,
         payload: dict[str, object],
         table: Union[CandidateTable, str, None] = None,
+        session_id: Optional[str] = None,
     ) -> SessionDescriptor:
         """Restore a saved session as a new live session of the recorded kind.
 
         The table is taken from ``table`` (instance or fingerprint) or looked
         up in the registry by the document's fingerprint.  v1 documents (no
-        session metadata) resume as guided sessions.
+        session metadata) resume as guided sessions.  The document's
+        strictness (v3; ``True`` for v1/v2) is passed through to the replayed
+        state, so a lenient session resumes lenient — a contradicting label
+        it tolerated before the save is tolerated after the resume.
 
         Raises :class:`SessionServiceError` when the fingerprint is unknown
         (or the document carries none and no table is passed),
         :class:`~repro.sessions.persistence.SessionPersistenceError` for a
         malformed, corrupted, or wrong-table document, and the
         :meth:`create` validation errors for inconsistent session metadata.
+        Neither a session nor the table is registered when any step fails.
         """
         from ..sessions.persistence import deserialize_state, session_options
 
@@ -324,11 +367,11 @@ class SessionService:
                 raise SessionServiceError(
                     "the session document carries no table fingerprint; pass the table explicitly"
                 )
-            resolved, fingerprint = self._resolve_table(fingerprint)
+            resolved, fingerprint = self._peek_table(fingerprint)
         else:
-            resolved, fingerprint = self._resolve_table(table)
-        state = deserialize_state(payload, resolved)
+            resolved, fingerprint = self._peek_table(table)
         options = session_options(payload)
+        state = deserialize_state(payload, resolved, strict=options["strict"])
         mode = validate_mode_options(
             options["mode"], {"strategy": options["strategy"], "k": options["k"]}
         )
@@ -340,8 +383,8 @@ class SessionService:
             state=state,
         )
         strategy_name = stepper.strategy.name if mode is InteractionMode.GUIDED else None
-        session_id = uuid.uuid4().hex
+        if session_id is None:
+            session_id = uuid.uuid4().hex
         managed = _ManagedSession(session_id, stepper, fingerprint, strategy_name)
-        with self._lock:
-            self._sessions[session_id] = managed
+        self._commit_session(managed, resolved)
         return self._describe(managed)

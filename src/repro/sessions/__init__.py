@@ -12,6 +12,7 @@ from .modes import (
 )
 from .persistence import (
     SessionPersistenceError,
+    document_strict,
     load_session,
     resume_guided_session,
     save_session,
@@ -30,6 +31,7 @@ __all__ = [
     "TopKSession",
     "compute_benefit",
     "create_session",
+    "document_strict",
     "load_session",
     "resume_guided_session",
     "save_session",

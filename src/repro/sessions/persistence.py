@@ -14,6 +14,14 @@ Format history
   ``mode``, the ``strategy`` name and ``k``, so a multi-session service can
   restore a saved session *as the right kind of session*, not just as raw
   labels.  v1 documents are still read.
+* **v3** — adds a top-level ``"strict"`` flag recording whether the session
+  rejected contradicting labels.  Before v3 a lenient (``strict=False``)
+  session silently resumed as a *strict* one: a contradicting label the
+  original session tolerated raised
+  :class:`~repro.exceptions.InconsistentLabelError` after resume (and a
+  lenient session whose stored labels already contradict each other could
+  not be replayed at all).  v1/v2 documents carry no flag and keep the
+  historical ``strict=True`` reading.
 
 On load the stored ``canonical_query`` / ``converged`` fields are verified
 against the replayed labels (they used to be written but never read); a
@@ -36,9 +44,9 @@ PathLike = Union[str, Path]
 
 #: Format identifier written into every saved session.
 FORMAT = "jim-session"
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 #: Versions :func:`deserialize_state` accepts.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 class SessionPersistenceError(ReproError):
@@ -71,11 +79,13 @@ def serialize_state(
 
     ``mode`` / ``strategy`` / ``k`` record how the session was being driven
     (v2); when all are omitted the document carries labels only, which any
-    session kind can adopt.
+    session kind can adopt.  The state's own strictness is always recorded
+    (v3), so a lenient session resumes lenient.
     """
     payload: dict[str, object] = {
         "format": FORMAT,
         "version": FORMAT_VERSION,
+        "strict": state.strict,
         "table_name": state.table.name,
         "table_fingerprint": table_fingerprint(state.table),
         "num_candidates": len(state.table),
@@ -103,16 +113,33 @@ def save_session(
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
 
 
+def document_strict(payload: dict[str, object]) -> bool:
+    """The strictness a saved document records (v3).
+
+    v1/v2 documents carry no flag and read as ``True`` — the historical
+    behaviour.  Raises :class:`SessionPersistenceError` for a non-boolean
+    value.
+    """
+    strict = payload.get("strict", True)
+    if not isinstance(strict, bool):
+        raise SessionPersistenceError(
+            f"malformed session: 'strict' must be a boolean, got {strict!r}"
+        )
+    return strict
+
+
 def session_options(payload: dict[str, object]) -> dict[str, object]:
-    """The session metadata of a saved document: ``mode``, ``strategy``, ``k``.
+    """The session metadata of a saved document: ``mode``/``strategy``/``k``/``strict``.
 
     v1 documents (and v2 documents saved without metadata) default to a
     guided session with the default strategy, the historical resume
-    behaviour.
+    behaviour; ``strict`` comes from the top-level v3 flag (see
+    :func:`document_strict`).
     """
+    strict = document_strict(payload)
     raw = payload.get("session")
     if raw is None:
-        return {"mode": "guided", "strategy": None, "k": None}
+        return {"mode": "guided", "strategy": None, "k": None, "strict": strict}
     if not isinstance(raw, dict):
         raise SessionPersistenceError("malformed session: 'session' must be an object")
     mode = raw.get("mode") or "guided"
@@ -130,7 +157,7 @@ def session_options(payload: dict[str, object]) -> dict[str, object]:
         raise SessionPersistenceError(
             f"malformed session: 'session.k' must be an integer, got {k!r}"
         )
-    return {"mode": mode, "strategy": strategy, "k": k}
+    return {"mode": mode, "strategy": strategy, "k": k, "strict": strict}
 
 
 def _verify_outcome(payload: dict[str, object], state: InferenceState) -> None:
@@ -166,11 +193,17 @@ def _verify_outcome(payload: dict[str, object], state: InferenceState) -> None:
 def deserialize_state(
     payload: dict[str, object],
     table: CandidateTable,
-    strict: bool = True,
+    strict: Optional[bool] = None,
     verify_fingerprint: bool = True,
     verify_integrity: bool = True,
 ) -> InferenceState:
     """Rebuild an :class:`InferenceState` from a serialised session.
+
+    ``strict`` defaults to the strictness the document records (v3; ``True``
+    for v1/v2 documents), so a lenient session resumes lenient — its stored
+    labels replay without tripping the strict-mode contradiction check, and
+    the restored state keeps tolerating contradictions exactly as the
+    original did.  Pass an explicit boolean to override the recorded value.
 
     ``verify_integrity`` replays the labels and checks they reproduce the
     stored ``canonical_query`` / ``converged`` summary, catching corrupted or
@@ -196,6 +229,8 @@ def deserialize_state(
         raise SessionPersistenceError(
             "the saved session was recorded against a different candidate table"
         )
+    if strict is None:
+        strict = document_strict(payload)
     state = InferenceState(table, strict=strict)
     labels = payload.get("labels", {})
     if not isinstance(labels, dict):
@@ -216,11 +251,15 @@ def deserialize_state(
 def load_session(
     path: PathLike,
     table: CandidateTable,
-    strict: bool = True,
+    strict: Optional[bool] = None,
     verify_fingerprint: bool = True,
     verify_integrity: bool = True,
 ) -> InferenceState:
-    """Load a saved session and replay its labels onto ``table``."""
+    """Load a saved session and replay its labels onto ``table``.
+
+    ``strict`` defaults to the strictness recorded in the document (see
+    :func:`deserialize_state`).
+    """
     payload = read_session_document(path)
     return deserialize_state(
         payload,

@@ -1,0 +1,155 @@
+"""Property-based tests: save → resume round-trips the *full* session kind.
+
+A saved session document (v3) records everything that makes a session the
+session it is — interaction mode, strategy, ``k``, strictness, labels — so
+resuming it in a completely fresh service must produce a session that is
+*observationally identical* to the original from the save point on: the same
+descriptor, and the same wire-event trace for the identical remaining
+command sequence.  This pins the strict-mode lifecycle bug (a lenient
+session used to resume strict) against every combination of
+mode × strategy × k × strict.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import CandidateTable, GoalQueryOracle, SessionService
+from repro.datasets import flights_hotels
+from repro.service import Converged, QuestionAsked, event_to_wire
+
+SETTINGS = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+#: Deterministic strategies only: a resumed session rebuilds its strategy
+#: from the recorded name, so a seeded-RNG strategy would legitimately
+#: diverge after resume.
+GUIDED_STRATEGIES = ("lookahead-entropy", "local-lexicographic", "local-largest-type")
+MODES = ("manual", "manual-with-pruning", "top-k", "guided")
+
+
+def session_kwargs(mode: str, strategy: str, k: int) -> dict:
+    """The mode-appropriate creation options (others must stay unset)."""
+    if mode == "guided":
+        return {"mode": mode, "strategy": strategy}
+    if mode == "top-k":
+        return {"mode": mode, "k": k}
+    return {"mode": mode}
+
+
+def apply_one_label(service: SessionService, session_id: str, table, oracle) -> bool:
+    """Advance the session by exactly one label; False once converged."""
+    event = service.next_question(session_id)
+    if isinstance(event, Converged):
+        return False
+    if isinstance(event, QuestionAsked):
+        service.answer(session_id, oracle.label(table, event.tuple_id))
+    else:
+        tuple_id = event.tuple_ids[0]
+        service.answer(session_id, oracle.label(table, tuple_id), tuple_id=tuple_id)
+    return True
+
+
+def drive_to_convergence(service: SessionService, session_id: str, table, oracle) -> list[dict]:
+    """The remaining wire trace of a session, driven one label at a time."""
+    events: list[dict] = []
+    while True:
+        event = service.next_question(session_id)
+        events.append(event_to_wire(event))
+        if isinstance(event, Converged):
+            return events
+        if isinstance(event, QuestionAsked):
+            applied = service.answer(session_id, oracle.label(table, event.tuple_id))
+        else:
+            tuple_id = event.tuple_ids[0]
+            applied = service.answer(
+                session_id, oracle.label(table, tuple_id), tuple_id=tuple_id
+            )
+        events.append(event_to_wire(applied))
+
+
+@given(
+    mode=st.sampled_from(MODES),
+    strategy=st.sampled_from(GUIDED_STRATEGIES),
+    k=st.integers(min_value=1, max_value=4),
+    strict=st.booleans(),
+    prefix=st.integers(min_value=0, max_value=4),
+)
+@SETTINGS
+def test_save_resume_roundtrips_the_full_session_kind(mode, strategy, k, strict, prefix):
+    table = flights_hotels.figure1_table()
+    oracle = GoalQueryOracle(flights_hotels.query_q2())
+    kwargs = session_kwargs(mode, strategy, k)
+
+    service = SessionService()
+    descriptor = service.create(table, strict=strict, **kwargs)
+    sid = descriptor.session_id
+    for _ in range(prefix):
+        if not apply_one_label(service, sid, table, oracle):
+            break
+    document = service.save(sid)
+    snapshot = service.describe(sid)
+
+    fresh = SessionService()
+    resumed = fresh.resume(document, table=flights_hotels.figure1_table())
+
+    # The resumed session is the same *kind* of session...
+    assert resumed.mode == snapshot.mode == mode
+    assert resumed.strategy == snapshot.strategy
+    assert resumed.k == snapshot.k
+    assert resumed.strict is strict
+    assert resumed.num_labels == snapshot.num_labels
+    assert resumed.converged == snapshot.converged
+    assert resumed.table_fingerprint == snapshot.table_fingerprint
+
+    # ... and behaves identically from the save point on.
+    original_rest = drive_to_convergence(service, sid, table, oracle)
+    resumed_rest = drive_to_convergence(fresh, resumed.session_id, table, oracle)
+    assert resumed_rest == original_rest
+
+
+@given(
+    mode=st.sampled_from(MODES),
+    strategy=st.sampled_from(GUIDED_STRATEGIES),
+    k=st.integers(min_value=1, max_value=4),
+)
+@SETTINGS
+def test_lenient_sessions_accept_contradictions_before_and_after_resume(
+    mode, strategy, k
+):
+    """The headline bug, across every mode: strict=False survives save/resume.
+
+    ``(1,1)`` is certain-positive on the tiny table once nothing rules out
+    ``a ≍ b``; after labeling it "+", ``(2,2)`` is certain-positive too, so
+    labeling ``(2,2)`` "-" contradicts.  A lenient session accepts that
+    label before a save — and, resumed, must accept it identically after.
+    """
+    table = CandidateTable.from_rows(
+        ["a", "b"], [(1, 1), (1, 2), (2, 2), (3, 4)], name="tiny"
+    )
+    service = SessionService()
+    descriptor = service.create(table, strict=False, **session_kwargs(mode, strategy, k))
+    sid = descriptor.session_id
+    assert descriptor.strict is False
+    service.answer(sid, "+", tuple_id=0)
+    document_before = service.save(sid)
+
+    contradiction = service.answer(sid, "-", tuple_id=2)  # tolerated
+    document_after = service.save(sid)
+    assert document_after["strict"] is False
+
+    # Resume the pre-contradiction snapshot in a fresh service: the same
+    # contradicting label is tolerated and produces the identical event.
+    fresh = SessionService()
+    resumed = fresh.resume(document_before, table=table)
+    assert resumed.strict is False
+    assert fresh.answer(resumed.session_id, "-", tuple_id=2) == contradiction
+
+    # The post-contradiction snapshot replays at all (a strict replay used
+    # to raise InconsistentLabelError) and stays lenient.
+    fresh = SessionService()
+    resumed = fresh.resume(document_after, table=table)
+    assert resumed.strict is False
+    assert resumed.num_labels == 2

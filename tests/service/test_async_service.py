@@ -313,6 +313,64 @@ class TestEventStream:
         run(scenario())
 
 
+class TestStreamBounds:
+    """Post-close publishes are impossible; stalled consumers stay bounded."""
+
+    def test_publish_after_finish_is_dropped(self):
+        from repro.service.aio import _SessionStream
+
+        stream = _SessionStream(buffer_size=4)
+        subscriber = stream.subscribe()
+        assert stream.publish({"type": "question"}) is True
+        stream.finish()
+        # Publishing after finish records nothing: neither in the history
+        # nor in any queue — the end-of-stream sentinel stays the last item.
+        assert stream.publish({"type": "late"}) is False
+        assert stream.history == [{"type": "question"}]
+        assert subscriber.queue.qsize() == 2
+        assert subscriber.queue.get_nowait() == {"type": "question"}
+        assert subscriber.queue.get_nowait() is None
+
+    def test_stalled_consumer_is_disconnected_not_unbounded(self, figure1_table):
+        # Subscribe, pull one event, stall while the session publishes more
+        # than stream_buffer events, then drain.
+        async def scenario():
+            async with AsyncSessionService(stream_buffer=2) as service:
+                sid = (await service.create(figure1_table, mode="manual")).session_id
+                await service.next_question(sid)  # one event of history
+                stream_iter = service.events(sid)
+                # The first pull subscribes the consumer and replays history.
+                first = await stream_iter.__anext__()
+                assert first["type"] == "questions"
+                # Six more events while the consumer stalls: the two-slot
+                # queue overflows and the subscriber is marked dropped.
+                for _ in range(6):
+                    await service.next_question(sid)
+                drained = [wire async for wire in stream_iter]
+                # The consumer got at most its buffered backlog, then ended —
+                # long before the 6 published events, and without close().
+                assert len(drained) == 2
+
+                # The session itself is unaffected: a fresh consumer replays
+                # the full history.
+                fresh: list[dict] = []
+
+                async def consume():
+                    async for wire in service.events(sid):
+                        fresh.append(wire)
+
+                consumer = asyncio.create_task(consume())
+                await service.close(sid)
+                await asyncio.wait_for(consumer, timeout=5)
+                assert len(fresh) == 7  # the full history: 1 + 6 events
+
+        run(scenario())
+
+    def test_invalid_stream_buffer_rejected(self):
+        with pytest.raises(ValueError, match="stream_buffer"):
+            AsyncSessionService(stream_buffer=0)
+
+
 class TestSharedSyncService:
     def test_sync_side_close_still_frees_slot_and_ends_stream(self, figure1_table):
         # A synchronous thread sharing the wrapped service may close a

@@ -83,6 +83,45 @@ class TestLifecycle:
             service.create(figure1_table, mode="top-k", k=-1)
         assert len(service) == 0
 
+    def test_descriptor_reports_strictness(self, figure1_table):
+        service = SessionService()
+        strict = service.create(figure1_table)
+        lenient = service.create(figure1_table, strict=False)
+        assert strict.strict is True
+        assert lenient.strict is False
+        assert lenient.as_dict()["strict"] is False
+
+    def test_failed_create_registers_neither_session_nor_table(self, figure1_table):
+        service = SessionService()
+        with pytest.raises(StrategyError, match="unknown strategy"):
+            service.create(figure1_table, strategy="no-such-strategy")
+        assert len(service) == 0
+        assert service.tables() == {}
+
+    def test_failed_resume_registers_neither_session_nor_table(self, figure1_table):
+        service = SessionService()
+        document = service.save(service.create(figure1_table).session_id)
+        document["labels"] = {"not-a-number": "+"}  # corrupt the document
+
+        fresh = SessionService()
+        from repro.sessions.persistence import SessionPersistenceError
+
+        with pytest.raises(SessionPersistenceError):
+            fresh.resume(document, table=flights_hotels.figure1_table())
+        assert len(fresh) == 0
+        assert fresh.tables() == {}
+
+    def test_explicit_session_id_and_collision(self, figure1_table):
+        service = SessionService()
+        descriptor = service.create(figure1_table, session_id="feed" * 8)
+        assert descriptor.session_id == "feed" * 8
+        with pytest.raises(SessionServiceError, match="already in use"):
+            service.create(figure1_table, session_id="feed" * 8)
+        document = service.save(descriptor.session_id)
+        with pytest.raises(SessionServiceError, match="already in use"):
+            service.resume(document, session_id="feed" * 8)
+        assert len(service) == 1
+
     def test_answer_many_on_top_k_session(self, figure1_table, query_q2):
         service = SessionService()
         sid = service.create(figure1_table, mode="top-k", k=3).session_id
@@ -189,6 +228,44 @@ class TestSaveResume:
         fresh = SessionService()
         with pytest.raises(SessionServiceError, match="no table registered"):
             fresh.resume(document)
+
+    def test_lenient_session_resumes_lenient(self, two_column_table):
+        # tuple 0 = (1,1) is certain-positive on the tiny table; labeling
+        # tuple 2 = (2,2) "-" after a "+" on tuple 0 contradicts.
+        service = SessionService()
+        descriptor = service.create(two_column_table, mode="manual", strict=False)
+        sid = descriptor.session_id
+        service.answer(sid, "+", tuple_id=0)
+        saved_before = service.save(sid)
+        contradiction = service.answer(sid, "-", tuple_id=2)  # tolerated
+        saved_after = service.save(sid)
+
+        fresh = SessionService()
+        resumed = fresh.resume(saved_before, table=two_column_table)
+        assert resumed.strict is False
+        # The resumed session accepts the contradiction exactly as the
+        # original did — identical event, no InconsistentLabelError.
+        assert fresh.answer(resumed.session_id, "-", tuple_id=2) == contradiction
+
+        # A document already containing the contradiction replays cleanly.
+        replayed = fresh.resume(saved_after, table=two_column_table)
+        assert replayed.strict is False
+        assert replayed.num_labels == 2
+
+    def test_strict_session_still_rejects_contradictions_after_resume(
+        self, two_column_table
+    ):
+        from repro.exceptions import InconsistentLabelError
+
+        service = SessionService()
+        sid = service.create(two_column_table, mode="manual").session_id
+        service.answer(sid, "+", tuple_id=0)
+        document = service.save(sid)
+        assert document["strict"] is True
+        resumed = service.resume(document, table=two_column_table)
+        assert resumed.strict is True
+        with pytest.raises(InconsistentLabelError):
+            service.answer(resumed.session_id, "-", tuple_id=2)
 
 
 class TestConcurrency:

@@ -142,17 +142,26 @@ class TestIntegrityCheck:
         assert len(state.examples) == 2
 
     def test_v1_documents_still_load_and_are_verified(self, figure1_table, tmp_path):
-        # A v1 document: same fields, no "session" object, version 1.
+        # A v1 document: same fields, no "session" object or "strict" flag,
+        # version 1.
         payload = self._saved_payload(figure1_table)
         payload["version"] = 1
         payload.pop("session", None)
+        payload.pop("strict", None)
         path = tmp_path / "session.json"
         path.write_text(json.dumps(payload), encoding="utf-8")
         state = load_session(path, figure1_table)
         assert len(state.examples) == 2
+        # Pre-v3 documents read as strict — the historical behaviour.
+        assert state.strict is True
         from repro.sessions.persistence import session_options
 
-        assert session_options(payload) == {"mode": "guided", "strategy": None, "k": None}
+        assert session_options(payload) == {
+            "mode": "guided",
+            "strategy": None,
+            "k": None,
+            "strict": True,
+        }
 
     def test_malformed_session_metadata_rejected(self, figure1_table):
         from repro.sessions.persistence import session_options
@@ -166,15 +175,54 @@ class TestIntegrityCheck:
         with pytest.raises(SessionPersistenceError, match="must be an object"):
             session_options({"session": ["guided"]})
 
-    def test_v2_documents_record_the_session_kind(self, figure1_table, tmp_path):
-        state = InferenceState(figure1_table)
+    def test_v3_documents_record_the_session_kind_and_strictness(
+        self, figure1_table, tmp_path
+    ):
+        state = InferenceState(figure1_table, strict=False)
         path = tmp_path / "session.json"
         save_session(state, path, mode="top-k", strategy=None, k=3)
         from repro.sessions.persistence import read_session_document, session_options
 
         document = read_session_document(path)
-        assert document["version"] == 2
-        assert session_options(document) == {"mode": "top-k", "strategy": None, "k": 3}
+        assert document["version"] == 3
+        assert document["strict"] is False
+        assert session_options(document) == {
+            "mode": "top-k",
+            "strategy": None,
+            "k": 3,
+            "strict": False,
+        }
+
+    def test_v2_documents_still_load_as_strict(self, figure1_table, tmp_path):
+        # A v2 document: session metadata but no "strict" flag, version 2.
+        state = InferenceState(figure1_table)
+        payload = serialize_state(state, mode="guided", strategy="lookahead-entropy")
+        payload["version"] = 2
+        payload.pop("strict", None)
+        path = tmp_path / "session.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        restored = load_session(path, figure1_table)
+        assert restored.strict is True
+        from repro.sessions.persistence import session_options
+
+        assert session_options(payload)["strict"] is True
+        assert session_options(payload)["strategy"] == "lookahead-entropy"
+
+    def test_malformed_strict_flag_rejected(self, figure1_table):
+        from repro.sessions.persistence import document_strict
+
+        with pytest.raises(SessionPersistenceError, match="strict"):
+            document_strict({"strict": "yes"})
+
+    def test_lenient_state_roundtrips_lenient(self, figure1_table, tmp_path):
+        state = InferenceState(figure1_table, strict=False)
+        state.add_label(tid(3), Label.POSITIVE)
+        path = tmp_path / "session.json"
+        save_session(state, path)
+        restored = load_session(path, flights_hotels.figure1_table())
+        assert restored.strict is False
+        # An explicit override still wins.
+        assert load_session(path, flights_hotels.figure1_table(), strict=True).strict is True
 
 
 class TestResume:
