@@ -1,25 +1,37 @@
-"""Benchmark: the incremental propagation engine vs the seed's rebuild loop.
+"""Benchmark: the incremental propagation engine vs its two predecessors.
 
-The seed implementation recomputed everything per interaction: ``add_label``
-rebuilt the :class:`ConsistentQuerySpace` from the full example set and ran
-``classify_all`` over the whole table twice, and ``prune_counts`` re-derived
-the informative-type list independently for every candidate tuple.  This
-benchmark keeps a faithful copy of that implementation (``_SeedState`` and
-the seed-style strategy drivers below) and measures it against the current
-incremental engine (delta space updates, :class:`TypeStatusCache`,
-``prune_counts_all``) on the scalability workload.
+Two baselines are kept inline, faithfully, as the implementations under
+measurement:
 
-It also checks *observational equivalence*: on every benchmark scenario both
-engines must ask about the same tuples in the same order, receive the same
-labels, and infer the same query.
+* ``_SeedState`` — the seed implementation, which recomputed everything per
+  interaction: ``add_label`` rebuilt the :class:`ConsistentQuerySpace` from
+  the full example set and ran ``classify_all`` over the whole table twice,
+  and ``prune_counts`` re-derived the informative-type list independently for
+  every candidate tuple.
+* ``_DictState`` — the pre-kernel *incremental* engine: delta space updates
+  and a per-type status cache, but with the cache held in Python dicts, the
+  prune counts computed by a scalar loop per distinct candidate type, and the
+  lookahead driver iterating every informative tuple id per step.
+
+The current engine keeps the type state in flat arrays
+(:mod:`repro.core.kernels`) and scores all candidates in one batched kernel
+call per step.  The benchmark measures both gaps — seed → incremental at the
+interactive scale (45² candidates, ≥5×) and dict → kernels at the
+setup scale (320² ≈ 10⁵ candidates, ≥10×) — and checks *observational
+equivalence*: on every scenario all engines (the current one on every
+available kernel backend) must ask about the same tuples in the same order,
+receive the same labels, and infer the same query.
 
 Run standalone::
 
-    PYTHONPATH=src python benchmarks/bench_incremental_engine.py           # full: asserts >=5x
+    PYTHONPATH=src python benchmarks/bench_incremental_engine.py           # full: asserts >=5x and >=10x
     PYTHONPATH=src python benchmarks/bench_incremental_engine.py --quick   # CI smoke
 
-Exit status is non-zero when trace equivalence fails, or (in full mode) when
-the ``lookahead-entropy`` end-to-end speedup falls below the 5x target.
+Full runs append their measurements to ``benchmarks/results/BENCH_incremental_engine.json``
+(keyed by git commit + config hash; see :mod:`repro.experiments.trajectory`),
+building the repository's performance trajectory.  Exit status is non-zero
+when trace equivalence fails, or (in full mode) when either speedup gate
+falls below its target.
 """
 
 from __future__ import annotations
@@ -28,11 +40,14 @@ import argparse
 import math
 import sys
 import time
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro import GoalQueryOracle, JoinInferenceEngine
+from repro.core.atoms import is_subset, popcount
 from repro.core.examples import Label
 from repro.core.informativeness import classify_all, classify_tuple
+from repro.core.kernels import available_backends, use_backend
 from repro.core.propagation import diff_statuses
 from repro.core.space import ConsistentQuerySpace
 from repro.core.state import InferenceState
@@ -47,6 +62,7 @@ from repro.core.strategies.registry import create_strategy
 from repro.datasets.workloads import figure1_workload
 from repro.exceptions import InconsistentLabelError
 from repro.experiments.scalability import scalability_workloads
+from repro.experiments.trajectory import record_benchmark
 
 
 # --------------------------------------------------------------------------- #
@@ -168,15 +184,46 @@ class _SeedScoredStrategy(Strategy):
 
 
 class _SeedKStepStrategy(KStepLookaheadStrategy):
-    """The seed's k-step beam: re-scores each beam candidate independently."""
+    """The seed's k-step lookahead, pinned in full.
 
-    def _beam(self, state, candidates):
+    The current implementation is type-level (batched beam scoring, cached
+    informative counts through the recursion); this subclass restores the
+    original per-candidate beam and the per-depth ``informative_ids``
+    re-derivation so the baseline stays the seed's code.
+    """
+
+    def _beam(self, state, candidates=None):
+        if candidates is None:
+            candidates = state.informative_ids()
         scored = sorted(
             candidates,
             key=lambda tid: (min(state.prune_counts(tid)), -tid),
             reverse=True,
         )
         return scored[: self.beam_width]
+
+    def _worst_case_remaining(self, state, tuple_id, depth):
+        worst = 0
+        for label in (Label.POSITIVE, Label.NEGATIVE):
+            outcome = state.simulate_label(tuple_id, label)
+            remaining = outcome.informative_ids()
+            if depth <= 1 or not remaining:
+                value = len(remaining)
+            else:
+                value = min(
+                    self._worst_case_remaining(outcome, next_id, depth - 1)
+                    for next_id in self._beam(outcome, remaining)
+                )
+            worst = max(worst, value)
+        return worst
+
+    def choose(self, state):
+        candidates = self._informative_or_raise(state)
+        beam = self._beam(state, candidates)
+        return min(
+            beam,
+            key=lambda tid: (self._worst_case_remaining(state, tid, self.depth), tid),
+        )
 
 
 class _SeedLargestTypeStrategy(Strategy):
@@ -198,12 +245,54 @@ class _SeedLargestTypeStrategy(Strategy):
         )
 
 
+class _SeedLexicographicStrategy(Strategy):
+    """The seed's lexicographic choice: min over materialised candidate ids."""
+
+    name = "local-lexicographic"
+
+    def choose(self, state):
+        return min(self._informative_or_raise(state))
+
+
+class _SeedMostSpecificStrategy(Strategy):
+    """The seed's most-specific choice: per-candidate popcount key."""
+
+    name = "local-most-specific"
+
+    def choose(self, state):
+        candidates = self._informative_or_raise(state)
+        positive_mask = state.space.positive_mask
+        type_index = state.type_index
+        return max(
+            candidates,
+            key=lambda tid: (popcount(type_index.mask(tid) & positive_mask), -tid),
+        )
+
+
+class _SeedMostGeneralStrategy(Strategy):
+    """The seed's most-general choice: per-candidate popcount key."""
+
+    name = "local-most-general"
+
+    def choose(self, state):
+        candidates = self._informative_or_raise(state)
+        positive_mask = state.space.positive_mask
+        type_index = state.type_index
+        return min(
+            candidates,
+            key=lambda tid: (popcount(type_index.mask(tid) & positive_mask), tid),
+        )
+
+
 _SEED_TEMPLATES = {
     ExpectedPruneStrategy.name: lambda: _SeedScoredStrategy(ExpectedPruneStrategy()),
     MinMaxPruneStrategy.name: lambda: _SeedScoredStrategy(MinMaxPruneStrategy()),
     EntropyStrategy.name: lambda: _SeedScoredStrategy(EntropyStrategy()),
     KStepLookaheadStrategy.name: _SeedKStepStrategy,
     _SeedLargestTypeStrategy.name: _SeedLargestTypeStrategy,
+    _SeedLexicographicStrategy.name: _SeedLexicographicStrategy,
+    _SeedMostSpecificStrategy.name: _SeedMostSpecificStrategy,
+    _SeedMostGeneralStrategy.name: _SeedMostGeneralStrategy,
 }
 
 
@@ -211,21 +300,194 @@ def _seed_strategy(name: str, seed: int = 0) -> Strategy:
     factory = _SEED_TEMPLATES.get(name)
     if factory is not None:
         return factory()
-    # Strategies without prune-count machinery share their code with the seed;
-    # running them over a _SeedState reproduces the seed behavior exactly.
+    # Strategies without choice machinery of their own (random) share their
+    # code with the seed; running them over a _SeedState reproduces the seed
+    # behavior exactly.
     return create_strategy(name, seed=seed)
+
+
+# --------------------------------------------------------------------------- #
+# The pre-kernel incremental engine: dict status cache, scalar prune counts
+# --------------------------------------------------------------------------- #
+class _DictTypeStatusCache:
+    """The pre-kernel ``TypeStatusCache``: plain dicts, O(#types) copies."""
+
+    def __init__(self, space, examples):
+        type_index = space.type_index
+        self._certain = {
+            mask: space.certain_label_for(mask) for mask in type_index.distinct_masks
+        }
+        self._unlabeled = dict(type_index.type_sizes())
+        for tuple_id in examples.labeled_ids:
+            self._unlabeled[type_index.mask(tuple_id)] -= 1
+
+    def certain_label_for(self, type_mask):
+        return self._certain[type_mask]
+
+    def unlabeled_count(self, type_mask):
+        return self._unlabeled[type_mask]
+
+    def informative_types(self):
+        for mask, certain in self._certain.items():
+            if certain is None and self._unlabeled[mask]:
+                yield mask, self._unlabeled[mask]
+
+    def informative_count(self):
+        return sum(count for _, count in self.informative_types())
+
+    def has_informative(self):
+        return any(True for _ in self.informative_types())
+
+    def apply_label(self, space, tuple_id, newly_labeled, consistent=True):
+        if newly_labeled:
+            self._unlabeled[space.type_index.mask(tuple_id)] -= 1
+        flipped_positive, flipped_negative = [], []
+        if consistent:
+            stale = [mask for mask, certain in self._certain.items() if certain is None]
+        else:
+            stale = list(self._certain)
+        for mask in stale:
+            was = self._certain[mask]
+            now = space.certain_label_for(mask)
+            if was is not now:
+                self._certain[mask] = now
+                if was is None and now is True:
+                    flipped_positive.append(mask)
+                elif was is None and now is False:
+                    flipped_negative.append(mask)
+        return flipped_positive, flipped_negative
+
+    def copy(self):
+        clone = _DictTypeStatusCache.__new__(_DictTypeStatusCache)
+        clone._certain = dict(self._certain)
+        clone._unlabeled = dict(self._unlabeled)
+        return clone
+
+
+class _DictState(InferenceState):
+    """The pre-kernel incremental state: delta updates over the dict cache.
+
+    ``add_label``/``status``/``copy`` are inherited — they already ran against
+    the cache interface before the kernels landed, and the dict cache keeps
+    that interface.  Only the construction and the scalar prune-count path
+    are pinned here.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._cache = _DictTypeStatusCache(self.space, self.examples)
+
+    def prune_counts(self, tuple_id):
+        snapshot = self.informative_type_snapshot()
+        restricted = self.type_index.mask(tuple_id) & self.space.positive_mask
+        return self._prune_counts_for_restricted_type(restricted, snapshot)
+
+    def prune_counts_all(self, tuple_ids=None):
+        candidates = list(tuple_ids) if tuple_ids is not None else self.informative_ids()
+        snapshot = self.informative_type_snapshot()
+        positive_mask = self.space.positive_mask
+        by_restricted_type = {}
+        counts = {}
+        for tuple_id in candidates:
+            restricted = self.type_index.mask(tuple_id) & positive_mask
+            if restricted not in by_restricted_type:
+                by_restricted_type[restricted] = self._prune_counts_for_restricted_type(
+                    restricted, snapshot
+                )
+            counts[tuple_id] = by_restricted_type[restricted]
+        return counts
+
+    def _prune_counts_for_restricted_type(self, restricted_candidate, snapshot):
+        positive_mask = self.space.positive_mask
+        negative_masks = self.space.negative_masks
+        new_positive_mask = positive_mask & restricted_candidate
+        resolved_if_positive = 0
+        resolved_if_negative = 0
+        for mask, count in snapshot:
+            restricted = new_positive_mask & mask
+            certain_positive = is_subset(new_positive_mask, mask)
+            certain_negative = any(is_subset(restricted, neg) for neg in negative_masks)
+            if certain_positive or certain_negative:
+                resolved_if_positive += count
+            if is_subset(positive_mask & mask, restricted_candidate):
+                resolved_if_negative += count
+        return resolved_if_positive, resolved_if_negative
+
+
+class _DictScoredStrategy(Strategy):
+    """The pre-kernel lookahead driver: every informative tuple id, scored."""
+
+    def __init__(self, template) -> None:
+        self._template = template
+        self.name = template.name
+
+    def choose(self, state):
+        candidates = self._informative_or_raise(state)
+        counts = state.prune_counts_all(candidates)
+        best_id = None
+        best_key = (-math.inf, 0)
+        for tuple_id in candidates:
+            resolved_plus, resolved_minus = counts[tuple_id]
+            key = (self._template.score(resolved_plus, resolved_minus), -tuple_id)
+            if key > best_key:
+                best_key = key
+                best_id = tuple_id
+        assert best_id is not None
+        return best_id
+
+
+class _DictKStepStrategy(KStepLookaheadStrategy):
+    """The pre-kernel k-step lookahead: per-candidate beam over shared counts."""
+
+    def _beam(self, state, candidates=None):
+        if candidates is None:
+            candidates = state.informative_ids()
+        counts = state.prune_counts_all(candidates)
+        scored = sorted(
+            candidates,
+            key=lambda tid: (min(counts[tid]), -tid),
+            reverse=True,
+        )
+        return scored[: self.beam_width]
+
+    def _worst_case_remaining(self, state, tuple_id, depth):
+        worst = 0
+        for label in (Label.POSITIVE, Label.NEGATIVE):
+            outcome = state.simulate_label(tuple_id, label)
+            remaining = outcome.informative_ids()
+            if depth <= 1 or not remaining:
+                value = len(remaining)
+            else:
+                value = min(
+                    self._worst_case_remaining(outcome, next_id, depth - 1)
+                    for next_id in self._beam(outcome, remaining)
+                )
+            worst = max(worst, value)
+        return worst
+
+    def choose(self, state):
+        candidates = self._informative_or_raise(state)
+        beam = self._beam(state, candidates)
+        return min(
+            beam,
+            key=lambda tid: (self._worst_case_remaining(state, tid, self.depth), tid),
+        )
+
+
+_DICT_TEMPLATES = {
+    ExpectedPruneStrategy.name: lambda: _DictScoredStrategy(ExpectedPruneStrategy()),
+    MinMaxPruneStrategy.name: lambda: _DictScoredStrategy(MinMaxPruneStrategy()),
+    EntropyStrategy.name: lambda: _DictScoredStrategy(EntropyStrategy()),
+    KStepLookaheadStrategy.name: _DictKStepStrategy,
+}
 
 
 # --------------------------------------------------------------------------- #
 # Harness
 # --------------------------------------------------------------------------- #
-def _run(workload, strategy: Strategy, seed_state: bool):
+def _run(workload, strategy: Strategy, state_cls: type = InferenceState):
     engine = JoinInferenceEngine(workload.table, strategy=strategy)
-    initial = (
-        _SeedState(workload.table, universe=engine.universe)
-        if seed_state
-        else InferenceState(workload.table, universe=engine.universe)
-    )
+    initial = state_cls(workload.table, universe=engine.universe)
     oracle = GoalQueryOracle(workload.goal)
     started = time.perf_counter()
     result = engine.run(oracle, initial_state=initial)
@@ -242,7 +504,12 @@ def _trace_signature(result):
 
 
 def check_equivalence(quick: bool) -> list[str]:
-    """Both engines must produce identical traces on every scenario."""
+    """All engines must produce identical traces on every scenario.
+
+    The current engine runs once per available kernel backend (numpy fast
+    path and pure-Python fallback); each run must match the seed engine, and
+    for the strategies the dict engine implements, the dict engine too.
+    """
     sizes = (6, 10) if quick else (10, 20, 30)
     scenarios = [(f"figure1/{q}", figure1_workload(q)) for q in ("q1", "q2")]
     scenarios += [
@@ -261,15 +528,23 @@ def check_equivalence(quick: bool) -> list[str]:
     ]
     if not quick:
         strategies.append("lookahead-kstep")
+    backends = available_backends()
     mismatches = []
     for scenario_name, workload in scenarios:
         for name in strategies:
             if name == "lookahead-kstep" and workload.num_candidates > 150:
                 continue  # the seed k-step is too slow beyond toy sizes
-            incremental, _ = _run(workload, create_strategy(name, seed=7), seed_state=False)
-            legacy, _ = _run(workload, _seed_strategy(name, seed=7), seed_state=True)
-            if _trace_signature(incremental) != _trace_signature(legacy):
-                mismatches.append(f"{scenario_name} × {name}")
+            legacy, _ = _run(workload, _seed_strategy(name, seed=7), _SeedState)
+            reference = _trace_signature(legacy)
+            for backend in backends:
+                with use_backend(backend):
+                    incremental, _ = _run(workload, create_strategy(name, seed=7))
+                if _trace_signature(incremental) != reference:
+                    mismatches.append(f"{scenario_name} × {name} [{backend}]")
+            if name in _DICT_TEMPLATES:
+                dict_result, _ = _run(workload, _DICT_TEMPLATES[name](), _DictState)
+                if _trace_signature(dict_result) != reference:
+                    mismatches.append(f"{scenario_name} × {name} [dict]")
     return mismatches
 
 
@@ -286,7 +561,9 @@ def measure_speedup(quick: bool, repeats: int) -> dict:
                 if seed_state
                 else create_strategy("lookahead-entropy")
             )
-            result, wall = _run(workload, strategy, seed_state=seed_state)
+            result, wall = _run(
+                workload, strategy, _SeedState if seed_state else InferenceState
+            )
             assert result.matches_goal(workload.goal)
             walls.append(wall)
             engine_seconds.append(result.trace.total_seconds)
@@ -305,15 +582,67 @@ def measure_speedup(quick: bool, repeats: int) -> dict:
     }
 
 
+def measure_kernel_speedup(quick: bool, repeats: int) -> dict:
+    """Lookahead-entropy at the 10⁵-candidate scale: dict engine vs kernels.
+
+    The dict engine runs under the pure-Python backend (it predates the
+    kernels, so nothing in its hot loop may touch numpy); the kernel engine
+    runs on the default backend.  Both must produce byte-identical traces —
+    the speedup only counts if the answers are the same.
+    """
+    size = 60 if quick else 320
+    workload = scalability_workloads(
+        tuples_per_relation=(size,), goal_atoms=2, seed=0, max_candidate_rows=None
+    )[0]
+
+    def best_of(dict_state: bool):
+        walls, engine_seconds, signature = [], [], None
+        for _ in range(repeats):
+            if dict_state:
+                with use_backend("python"):
+                    result, wall = _run(
+                        workload, _DictScoredStrategy(EntropyStrategy()), _DictState
+                    )
+            else:
+                result, wall = _run(workload, create_strategy("lookahead-entropy"))
+            assert result.matches_goal(workload.goal)
+            signature = _trace_signature(result)
+            walls.append(wall)
+            engine_seconds.append(result.trace.total_seconds)
+        return min(walls), min(engine_seconds), signature
+
+    dict_wall, dict_engine, dict_signature = best_of(dict_state=True)
+    kernel_wall, kernel_engine, kernel_signature = best_of(dict_state=False)
+    assert dict_signature == kernel_signature, (
+        "dict and kernel engines diverged on the kernel-speedup workload"
+    )
+    return {
+        "candidates": workload.num_candidates,
+        "dict_wall": dict_wall,
+        "kernel_wall": kernel_wall,
+        "wall_speedup": dict_wall / kernel_wall if kernel_wall else float("inf"),
+        "dict_engine": dict_engine,
+        "kernel_engine": kernel_engine,
+        "engine_speedup": dict_engine / kernel_engine if kernel_engine else float("inf"),
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--quick", action="store_true", help="CI smoke mode: small sizes, no 5x assertion"
+        "--quick", action="store_true", help="CI smoke mode: small sizes, no speedup assertions"
     )
     parser.add_argument("--repeats", type=int, default=3, help="timing repetitions (best-of)")
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip writing benchmarks/results/BENCH_incremental_engine.json",
+    )
     args = parser.parse_args(argv)
+    repeats = max(1, args.repeats)
 
     print("== trace equivalence: incremental engine vs seed implementation ==")
+    print(f"kernel backends under test: {', '.join(available_backends())}")
     mismatches = check_equivalence(args.quick)
     if mismatches:
         print(f"FAIL: {len(mismatches)} diverging scenario(s):")
@@ -322,8 +651,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 1
     print("ok: identical interaction traces on all scenarios")
 
-    print("\n== end-to-end speedup (lookahead-entropy, scalability workload) ==")
-    stats = measure_speedup(args.quick, max(1, args.repeats))
+    print("\n== end-to-end speedup (lookahead-entropy, seed vs incremental) ==")
+    stats = measure_speedup(args.quick, repeats)
     print(f"candidate tuples:        {stats['candidates']}")
     print(f"seed wall time:          {stats['seed_wall']:.4f}s")
     print(f"incremental wall time:   {stats['incremental_wall']:.4f}s")
@@ -332,9 +661,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"incremental engine time: {stats['incremental_engine']:.4f}s")
     print(f"engine-time speedup:     {stats['engine_speedup']:.1f}x")
 
+    print("\n== kernel speedup (lookahead-entropy, dict engine vs kernels) ==")
+    kernel_stats = measure_kernel_speedup(args.quick, repeats)
+    print(f"candidate tuples:        {kernel_stats['candidates']}")
+    print(f"dict-engine wall time:   {kernel_stats['dict_wall']:.4f}s")
+    print(f"kernel wall time:        {kernel_stats['kernel_wall']:.4f}s")
+    print(f"wall-clock speedup:      {kernel_stats['wall_speedup']:.1f}x")
+    print(f"dict engine time:        {kernel_stats['dict_engine']:.4f}s")
+    print(f"kernel engine time:      {kernel_stats['kernel_engine']:.4f}s")
+    print(f"engine-time speedup:     {kernel_stats['engine_speedup']:.1f}x")
+
+    failed = False
     if not args.quick and stats["wall_speedup"] < 5.0:
-        print("FAIL: wall-clock speedup below the 5x acceptance target")
+        print("FAIL: seed→incremental wall-clock speedup below the 5x acceptance target")
+        failed = True
+    if not args.quick and kernel_stats["wall_speedup"] < 10.0:
+        print("FAIL: dict→kernel wall-clock speedup below the 10x acceptance target")
+        failed = True
+    if failed:
         return 1
+
+    if not args.quick and not args.no_record:
+        path = record_benchmark(
+            "incremental_engine",
+            config={
+                "quick": args.quick,
+                "repeats": repeats,
+                "backends": available_backends(),
+            },
+            results={"seed_gate": stats, "kernel_gate": kernel_stats},
+            directory=Path(__file__).resolve().parent / "results",
+        )
+        print(f"\nrecorded trajectory: {path}")
     return 0
 
 

@@ -20,6 +20,8 @@ Run standalone::
     PYTHONPATH=src python benchmarks/bench_setup_pipeline.py           # full: asserts >=10x
     PYTHONPATH=src python benchmarks/bench_setup_pipeline.py --quick   # CI smoke
 
+Full runs append their measurements to ``benchmarks/results/BENCH_setup_pipeline.json``
+(keyed by git commit + config hash; see :mod:`repro.experiments.trajectory`).
 Exit status is non-zero when equivalence fails, or (in full mode) when the
 construction speedup on the largest workload falls below the 10x target or no
 memory reduction is measured.
@@ -33,6 +35,7 @@ import random
 import sys
 import time
 import tracemalloc
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro import GoalQueryOracle, JoinInferenceEngine
@@ -43,6 +46,7 @@ from repro.datasets.flights_hotels import figure1_table
 from repro.datasets.synthetic import SyntheticConfig, generate_instance
 from repro.datasets.workloads import figure1_workload
 from repro.experiments.scalability import scalability_workloads, setup_scale_workloads
+from repro.experiments.trajectory import record_benchmark
 from repro.relational.candidate import CandidateAttribute, CandidateTable
 from repro.relational.instance import DatabaseInstance
 
@@ -314,6 +318,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--quick", action="store_true", help="CI smoke mode: small sizes, no 10x assertion"
     )
     parser.add_argument("--repeats", type=int, default=3, help="timing repetitions (best-of)")
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip writing benchmarks/results/BENCH_setup_pipeline.json",
+    )
     args = parser.parse_args(argv)
 
     print("== construction equivalence: columnar/factorized vs seed row-at-a-time ==")
@@ -367,6 +376,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if largest["memory_reduction"] < 2.0:
             print("FAIL: no measured memory reduction on the largest workload")
             return 1
+
+    if not args.quick and not args.no_record:
+        path = record_benchmark(
+            "setup_pipeline",
+            config={"quick": args.quick, "repeats": max(1, args.repeats)},
+            results={"sizes": rows},
+            directory=Path(__file__).resolve().parent / "results",
+        )
+        print(f"\nrecorded trajectory: {path}")
     return 0
 
 

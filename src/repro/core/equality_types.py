@@ -32,6 +32,11 @@ import itertools
 from types import MappingProxyType
 from typing import Iterator, Mapping, Optional
 
+try:  # Optional: ids_of_mask merges per-combination id vectors with numpy.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
 from ..relational.columnar import (
     FactorGrouping,
     UnencodableValue,
@@ -39,6 +44,7 @@ from ..relational.columnar import (
     combo_equalities,
 )
 from .atoms import AtomUniverse, popcount
+from .kernels import numpy_enabled as _numpy_ids_on
 
 
 class _FactorizedTypes:
@@ -72,11 +78,44 @@ class _FactorizedTypes:
 
     def ids_of_mask(self, mask: int) -> tuple[int, ...]:
         """All tuple ids of one equality type, ascending."""
+        combos = self.combos_by_mask.get(mask, ())
+        if not combos:
+            return ()
+        grouping = self.grouping
+        if _numpy_ids_on() and grouping.factorization.num_rows < (1 << 62):
+            arrays = [grouping.combo_id_array(combo) for combo in combos]
+            if len(arrays) == 1:
+                merged = arrays[0]  # each combination's ids are already ascending
+            else:
+                merged = _np.sort(_np.concatenate(arrays))
+            return tuple(merged.tolist())
         ids: list[int] = []
-        for combo in self.combos_by_mask.get(mask, ()):
-            ids.extend(self.grouping.ids_of_combo(combo))
+        for combo in combos:
+            ids.extend(grouping.ids_of_combo(combo))
         ids.sort()
         return tuple(ids)
+
+    def min_id_of_mask(self, mask: int) -> Optional[int]:
+        """The smallest tuple id of one equality type, without materialising.
+
+        Each combination's smallest id uses the first (smallest) member of
+        every factor group; the type's minimum is the smallest across its
+        combinations — O(#combinations × #factors) instead of O(type size).
+        """
+        combos = self.combos_by_mask.get(mask)
+        if not combos:
+            return None
+        members = self.grouping.members
+        strides = self.grouping.factorization.strides
+        best: Optional[int] = None
+        for combo in combos:
+            tuple_id = sum(
+                members[factor][gid][0] * strides[factor]
+                for factor, gid in enumerate(combo)
+            )
+            if best is None or tuple_id < best:
+                best = tuple_id
+        return best
 
 
 class EqualityTypeIndex:
@@ -195,6 +234,20 @@ class EqualityTypeIndex:
             ids = self._factorized.ids_of_mask(mask)
             self._ids_by_mask[mask] = ids
         return ids
+
+    def min_tuple_id(self, mask: int) -> Optional[int]:
+        """The smallest tuple id of one equality type, or ``None``.
+
+        On factorized tables this avoids materialising (and caching) the
+        type's full id list — the strategies' representative-picking helper
+        only needs the minimum.
+        """
+        ids = self._ids_by_mask.get(mask)
+        if ids is not None:
+            return ids[0] if ids else None
+        if self._factorized is None:
+            return None
+        return self._factorized.min_id_of_mask(mask)
 
     def type_sizes(self) -> Mapping[int, int]:
         """How many tuples share each distinct equality type (cached view)."""

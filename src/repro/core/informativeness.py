@@ -35,6 +35,8 @@ import enum
 from typing import Iterable, Iterator, Optional
 
 from .examples import ExampleSet, Label
+from .equality_types import EqualityTypeIndex
+from .kernels import UNKNOWN, TypeTable, certain_codes, make_type_table
 from .space import ConsistentQuerySpace
 
 
@@ -145,49 +147,53 @@ class TypeStatusCache:
     * the number of *unlabeled* tuples of that type.
 
     A type is *informative* exactly when its certain label is ``None`` and it
-    still has unlabeled tuples.  :meth:`apply_label` refreshes the cache after
-    one label in O(#informative types × |N|): certain types are never
-    re-evaluated while the example set stays consistent (see the module
-    docstring for why that is sound), and the unlabeled counts change by at
-    most one.  :meth:`copy` is O(#types), which makes cloning an inference
-    state for lookahead simulation cheap.
+    still has unlabeled tuples.  The state lives in an array-backed
+    :class:`~repro.core.kernels.TypeTable` (numpy fast path, pure-Python
+    fallback): :meth:`apply_label` refreshes all stale rows in one vectorized
+    pass — certain types are never re-evaluated while the example set stays
+    consistent (see the module docstring for why that is sound) — and
+    :meth:`copy` is an O(1) copy-on-write of the column arrays, which makes
+    cloning an inference state for lookahead simulation cheap.
     """
 
     def __init__(self, space: ConsistentQuerySpace, examples: ExampleSet) -> None:
         type_index = space.type_index
-        self._certain: dict[int, Optional[bool]] = {
-            mask: space.certain_label_for(mask) for mask in type_index.distinct_masks
-        }
+        masks = type_index.distinct_masks
+        sizes = type_index.type_sizes()
         # Type-level: start from the cached type sizes and subtract the
         # (few) labeled tuples, instead of enumerating every tuple per type.
-        self._unlabeled: dict[int, int] = dict(type_index.type_sizes())
+        self._table = make_type_table(masks, [sizes[mask] for mask in masks])
+        self._table.refresh_certain(space.positive_mask, space.negative_masks)
         for tuple_id in examples.labeled_ids:
-            self._unlabeled[type_index.mask(tuple_id)] -= 1
+            self._table.decrement_unlabeled(type_index.mask(tuple_id))
+
+    @property
+    def kernel_table(self) -> TypeTable:
+        """The underlying array-backed table (introspection/tests)."""
+        return self._table
 
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
     def certain_label_for(self, type_mask: int) -> Optional[bool]:
         """The memoised certain label of a type (``None`` = informative)."""
-        return self._certain[type_mask]
+        return self._table.certain_of(type_mask)
 
     def unlabeled_count(self, type_mask: int) -> int:
         """Number of unlabeled tuples of the type."""
-        return self._unlabeled[type_mask]
+        return self._table.unlabeled_of(type_mask)
 
     def informative_types(self) -> Iterator[tuple[int, int]]:
         """``(type_mask, unlabeled_count)`` for every informative type."""
-        for mask, certain in self._certain.items():
-            if certain is None and self._unlabeled[mask]:
-                yield mask, self._unlabeled[mask]
+        return iter(self._table.informative_items())
 
     def informative_count(self) -> int:
         """Number of informative tuples (unlabeled tuples of informative types)."""
-        return sum(count for _, count in self.informative_types())
+        return self._table.informative_count()
 
     def has_informative(self) -> bool:
         """Whether at least one informative tuple remains (the loop's guard)."""
-        return any(True for _ in self.informative_types())
+        return self._table.has_informative()
 
     @classmethod
     def scan_has_informative(
@@ -196,9 +202,10 @@ class TypeStatusCache:
         """One-shot loop-guard check, stopping at the first informative type.
 
         For callers without a long-lived cache: answers the same question as
-        :meth:`has_informative` without materialising per-type state, so the
-        cost is bounded by the types scanned before the first informative one
-        (plus one type lookup per labeled tuple).
+        :meth:`has_informative` without materialising per-type state.  The
+        per-type certain labels come from the batch
+        :func:`~repro.core.kernels.certain_codes` kernel; its pure-Python
+        path is lazy, so the scan still stops at the first informative type.
         """
         type_index = space.type_index
         labeled_per_type: dict[int, int] = {}
@@ -206,10 +213,10 @@ class TypeStatusCache:
             mask = type_index.mask(tuple_id)
             labeled_per_type[mask] = labeled_per_type.get(mask, 0) + 1
         sizes = type_index.type_sizes()
-        for mask in type_index.distinct_masks:
-            if space.certain_label_for(mask) is not None:
-                continue
-            if sizes[mask] > labeled_per_type.get(mask, 0):
+        masks = type_index.distinct_masks
+        codes = certain_codes(masks, space.positive_mask, space.negative_masks)
+        for mask, code in zip(masks, codes):
+            if code == UNKNOWN and sizes[mask] > labeled_per_type.get(mask, 0):
                 return True
         return False
 
@@ -228,38 +235,48 @@ class TypeStatusCache:
         Returns ``(types_now_certain_positive, types_now_certain_negative)``
         — the types that were informative before the label and are certain
         after it, which is exactly what a
-        :class:`~repro.core.propagation.PropagationResult` needs.
+        :class:`~repro.core.propagation.PropagationResult` needs.  The
+        refresh is one vectorized pass over the stale rows; when the example
+        set has become inconsistent the monotonicity invariant no longer
+        holds and every row is re-evaluated.
         """
         if newly_labeled:
-            self._unlabeled[space.type_index.mask(tuple_id)] -= 1
-        flipped_positive: list[int] = []
-        flipped_negative: list[int] = []
-        if consistent:
-            stale = [mask for mask, certain in self._certain.items() if certain is None]
-        else:
-            # The monotonicity invariant needs consistency; re-check everything.
-            stale = list(self._certain)
-        for mask in stale:
-            was = self._certain[mask]
-            now = space.certain_label_for(mask)
-            if was is not now:
-                self._certain[mask] = now
-                if was is None and now is True:
-                    flipped_positive.append(mask)
-                elif was is None and now is False:
-                    flipped_negative.append(mask)
-        return flipped_positive, flipped_negative
+            self._table.decrement_unlabeled(space.type_index.mask(tuple_id))
+        return self._table.refresh_certain(
+            space.positive_mask, space.negative_masks, only_unknown=consistent
+        )
 
     def copy(self) -> "TypeStatusCache":
-        """An independent copy (O(#types), no space queries)."""
+        """An independent copy (O(1) copy-on-write of the column arrays)."""
         clone = TypeStatusCache.__new__(TypeStatusCache)
-        clone._certain = dict(self._certain)
-        clone._unlabeled = dict(self._unlabeled)
+        clone._table = self._table.copy()
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        informative = sum(1 for _ in self.informative_types())
-        return f"TypeStatusCache(types={len(self._certain)}, informative_types={informative})"
+        informative = len(self._table.informative_items())
+        return f"TypeStatusCache(types={len(self._table)}, informative_types={informative})"
+
+
+def unlabeled_ids_of_types(
+    type_index: EqualityTypeIndex,
+    type_masks: Iterable[int],
+    labeled_ids: frozenset[int],
+) -> list[int]:
+    """The unlabeled tuple ids of the given equality types, ascending.
+
+    The shared materialisation step of :meth:`InferenceState.informative_ids
+    <repro.core.state.InferenceState.informative_ids>` and
+    :func:`~repro.core.propagation.delta_result`: per-type id lists come from
+    the (possibly factorized, numpy-accelerated) index and are merged here.
+    """
+    ids = [
+        tuple_id
+        for mask in type_masks
+        for tuple_id in type_index.tuples_with_mask(mask)
+        if tuple_id not in labeled_ids
+    ]
+    ids.sort()
+    return ids
 
 
 def informative_ids(space: ConsistentQuerySpace, examples: ExampleSet) -> list[int]:

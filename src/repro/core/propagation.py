@@ -22,7 +22,7 @@ from typing import Iterable
 
 from .equality_types import EqualityTypeIndex
 from .examples import Label
-from .informativeness import TupleStatus
+from .informativeness import TupleStatus, unlabeled_ids_of_types
 
 
 @dataclass(frozen=True)
@@ -125,19 +125,13 @@ def delta_result(
     the label and became certain after it (as reported by
     :meth:`~repro.core.informativeness.TypeStatusCache.apply_label`); the
     grayed-out tuples are exactly the unlabeled tuples of those types,
-    excluding the tuple that was just labeled.  ``labeled_ids`` must be the
-    labeled set *after* the new label.
+    excluding the tuple that was just labeled — materialised through the
+    shared (array-accelerated) :func:`~repro.core.informativeness.unlabeled_ids_of_types`
+    helper.  ``labeled_ids`` must be the labeled set *after* the new label.
     """
 
     def _tuples(type_masks: Iterable[int]) -> tuple[int, ...]:
-        return tuple(
-            sorted(
-                tid
-                for mask in type_masks
-                for tid in type_index.tuples_with_mask(mask)
-                if tid not in labeled_ids
-            )
-        )
+        return tuple(unlabeled_ids_of_types(type_index, type_masks, labeled_ids))
 
     return PropagationResult(
         tuple_id=labeled_tuple_id,

@@ -39,10 +39,11 @@ from typing import Iterable, Optional, Union
 
 from ..exceptions import InconsistentLabelError
 from ..relational.candidate import CandidateTable
-from .atoms import AtomScope, AtomUniverse, is_subset
+from .atoms import AtomScope, AtomUniverse
 from .equality_types import EqualityTypeIndex
 from .examples import ExampleSet, Label
-from .informativeness import TupleStatus, TypeStatusCache
+from .informativeness import TupleStatus, TypeStatusCache, unlabeled_ids_of_types
+from .kernels import prune_counts_batch
 from .propagation import PropagationResult, delta_result
 from .queries import JoinQuery
 from .space import ConsistentQuerySpace
@@ -144,28 +145,23 @@ class InferenceState:
 
     def informative_ids(self) -> list[int]:
         """Ids of the tuples still worth asking about, in id order."""
-        labeled = self.examples.labeled_ids
-        ids = [
-            tuple_id
-            for mask, _ in self._cache.informative_types()
-            for tuple_id in self.type_index.tuples_with_mask(mask)
-            if tuple_id not in labeled
-        ]
-        ids.sort()
-        return ids
+        return unlabeled_ids_of_types(
+            self.type_index,
+            (mask for mask, _ in self._cache.informative_types()),
+            self.examples.labeled_ids,
+        )
 
     def certain_ids(self) -> list[int]:
         """Ids of unlabeled tuples whose label is implied (grayed out)."""
-        labeled = self.examples.labeled_ids
-        ids = [
-            tuple_id
-            for mask in self.type_index.distinct_masks
-            if self._cache.certain_label_for(mask) is not None
-            for tuple_id in self.type_index.tuples_with_mask(mask)
-            if tuple_id not in labeled
-        ]
-        ids.sort()
-        return ids
+        return unlabeled_ids_of_types(
+            self.type_index,
+            (
+                mask
+                for mask in self.type_index.distinct_masks
+                if self._cache.certain_label_for(mask) is not None
+            ),
+            self.examples.labeled_ids,
+        )
 
     def labeled_ids(self) -> frozenset[int]:
         """Ids of explicitly labeled tuples."""
@@ -210,6 +206,89 @@ class InferenceState:
         """
         return list(self._cache.informative_types())
 
+    def informative_restricted_types(self) -> list[tuple[int, list[int], int]]:
+        """Informative types grouped by restricted type ``E(t) ∩ M``.
+
+        Returns ``(restricted_mask, full_type_masks, unlabeled_count)`` per
+        distinct restricted type, in first-appearance order of the snapshot.
+        Every lookahead/local quantity of a candidate tuple depends on its
+        type only through the restriction under ``M``, so this grouping is
+        the candidate set the type-level strategies score — typically orders
+        of magnitude smaller than the informative tuple set.
+        """
+        positive_mask = self.space.positive_mask
+        full_types: dict[int, list[int]] = {}
+        totals: dict[int, int] = {}
+        for mask, count in self.informative_type_snapshot():
+            restricted = mask & positive_mask
+            if restricted not in full_types:
+                full_types[restricted] = []
+                totals[restricted] = 0
+            full_types[restricted].append(mask)
+            totals[restricted] += count
+        return [
+            (restricted, masks, totals[restricted])
+            for restricted, masks in full_types.items()
+        ]
+
+    def prune_counts_for_restricted(
+        self, restricted_masks: list[int]
+    ) -> list[tuple[int, int]]:
+        """Prune counts per restricted candidate type, in one kernel call.
+
+        The counts only depend on a candidate through ``E(t) ∩ M``: a
+        positive label shrinks ``M`` to ``M ∩ E(t)``, a negative label adds
+        ``E(t)`` to the negative types, and every subset test happens under
+        ``M``.  All candidates are scored against one shared informative
+        snapshot by :func:`~repro.core.kernels.prune_counts_batch`.
+        """
+        snapshot = self.informative_type_snapshot()
+        return prune_counts_batch(
+            [mask for mask, _ in snapshot],
+            [count for _, count in snapshot],
+            restricted_masks,
+            self.space.positive_mask,
+            self.space.negative_masks,
+        )
+
+    def first_informative_id(self, type_masks: Iterable[int]) -> Optional[int]:
+        """The smallest unlabeled tuple id across the given equality types.
+
+        Uses the index's :meth:`~repro.core.equality_types.EqualityTypeIndex.min_tuple_id`
+        fast path (no per-type id materialisation on factorized tables) and
+        only falls back to scanning a type's id list when its minimum happens
+        to be labeled.
+        """
+        labeled = self.examples.labeled_ids
+        type_index = self.type_index
+        best: Optional[int] = None
+        for mask in type_masks:
+            tuple_id = type_index.min_tuple_id(mask)
+            if tuple_id is not None and tuple_id in labeled:
+                tuple_id = next(
+                    (t for t in type_index.tuples_with_mask(mask) if t not in labeled),
+                    None,
+                )
+            if tuple_id is not None and (best is None or tuple_id < best):
+                best = tuple_id
+        return best
+
+    def first_informative_ids(self, type_masks: Iterable[int], limit: int) -> list[int]:
+        """Up to ``limit`` smallest unlabeled ids across the given types."""
+        labeled = self.examples.labeled_ids
+        collected: list[int] = []
+        for mask in type_masks:
+            taken = 0
+            for tuple_id in self.type_index.tuples_with_mask(mask):
+                if tuple_id in labeled:
+                    continue
+                collected.append(tuple_id)
+                taken += 1
+                if taken >= limit:
+                    break
+        collected.sort()
+        return collected[:limit]
+
     def prune_counts(self, tuple_id: int) -> tuple[int, int]:
         """How many informative tuples each label of ``tuple_id`` would resolve.
 
@@ -222,61 +301,35 @@ class InferenceState:
         Scoring many candidates?  Use :meth:`prune_counts_all`, which shares
         one informative-type snapshot across the whole candidate set.
         """
-        snapshot = self.informative_type_snapshot()
         restricted = self.type_index.mask(tuple_id) & self.space.positive_mask
-        return self._prune_counts_for_restricted_type(restricted, snapshot)
+        return self.prune_counts_for_restricted([restricted])[0]
 
     def prune_counts_all(
         self, tuple_ids: Optional[Iterable[int]] = None
     ) -> dict[int, tuple[int, int]]:
         """:meth:`prune_counts` for every candidate, against one shared snapshot.
 
-        The informative-type snapshot is computed once per call and candidates
-        sharing a restricted equality type ``E(t) ∩ M`` share one score, so
-        scoring a whole candidate set costs O(#distinct candidate types ×
-        #informative types × |N|) instead of recomputing the snapshot per
-        candidate.  ``tuple_ids`` defaults to the informative tuples.
+        Candidates sharing a restricted equality type ``E(t) ∩ M`` share one
+        score and the distinct restricted types are scored in a single
+        batched kernel call, so scoring a whole candidate set costs one
+        O(#distinct candidate types × #informative types × |N|) kernel
+        evaluation plus O(#candidates) bookkeeping.  ``tuple_ids`` defaults
+        to the informative tuples.
         """
         candidates = list(tuple_ids) if tuple_ids is not None else self.informative_ids()
-        snapshot = self.informative_type_snapshot()
         positive_mask = self.space.positive_mask
-        by_restricted_type: dict[int, tuple[int, int]] = {}
-        counts: dict[int, tuple[int, int]] = {}
+        mask_of = self.type_index.mask
+        restricted_of: dict[int, int] = {}
+        distinct: list[int] = []
+        seen: set[int] = set()
         for tuple_id in candidates:
-            restricted = self.type_index.mask(tuple_id) & positive_mask
-            if restricted not in by_restricted_type:
-                by_restricted_type[restricted] = self._prune_counts_for_restricted_type(
-                    restricted, snapshot
-                )
-            counts[tuple_id] = by_restricted_type[restricted]
-        return counts
-
-    def _prune_counts_for_restricted_type(
-        self, restricted_candidate: int, snapshot: list[tuple[int, int]]
-    ) -> tuple[int, int]:
-        """Prune counts of a candidate with restricted type ``E(t) ∩ M``.
-
-        The counts only depend on the candidate through ``E(t) ∩ M``: a
-        positive label shrinks ``M`` to ``M ∩ E(t)``, a negative label adds
-        ``E(t)`` to the negative types, and every subset test below happens
-        under ``M``.
-        """
-        positive_mask = self.space.positive_mask
-        negative_masks = self.space.negative_masks
-        new_positive_mask = positive_mask & restricted_candidate
-        resolved_if_positive = 0
-        resolved_if_negative = 0
-        for mask, count in snapshot:
-            # If labeled positive: M shrinks to M ∩ E(t).
-            restricted = new_positive_mask & mask
-            certain_positive = is_subset(new_positive_mask, mask)
-            certain_negative = any(is_subset(restricted, neg) for neg in negative_masks)
-            if certain_positive or certain_negative:
-                resolved_if_positive += count
-            # If labeled negative: E(t) joins the negative types.
-            if is_subset(positive_mask & mask, restricted_candidate):
-                resolved_if_negative += count
-        return resolved_if_positive, resolved_if_negative
+            restricted = mask_of(tuple_id) & positive_mask
+            restricted_of[tuple_id] = restricted
+            if restricted not in seen:
+                seen.add(restricted)
+                distinct.append(restricted)
+        by_restricted_type = dict(zip(distinct, self.prune_counts_for_restricted(distinct)))
+        return {tuple_id: by_restricted_type[restricted_of[tuple_id]] for tuple_id in candidates}
 
     def simulate_label(self, tuple_id: int, label: Union[Label, str, bool]) -> "InferenceState":
         """A copy of the state with one extra label (the current state is untouched).
@@ -295,10 +348,11 @@ class InferenceState:
     def copy(self) -> "InferenceState":
         """An independent copy sharing the immutable table/universe/type index.
 
-        The example set, space and status cache are copied in O(#types +
-        #labels) — no re-derivation from the example set.
+        The example set and space masks are copied in O(#labels + |N|) and
+        the status cache copy-on-write in O(1) — no re-derivation from the
+        example set.
         """
-        clone = InferenceState.__new__(InferenceState)
+        clone = type(self).__new__(type(self))
         clone.table = self.table
         clone.universe = self.universe
         clone.type_index = self.type_index

@@ -38,11 +38,24 @@ class Strategy(abc.ABC):
         """The informative tuple ids, raising when the loop should have stopped."""
         candidates = state.informative_ids()
         if not candidates:
-            raise StrategyError(
-                f"strategy {self.name!r} was asked to choose a tuple but no informative "
-                "tuple remains (inference has converged)"
-            )
+            raise self._converged_error()
         return candidates
+
+    def _require_informative(self, state: InferenceState) -> None:
+        """Raise when the loop should have stopped, without materialising ids.
+
+        The type-level strategies work from the informative-type snapshot and
+        never need the full candidate id list; this guard gives them the same
+        contract as :meth:`_informative_or_raise` at cache-read cost.
+        """
+        if not state.has_informative_tuple():
+            raise self._converged_error()
+
+    def _converged_error(self) -> StrategyError:
+        return StrategyError(
+            f"strategy {self.name!r} was asked to choose a tuple but no informative "
+            "tuple remains (inference has converged)"
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"{type(self).__name__}(name={self.name!r})"

@@ -34,8 +34,18 @@ class LexicographicStrategy(Strategy):
     name = "local-lexicographic"
 
     def choose(self, state: InferenceState) -> int:
-        """The informative tuple with the smallest id."""
-        return min(self._informative_or_raise(state))
+        """The informative tuple with the smallest id.
+
+        The minimum over all informative tuples is the minimum over the
+        informative types' smallest unlabeled ids — no candidate-id
+        materialisation.
+        """
+        self._require_informative(state)
+        chosen = state.first_informative_id(
+            mask for mask, _ in state.informative_type_snapshot()
+        )
+        assert chosen is not None  # the guard above ensures an informative type
+        return chosen
 
 
 class LocalMostSpecificStrategy(Strategy):
@@ -47,14 +57,26 @@ class LocalMostSpecificStrategy(Strategy):
     name = "local-most-specific"
 
     def choose(self, state: InferenceState) -> int:
-        """The informative tuple maximising ``|E(t) ∩ M|``."""
-        candidates = self._informative_or_raise(state)
+        """The informative tuple maximising ``|E(t) ∩ M|``.
+
+        Scored per informative type (the popcount only depends on the type);
+        the old smallest-id tie-break is the smallest unlabeled id across all
+        types achieving the maximal popcount.
+        """
+        self._require_informative(state)
         positive_mask = state.space.positive_mask
-        type_index = state.type_index
-        return max(
-            candidates,
-            key=lambda tid: (popcount(type_index.mask(tid) & positive_mask), -tid),
-        )
+        best_pop = -1
+        best_types: list[int] = []
+        for mask, _ in state.informative_type_snapshot():
+            pop = popcount(mask & positive_mask)
+            if pop > best_pop:
+                best_pop = pop
+                best_types = [mask]
+            elif pop == best_pop:
+                best_types.append(mask)
+        chosen = state.first_informative_id(best_types)
+        assert chosen is not None
+        return chosen
 
 
 class LocalMostGeneralStrategy(Strategy):
@@ -66,14 +88,26 @@ class LocalMostGeneralStrategy(Strategy):
     name = "local-most-general"
 
     def choose(self, state: InferenceState) -> int:
-        """The informative tuple minimising ``|E(t) ∩ M|``."""
-        candidates = self._informative_or_raise(state)
+        """The informative tuple minimising ``|E(t) ∩ M|``.
+
+        Mirror image of :class:`LocalMostSpecificStrategy`: minimal popcount
+        over the informative types, then the smallest unlabeled id among the
+        minimising types.
+        """
+        self._require_informative(state)
         positive_mask = state.space.positive_mask
-        type_index = state.type_index
-        return min(
-            candidates,
-            key=lambda tid: (popcount(type_index.mask(tid) & positive_mask), tid),
-        )
+        best_pop: int | None = None
+        best_types: list[int] = []
+        for mask, _ in state.informative_type_snapshot():
+            pop = popcount(mask & positive_mask)
+            if best_pop is None or pop < best_pop:
+                best_pop = pop
+                best_types = [mask]
+            elif pop == best_pop:
+                best_types.append(mask)
+        chosen = state.first_informative_id(best_types)
+        assert chosen is not None
+        return chosen
 
 
 class LargestTypeStrategy(Strategy):
@@ -89,18 +123,19 @@ class LargestTypeStrategy(Strategy):
     def choose(self, state: InferenceState) -> int:
         """The informative tuple whose restricted type has the most members.
 
-        The frequencies come from the state's informative-type snapshot (one
-        cache read) rather than a per-candidate sweep; two full types with the
-        same restriction under ``M`` pool their members, exactly as before.
+        The grouped snapshot pools two full types with the same restriction
+        under ``M``, exactly as before; the winner is the smallest unlabeled
+        id among the full types of the most frequent restricted type(s).
         """
-        candidates = self._informative_or_raise(state)
-        positive_mask = state.space.positive_mask
-        type_index = state.type_index
-        frequency: dict[int, int] = {}
-        for mask, count in state.informative_type_snapshot():
-            restricted = mask & positive_mask
-            frequency[restricted] = frequency.get(restricted, 0) + count
-        return max(
-            candidates,
-            key=lambda tid: (frequency[type_index.mask(tid) & positive_mask], -tid),
-        )
+        self._require_informative(state)
+        best_count = -1
+        best_types: list[int] = []
+        for _, full_types, count in state.informative_restricted_types():
+            if count > best_count:
+                best_count = count
+                best_types = list(full_types)
+            elif count == best_count:
+                best_types.extend(full_types)
+        chosen = state.first_informative_id(best_types)
+        assert chosen is not None
+        return chosen

@@ -48,7 +48,18 @@ def binary_entropy(probability: float) -> float:
 
 
 class _ScoredLookaheadStrategy(Strategy):
-    """Common machinery: score every informative tuple from its prune counts."""
+    """Common machinery: score every informative tuple from its prune counts.
+
+    Scoring is type-level: candidates sharing a restricted equality type
+    ``E(t) ∩ M`` share both prune counts, so the strategy scores one
+    representative per distinct restricted type — all of them in a single
+    batched kernel call (:meth:`InferenceState.prune_counts_for_restricted`)
+    — and only then resolves the winning types back to the smallest unlabeled
+    tuple id.  The chosen tuple is identical to scoring every candidate
+    individually: the score maximum over candidates equals the maximum over
+    their types, and the old smallest-id tie-break is exactly the smallest id
+    across all types achieving that maximum.
+    """
 
     def score(self, resolved_if_positive: int, resolved_if_negative: int) -> float:
         """The figure of merit to maximise; subclasses override this."""
@@ -56,18 +67,21 @@ class _ScoredLookaheadStrategy(Strategy):
 
     def choose(self, state: InferenceState) -> int:
         """The informative tuple with the best score (ties: smallest id)."""
-        candidates = self._informative_or_raise(state)
-        counts = state.prune_counts_all(candidates)
-        best_id = None
-        best_key: tuple[float, int] = (-math.inf, 0)
-        for tuple_id in candidates:
-            resolved_plus, resolved_minus = counts[tuple_id]
-            key = (self.score(resolved_plus, resolved_minus), -tuple_id)
-            if key > best_key:
-                best_key = key
-                best_id = tuple_id
-        assert best_id is not None  # candidates is non-empty
-        return best_id
+        self._require_informative(state)
+        groups = state.informative_restricted_types()
+        counts = state.prune_counts_for_restricted([restricted for restricted, _, _ in groups])
+        best_score = -math.inf
+        best_types: list[int] = []
+        for (_, full_types, _), (resolved_plus, resolved_minus) in zip(groups, counts):
+            value = self.score(resolved_plus, resolved_minus)
+            if value > best_score:
+                best_score = value
+                best_types = list(full_types)
+            elif value == best_score:
+                best_types.extend(full_types)
+        chosen = state.first_informative_id(best_types)
+        assert chosen is not None  # informative types always hold an unlabeled tuple
+        return chosen
 
 
 class ExpectedPruneStrategy(_ScoredLookaheadStrategy):
@@ -133,36 +147,53 @@ class KStepLookaheadStrategy(Strategy):
         self.depth = depth
         self.beam_width = beam_width
 
-    def _beam(self, state: InferenceState, candidates: list[int]) -> list[int]:
-        """The most promising candidates according to the one-step score."""
-        counts = state.prune_counts_all(candidates)
-        scored = sorted(
-            candidates,
-            key=lambda tid: (min(counts[tid]), -tid),
-            reverse=True,
+    def _beam(self, state: InferenceState) -> list[int]:
+        """The most promising informative tuples according to the one-step score.
+
+        Type-level: each restricted type is scored once in the shared kernel
+        call and contributes its ``beam_width`` smallest unlabeled ids, which
+        dominates any per-candidate ranking truncated to the same width.
+        """
+        groups = state.informative_restricted_types()
+        if not groups:
+            return []
+        counts = state.prune_counts_for_restricted(
+            [restricted for restricted, _, _ in groups]
         )
-        return scored[: self.beam_width]
+        scored: list[tuple[int, int]] = []
+        for (_, full_types, _), (resolved_plus, resolved_minus) in zip(groups, counts):
+            value = min(resolved_plus, resolved_minus)
+            for tuple_id in state.first_informative_ids(full_types, self.beam_width):
+                scored.append((value, tuple_id))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        return [tuple_id for _, tuple_id in scored[: self.beam_width]]
 
     def _worst_case_remaining(self, state: InferenceState, tuple_id: int, depth: int) -> int:
-        """Worst-case number of informative tuples left after asking about ``tuple_id``."""
+        """Worst-case number of informative tuples left after asking about ``tuple_id``.
+
+        The simulated outcome threads the parent's status cache through the
+        recursion (``simulate_label`` clones it copy-on-write), so the
+        remaining-informative count and the next beam are cache reads — the
+        candidate statuses are never re-derived from scratch per depth.
+        """
         worst = 0
         for label in (Label.POSITIVE, Label.NEGATIVE):
             outcome = state.simulate_label(tuple_id, label)
-            remaining = outcome.informative_ids()
+            remaining = outcome.informative_count()
             if depth <= 1 or not remaining:
-                value = len(remaining)
+                value = remaining
             else:
                 value = min(
                     self._worst_case_remaining(outcome, next_id, depth - 1)
-                    for next_id in self._beam(outcome, remaining)
+                    for next_id in self._beam(outcome)
                 )
             worst = max(worst, value)
         return worst
 
     def choose(self, state: InferenceState) -> int:
         """The candidate minimising the worst-case remaining uncertainty."""
-        candidates = self._informative_or_raise(state)
-        beam = self._beam(state, candidates)
+        self._require_informative(state)
+        beam = self._beam(state)
         return min(
             beam,
             key=lambda tid: (self._worst_case_remaining(state, tid, self.depth), tid),

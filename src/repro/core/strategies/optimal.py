@@ -61,22 +61,16 @@ class OptimalStrategy(Strategy):
     def _representatives(self, state: InferenceState) -> list[int]:
         """One informative tuple per distinct restricted equality type.
 
-        Reads the informative-type snapshot instead of materialising every
+        Reads the grouped informative snapshot instead of materialising every
         informative tuple id; the representative of a restricted type is its
         smallest unlabeled tuple id, as before.
         """
-        positive_mask = state.space.positive_mask
-        labeled = state.examples.labeled_ids
-        best_by_restricted: dict[int, int] = {}
-        for mask, _ in state.informative_type_snapshot():
-            restricted = mask & positive_mask
-            for tuple_id in state.type_index.tuples_with_mask(mask):
-                if tuple_id not in labeled:
-                    current = best_by_restricted.get(restricted)
-                    if current is None or tuple_id < current:
-                        best_by_restricted[restricted] = tuple_id
-                    break  # ids within a type are ascending: first unlabeled is its minimum
-        return sorted(best_by_restricted.values())
+        representatives: list[int] = []
+        for _, full_types, _ in state.informative_restricted_types():
+            tuple_id = state.first_informative_id(full_types)
+            if tuple_id is not None:
+                representatives.append(tuple_id)
+        return sorted(representatives)
 
     def value(self, state: InferenceState) -> int:
         """Minimum worst-case number of questions to convergence from ``state``."""

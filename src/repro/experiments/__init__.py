@@ -15,16 +15,20 @@ from . import (
     scalability,
     strategy_comparison,
     tpch_experiment,
+    trajectory,
     walkthrough,
 )
 from .results import ResultTable
 from .runner import run_matrix, run_single
+from .trajectory import load_records, record_benchmark
 
 __all__ = [
     "ResultTable",
     "ablation",
     "crowd",
     "interactions",
+    "load_records",
+    "record_benchmark",
     "results",
     "run_matrix",
     "run_single",
@@ -32,5 +36,6 @@ __all__ = [
     "scalability",
     "strategy_comparison",
     "tpch_experiment",
+    "trajectory",
     "walkthrough",
 ]

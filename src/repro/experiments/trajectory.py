@@ -1,0 +1,135 @@
+"""Machine-readable perf trajectory: benchmark results keyed by commit + config.
+
+Every benchmark run can append its measurements to a ``BENCH_<name>.json``
+file so the repository accumulates a *trajectory* of performance over its
+history instead of one-off console numbers.  A record is keyed by the git
+commit it was measured at plus a hash of the benchmark configuration:
+re-running the same benchmark at the same commit with the same configuration
+*replaces* the old record (timings drift between machines; the latest
+measurement wins), while new commits or new configurations append.
+
+The file layout is deliberately flat so that trend tooling can consume it
+with nothing but ``json``::
+
+    {
+      "name": "incremental_engine",
+      "records": [
+        {
+          "commit": "311a834…",
+          "config_hash": "9f2c41d0a7b3",
+          "config": {"quick": false, "repeats": 3, …},
+          "results": {"wall_speedup": 12.4, …},
+          "timestamp": 1754550000.0
+        },
+        …
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Mapping, Optional, Union
+
+#: File-name template of one benchmark's trajectory.
+FILE_TEMPLATE = "BENCH_{name}.json"
+
+
+def config_hash(config: Mapping[str, Any]) -> str:
+    """A short stable digest of a benchmark configuration.
+
+    Canonical JSON (sorted keys, no whitespace variance) hashed with sha256;
+    12 hex characters are plenty to tell configurations apart in one file.
+    """
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def git_commit(directory: Union[str, Path, None] = None) -> str:
+    """The current git commit hash, or ``"unknown"`` outside a repository."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(directory) if directory is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    commit = completed.stdout.strip()
+    return commit if completed.returncode == 0 and commit else "unknown"
+
+
+def trajectory_path(name: str, directory: Union[str, Path]) -> Path:
+    """Where ``BENCH_<name>.json`` lives under ``directory``."""
+    return Path(directory) / FILE_TEMPLATE.format(name=name)
+
+
+def load_records(name: str, directory: Union[str, Path]) -> list[dict[str, Any]]:
+    """All recorded results of one benchmark (empty when none were recorded)."""
+    path = trajectory_path(name, directory)
+    if not path.exists():
+        return []
+    document = json.loads(path.read_text(encoding="utf-8"))
+    records = document.get("records", [])
+    return records if isinstance(records, list) else []
+
+
+def find_record(
+    name: str,
+    directory: Union[str, Path],
+    commit: str,
+    config: Mapping[str, Any],
+) -> Optional[dict[str, Any]]:
+    """The record of one (commit, configuration) pair, if present."""
+    digest = config_hash(config)
+    for record in load_records(name, directory):
+        if record.get("commit") == commit and record.get("config_hash") == digest:
+            return record
+    return None
+
+
+def record_benchmark(
+    name: str,
+    config: Mapping[str, Any],
+    results: Mapping[str, Any],
+    directory: Union[str, Path],
+    commit: Optional[str] = None,
+    timestamp: Optional[float] = None,
+) -> Path:
+    """Append (or replace) one benchmark measurement in the trajectory file.
+
+    The record is keyed by ``(commit, config_hash(config))``: a rerun of the
+    same benchmark at the same commit and configuration replaces its previous
+    record in place, preserving the position in the file; anything else
+    appends.  Returns the path written.
+    """
+    path = trajectory_path(name, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records = load_records(name, directory)
+    resolved_commit = commit if commit is not None else git_commit(path.parent)
+    record = {
+        "commit": resolved_commit,
+        "config_hash": config_hash(config),
+        "config": dict(config),
+        "results": dict(results),
+        "timestamp": timestamp if timestamp is not None else time.time(),
+    }
+    for position, existing in enumerate(records):
+        if (
+            existing.get("commit") == record["commit"]
+            and existing.get("config_hash") == record["config_hash"]
+        ):
+            records[position] = record
+            break
+    else:
+        records.append(record)
+    document = {"name": name, "records": records}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

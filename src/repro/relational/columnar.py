@@ -32,9 +32,28 @@ in :mod:`repro.core.equality_types`, which consumes these helpers.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Mapping, Sequence
+from typing import Iterator, Mapping, Optional, Sequence
+
+try:  # Optional fast path; every consumer has an exact pure-Python fallback.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
 
 Row = tuple
+
+
+def _numpy_on() -> bool:
+    """Whether the numpy fast paths are enabled for this call.
+
+    Defers to the kernel backend switch (:mod:`repro.core.kernels`) so that
+    ``REPRO_KERNEL_BACKEND`` / ``use_backend`` turn *all* array fast paths on
+    and off together; imported lazily to keep this module import-cycle-free.
+    """
+    if _np is None:
+        return False
+    from ..core.kernels import numpy_enabled
+
+    return numpy_enabled()
 
 #: Equality code of ``None`` cells.  Negative codes never satisfy an equality
 #: (``None`` and NaN never compare equal to anything, themselves included).
@@ -104,6 +123,19 @@ def columnar_equality_masks(
     — one tight integer loop per pair, the columnar replacement of the
     per-row, per-atom object comparisons.
     """
+    if _numpy_on() and len(pairs) < 63:
+        arrays = {
+            column: _np.asarray(column_codes, dtype=_np.int64)
+            for column, column_codes in codes.items()
+        }
+        masks_arr = _np.zeros(num_rows, dtype=_np.int64)
+        bit = 1
+        for left, right in pairs:
+            left_codes = arrays[left]
+            right_codes = arrays[right]
+            masks_arr[(left_codes >= 0) & (left_codes == right_codes)] |= _np.int64(bit)
+            bit <<= 1
+        return masks_arr.tolist()
     masks = [0] * num_rows
     bit = 1
     for left, right in pairs:
@@ -224,7 +256,14 @@ class FactorGrouping:
     Codes were produced by one shared codec, so they compare across factors.
     """
 
-    __slots__ = ("factorization", "profiles", "members", "row_gids", "slot_of")
+    __slots__ = (
+        "factorization",
+        "profiles",
+        "members",
+        "row_gids",
+        "slot_of",
+        "_member_arrays",
+    )
 
     def __init__(
         self,
@@ -239,6 +278,7 @@ class FactorGrouping:
         self.members = members
         self.row_gids = row_gids
         self.slot_of = slot_of
+        self._member_arrays: Optional[dict[tuple[int, int], "_np.ndarray"]] = None
 
     def group_counts(self) -> list[list[int]]:
         """Group cardinalities, per factor."""
@@ -253,9 +293,38 @@ class FactorGrouping:
 
     def ids_of_combo(self, combo: Sequence[int]) -> list[int]:
         """The candidate tuple ids of one group combination (ascending)."""
+        if _numpy_on() and self.factorization.num_rows < (1 << 62):
+            return self.combo_id_array(combo).tolist()
         member_lists = [self.members[factor][gid] for factor, gid in enumerate(combo)]
         tuple_id_of = self.factorization.tuple_id_of
         return [tuple_id_of(digits) for digits in itertools.product(*member_lists)]
+
+    def _member_array(self, factor: int, gid: int) -> "_np.ndarray":
+        """One group's base-row indices as a cached int64 vector."""
+        if self._member_arrays is None:
+            self._member_arrays = {}
+        key = (factor, gid)
+        cached = self._member_arrays.get(key)
+        if cached is None:
+            cached = _np.asarray(self.members[factor][gid], dtype=_np.int64)
+            self._member_arrays[key] = cached
+        return cached
+
+    def combo_id_array(self, combo: Sequence[int]) -> "_np.ndarray":
+        """The candidate tuple ids of one combination, as an ascending vector.
+
+        Mixed-radix broadcast: each factor contributes ``member * stride``
+        terms, and because every partial sum is strictly below the preceding
+        factor's stride, lexicographic combination order coincides with
+        numeric tuple-id order — the sums come out ascending without a sort.
+        """
+        strides = self.factorization.strides
+        ids: Optional["_np.ndarray"] = None
+        for factor, gid in enumerate(combo):
+            term = self._member_array(factor, gid) * strides[factor]
+            ids = term if ids is None else (ids[:, None] + term[None, :]).reshape(-1)
+        assert ids is not None  # products have at least one factor
+        return ids
 
 
 def group_product(

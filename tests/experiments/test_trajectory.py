@@ -1,0 +1,91 @@
+"""Tests for the machine-readable benchmark trajectory files."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.trajectory import (
+    config_hash,
+    find_record,
+    git_commit,
+    load_records,
+    record_benchmark,
+    trajectory_path,
+)
+
+
+class TestConfigHash:
+    def test_stable_under_key_order(self):
+        assert config_hash({"a": 1, "b": [2, 3]}) == config_hash({"b": [2, 3], "a": 1})
+
+    def test_different_configs_differ(self):
+        assert config_hash({"quick": True}) != config_hash({"quick": False})
+
+    def test_short_hex(self):
+        digest = config_hash({"quick": True})
+        assert len(digest) == 12
+        int(digest, 16)
+
+
+class TestRecordBenchmark:
+    def test_round_trip(self, tmp_path):
+        path = record_benchmark(
+            "demo",
+            config={"size": 10},
+            results={"speedup": 12.5},
+            directory=tmp_path,
+            commit="abc123",
+            timestamp=1000.0,
+        )
+        assert path == trajectory_path("demo", tmp_path)
+        records = load_records("demo", tmp_path)
+        assert len(records) == 1
+        assert records[0]["commit"] == "abc123"
+        assert records[0]["config"] == {"size": 10}
+        assert records[0]["results"] == {"speedup": 12.5}
+        assert records[0]["timestamp"] == 1000.0
+        document = json.loads(path.read_text())
+        assert document["name"] == "demo"
+
+    def test_same_commit_and_config_replaces_in_place(self, tmp_path):
+        record_benchmark(
+            "demo", {"size": 10}, {"speedup": 1.0}, tmp_path, commit="abc", timestamp=1.0
+        )
+        record_benchmark(
+            "demo", {"size": 20}, {"speedup": 2.0}, tmp_path, commit="abc", timestamp=2.0
+        )
+        record_benchmark(
+            "demo", {"size": 10}, {"speedup": 9.0}, tmp_path, commit="abc", timestamp=3.0
+        )
+        records = load_records("demo", tmp_path)
+        assert [r["results"]["speedup"] for r in records] == [9.0, 2.0]
+
+    def test_new_commit_appends(self, tmp_path):
+        record_benchmark("demo", {"size": 10}, {"speedup": 1.0}, tmp_path, commit="one")
+        record_benchmark("demo", {"size": 10}, {"speedup": 2.0}, tmp_path, commit="two")
+        assert [r["commit"] for r in load_records("demo", tmp_path)] == ["one", "two"]
+
+    def test_find_record(self, tmp_path):
+        record_benchmark("demo", {"size": 10}, {"speedup": 1.0}, tmp_path, commit="one")
+        hit = find_record("demo", tmp_path, "one", {"size": 10})
+        assert hit is not None and hit["results"] == {"speedup": 1.0}
+        assert find_record("demo", tmp_path, "one", {"size": 11}) is None
+        assert find_record("demo", tmp_path, "two", {"size": 10}) is None
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert load_records("never-recorded", tmp_path) == []
+
+    def test_benchmarks_keep_separate_files(self, tmp_path):
+        record_benchmark("alpha", {}, {"x": 1}, tmp_path, commit="c")
+        record_benchmark("beta", {}, {"x": 2}, tmp_path, commit="c")
+        assert trajectory_path("alpha", tmp_path).name == "BENCH_alpha.json"
+        assert load_records("alpha", tmp_path) != load_records("beta", tmp_path)
+
+
+class TestGitCommit:
+    def test_inside_a_repository(self):
+        commit = git_commit()
+        assert commit == "unknown" or (len(commit) == 40 and int(commit, 16) >= 0)
+
+    def test_outside_a_repository(self, tmp_path):
+        assert git_commit(tmp_path) == "unknown"

@@ -1,0 +1,385 @@
+"""Property-based tests: the array-backed kernels ≡ the scalar reference.
+
+The kernels of :mod:`repro.core.kernels` are the storage and math layer of
+the whole hot loop, so they get their own equivalence suite:
+
+* the batch classification (:func:`certain_codes`) and the lookahead kernel
+  (:func:`prune_counts_batch`) must agree with an independent scalar
+  re-implementation of the seed's formulas on *every* backend, including
+  masks past the int64 lane (where a numpy request must silently take the
+  exact pure-Python path);
+* the two :class:`TypeTable` implementations must stay observationally
+  identical through arbitrary refresh/decrement/copy sequences, and their
+  copy-on-write clones must be isolated from their parents;
+* a full :class:`InferenceState` driven through randomised label sequences —
+  over tables with ``None``/NaN cells and over sampled cross products — must
+  produce identical statuses, prune counts and propagation results on the
+  pure-Python and numpy backends.
+
+When numpy is not installed the numpy-vs-python comparisons are skipped and
+the remaining assertions pin the pure-Python path against the scalar
+reference — the suite is part of the no-numpy CI job for exactly that reason.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import CandidateTable, InferenceState, Label
+from repro.core.atoms import is_subset
+from repro.core.informativeness import classify_all
+from repro.core.kernels import (
+    CERTAIN_NEGATIVE,
+    CERTAIN_POSITIVE,
+    HAVE_NUMPY,
+    UNKNOWN,
+    available_backends,
+    certain_codes,
+    make_type_table,
+    prune_counts_batch,
+    use_backend,
+)
+from repro.datasets.synthetic import SyntheticConfig, generate_instance
+from repro.exceptions import InconsistentLabelError
+
+SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+#: Narrow masks exercise the numpy int64 fast path; wide ones force the
+#: pure-Python fallback even when numpy was requested.
+NARROW_MASKS = st.integers(min_value=0, max_value=(1 << 12) - 1)
+WIDE_MASKS = st.integers(min_value=0, max_value=(1 << 70) - 1)
+
+
+# --------------------------------------------------------------------------- #
+# Scalar reference: the seed's formulas, re-implemented independently
+# --------------------------------------------------------------------------- #
+def _reference_code(mask: int, positive_mask: int, negative_masks: list[int]) -> int:
+    """Certain-label code per the seed's ``certain_label_for`` logic."""
+    if is_subset(positive_mask, mask):
+        return CERTAIN_POSITIVE
+    restricted = positive_mask & mask
+    if any(is_subset(restricted, neg) for neg in negative_masks):
+        return CERTAIN_NEGATIVE
+    return UNKNOWN
+
+
+def _reference_prune_counts(
+    snapshot: list[tuple[int, int]],
+    candidate_type: int,
+    positive_mask: int,
+    negative_masks: list[int],
+) -> tuple[int, int]:
+    """Prune counts per the seed's per-candidate scalar loop."""
+    new_positive_mask = positive_mask & candidate_type
+    resolved_if_positive = 0
+    resolved_if_negative = 0
+    for mask, count in snapshot:
+        restricted = new_positive_mask & mask
+        certain_positive = is_subset(new_positive_mask, mask)
+        certain_negative = any(is_subset(restricted, neg) for neg in negative_masks)
+        if certain_positive or certain_negative:
+            resolved_if_positive += count
+        if is_subset(positive_mask & mask, candidate_type):
+            resolved_if_negative += count
+    return resolved_if_positive, resolved_if_negative
+
+
+@st.composite
+def kernel_inputs(draw, mask_strategy=NARROW_MASKS):
+    """Random (masks, counts, M, N) quadruples for the batch kernels."""
+    masks = draw(st.lists(mask_strategy, min_size=0, max_size=10, unique=True))
+    counts = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=50),
+            min_size=len(masks),
+            max_size=len(masks),
+        )
+    )
+    positive_mask = draw(mask_strategy)
+    negative_masks = draw(st.lists(mask_strategy, min_size=0, max_size=4))
+    return masks, counts, positive_mask, negative_masks
+
+
+# --------------------------------------------------------------------------- #
+# Batch kernels vs the scalar reference
+# --------------------------------------------------------------------------- #
+class TestBatchKernels:
+    @SETTINGS
+    @given(inputs=kernel_inputs(), backend=st.sampled_from(("python", "numpy")))
+    def test_certain_codes_match_reference(self, inputs, backend):
+        masks, _, positive_mask, negative_masks = inputs
+        expected = [_reference_code(mask, positive_mask, negative_masks) for mask in masks]
+        got = list(certain_codes(masks, positive_mask, negative_masks, backend=backend))
+        assert got == expected
+
+    @SETTINGS
+    @given(inputs=kernel_inputs(mask_strategy=WIDE_MASKS))
+    def test_certain_codes_wide_masks_fall_back_exactly(self, inputs):
+        # Masks past bit 62 must never be squeezed into the int64 lane; a
+        # numpy request silently takes the exact pure-Python path.
+        masks, _, positive_mask, negative_masks = inputs
+        expected = [_reference_code(mask, positive_mask, negative_masks) for mask in masks]
+        assert list(certain_codes(masks, positive_mask, negative_masks, backend="numpy")) == expected
+
+    @SETTINGS
+    @given(
+        inputs=kernel_inputs(),
+        candidate_types=st.lists(NARROW_MASKS, min_size=0, max_size=8),
+        backend=st.sampled_from(("python", "numpy")),
+    )
+    def test_prune_counts_batch_matches_seed_formula(self, inputs, candidate_types, backend):
+        masks, counts, positive_mask, negative_masks = inputs
+        snapshot = list(zip(masks, counts))
+        restricted = [candidate & positive_mask for candidate in candidate_types]
+        got = prune_counts_batch(
+            masks, counts, restricted, positive_mask, negative_masks, backend=backend
+        )
+        expected = [
+            _reference_prune_counts(snapshot, candidate, positive_mask, negative_masks)
+            for candidate in candidate_types
+        ]
+        assert got == expected
+
+    @SETTINGS
+    @given(
+        inputs=kernel_inputs(mask_strategy=WIDE_MASKS),
+        candidate_types=st.lists(WIDE_MASKS, min_size=0, max_size=6),
+    )
+    def test_prune_counts_wide_masks_fall_back_exactly(self, inputs, candidate_types):
+        masks, counts, positive_mask, negative_masks = inputs
+        snapshot = list(zip(masks, counts))
+        restricted = [candidate & positive_mask for candidate in candidate_types]
+        got = prune_counts_batch(
+            masks, counts, restricted, positive_mask, negative_masks, backend="numpy"
+        )
+        expected = [
+            _reference_prune_counts(snapshot, candidate, positive_mask, negative_masks)
+            for candidate in candidate_types
+        ]
+        assert got == expected
+
+
+# --------------------------------------------------------------------------- #
+# The two TypeTable implementations stay in lock-step
+# --------------------------------------------------------------------------- #
+def _table_observables(table, masks):
+    return (
+        [table.certain_of(mask) for mask in masks],
+        [table.unlabeled_of(mask) for mask in masks],
+        table.informative_items(),
+        table.informative_count(),
+        table.has_informative(),
+    )
+
+
+def _random_table_ops(tables, masks, ops):
+    """Drive every table through one random op sequence; flips must agree."""
+    for _ in range(ops.draw(st.integers(min_value=0, max_value=6))):
+        action = ops.draw(st.sampled_from(("refresh", "refresh_all", "decrement", "copy")))
+        if action in ("refresh", "refresh_all"):
+            positive_mask = ops.draw(NARROW_MASKS)
+            negative_masks = ops.draw(st.lists(NARROW_MASKS, min_size=0, max_size=3))
+            flips = [
+                table.refresh_certain(
+                    positive_mask, negative_masks, only_unknown=action == "refresh"
+                )
+                for table in tables
+            ]
+            assert all(flip == flips[0] for flip in flips), (
+                "backends reported different flips"
+            )
+        elif action == "decrement":
+            decrementable = [mask for mask in masks if tables[0].unlabeled_of(mask) > 0]
+            if not decrementable:
+                continue
+            mask = ops.draw(st.sampled_from(decrementable))
+            for table in tables:
+                table.decrement_unlabeled(mask)
+        else:
+            # Copy-on-write: replace each table by its clone mid-sequence;
+            # the discarded parents must not haunt the clones.
+            tables = [table.copy() for table in tables]
+    return tables
+
+
+class TestTypeTableEquivalence:
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="requires the numpy backend")
+    @SETTINGS
+    @given(
+        masks=st.lists(NARROW_MASKS, min_size=1, max_size=10, unique=True),
+        sizes_seed=st.data(),
+    )
+    def test_python_and_numpy_tables_agree(self, masks, sizes_seed):
+        sizes = sizes_seed.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=20),
+                min_size=len(masks),
+                max_size=len(masks),
+            )
+        )
+        py_table = make_type_table(masks, sizes, backend="python")
+        np_table = make_type_table(masks, sizes, backend="numpy")
+        assert type(py_table) is not type(np_table)
+        tables = _random_table_ops([py_table, np_table], masks, sizes_seed)
+        observables = {
+            (tuple(c), tuple(u), tuple(items), count, has)
+            for c, u, items, count, has in (
+                _table_observables(table, masks) for table in tables
+            )
+        }
+        assert len(observables) == 1, "backends diverged after the op sequence"
+
+    @SETTINGS
+    @given(
+        masks=st.lists(NARROW_MASKS, min_size=1, max_size=8, unique=True),
+        data=st.data(),
+        backend=st.sampled_from(available_backends()),
+    )
+    def test_copy_on_write_isolation(self, masks, data, backend):
+        sizes = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=10),
+                min_size=len(masks),
+                max_size=len(masks),
+            )
+        )
+        table = make_type_table(masks, sizes, backend=backend)
+        positive_mask = data.draw(NARROW_MASKS)
+        negative_masks = data.draw(st.lists(NARROW_MASKS, min_size=0, max_size=3))
+        table.refresh_certain(positive_mask, negative_masks)
+        before = _table_observables(table, masks)
+
+        clone = table.copy()
+        assert _table_observables(clone, masks) == before
+        # Mutate the clone every way there is; the parent must not move.
+        clone.decrement_unlabeled(data.draw(st.sampled_from(masks)))
+        clone.refresh_certain(data.draw(NARROW_MASKS), [], only_unknown=False)
+        assert _table_observables(table, masks) == before
+        # ... and mutating the parent must not leak into a fresh clone.
+        snapshot = _table_observables(clone, masks)
+        table.decrement_unlabeled(data.draw(st.sampled_from(masks)))
+        assert _table_observables(clone, masks) == snapshot
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end: inference over both backends, byte-identical
+# --------------------------------------------------------------------------- #
+@st.composite
+def candidate_tables(draw, max_columns: int = 4, max_rows: int = 10) -> CandidateTable:
+    """Random flat tables whose cells may be ``None`` or NaN."""
+    num_columns = draw(st.integers(min_value=2, max_value=max_columns))
+    num_rows = draw(st.integers(min_value=1, max_value=max_rows))
+    domain = draw(st.integers(min_value=2, max_value=4))
+    cell = st.one_of(
+        st.integers(min_value=0, max_value=domain - 1),
+        st.none(),
+        st.just(float("nan")),
+    )
+    rows = draw(
+        st.lists(
+            st.tuples(*[cell] * num_columns),
+            min_size=num_rows,
+            max_size=num_rows,
+        )
+    )
+    names = [f"c{i}" for i in range(num_columns)]
+    return CandidateTable.from_rows(names, rows)
+
+
+@st.composite
+def sampled_tables(draw) -> CandidateTable:
+    """Sampled cross products: the flat columnar path over factorized input."""
+    tuples = draw(st.integers(min_value=3, max_value=8))
+    config = SyntheticConfig(
+        num_relations=2,
+        attributes_per_relation=2,
+        tuples_per_relation=tuples,
+        domain_size=3,
+        seed=draw(st.integers(min_value=0, max_value=5)),
+    )
+    import random
+
+    max_rows = draw(st.integers(min_value=2, max_value=tuples * tuples - 1))
+    return CandidateTable.cross_product(
+        generate_instance(config),
+        max_rows=max_rows,
+        rng=random.Random(draw(st.integers(min_value=0, max_value=5))),
+    )
+
+
+def _state_observables(state: InferenceState):
+    return (
+        state.statuses(),
+        state.informative_ids(),
+        state.certain_ids(),
+        state.has_informative_tuple(),
+        state.prune_counts_all(),
+        state.space.positive_mask,
+        sorted(state.space.negative_masks),
+    )
+
+
+def _propagation_signature(result):
+    return (
+        tuple(result.newly_certain_positive),
+        tuple(result.newly_certain_negative),
+        result.informative_before,
+        result.informative_after,
+    )
+
+
+def _run_label_sequence(table: CandidateTable, script: list[tuple[int, bool]]):
+    """Replay one label script per backend; return the per-step observables."""
+    per_backend = []
+    for backend in available_backends():
+        with use_backend(backend):
+            state = InferenceState(table)
+            steps = [_state_observables(state)]
+            for index, positive in script:
+                unlabeled = [
+                    tid for tid in table.tuple_ids if tid not in state.labeled_ids()
+                ]
+                if not unlabeled:
+                    break
+                tuple_id = unlabeled[index % len(unlabeled)]
+                try:
+                    result = state.add_label(
+                        tuple_id, Label.POSITIVE if positive else Label.NEGATIVE
+                    )
+                    steps.append(_propagation_signature(result))
+                except InconsistentLabelError:
+                    steps.append("rejected")
+                steps.append(_state_observables(state))
+            # The scalar classification reference must agree with the final state.
+            assert state.statuses() == classify_all(state.space, state.examples)
+            per_backend.append((backend, steps))
+    return per_backend
+
+
+LABEL_SCRIPTS = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=200), st.booleans()),
+    min_size=0,
+    max_size=6,
+)
+
+
+class TestEndToEndBackendEquivalence:
+    @SETTINGS
+    @given(table=candidate_tables(), script=LABEL_SCRIPTS)
+    def test_flat_tables_with_null_and_nan_cells(self, table, script):
+        runs = _run_label_sequence(table, script)
+        reference_backend, reference = runs[0]
+        for backend, steps in runs[1:]:
+            assert steps == reference, f"{backend} diverged from {reference_backend}"
+
+    @SETTINGS
+    @given(table=sampled_tables(), script=LABEL_SCRIPTS)
+    def test_sampled_cross_products(self, table, script):
+        runs = _run_label_sequence(table, script)
+        reference_backend, reference = runs[0]
+        for backend, steps in runs[1:]:
+            assert steps == reference, f"{backend} diverged from {reference_backend}"
