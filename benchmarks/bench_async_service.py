@@ -36,7 +36,7 @@ import argparse
 import asyncio
 import sys
 import time
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro import GoalQueryOracle, SessionService
 from repro.datasets.workloads import figure1_workload
@@ -204,7 +204,7 @@ async def measure_throughput(num_sessions: int, goal_atoms: int = 2) -> dict:
     }
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true", help="CI smoke mode: fewer sessions, no speedup gate"

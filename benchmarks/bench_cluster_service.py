@@ -36,7 +36,7 @@ import asyncio
 import os
 import sys
 import time
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro import ClusterSessionService, GoalQueryOracle, SessionService
 from repro.datasets.workloads import figure1_workload
@@ -276,7 +276,7 @@ def measure_throughput(num_sessions: int, workers: int, size: int) -> dict:
     }
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true", help="CI smoke mode: fewer sessions, no speedup gate"

@@ -40,8 +40,8 @@ import argparse
 import math
 import sys
 import time
+from collections.abc import Sequence
 from pathlib import Path
-from typing import Optional, Sequence
 
 from repro import GoalQueryOracle, JoinInferenceEngine
 from repro.core.atoms import is_subset, popcount
@@ -627,7 +627,7 @@ def measure_kernel_speedup(quick: bool, repeats: int) -> dict:
     }
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true", help="CI smoke mode: small sizes, no speedup assertions"

@@ -35,8 +35,8 @@ import random
 import sys
 import time
 import tracemalloc
+from collections.abc import Sequence
 from pathlib import Path
-from typing import Optional, Sequence
 
 from repro import GoalQueryOracle, JoinInferenceEngine
 from repro.core.atoms import AtomScope, AtomUniverse
@@ -56,8 +56,8 @@ from repro.relational.instance import DatabaseInstance
 # --------------------------------------------------------------------------- #
 def seed_cross_product(
     instance: DatabaseInstance,
-    relation_names: Optional[Sequence[str]] = None,
-    name: Optional[str] = None,
+    relation_names: Sequence[str] | None = None,
+    name: str | None = None,
 ) -> CandidateTable:
     """The seed's ``CandidateTable.cross_product``: eager row materialisation."""
     names = list(relation_names) if relation_names is not None else list(instance.relation_names)
@@ -312,7 +312,7 @@ def measure(quick: bool, repeats: int) -> list[dict]:
     return results
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true", help="CI smoke mode: small sizes, no 10x assertion"

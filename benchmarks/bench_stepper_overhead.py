@@ -30,10 +30,10 @@ import argparse
 import statistics
 import sys
 import time
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro import GoalQueryOracle, JoinInferenceEngine
-from repro.core.engine import Interaction, InferenceResult, InferenceTrace
+from repro.core.engine import InferenceResult, InferenceTrace, Interaction
 from repro.core.state import InferenceState
 from repro.core.strategies.registry import create_strategy
 from repro.datasets.workloads import figure1_workload
@@ -165,7 +165,7 @@ def measure_overhead(quick: bool, repeats: int) -> dict:
     }
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true", help="CI smoke mode: small sizes, no overhead assertion"

@@ -40,7 +40,7 @@ def main() -> None:
     print("Questions asked:")
     for interaction in result.trace.interactions:
         row = table.row(interaction.tuple_id)
-        rendered = ", ".join(f"{n}={v!r}" for n, v in zip(table.attribute_names, row))
+        rendered = ", ".join(f"{n}={v!r}" for n, v in zip(table.attribute_names, row, strict=True))
         print(
             f"  {interaction.step}. tuple ({interaction.tuple_id + 1}) [{rendered}] "
             f"→ {interaction.label.value}   ({interaction.pruned} tuple(s) grayed out)"

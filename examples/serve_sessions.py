@@ -56,7 +56,7 @@ import contextlib
 import json
 import re
 import sys
-from typing import AsyncIterator, Optional
+from collections.abc import AsyncIterator
 
 from repro import GoalQueryOracle, ReproError
 from repro.datasets import flights_hotels
@@ -92,14 +92,14 @@ class AsyncSessionApi:
     def _fingerprint(self, ref: str) -> str:
         return self._names.get(ref, ref)
 
-    def stream_for(self, method: str, path: str) -> Optional[str]:
+    def stream_for(self, method: str, path: str) -> str | None:
         """The session id when the request addresses the event stream."""
         match = _SESSION_PATH.match(path)
         if method == "GET" and match is not None and match.group("rest") == "/events":
             return match.group("sid")
         return None
 
-    async def handle(self, method: str, path: str, body: Optional[dict]) -> tuple[int, dict]:
+    async def handle(self, method: str, path: str, body: dict | None) -> tuple[int, dict]:
         try:
             return await self._route(method, path, body or {})
         except SessionServiceError as error:
@@ -164,7 +164,7 @@ class _BadRequest(Exception):
 
 async def _read_request(
     reader: asyncio.StreamReader,
-) -> Optional[tuple[str, str, Optional[dict]]]:
+) -> tuple[str, str, dict | None] | None:
     request_line = await reader.readline()
     if not request_line.strip():
         return None
@@ -185,7 +185,7 @@ async def _read_request(
                 raise _BadRequest(f"malformed Content-Length: {value.strip()!r}") from None
             if content_length < 0:
                 raise _BadRequest(f"malformed Content-Length: {content_length}")
-    body: Optional[dict] = None
+    body: dict | None = None
     if content_length:
         raw = await reader.readexactly(content_length)
         try:
@@ -286,7 +286,7 @@ async def start_http_server(api: AsyncSessionApi, port: int) -> asyncio.Server:
 # A tiny asyncio HTTP client for the scripted demo
 # --------------------------------------------------------------------------- #
 async def _request(
-    port: int, method: str, path: str, body: Optional[dict] = None
+    port: int, method: str, path: str, body: dict | None = None
 ) -> dict:
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
     try:

@@ -20,8 +20,8 @@ Run with::
 from __future__ import annotations
 
 from repro import GoalQueryOracle
-from repro.core.strategies import available_strategies, create_strategy
 from repro.core.engine import JoinInferenceEngine
+from repro.core.strategies import available_strategies, create_strategy
 from repro.datasets import flights_hotels
 from repro.relational import sqlite_adapter
 from repro.sessions import GuidedSession, ManualSession, TopKSession

@@ -27,9 +27,9 @@ import subprocess
 import sys
 import tempfile
 import textwrap
+from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Sequence
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
@@ -54,7 +54,7 @@ class CodeBlock:
 def extract_blocks(path: Path) -> list[CodeBlock]:
     """All fenced code blocks of a markdown file, in order."""
     blocks: list[CodeBlock] = []
-    fence: Optional[str] = None
+    fence: str | None = None
     info = ""
     start = 0
     lines: list[str] = []
@@ -89,22 +89,50 @@ def documentation_files(root: Path = REPO_ROOT) -> list[Path]:
     return files
 
 
-def compose_script(blocks: Sequence[CodeBlock]) -> str:
-    """One python script running a file's runnable blocks in order."""
-    parts = []
+def compose_script(blocks: Sequence[CodeBlock]) -> tuple[str, dict[int, tuple[CodeBlock, int]]]:
+    """One python script running a file's runnable blocks in order.
+
+    Returns the script text plus a map ``script line -> (block, doc line)``
+    so a traceback against the composed script can be attributed to the
+    fence — and the exact line inside it — that raised.
+    """
+    parts: list[str] = []
+    owners: dict[int, tuple[CodeBlock, int]] = {}
+    next_line = 1
     for block in blocks:
-        parts.append(f"# --- {block.path.name}: block at line {block.start_line} ---")
+        header = f"# --- {block.path.name}: block at line {block.start_line} ---"
         # Fences inside markdown lists carry the list indentation.
-        parts.append(textwrap.dedent(block.source))
-    return "\n\n".join(parts) + "\n"
+        source_lines = textwrap.dedent(block.source).splitlines()
+        for offset, chunk in enumerate([header, *source_lines, ""]):
+            parts.append(chunk)
+            # Block content starts one doc line below the opening fence; the
+            # header and the blank separator both point at the fence itself.
+            content_offset = min(max(offset, 0), len(source_lines))
+            owners[next_line] = (block, block.start_line + content_offset)
+            next_line += 1
+    return "\n".join(parts) + "\n", owners
 
 
-def run_file(path: Path, verbose: bool, timeout: float) -> Optional[str]:
+def locate_failure(
+    stderr: str, script_path: Path, owners: dict[int, tuple[CodeBlock, int]]
+) -> tuple[CodeBlock, int] | None:
+    """The ``(block, doc line)`` the traceback's innermost frame points at."""
+    frames = re.findall(
+        rf'File "{re.escape(str(script_path))}", line (\d+)', stderr
+    )
+    for frame in reversed(frames):
+        located = owners.get(int(frame))
+        if located is not None:
+            return located
+    return None
+
+
+def run_file(path: Path, verbose: bool, timeout: float) -> str | None:
     """Execute a file's snippets; the error report, or None on success."""
     runnable = [block for block in extract_blocks(path) if block.runnable]
     if not runnable:
         return None
-    script = compose_script(runnable)
+    script, owners = compose_script(runnable)
     with tempfile.TemporaryDirectory(prefix="check_docs_") as tmp:
         script_path = Path(tmp) / f"{path.stem}_snippets.py"
         script_path.write_text(script, encoding="utf-8")
@@ -125,15 +153,24 @@ def run_file(path: Path, verbose: bool, timeout: float) -> Optional[str]:
     if verbose and completed.stdout:
         print(completed.stdout, end="")
     if completed.returncode != 0:
-        lines = " + ".join(f"L{block.start_line}" for block in runnable)
+        located = locate_failure(completed.stderr, script_path, owners)
+        if located is not None:
+            block, doc_line = located
+            where = (
+                f"{path}:{doc_line} (in the fenced block opened at line "
+                f"{block.start_line})"
+            )
+        else:
+            lines = " + ".join(f"L{block.start_line}" for block in runnable)
+            where = f"{path} (blocks {lines})"
         return (
-            f"{path} (blocks {lines}) exited with {completed.returncode}\n"
+            f"{where} exited with {completed.returncode}\n"
             f"{completed.stdout}{completed.stderr}"
         )
     return None
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--list", action="store_true", help="list runnable blocks, run nothing")
     parser.add_argument("--verbose", action="store_true", help="echo each script's stdout")

@@ -17,7 +17,8 @@ import sys
 import time
 from pathlib import Path
 
-from repro import __version__
+from repro import GoalQueryOracle, __version__, infer_join
+from repro.datasets import setgame
 from repro.datasets.tpch import TPCHConfig
 from repro.experiments import (
     ablation,
@@ -29,8 +30,6 @@ from repro.experiments import (
     walkthrough,
 )
 from repro.experiments.results import ResultTable
-from repro.datasets import setgame
-from repro import GoalQueryOracle, infer_join
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Run the project-invariant static analyzer (``repro.analysis``) from anywhere.
+
+Equivalent to ``PYTHONPATH=src python -m repro.analysis`` run at the
+repository root: this wrapper pins the root and the import path itself, so it
+works from any working directory and without an installed package — which is
+what CI and pre-commit hooks want.
+
+Usage::
+
+    python scripts/lint_invariants.py                 # src benchmarks examples scripts
+    python scripts/lint_invariants.py src/repro/core  # a subtree
+    python scripts/lint_invariants.py --list-rules
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def main() -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    os.chdir(REPO_ROOT)
+    from repro.analysis.__main__ import main as analysis_main
+
+    argv = sys.argv[1:]
+    if "--root" not in argv:
+        argv = ["--root", str(REPO_ROOT), *argv]
+    return analysis_main(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

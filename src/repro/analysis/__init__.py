@@ -1,0 +1,35 @@
+"""Project-invariant static analysis: ``python -m repro.analysis``.
+
+An AST-based lint pass that encodes the architectural invariants of this
+repository as named rules (``RPR001``…): sans-IO purity of the inference
+core, lock discipline in the serving tier, lazy-table discipline, numpy
+containment, seeded RNG, and wire-registry completeness.  See
+``docs/static-analysis.md`` for the rule catalog and
+:mod:`repro.analysis.framework` for the machinery.
+"""
+
+from .config import PROJECT_SCOPES
+from .framework import (
+    Analyzer,
+    Finding,
+    ModuleSource,
+    Report,
+    Rule,
+    Scope,
+    all_rules,
+    register_rule,
+    rules_for,
+)
+
+__all__ = [
+    "Analyzer",
+    "Finding",
+    "ModuleSource",
+    "PROJECT_SCOPES",
+    "Report",
+    "Rule",
+    "Scope",
+    "all_rules",
+    "register_rule",
+    "rules_for",
+]

@@ -1,0 +1,87 @@
+"""The CLI: ``python -m repro.analysis [paths …]``.
+
+Runs the project-invariant rules over the given files/directories (default:
+``src benchmarks examples scripts``, whichever exist under the current
+directory) with the repository scoping config, prints findings as
+``file:line CODE message``, and exits non-zero when any non-suppressed
+finding remains.  ``--stats`` prints per-rule counts even on a clean run;
+``--select`` restricts the pass to a subset of rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from .config import PROJECT_SCOPES
+from .framework import Analyzer, all_rules, rules_for
+
+DEFAULT_PATHS = ("src", "benchmarks", "examples", "scripts")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Check the repository's architectural invariants (RPR rules).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: src benchmarks examples scripts)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="root the scoping globs and rendered paths are relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print per-rule finding counts"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code} {rule.name}: {rule.rationale}")
+        return 0
+
+    try:
+        rules = rules_for(args.select.split(",")) if args.select else all_rules()
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    root = (args.root or Path.cwd()).resolve()
+    paths = args.paths or [
+        root / name for name in DEFAULT_PATHS if (root / name).is_dir()
+    ]
+    if not paths:
+        parser.error("no paths given and none of the default directories exist")
+
+    analyzer = Analyzer(rules=rules, scopes=PROJECT_SCOPES, root=root)
+    report = analyzer.analyze_paths(paths)
+    for finding in report.findings:
+        print(finding.render())
+    if args.stats:
+        counts = report.counts_by_rule()
+        for rule in rules:
+            print(f"{rule.code} ({rule.name}): {counts.get(rule.code, 0)} finding(s)")
+    print(
+        f"checked {report.files_checked} file(s): {len(report.findings)} finding(s), "
+        f"{report.suppressed} suppressed"
+    )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,313 @@
+"""The invariant-lint framework: rules, scoping, suppressions, reports.
+
+``repro.analysis`` is a *project-specific* static analyzer: where ruff checks
+Python-the-language, this package checks repro-the-architecture.  Each
+:class:`Rule` encodes one invariant the codebase relies on (sans-IO purity of
+the inference core, lock discipline in the serving tier, never materializing
+lazy cross products, …) and reports violations as :class:`Finding`\\ s with a
+stable ``file:line CODE message`` rendering.
+
+The moving parts:
+
+* :class:`Rule` — one named check (``RPR###``) over a parsed module.  Rules
+  self-register via :func:`register_rule` at import time; the live registry
+  is :func:`all_rules`.
+* :class:`Scope` — glob patterns deciding which files a rule applies to.
+  Every rule carries a generic default; the *project* scoping lives in
+  :mod:`repro.analysis.config` so per-file carve-outs (e.g. the CSV reader is
+  allowed to read files) are declared in one reviewed place.
+* Inline suppressions — ``# repro-lint: disable=RPR001`` (comma-separate for
+  several codes, ``disable=all`` for everything) on the offending line keeps
+  a *reviewed* exception out of the report.  Suppressions are per-line, not
+  per-file: a blanket opt-out belongs in the scoping config instead.
+* :class:`Analyzer` / :class:`Report` — walk files, run in-scope rules,
+  filter suppressed findings, and aggregate per-rule counts.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import fnmatch
+import re
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Code used for files the analyzer cannot parse at all.
+SYNTAX_ERROR_CODE = "RPR000"
+
+#: ``# repro-lint: disable=RPR001[,RPR002…]``; free-form reason text may follow.
+_SUPPRESSION = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    relpath: str
+    line: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        """The stable ``file:line CODE message`` form CI and editors parse."""
+        return f"{self.relpath}:{self.line} {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class Scope:
+    """Which files (by posix path relative to the analysis root) a rule sees.
+
+    Patterns are :mod:`fnmatch` globs where ``*`` crosses ``/`` boundaries,
+    so ``src/repro/core/*`` covers the whole subtree.  A file is in scope
+    when it matches any ``include`` pattern and no ``exclude`` pattern.
+    """
+
+    include: tuple[str, ...] = ("*",)
+    exclude: tuple[str, ...] = ()
+
+    def matches(self, relpath: str) -> bool:
+        if not any(fnmatch.fnmatch(relpath, pattern) for pattern in self.include):
+            return False
+        return not any(fnmatch.fnmatch(relpath, pattern) for pattern in self.exclude)
+
+
+@dataclass(frozen=True)
+class ModuleSource:
+    """A parsed module plus everything a rule may want to look at."""
+
+    path: Path
+    relpath: str
+    text: str
+    tree: ast.Module
+    lines: tuple[str, ...] = field(repr=False, default=())
+
+    @classmethod
+    def parse(cls, path: Path, relpath: str, text: str) -> ModuleSource:
+        tree = ast.parse(text, filename=str(path))
+        return cls(
+            path=path,
+            relpath=relpath,
+            text=text,
+            tree=tree,
+            lines=tuple(text.splitlines()),
+        )
+
+    def suppressions(self) -> dict[int, frozenset[str]]:
+        """``line -> suppressed codes`` from ``# repro-lint: disable=…`` comments.
+
+        A trailing comment suppresses findings on its own line; a standalone
+        comment line (nothing but the comment) suppresses the *next* line,
+        for call sites too long to carry the comment inline.
+        """
+        table: dict[int, frozenset[str]] = {}
+        for number, line in enumerate(self.lines, 1):
+            match = _SUPPRESSION.search(line)
+            if not match:
+                continue
+            codes = frozenset(
+                part.strip().upper() for part in match.group(1).split(",") if part.strip()
+            )
+            if not codes:
+                continue
+            target = number + 1 if line.strip().startswith("#") else number
+            table[target] = table.get(target, frozenset()) | codes
+        return table
+
+
+class Rule(abc.ABC):
+    """One invariant check.  Subclasses set the class attributes and ``check``."""
+
+    #: Stable finding code, ``RPR`` + three digits.
+    code: str = ""
+    #: Short kebab-case rule name (shown by ``--list-rules``).
+    name: str = ""
+    #: One-line statement of the invariant the rule enforces.
+    rationale: str = ""
+    #: Files the rule applies to when the config carries no override.
+    default_scope: Scope = Scope()
+
+    @abc.abstractmethod
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        """Yield every violation of the invariant in the module."""
+
+    def finding(self, module: ModuleSource, node: ast.AST, message: str) -> Finding:
+        """A finding anchored at an AST node of the module."""
+        return Finding(
+            relpath=module.relpath,
+            line=getattr(node, "lineno", 1),
+            code=self.code,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry (import-time)."""
+    if not cls.code or not re.fullmatch(r"RPR\d{3}", cls.code):
+        raise ValueError(f"rule {cls.__name__} needs a code of the form RPR###")
+    if cls.code in _REGISTRY and _REGISTRY[cls.code] is not cls:
+        raise ValueError(f"rule code {cls.code} is already registered")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, ordered by code.
+
+    Importing :mod:`repro.analysis.rules` populates the registry; this
+    function triggers that import so callers never see an empty registry.
+    """
+    from . import rules as _rules  # noqa: F401 - import populates the registry
+
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def rules_for(codes: Iterable[str]) -> list[Rule]:
+    """Instances of the selected rules; unknown codes raise ``ValueError``."""
+    available = {rule.code: rule for rule in all_rules()}
+    selected = []
+    for code in codes:
+        normalized = code.strip().upper()
+        if normalized not in available:
+            known = ", ".join(sorted(available))
+            raise ValueError(f"unknown rule code {code!r}; known codes: {known}")
+        selected.append(available[normalized])
+    return selected
+
+
+@dataclass
+class Report:
+    """The outcome of one analyzer run."""
+
+    findings: list[Finding]
+    files_checked: int
+    suppressed: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        summary = (
+            f"checked {self.files_checked} file(s): "
+            f"{len(self.findings)} finding(s), {self.suppressed} suppressed"
+        )
+        return "\n".join([*lines, summary])
+
+
+class Analyzer:
+    """Runs a set of rules over files, honouring scoping and suppressions.
+
+    ``root`` anchors the relative paths the scoping globs (and the rendered
+    findings) use; it defaults to the current working directory, which is the
+    repository root in CI and under ``scripts/lint_invariants.py``.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Rule] | None = None,
+        scopes: Mapping[str, Scope] | None = None,
+        root: Path | None = None,
+    ) -> None:
+        self.rules = list(rules) if rules is not None else all_rules()
+        self.scopes = dict(scopes) if scopes is not None else {}
+        self.root = (root or Path.cwd()).resolve()
+
+    def scope_for(self, rule: Rule) -> Scope:
+        return self.scopes.get(rule.code, rule.default_scope)
+
+    def _relpath(self, path: Path) -> str:
+        resolved = path.resolve()
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    def analyze_file(self, path: Path) -> tuple[list[Finding], int]:
+        """``(unsuppressed findings, suppressed count)`` for one file."""
+        relpath = self._relpath(path)
+        text = path.read_text(encoding="utf-8")
+        try:
+            module = ModuleSource.parse(path, relpath, text)
+        except SyntaxError as exc:
+            finding = Finding(
+                relpath=relpath,
+                line=exc.lineno or 1,
+                code=SYNTAX_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+            )
+            return [finding], 0
+        raw: list[Finding] = []
+        for rule in self.rules:
+            if self.scope_for(rule).matches(relpath):
+                raw.extend(rule.check(module))
+        suppressions = module.suppressions() if raw else {}
+        kept: list[Finding] = []
+        suppressed = 0
+        for finding in raw:
+            codes = suppressions.get(finding.line, frozenset())
+            if finding.code in codes or "ALL" in codes:
+                suppressed += 1
+            else:
+                kept.append(finding)
+        return kept, suppressed
+
+    def analyze_paths(self, paths: Iterable[Path | str]) -> Report:
+        """Analyze files and directory trees; directories are walked recursively."""
+        findings: list[Finding] = []
+        files = 0
+        suppressed = 0
+        for path in self._collect(paths):
+            kept, skipped = self.analyze_file(path)
+            findings.extend(kept)
+            suppressed += skipped
+            files += 1
+        findings.sort(key=lambda f: (f.relpath, f.line, f.code))
+        return Report(findings=findings, files_checked=files, suppressed=suppressed)
+
+    def _collect(self, paths: Iterable[Path | str]) -> Iterator[Path]:
+        seen: set[Path] = set()
+        for given in paths:
+            base = Path(given)
+            if base.is_dir():
+                candidates = sorted(
+                    child
+                    for child in base.rglob("*.py")
+                    if "__pycache__" not in child.parts
+                    and not any(part.startswith(".") for part in child.parts)
+                )
+            else:
+                candidates = [base]
+            for candidate in candidates:
+                resolved = candidate.resolve()
+                if resolved not in seen:
+                    seen.add(resolved)
+                    yield candidate
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """The dotted form of a ``Name``/``Attribute`` chain, or ``None``.
+
+    ``ast.Attribute(value=Name('time'), attr='sleep')`` renders as
+    ``"time.sleep"``; chains containing calls or subscripts render as
+    ``None`` (they are not plain module paths).  Shared by several rules.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

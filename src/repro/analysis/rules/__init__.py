@@ -1,0 +1,10 @@
+"""The invariant rules.  Importing this package registers every rule."""
+
+from . import (  # noqa: F401 - imports register the rules
+    lazy_tables,
+    lock_discipline,
+    numpy_containment,
+    sans_io,
+    seeded_rng,
+    wire_registry,
+)

@@ -1,0 +1,74 @@
+"""RPR003 — never materialize lazy cross products in the inference core.
+
+Since the columnar/factorized setup pipeline (PR 3), a
+:class:`~repro.relational.candidate.CandidateTable` built from a cross
+product holds *base relation rows only*; ``table.rows`` exists as a lazy
+compatibility property that reconstructs — and caches — every combination.
+Touching it on a 10⁵-candidate table silently turns an O(Σ|Rᵢ|) algorithm
+into an O(Π|Rᵢ|) one and pins the materialized rows in memory for the life
+of the table: a 30× perf cliff that no test asserts against, because the
+result is still *correct*.
+
+Inside ``core/`` (strategies included) the rule therefore flags:
+
+* any ``.rows`` attribute access, and
+* ``list(…)`` / ``tuple(…)`` over an expression whose name looks like a
+  candidate table (``table``, ``self.table``, ``candidate_table``, …) —
+  iterating a table reconstructs every row.
+
+Type-level code paths (masks, histograms, ``prune_counts_batch``) never need
+either.  A deliberate fallback path materializing rows (none exist in
+``core/`` today; the row-wise fallbacks live in ``relational/``) documents
+itself with an inline suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..framework import Finding, ModuleSource, Rule, Scope, dotted_name, register_rule
+
+
+def _names_a_table(node: ast.AST) -> str | None:
+    """The dotted name of the argument when it plausibly names a table."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    terminal = dotted.rsplit(".", 1)[-1]
+    return dotted if "table" in terminal.lower() else None
+
+
+@register_rule
+class LazyTableRule(Rule):
+    code = "RPR003"
+    name = "lazy-table-discipline"
+    rationale = (
+        "core code scores candidates type-level; '.rows' and list(table) "
+        "materialize the factorized cross product"
+    )
+    default_scope = Scope(include=("src/repro/core/*",))
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and node.attr == "rows":
+                yield self.finding(
+                    module,
+                    node,
+                    "'.rows' materializes the (lazy) cross product; use the "
+                    "type-level API (masks, type_sizes, prune_counts_batch)",
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple")
+                and len(node.args) == 1
+            ):
+                named = _names_a_table(node.args[0])
+                if named is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{node.func.id}({named}) iterates — and materializes — "
+                        "every candidate row; stay on the type-level API",
+                    )

@@ -1,0 +1,238 @@
+"""RPR002 — per-session/registry lock discipline in the serving tier.
+
+The serving classes (:class:`~repro.service.service.SessionService`,
+:class:`~repro.service.cluster.ClusterSessionService`) promise that *every*
+public method may be called from any thread.  The promise rests on one
+convention: shared mutable registries (the table map, the session map) are
+only touched under ``with self._lock``.  A single unlocked read can return a
+torn snapshot; a single unlocked write is a data race that surfaces as a
+once-a-week flaky test.
+
+This rule is a lightweight, purely syntactic race detector:
+
+1. Per class, collect the attributes ``__init__`` binds to mutable containers
+   (dict/list/set literals, comprehensions, or ``dict()``-style constructor
+   calls).
+2. The class is *lock-disciplined* when ``__init__`` also binds
+   ``self._lock``.  Classes without a ``self._lock`` (e.g. the asyncio facade,
+   which relies on event-loop single-threading plus per-session locks) are
+   out of the rule's jurisdiction.
+3. A collected attribute is a *shared registry* when any method other than
+   ``__init__`` mutates it (subscript assignment/deletion, a mutating method
+   call like ``.pop``/``.setdefault``/``.append``, or rebinding).
+4. Every read or write of a shared registry inside any method must be
+   dominated by a ``with``/``async with`` block whose context expression is a
+   lock (``self._lock``, ``managed.lock``, … — any name/attribute ending in
+   ``lock``).  Accesses outside such a block are flagged.
+
+The rule intentionally checks *all* methods, not only public ones: private
+helpers are routinely called without the registry lock held, so an unlocked
+helper access is exactly as racy as an unlocked public one.  A helper that is
+*documented* to require the caller to hold the lock can suppress inline with
+the reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..framework import Finding, ModuleSource, Rule, Scope, register_rule
+
+#: Container constructors whose result is shared mutable state.
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"dict", "list", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+#: Method calls that mutate a container in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+
+def _is_mutable_initializer(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _self_attr_target(node: ast.AST) -> str | None:
+    """``"X"`` when the node is exactly ``self.X``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_lock_expression(node: ast.AST) -> bool:
+    """Whether a ``with`` item's context expression names a lock."""
+    if isinstance(node, ast.Attribute):
+        return node.attr == "lock" or node.attr.endswith("_lock")
+    if isinstance(node, ast.Name):
+        return node.id == "lock" or node.id.endswith("_lock")
+    return False
+
+
+def _function_defs(class_node: ast.ClassDef) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    return [
+        child
+        for child in class_node.body
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _init_bindings(class_node: ast.ClassDef) -> tuple[set[str], bool]:
+    """``(mutable self attributes, has self._lock)`` from ``__init__``."""
+    mutable: set[str] = set()
+    has_lock = False
+    for fn in _function_defs(class_node):
+        if fn.name != "__init__":
+            continue
+        for node in ast.walk(fn):
+            targets: list[ast.expr] = []
+            value: ast.AST | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                attr = _self_attr_target(target)
+                if attr is None:
+                    continue
+                if attr == "_lock":
+                    has_lock = True
+                elif value is not None and _is_mutable_initializer(value):
+                    mutable.add(attr)
+    return mutable, has_lock
+
+
+class _MutationScan(ast.NodeVisitor):
+    """Which of the candidate attributes are mutated outside ``__init__``."""
+
+    def __init__(self, candidates: set[str]) -> None:
+        self.candidates = candidates
+        self.mutated: set[str] = set()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATING_METHODS:
+            attr = _self_attr_target(func.value)
+            if attr in self.candidates:
+                self.mutated.add(attr)
+        self.generic_visit(node)
+
+    def _check_target(self, target: ast.expr) -> None:
+        # Rebinding self.X, or writing/deleting self.X[...] / self.X.attr.
+        attr = _self_attr_target(target)
+        if attr in self.candidates:
+            self.mutated.add(attr)
+            return
+        if isinstance(target, ast.Subscript):
+            attr = _self_attr_target(target.value)
+            if attr in self.candidates:
+                self.mutated.add(attr)
+
+
+class _AccessScan(ast.NodeVisitor):
+    """All accesses to the shared registries, with lock-domination tracking."""
+
+    def __init__(self, registries: set[str]) -> None:
+        self.registries = registries
+        self.locked_depth = 0
+        self.unlocked: list[tuple[ast.AST, str]] = []
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        holds_lock = any(_is_lock_expression(item.context_expr) for item in node.items)
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        if holds_lock:
+            self.locked_depth += 1
+        for child in node.body:
+            self.visit(child)
+        if holds_lock:
+            self.locked_depth -= 1
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = _self_attr_target(node)
+        if attr in self.registries and self.locked_depth == 0:
+            self.unlocked.append((node, attr))
+        self.generic_visit(node)
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    code = "RPR002"
+    name = "lock-discipline"
+    rationale = (
+        "shared mutable registries of lock-disciplined classes are only "
+        "touched under 'with self._lock'"
+    )
+    default_scope = Scope(include=("src/repro/*",))
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(self, module: ModuleSource, class_node: ast.ClassDef) -> Iterator[Finding]:
+        mutable, has_lock = _init_bindings(class_node)
+        if not has_lock or not mutable:
+            return
+        scan = _MutationScan(mutable)
+        for fn in _function_defs(class_node):
+            if fn.name != "__init__":
+                scan.visit(fn)
+        registries = scan.mutated
+        if not registries:
+            return
+        for fn in _function_defs(class_node):
+            if fn.name == "__init__":
+                continue
+            access = _AccessScan(registries)
+            for stmt in fn.body:
+                access.visit(stmt)
+            for offender, attr in access.unlocked:
+                yield self.finding(
+                    module,
+                    offender,
+                    f"{class_node.name}.{fn.name} touches shared registry "
+                    f"'self.{attr}' outside a 'with self._lock' block",
+                )

@@ -1,0 +1,83 @@
+"""RPR004 — numpy is optional everywhere; unguarded imports only in kernels.
+
+The pure-Python kernel fallback is a *supported configuration* (there is a
+dedicated no-numpy CI job): the package must import and pass its whole test
+suite with numpy absent.  One unguarded ``import numpy`` anywhere in the
+import graph breaks that configuration — usually months later, on the first
+machine without numpy.
+
+The rule flags ``import numpy`` / ``from numpy import …`` unless the import
+is wrapped in a ``try`` whose handlers catch ``ImportError`` (or
+``ModuleNotFoundError``/a bare ``except``).  ``core/kernels.py`` — the one
+module that owns the fast-path/fallback switch (:func:`numpy_enabled`,
+``REPRO_KERNEL_BACKEND``) — is carved out in the project scoping config;
+guarded importers like ``relational/columnar.py`` pass on their own.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..framework import Finding, ModuleSource, Rule, Scope, register_rule
+
+_IMPORT_ERRORS = ("ImportError", "ModuleNotFoundError", "Exception", "BaseException")
+
+
+def _catches_import_error(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:  # a bare except catches ImportError too
+        return True
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    return any(isinstance(t, ast.Name) and t.id in _IMPORT_ERRORS for t in types)
+
+
+class _Scan(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.unguarded: list[ast.stmt] = []
+        self._guard_depth = 0
+
+    def visit_Try(self, node: ast.Try) -> None:
+        guarded = any(_catches_import_error(handler) for handler in node.handlers)
+        if guarded:
+            self._guard_depth += 1
+        for child in node.body:
+            self.visit(child)
+        if guarded:
+            self._guard_depth -= 1
+        for part in (node.handlers, node.orelse, node.finalbody):
+            for child in part:
+                self.visit(child)
+
+    def _check(self, node: ast.stmt, module_name: str) -> None:
+        if module_name.split(".")[0] == "numpy" and self._guard_depth == 0:
+            self.unguarded.append(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check(node, alias.name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0:
+            self._check(node, node.module or "")
+
+
+@register_rule
+class NumpyContainmentRule(Rule):
+    code = "RPR004"
+    name = "numpy-containment"
+    rationale = (
+        "numpy is an optional fast path; every import outside core/kernels.py "
+        "is guarded by try/except ImportError"
+    )
+    default_scope = Scope(include=("*",), exclude=("src/repro/core/kernels.py",))
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        scan = _Scan()
+        scan.visit(module.tree)
+        for node in scan.unguarded:
+            yield self.finding(
+                module,
+                node,
+                "unguarded numpy import; wrap in try/except ImportError (the "
+                "pure-Python kernel fallback is a supported configuration)",
+            )

@@ -1,0 +1,107 @@
+"""RPR005 — all randomness flows through an explicit seeded generator.
+
+Every stochastic component in the project — noisy oracles, simulated crowd
+workers, synthetic dataset generators, the random baseline strategy — takes a
+``seed`` and builds its own ``random.Random(seed)``.  That is what makes
+experiment traces byte-reproducible, lets the benchmarks pin expected
+interaction sequences, and keeps concurrent sessions from interleaving draws
+on the shared module-level generator (``random.random`` et al. share one
+global state across threads: a concurrency bug *and* a reproducibility bug).
+
+The rule flags, everywhere in the repo:
+
+* calls/references to the module-level generator — ``random.<fn>()`` for any
+  ``fn`` other than the ``Random``/``SystemRandom`` constructors,
+* ``from random import shuffle, …`` (importing the module-level functions
+  directly just hides the global state), and
+* numpy's legacy global generator — ``numpy.random.seed``/``np.random.rand``
+  and friends (use ``numpy.random.Generator`` via ``default_rng(seed)``
+  when numpy randomness is ever needed).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..framework import Finding, ModuleSource, Rule, Scope, dotted_name, register_rule
+
+#: Names importable from ``random`` that do not touch the global generator.
+_ALLOWED_FROM_RANDOM = frozenset({"Random", "SystemRandom"})
+
+
+@register_rule
+class SeededRngRule(Rule):
+    code = "RPR005"
+    name = "seeded-rng"
+    rationale = (
+        "no module-level RNG state: every stochastic component threads an "
+        "explicit random.Random(seed)"
+    )
+    default_scope = Scope(include=("*",))
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        random_aliases = self._module_aliases(module.tree, "random")
+        numpy_aliases = self._module_aliases(module.tree, "numpy")
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0:
+                if node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in _ALLOWED_FROM_RANDOM:
+                            yield self.finding(
+                                module,
+                                node,
+                                f"'from random import {alias.name}' binds the "
+                                "module-level generator; build a "
+                                "random.Random(seed) instead",
+                            )
+                elif node.module in ("numpy.random", "numpy"):
+                    for alias in node.names:
+                        if node.module == "numpy.random" and alias.name[:1].islower():
+                            if alias.name != "default_rng":
+                                yield self.finding(
+                                    module,
+                                    node,
+                                    f"'from numpy.random import {alias.name}' uses "
+                                    "the legacy global generator; use "
+                                    "default_rng(seed)",
+                                )
+            elif isinstance(node, ast.Attribute):
+                dotted = dotted_name(node)
+                if dotted is None:
+                    continue
+                parts = dotted.split(".")
+                if (
+                    len(parts) == 2
+                    and parts[0] in random_aliases
+                    and parts[1] not in _ALLOWED_FROM_RANDOM
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{dotted} uses the shared module-level generator; "
+                        "thread an explicit random.Random(seed)",
+                    )
+                elif (
+                    len(parts) == 3
+                    and parts[0] in numpy_aliases
+                    and parts[1] == "random"
+                    and parts[2] not in ("Generator", "default_rng", "SeedSequence")
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{dotted} uses numpy's legacy global generator; use "
+                        "numpy.random.default_rng(seed)",
+                    )
+
+    @staticmethod
+    def _module_aliases(tree: ast.Module, name: str) -> frozenset[str]:
+        """Local names the module is bound to (``import numpy as np`` -> np)."""
+        aliases = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == name:
+                        aliases.add(alias.asname or alias.name)
+        return frozenset(aliases)

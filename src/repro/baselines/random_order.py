@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
 
 from ..core.oracle import Oracle
 from ..core.queries import JoinQuery
@@ -50,7 +49,7 @@ class RandomOrderBaseline:
     fully unassisted interaction type 1.
     """
 
-    def __init__(self, seed: Optional[int] = None, informed_pruning: bool = False) -> None:
+    def __init__(self, seed: int | None = None, informed_pruning: bool = False) -> None:
         self.seed = seed
         self.informed_pruning = informed_pruning
 
@@ -58,7 +57,7 @@ class RandomOrderBaseline:
         self,
         table: CandidateTable,
         oracle: Oracle,
-        max_interactions: Optional[int] = None,
+        max_interactions: int | None = None,
     ) -> RandomOrderResult:
         """Label random tuples until the query is identified (or the cap is hit)."""
         rng = random.Random(self.seed)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from .core.engine import JoinInferenceEngine
 from .core.oracle import ConsoleOracle, GoalQueryOracle, Oracle
@@ -107,7 +107,7 @@ def parse_goal(text: str) -> JoinQuery:
     return JoinQuery.of(*pairs)
 
 
-def load_table(dataset: str, csv_path: Optional[str]) -> CandidateTable:
+def load_table(dataset: str, csv_path: str | None) -> CandidateTable:
     """The candidate table selected by ``--dataset`` / ``--csv``."""
     if csv_path:
         return read_candidate_table_csv(csv_path)
@@ -189,7 +189,7 @@ def run_demo(args: argparse.Namespace, oracle: Oracle) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``jim`` command (returns a process exit code)."""
     parser = build_parser()
     args = parser.parse_args(argv)

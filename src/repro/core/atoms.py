@@ -13,8 +13,8 @@ from __future__ import annotations
 
 import enum
 import itertools
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Sequence
 
 from ..exceptions import AtomUniverseError
 from ..relational.candidate import CandidateTable
@@ -43,7 +43,7 @@ class EqualityAtom:
             object.__setattr__(self, "right", original_left)
 
     @classmethod
-    def of(cls, left: str, right: str) -> "EqualityAtom":
+    def of(cls, left: str, right: str) -> EqualityAtom:
         """Build a (normalised) atom between two attribute names."""
         return cls(left, right)
 
@@ -118,9 +118,9 @@ class AtomUniverse:
         table: CandidateTable,
         scope: AtomScope = AtomScope.CROSS_RELATION,
         require_type_compatible: bool = True,
-        include_attributes: Optional[Iterable[str]] = None,
-        exclude_attributes: Optional[Iterable[str]] = None,
-    ) -> "AtomUniverse":
+        include_attributes: Iterable[str] | None = None,
+        exclude_attributes: Iterable[str] | None = None,
+    ) -> AtomUniverse:
         """Build the default atom universe for a candidate table.
 
         Parameters

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Union
 
 from ..exceptions import ConvergenceError
 from ..relational.candidate import CandidateTable
@@ -142,8 +141,8 @@ class JoinInferenceEngine:
     def __init__(
         self,
         table: CandidateTable,
-        strategy: Union[Strategy, str, None] = None,
-        universe: Optional[AtomUniverse] = None,
+        strategy: Strategy | str | None = None,
+        universe: AtomUniverse | None = None,
         scope: AtomScope = AtomScope.CROSS_RELATION,
         strict: bool = True,
     ) -> None:
@@ -164,8 +163,8 @@ class JoinInferenceEngine:
     def run(
         self,
         oracle: Oracle,
-        max_interactions: Optional[int] = None,
-        initial_state: Optional[InferenceState] = None,
+        max_interactions: int | None = None,
+        initial_state: InferenceState | None = None,
         require_convergence: bool = False,
     ) -> InferenceResult:
         """Run the interactive loop until convergence (or ``max_interactions``).
@@ -198,7 +197,7 @@ class JoinInferenceEngine:
             if other is not self.table and (
                 other.attribute_names != self.table.attribute_names
                 or len(other) != len(self.table)
-                or any(a != b for a, b in zip(other, self.table))
+                or any(a != b for a, b in zip(other, self.table, strict=True))
             ):
                 raise ValueError(
                     "initial_state was built over a different candidate table than the "
@@ -245,10 +244,10 @@ class JoinInferenceEngine:
 def infer_join(
     table: CandidateTable,
     oracle: Oracle,
-    strategy: Union[Strategy, str, None] = None,
+    strategy: Strategy | str | None = None,
     scope: AtomScope = AtomScope.CROSS_RELATION,
-    max_interactions: Optional[int] = None,
-    universe: Optional[AtomUniverse] = None,
+    max_interactions: int | None = None,
+    universe: AtomUniverse | None = None,
     strict: bool = True,
     require_convergence: bool = False,
 ) -> InferenceResult:

@@ -29,8 +29,8 @@ surface; downstream code should prefer it over sweeping per-tuple masks.
 from __future__ import annotations
 
 import itertools
+from collections.abc import Iterator, Mapping
 from types import MappingProxyType
-from typing import Iterator, Mapping, Optional
 
 try:  # Optional: ids_of_mask merges per-combination id vectors with numpy.
     import numpy as _np
@@ -95,7 +95,7 @@ class _FactorizedTypes:
         ids.sort()
         return tuple(ids)
 
-    def min_id_of_mask(self, mask: int) -> Optional[int]:
+    def min_id_of_mask(self, mask: int) -> int | None:
         """The smallest tuple id of one equality type, without materialising.
 
         Each combination's smallest id uses the first (smallest) member of
@@ -107,7 +107,7 @@ class _FactorizedTypes:
             return None
         members = self.grouping.members
         strides = self.grouping.factorization.strides
-        best: Optional[int] = None
+        best: int | None = None
         for combo in combos:
             tuple_id = sum(
                 members[factor][gid][0] * strides[factor]
@@ -125,9 +125,9 @@ class EqualityTypeIndex:
         self.universe = universe
         self.table = universe.table
         pairs = universe.attribute_positions
-        self._masks: Optional[tuple[int, ...]] = None
+        self._masks: tuple[int, ...] | None = None
         self._ids_by_mask: dict[int, tuple[int, ...]] = {}
-        self._factorized: Optional[_FactorizedTypes] = None
+        self._factorized: _FactorizedTypes | None = None
         factorization = self.table.factorization()
         try:
             if factorization is not None:
@@ -161,7 +161,7 @@ class EqualityTypeIndex:
     def _build_columnar(self, pairs) -> None:
         """Flat tables: per-atom tight loops over interned code arrays."""
         used_columns = sorted({position for pair in pairs for position in pair})
-        codes = dict(zip(used_columns, self.table.equality_codes(used_columns)))
+        codes = dict(zip(used_columns, self.table.equality_codes(used_columns), strict=True))
         self._finish_flat(columnar_equality_masks(codes, len(self.table), pairs))
 
     def _build_rowwise(self) -> None:
@@ -235,7 +235,7 @@ class EqualityTypeIndex:
             self._ids_by_mask[mask] = ids
         return ids
 
-    def min_tuple_id(self, mask: int) -> Optional[int]:
+    def min_tuple_id(self, mask: int) -> int | None:
         """The smallest tuple id of one equality type, or ``None``.
 
         On factorized tables this avoids materialising (and caching) the

@@ -9,8 +9,8 @@ those labels and is the sole input of the consistent-query space.
 from __future__ import annotations
 
 import enum
+from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Optional
 
 from ..exceptions import InconsistentLabelError
 
@@ -31,12 +31,12 @@ class Label(enum.Enum):
         """Whether the label is negative."""
         return self is Label.NEGATIVE
 
-    def opposite(self) -> "Label":
+    def opposite(self) -> Label:
         """The other label."""
         return Label.NEGATIVE if self is Label.POSITIVE else Label.POSITIVE
 
     @classmethod
-    def from_value(cls, value: object) -> "Label":
+    def from_value(cls, value: object) -> Label:
         """Parse a label from common user-facing spellings.
 
         Accepts :class:`Label` values, booleans, and the strings
@@ -80,7 +80,7 @@ class ExampleSet:
     oracle level instead).
     """
 
-    def __init__(self, labels: Optional[Mapping[int, Label]] = None) -> None:
+    def __init__(self, labels: Mapping[int, Label] | None = None) -> None:
         self._labels: dict[int, Label] = dict(labels) if labels else {}
 
     def add(self, tuple_id: int, label: Label) -> None:
@@ -93,7 +93,7 @@ class ExampleSet:
             )
         self._labels[tuple_id] = label
 
-    def label_of(self, tuple_id: int) -> Optional[Label]:
+    def label_of(self, tuple_id: int) -> Label | None:
         """The label of a tuple, or ``None`` when unlabeled."""
         return self._labels.get(tuple_id)
 
@@ -120,7 +120,7 @@ class ExampleSet:
         """A copy of the underlying mapping."""
         return dict(self._labels)
 
-    def copy(self) -> "ExampleSet":
+    def copy(self) -> ExampleSet:
         """An independent copy of the example set."""
         return ExampleSet(self._labels)
 

@@ -32,10 +32,10 @@ interactive loop's guard (:func:`has_informative_tuple` and
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Iterator, Optional
+from collections.abc import Iterable, Iterator
 
-from .examples import ExampleSet, Label
 from .equality_types import EqualityTypeIndex
+from .examples import ExampleSet, Label
 from .kernels import UNKNOWN, TypeTable, certain_codes, make_type_table
 from .space import ConsistentQuerySpace
 
@@ -69,7 +69,7 @@ class TupleStatus(enum.Enum):
         return self is not TupleStatus.INFORMATIVE
 
     @property
-    def implied_label(self) -> Optional[Label]:
+    def implied_label(self) -> Label | None:
         """The label the status implies, when there is one."""
         if self in (TupleStatus.LABELED_POSITIVE, TupleStatus.CERTAIN_POSITIVE):
             return Label.POSITIVE
@@ -100,7 +100,7 @@ def classify_tuple(
 def classify_all(
     space: ConsistentQuerySpace,
     examples: ExampleSet,
-    tuple_ids: Optional[Iterable[int]] = None,
+    tuple_ids: Iterable[int] | None = None,
 ) -> dict[int, TupleStatus]:
     """Status of every tuple (or of the given ids), computed type-wise.
 
@@ -114,8 +114,8 @@ def classify_all(
         # Full sweep: stream the masks in tuple_id order — cheaper than a
         # per-id decode on factorized tables, without caching an O(#tuples)
         # materialisation on the index.
-        pairs = zip(range(len(type_index)), type_index.iter_masks())
-    certain_by_type: dict[int, Optional[bool]] = {}
+        pairs = zip(range(len(type_index)), type_index.iter_masks(), strict=True)
+    certain_by_type: dict[int, bool | None] = {}
     statuses: dict[int, TupleStatus] = {}
     for tuple_id, mask in pairs:
         label = examples.label_of(tuple_id)
@@ -175,7 +175,7 @@ class TypeStatusCache:
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
-    def certain_label_for(self, type_mask: int) -> Optional[bool]:
+    def certain_label_for(self, type_mask: int) -> bool | None:
         """The memoised certain label of a type (``None`` = informative)."""
         return self._table.certain_of(type_mask)
 
@@ -215,7 +215,7 @@ class TypeStatusCache:
         sizes = type_index.type_sizes()
         masks = type_index.distinct_masks
         codes = certain_codes(masks, space.positive_mask, space.negative_masks)
-        for mask, code in zip(masks, codes):
+        for mask, code in zip(masks, codes, strict=True):
             if code == UNKNOWN and sizes[mask] > labeled_per_type.get(mask, 0):
                 return True
         return False
@@ -246,7 +246,7 @@ class TypeStatusCache:
             space.positive_mask, space.negative_masks, only_unknown=consistent
         )
 
-    def copy(self) -> "TypeStatusCache":
+    def copy(self) -> TypeStatusCache:
         """An independent copy (O(1) copy-on-write of the column arrays)."""
         clone = TypeStatusCache.__new__(TypeStatusCache)
         clone._table = self._table.copy()

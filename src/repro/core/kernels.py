@@ -45,7 +45,7 @@ from __future__ import annotations
 
 import os
 from array import array
-from typing import Iterable, Iterator, Optional, Sequence, Union
+from collections.abc import Iterable, Iterator, Sequence
 
 try:  # The numpy fast path is optional; the pure-Python kernels are exact.
     import numpy as _np
@@ -68,7 +68,7 @@ _LABEL_OF = {UNKNOWN: None, CERTAIN_POSITIVE: True, CERTAIN_NEGATIVE: False}
 _INT64_LIMIT = 1 << 62
 
 _ENV_VAR = "REPRO_KERNEL_BACKEND"
-_forced_backend: Optional[str] = None
+_forced_backend: str | None = None
 
 
 def _validate(backend: str) -> str:
@@ -104,9 +104,9 @@ class use_backend:
 
     def __init__(self, backend: str) -> None:
         self.backend = _validate(backend)
-        self._previous: Optional[str] = None
+        self._previous: str | None = None
 
-    def __enter__(self) -> "use_backend":
+    def __enter__(self) -> use_backend:
         global _forced_backend
         self._previous = _forced_backend
         _forced_backend = self.backend
@@ -150,7 +150,7 @@ def certain_codes(
     masks: Sequence[int],
     positive_mask: int,
     negative_masks: Sequence[int],
-    backend: Optional[str] = None,
+    backend: str | None = None,
 ) -> Iterator[int]:
     """Certain-label codes for a batch of type masks, lazily.
 
@@ -193,7 +193,7 @@ def prune_counts_batch(
     restricted_candidates: Sequence[int],
     positive_mask: int,
     negative_masks: Sequence[int],
-    backend: Optional[str] = None,
+    backend: str | None = None,
 ) -> list[tuple[int, int]]:
     """``(resolved_if_positive, resolved_if_negative)`` per candidate type.
 
@@ -220,7 +220,7 @@ def prune_counts_batch(
     for restricted_candidate in restricted_candidates:
         resolved_if_positive = 0
         resolved_if_negative = 0
-        for mask, count in zip(info_masks, info_counts):
+        for mask, count in zip(info_masks, info_counts, strict=True):
             # If labeled positive: M shrinks to M ∩ E(t).
             restricted = restricted_candidate & mask
             if restricted_candidate & ~mask == 0:
@@ -255,7 +255,7 @@ def _np_prune_counts(
     resolved_plus = ((positive | negative) * counts).sum(axis=1)
     under_m = _np.int64(positive_mask) & masks
     resolved_minus = (((under_m & ~cand) == 0) * counts).sum(axis=1)
-    return list(zip(resolved_plus.tolist(), resolved_minus.tolist()))
+    return list(zip(resolved_plus.tolist(), resolved_minus.tolist(), strict=True))
 
 
 # --------------------------------------------------------------------- #
@@ -284,7 +284,7 @@ class _BaseTypeTable:
         """The distinct type masks, in table order."""
         return self._masks
 
-    def certain_of(self, mask: int) -> Optional[bool]:
+    def certain_of(self, mask: int) -> bool | None:
         """The memoised certain label of one type (``None`` = informative)."""
         raise NotImplementedError
 
@@ -323,7 +323,7 @@ class _BaseTypeTable:
         """Whether any informative tuple remains."""
         raise NotImplementedError
 
-    def copy(self) -> "TypeTable":
+    def copy(self) -> TypeTable:
         """An O(1) copy-on-write clone sharing the column arrays."""
         raise NotImplementedError
 
@@ -350,7 +350,7 @@ class PyTypeTable(_BaseTypeTable):
             self._unlabeled = list(self._unlabeled)
             self._owned = True
 
-    def certain_of(self, mask: int) -> Optional[bool]:
+    def certain_of(self, mask: int) -> bool | None:
         return _LABEL_OF[self._certain[self._index[mask]]]
 
     def unlabeled_of(self, mask: int) -> int:
@@ -406,7 +406,7 @@ class PyTypeTable(_BaseTypeTable):
             certain[i] == UNKNOWN and unlabeled[i] for i in range(len(self._masks))
         )
 
-    def copy(self) -> "PyTypeTable":
+    def copy(self) -> PyTypeTable:
         clone = PyTypeTable.__new__(PyTypeTable)
         clone._masks = self._masks
         clone._index = self._index
@@ -434,7 +434,7 @@ class NumpyTypeTable(_BaseTypeTable):
             self._unlabeled = self._unlabeled.copy()
             self._owned = True
 
-    def certain_of(self, mask: int) -> Optional[bool]:
+    def certain_of(self, mask: int) -> bool | None:
         return _LABEL_OF[int(self._certain[self._index[mask]])]
 
     def unlabeled_of(self, mask: int) -> int:
@@ -482,7 +482,7 @@ class NumpyTypeTable(_BaseTypeTable):
     def has_informative(self) -> bool:
         return bool(((self._certain == UNKNOWN) & (self._unlabeled > 0)).any())
 
-    def copy(self) -> "NumpyTypeTable":
+    def copy(self) -> NumpyTypeTable:
         clone = NumpyTypeTable.__new__(NumpyTypeTable)
         clone._masks = self._masks
         clone._index = self._index
@@ -494,11 +494,11 @@ class NumpyTypeTable(_BaseTypeTable):
         return clone
 
 
-TypeTable = Union[PyTypeTable, "NumpyTypeTable"]
+TypeTable = PyTypeTable | NumpyTypeTable
 
 
 def make_type_table(
-    masks: Sequence[int], sizes: Sequence[int], backend: Optional[str] = None
+    masks: Sequence[int], sizes: Sequence[int], backend: str | None = None
 ) -> TypeTable:
     """A fresh type table on the resolved backend (all labels UNKNOWN).
 

@@ -17,8 +17,8 @@ table sweeps, which is what the incremental engine uses.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from .equality_types import EqualityTypeIndex
 from .examples import Label

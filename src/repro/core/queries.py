@@ -20,7 +20,8 @@ Besides evaluation the module implements the notions the paper relies on:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence, Union
+from collections.abc import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING
 
 from ..relational import columnar
 from ..relational.candidate import CandidateTable
@@ -29,7 +30,7 @@ from .atoms import AtomUniverse, EqualityAtom
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     pass
 
-AtomLike = Union[EqualityAtom, tuple[str, str]]
+AtomLike = EqualityAtom | tuple[str, str]
 
 
 def _as_atom(value: AtomLike) -> EqualityAtom:
@@ -55,17 +56,17 @@ class JoinQuery:
     # Constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def of(cls, *atoms: AtomLike) -> "JoinQuery":
+    def of(cls, *atoms: AtomLike) -> JoinQuery:
         """Build a query from atoms or ``(left, right)`` attribute pairs."""
         return cls(atoms)
 
     @classmethod
-    def empty(cls) -> "JoinQuery":
+    def empty(cls) -> JoinQuery:
         """The query with no atoms (selects every tuple)."""
         return cls()
 
     @classmethod
-    def from_mask(cls, universe: AtomUniverse, mask: int) -> "JoinQuery":
+    def from_mask(cls, universe: AtomUniverse, mask: int) -> JoinQuery:
         """Decode a bitmask over ``universe`` into a query."""
         return cls(universe.atoms_of(mask))
 
@@ -191,7 +192,7 @@ class JoinQuery:
             classes.setdefault(find(name), set()).add(name)
         return [frozenset(members) for members in classes.values()]
 
-    def closure(self, universe: Optional[AtomUniverse] = None) -> "JoinQuery":
+    def closure(self, universe: AtomUniverse | None = None) -> JoinQuery:
         """All atoms implied by the query through transitivity of equality.
 
         Without a universe the closure contains every pair of attributes in
@@ -209,7 +210,7 @@ class JoinQuery:
                         implied.add(atom)
         return JoinQuery(implied)
 
-    def implies(self, other: "JoinQuery") -> bool:
+    def implies(self, other: JoinQuery) -> bool:
         """Whether every atom of ``other`` is a logical consequence of this query.
 
         If ``self.implies(other)`` then every tuple selected by ``self`` is
@@ -218,15 +219,15 @@ class JoinQuery:
         """
         return other.atoms <= self.closure().atoms
 
-    def is_equivalent_to(self, other: "JoinQuery") -> bool:
+    def is_equivalent_to(self, other: JoinQuery) -> bool:
         """Logical equivalence: each query implies the other."""
         return self.implies(other) and other.implies(self)
 
-    def instance_equivalent(self, other: "JoinQuery", table: CandidateTable) -> bool:
+    def instance_equivalent(self, other: JoinQuery, table: CandidateTable) -> bool:
         """Whether both queries select exactly the same tuples of ``table``."""
         return self.evaluate(table) == other.evaluate(table)
 
-    def normalized(self) -> "JoinQuery":
+    def normalized(self) -> JoinQuery:
         """A canonical, minimal form: a spanning set of atoms per equivalence class.
 
         Two logically equivalent queries normalise to the same query.
@@ -241,15 +242,15 @@ class JoinQuery:
     # ------------------------------------------------------------------ #
     # Set-like operations
     # ------------------------------------------------------------------ #
-    def union(self, other: "JoinQuery") -> "JoinQuery":
+    def union(self, other: JoinQuery) -> JoinQuery:
         """The conjunction of both queries (union of their atom sets)."""
         return JoinQuery(self._atoms | other.atoms)
 
-    def intersection(self, other: "JoinQuery") -> "JoinQuery":
+    def intersection(self, other: JoinQuery) -> JoinQuery:
         """The query made of the atoms common to both."""
         return JoinQuery(self._atoms & other.atoms)
 
-    def without(self, other: "JoinQuery") -> "JoinQuery":
+    def without(self, other: JoinQuery) -> JoinQuery:
         """The query made of this query's atoms not present in ``other``."""
         return JoinQuery(self._atoms - other.atoms)
 
@@ -294,7 +295,7 @@ class JoinQuery:
     def __hash__(self) -> int:
         return hash(self._atoms)
 
-    def __le__(self, other: "JoinQuery") -> bool:
+    def __le__(self, other: JoinQuery) -> bool:
         """Syntactic subset of atoms (NOT semantic containment)."""
         return self._atoms <= other.atoms
 

@@ -31,7 +31,7 @@ given (see :mod:`repro.core.state` for the companion status cache).
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from collections.abc import Iterator
 
 from .atoms import AtomUniverse, is_subset
 from .equality_types import EqualityTypeIndex
@@ -47,7 +47,7 @@ class ConsistentQuerySpace:
     optimal strategy and by tests, on small universes.
     """
 
-    def __init__(self, type_index: EqualityTypeIndex, examples: Optional[ExampleSet] = None) -> None:
+    def __init__(self, type_index: EqualityTypeIndex, examples: ExampleSet | None = None) -> None:
         self.type_index = type_index
         self.universe: AtomUniverse = type_index.universe
         self.examples = examples if examples is not None else ExampleSet()
@@ -112,7 +112,7 @@ class ConsistentQuerySpace:
         """
         return not is_subset(self._positive_mask, type_mask)
 
-    def certain_label_for(self, type_mask: int) -> Optional[bool]:
+    def certain_label_for(self, type_mask: int) -> bool | None:
         """The implied label of a tuple with the given type, if any.
 
         Returns ``True`` when every consistent query selects it, ``False``
@@ -128,7 +128,7 @@ class ConsistentQuerySpace:
     # ------------------------------------------------------------------ #
     # Updates (functional: each returns a new space)
     # ------------------------------------------------------------------ #
-    def with_label(self, tuple_id: int, positive: bool) -> "ConsistentQuerySpace":
+    def with_label(self, tuple_id: int, positive: bool) -> ConsistentQuerySpace:
         """A new space with one extra example (the example set is copied).
 
         The update is a *delta*: the new space reuses the current ``M`` and
@@ -148,7 +148,7 @@ class ConsistentQuerySpace:
         tuple_id: int,
         positive: bool,
         already_labeled: bool,
-    ) -> "ConsistentQuerySpace":
+    ) -> ConsistentQuerySpace:
         """The space for ``examples`` = this space's examples + one label.
 
         ``examples`` must extend this space's example set by exactly the
@@ -172,7 +172,7 @@ class ConsistentQuerySpace:
                 clone._negative_masks.append(mask)
         return clone
 
-    def _clone_with_examples(self, examples: ExampleSet) -> "ConsistentQuerySpace":
+    def _clone_with_examples(self, examples: ExampleSet) -> ConsistentQuerySpace:
         """A copy of this space bound to ``examples`` (which must be equal).
 
         Copy-on-write support for :meth:`InferenceState.copy`: the masks are
@@ -189,7 +189,7 @@ class ConsistentQuerySpace:
     # ------------------------------------------------------------------ #
     # Explicit enumeration (small universes only)
     # ------------------------------------------------------------------ #
-    def consistent_query_masks(self, limit: Optional[int] = None) -> Iterator[int]:
+    def consistent_query_masks(self, limit: int | None = None) -> Iterator[int]:
         """Enumerate the bitmasks of consistent queries (subsets of ``M``).
 
         The number of subsets of ``M`` is ``2^{|M|}``; callers must only use
@@ -209,11 +209,11 @@ class ConsistentQuerySpace:
                 if limit is not None and yielded >= limit:
                     return
 
-    def count_consistent_queries(self, limit: Optional[int] = None) -> int:
+    def count_consistent_queries(self, limit: int | None = None) -> int:
         """Number of consistent queries (possibly truncated by ``limit``)."""
         return sum(1 for _ in self.consistent_query_masks(limit))
 
-    def consistent_queries(self, limit: Optional[int] = None) -> list[JoinQuery]:
+    def consistent_queries(self, limit: int | None = None) -> list[JoinQuery]:
         """The consistent queries as :class:`JoinQuery` objects (small universes)."""
         return [
             JoinQuery.from_mask(self.universe, mask)

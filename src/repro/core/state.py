@@ -35,7 +35,7 @@ instead of rebuild-from-scratch.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from collections.abc import Iterable
 
 from ..exceptions import InconsistentLabelError
 from ..relational.candidate import CandidateTable
@@ -55,9 +55,9 @@ class InferenceState:
     def __init__(
         self,
         table: CandidateTable,
-        universe: Optional[AtomUniverse] = None,
+        universe: AtomUniverse | None = None,
         scope: AtomScope = AtomScope.CROSS_RELATION,
-        examples: Optional[ExampleSet] = None,
+        examples: ExampleSet | None = None,
         strict: bool = True,
     ) -> None:
         self.table = table
@@ -71,7 +71,7 @@ class InferenceState:
     # ------------------------------------------------------------------ #
     # Labeling
     # ------------------------------------------------------------------ #
-    def add_label(self, tuple_id: int, label: Union[Label, str, bool]) -> PropagationResult:
+    def add_label(self, tuple_id: int, label: Label | str | bool) -> PropagationResult:
         """Record a membership-query answer and propagate it incrementally.
 
         Returns a :class:`~repro.core.propagation.PropagationResult` listing
@@ -251,7 +251,7 @@ class InferenceState:
             self.space.negative_masks,
         )
 
-    def first_informative_id(self, type_masks: Iterable[int]) -> Optional[int]:
+    def first_informative_id(self, type_masks: Iterable[int]) -> int | None:
         """The smallest unlabeled tuple id across the given equality types.
 
         Uses the index's :meth:`~repro.core.equality_types.EqualityTypeIndex.min_tuple_id`
@@ -261,7 +261,7 @@ class InferenceState:
         """
         labeled = self.examples.labeled_ids
         type_index = self.type_index
-        best: Optional[int] = None
+        best: int | None = None
         for mask in type_masks:
             tuple_id = type_index.min_tuple_id(mask)
             if tuple_id is not None and tuple_id in labeled:
@@ -305,7 +305,7 @@ class InferenceState:
         return self.prune_counts_for_restricted([restricted])[0]
 
     def prune_counts_all(
-        self, tuple_ids: Optional[Iterable[int]] = None
+        self, tuple_ids: Iterable[int] | None = None
     ) -> dict[int, tuple[int, int]]:
         """:meth:`prune_counts` for every candidate, against one shared snapshot.
 
@@ -328,10 +328,10 @@ class InferenceState:
             if restricted not in seen:
                 seen.add(restricted)
                 distinct.append(restricted)
-        by_restricted_type = dict(zip(distinct, self.prune_counts_for_restricted(distinct)))
+        by_restricted_type = dict(zip(distinct, self.prune_counts_for_restricted(distinct), strict=True))
         return {tuple_id: by_restricted_type[restricted_of[tuple_id]] for tuple_id in candidates}
 
-    def simulate_label(self, tuple_id: int, label: Union[Label, str, bool]) -> "InferenceState":
+    def simulate_label(self, tuple_id: int, label: Label | str | bool) -> InferenceState:
         """A copy of the state with one extra label (the current state is untouched).
 
         Copy-on-write: the clone shares the table/universe/type index and
@@ -345,7 +345,7 @@ class InferenceState:
     # ------------------------------------------------------------------ #
     # Bookkeeping
     # ------------------------------------------------------------------ #
-    def copy(self) -> "InferenceState":
+    def copy(self) -> InferenceState:
         """An independent copy sharing the immutable table/universe/type index.
 
         The example set and space masks are copied in O(#labels + |N|) and

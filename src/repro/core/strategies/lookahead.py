@@ -72,7 +72,7 @@ class _ScoredLookaheadStrategy(Strategy):
         counts = state.prune_counts_for_restricted([restricted for restricted, _, _ in groups])
         best_score = -math.inf
         best_types: list[int] = []
-        for (_, full_types, _), (resolved_plus, resolved_minus) in zip(groups, counts):
+        for (_, full_types, _), (resolved_plus, resolved_minus) in zip(groups, counts, strict=True):
             value = self.score(resolved_plus, resolved_minus)
             if value > best_score:
                 best_score = value
@@ -161,7 +161,7 @@ class KStepLookaheadStrategy(Strategy):
             [restricted for restricted, _, _ in groups]
         )
         scored: list[tuple[int, int]] = []
-        for (_, full_types, _), (resolved_plus, resolved_minus) in zip(groups, counts):
+        for (_, full_types, _), (resolved_plus, resolved_minus) in zip(groups, counts, strict=True):
             value = min(resolved_plus, resolved_minus)
             for tuple_id in state.first_informative_ids(full_types, self.beam_width):
                 scored.append((value, tuple_id))

@@ -22,8 +22,6 @@ determines informativeness.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ...exceptions import StrategyError
 from ..examples import Label
 from ..state import InferenceState
@@ -102,8 +100,8 @@ class OptimalStrategy(Strategy):
     def choose(self, state: InferenceState) -> int:
         """An informative tuple starting an optimal question tree."""
         candidates = self._informative_or_raise(state)
-        best_id: Optional[int] = None
-        best_value: Optional[int] = None
+        best_id: int | None = None
+        best_value: int | None = None
         for tuple_id in self._representatives(state):
             worst = 0
             for label in (Label.POSITIVE, Label.NEGATIVE):

@@ -9,7 +9,6 @@ would bring.
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from ..state import InferenceState
 from .base import Strategy
@@ -20,7 +19,7 @@ class RandomStrategy(Strategy):
 
     name = "random"
 
-    def __init__(self, seed: Optional[int] = None) -> None:
+    def __init__(self, seed: int | None = None) -> None:
         self._seed = seed
         self._rng = random.Random(seed)
 

@@ -8,7 +8,7 @@ list of strings.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from ...exceptions import StrategyError
 from .base import Strategy
@@ -69,7 +69,7 @@ def register_strategy(name: str, factory: StrategyFactory, overwrite: bool = Fal
     _REGISTRY[name] = factory
 
 
-def create_strategy(name: str, seed: Optional[int] = None, **kwargs: object) -> Strategy:
+def create_strategy(name: str, seed: int | None = None, **kwargs: object) -> Strategy:
     """Instantiate a strategy by name.
 
     ``seed`` is forwarded to strategies that accept one (currently the random

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from ..core.queries import JoinQuery
 from ..relational.candidate import CandidateTable
@@ -50,8 +50,8 @@ def full_deck() -> tuple[tuple[str, str, str, str], ...]:
 
 
 def card_deck(
-    size: Optional[int] = None,
-    seed: Optional[int] = 0,
+    size: int | None = None,
+    seed: int | None = 0,
 ) -> tuple[tuple[str, str, str, str], ...]:
     """A deck of ``size`` distinct cards (the full deck when ``size`` is omitted).
 
@@ -67,12 +67,12 @@ def card_deck(
     return tuple(rng.sample(deck, size))
 
 
-def cards_relation(name: str, cards: Optional[Sequence[tuple[str, str, str, str]]] = None) -> Relation:
+def cards_relation(name: str, cards: Sequence[tuple[str, str, str, str]] | None = None) -> Relation:
     """A relation of Set cards under the given relation name."""
     return Relation.build(name, list(FEATURES), cards if cards is not None else full_deck())
 
 
-def setgame_instance(deck_size: Optional[int] = None, seed: Optional[int] = 0) -> DatabaseInstance:
+def setgame_instance(deck_size: int | None = None, seed: int | None = 0) -> DatabaseInstance:
     """Two copies of (a sample of) the deck, named ``Left`` and ``Right``."""
     cards = card_deck(deck_size, seed)
     return DatabaseInstance(
@@ -82,9 +82,9 @@ def setgame_instance(deck_size: Optional[int] = None, seed: Optional[int] = 0) -
 
 
 def pair_table(
-    deck_size: Optional[int] = None,
-    max_rows: Optional[int] = None,
-    seed: Optional[int] = 0,
+    deck_size: int | None = None,
+    max_rows: int | None = None,
+    seed: int | None = 0,
 ) -> CandidateTable:
     """The candidate table of card *pairs* (``Left`` × ``Right``).
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Optional
 
 from ..core.atoms import AtomScope, AtomUniverse
 from ..core.queries import JoinQuery
@@ -57,7 +56,7 @@ class SyntheticConfig:
     attributes_per_relation: int = 3
     tuples_per_relation: int = 10
     domain_size: int = 4
-    max_candidate_rows: Optional[int] = None
+    max_candidate_rows: int | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -110,7 +109,7 @@ def random_goal_query(
     table: CandidateTable,
     num_atoms: int,
     seed: int = 0,
-    universe: Optional[AtomUniverse] = None,
+    universe: AtomUniverse | None = None,
     require_nonempty: bool = True,
     require_proper: bool = True,
     max_attempts: int = 500,
@@ -168,7 +167,7 @@ def planted_goal_instance(
 def all_goal_queries(
     table: CandidateTable,
     num_atoms: int,
-    universe: Optional[AtomUniverse] = None,
+    universe: AtomUniverse | None = None,
 ) -> list[JoinQuery]:
     """Every query with exactly ``num_atoms`` atoms over the table's universe.
 

@@ -14,8 +14,8 @@ exercise, and it is preserved exactly.
 from __future__ import annotations
 
 import random
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
 from ..core.queries import JoinQuery
 from ..exceptions import ExperimentError
@@ -70,7 +70,7 @@ class TPCHConfig:
         return self.num_orders * self.lineitems_per_order
 
 
-def generate_tpch(config: Optional[TPCHConfig] = None) -> DatabaseInstance:
+def generate_tpch(config: TPCHConfig | None = None) -> DatabaseInstance:
     """Generate the miniature TPC-H database instance."""
     config = config or TPCHConfig()
     rng = random.Random(config.seed)
@@ -175,9 +175,9 @@ def relations_of_join(name: str) -> tuple[str, ...]:
 
 def tpch_candidate_table(
     join_name: str,
-    config: Optional[TPCHConfig] = None,
-    max_rows: Optional[int] = 2000,
-    instance: Optional[DatabaseInstance] = None,
+    config: TPCHConfig | None = None,
+    max_rows: int | None = 2000,
+    instance: DatabaseInstance | None = None,
 ) -> CandidateTable:
     """The candidate table (cross product) for one of the canonical joins.
 

@@ -10,7 +10,6 @@ synthetic strategy-comparison sweeps and the TPC-H-like PK/FK joins.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..core.queries import JoinQuery
 from ..relational.candidate import CandidateTable
@@ -63,8 +62,8 @@ def figure1_workload(goal: str = "q2") -> Workload:
 
 def setgame_workload(
     features: tuple[str, ...] = ("color", "shading"),
-    deck_size: Optional[int] = 12,
-    max_rows: Optional[int] = None,
+    deck_size: int | None = 12,
+    max_rows: int | None = None,
     seed: int = 0,
 ) -> Workload:
     """Joining sets of pictures: pairs of Set cards sharing the given features."""
@@ -80,7 +79,7 @@ def setgame_workload(
 
 
 def synthetic_workload(
-    config: Optional[synthetic.SyntheticConfig] = None,
+    config: synthetic.SyntheticConfig | None = None,
     goal_atoms: int = 2,
 ) -> Workload:
     """A synthetic instance with a randomly drawn, non-trivial goal query."""
@@ -102,8 +101,8 @@ def synthetic_workload(
 
 def tpch_workload(
     join_name: str = "orders-customer",
-    config: Optional[tpch.TPCHConfig] = None,
-    max_rows: Optional[int] = 2000,
+    config: tpch.TPCHConfig | None = None,
+    max_rows: int | None = 2000,
 ) -> Workload:
     """A TPC-H-like PK/FK join inference workload."""
     table = tpch.tpch_candidate_table(join_name, config=config, max_rows=max_rows)

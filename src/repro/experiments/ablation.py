@@ -16,7 +16,7 @@ Three design choices called out in DESIGN.md are ablated here:
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from ..baselines.random_order import RandomOrderBaseline
 from ..core.atoms import AtomScope, AtomUniverse
@@ -58,7 +58,7 @@ def default_ablation_workloads(seed: int = 0) -> list[Workload]:
 
 
 def ablate_pruning(
-    workloads: Optional[Sequence[Workload]] = None,
+    workloads: Sequence[Workload] | None = None,
     strategy: str = "lookahead-entropy",
     seeds: Sequence[int] = (0, 1, 2),
 ) -> ResultTable:
@@ -99,7 +99,7 @@ def ablate_pruning(
 
 
 def ablate_atom_scope(
-    workloads: Optional[Sequence[Workload]] = None,
+    workloads: Sequence[Workload] | None = None,
     strategy: str = "lookahead-entropy",
 ) -> ResultTable:
     """Cross-relation atom universe vs the all-pairs universe."""
@@ -128,7 +128,7 @@ def ablate_atom_scope(
 
 
 def ablate_lookahead_depth(
-    workloads: Optional[Sequence[Workload]] = None,
+    workloads: Sequence[Workload] | None = None,
     depths: Sequence[int] = (1, 2),
     include_optimal: bool = True,
     optimal_max_states: int = 100_000,

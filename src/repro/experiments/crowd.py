@@ -15,7 +15,7 @@ the query space (a handful of questions), independent of the instance size.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from ..baselines.entity_resolution import PairwiseCrowdJoin, pairwise_question_count
 from ..core.oracle import GoalQueryOracle
@@ -48,7 +48,7 @@ def crowd_workloads(
 
 
 def compare_crowd_cost(
-    workloads: Optional[Sequence[Workload]] = None,
+    workloads: Sequence[Workload] | None = None,
     strategy: str = "lookahead-entropy",
     seed: int = 0,
     run_pairwise_oracle: bool = True,

@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from ..baselines.label_all import label_all_interactions
 from ..baselines.random_order import RandomOrderBaseline
@@ -50,7 +50,7 @@ def default_e2_workloads(
 
 
 def interactive_vs_label_all(
-    workloads: Optional[Sequence[Workload]] = None,
+    workloads: Sequence[Workload] | None = None,
     strategy: str = "lookahead-entropy",
     seed: int = 0,
 ) -> ResultTable:
@@ -87,7 +87,7 @@ def interactive_vs_label_all(
 
 
 def interaction_mode_effort(
-    workloads: Optional[Sequence[Workload]] = None,
+    workloads: Sequence[Workload] | None = None,
     k: int = 3,
     seed: int = 0,
 ) -> ResultTable:
@@ -186,7 +186,7 @@ def interaction_mode_effort(
 
 
 def strategy_benefit(
-    workloads: Optional[Sequence[Workload]] = None,
+    workloads: Sequence[Workload] | None = None,
     strategy: str = "lookahead-entropy",
     seeds: Sequence[int] = (0, 1, 2),
 ) -> ResultTable:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import io
 import statistics
-from typing import Iterable, Iterator, Mapping, Optional, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 from ..exceptions import ExperimentError
 
@@ -49,7 +49,7 @@ class ResultTable:
             raise ExperimentError(f"unknown column {name!r}")
         return [row[name] for row in self.rows]
 
-    def filter(self, **criteria: object) -> "ResultTable":
+    def filter(self, **criteria: object) -> ResultTable:
         """A new table with the rows matching all ``column=value`` criteria."""
         table = ResultTable(self.columns)
         for row in self.rows:
@@ -82,7 +82,7 @@ class ResultTable:
             return f"{value:.3f}".rstrip("0").rstrip(".") if value else "0"
         return str(value)
 
-    def to_text(self, max_rows: Optional[int] = None) -> str:
+    def to_text(self, max_rows: int | None = None) -> str:
         """Aligned, human-readable rendering (what benchmarks print)."""
         rows = self.rows if max_rows is None else self.rows[:max_rows]
         cells = [[self._formatted(row[column]) for column in self.columns] for row in rows]
@@ -90,10 +90,10 @@ class ResultTable:
         for row in cells:
             for position, cell in enumerate(row):
                 widths[position] = max(widths[position], len(cell))
-        header = "  ".join(column.ljust(width) for column, width in zip(self.columns, widths))
+        header = "  ".join(column.ljust(width) for column, width in zip(self.columns, widths, strict=True))
         separator = "  ".join("-" * width for width in widths)
         body = [
-            "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths, strict=True)).rstrip()
             for row in cells
         ]
         lines = [header.rstrip(), separator]

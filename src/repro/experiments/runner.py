@@ -10,7 +10,7 @@ seeds into a :class:`~repro.experiments.results.ResultTable`.
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from ..core.engine import JoinInferenceEngine
 from ..core.oracle import GoalQueryOracle
@@ -38,7 +38,7 @@ def run_single(
     workload: Workload,
     strategy: str,
     seed: int = 0,
-    max_interactions: Optional[int] = None,
+    max_interactions: int | None = None,
 ) -> Record:
     """Run one guided inference session and return its record."""
     engine = JoinInferenceEngine(workload.table, strategy=create_strategy(strategy, seed=seed))
@@ -66,7 +66,7 @@ def run_matrix(
     workloads: Sequence[Workload],
     strategies: Sequence[str],
     seeds: Sequence[int] = (0,),
-    max_interactions: Optional[int] = None,
+    max_interactions: int | None = None,
 ) -> ResultTable:
     """Cross workloads × strategies × seeds into a result table."""
     table = ResultTable(RUN_COLUMNS)

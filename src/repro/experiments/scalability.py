@@ -10,7 +10,7 @@ larger but still interactive cost for the lookahead ones — can be checked.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from ..datasets.synthetic import SyntheticConfig
 from ..datasets.workloads import Workload, synthetic_workload
@@ -23,7 +23,7 @@ def scalability_workloads(
     goal_atoms: int = 2,
     domain_size: int = 4,
     seed: int = 0,
-    max_candidate_rows: Optional[int] = None,
+    max_candidate_rows: int | None = None,
 ) -> list[Workload]:
     """Synthetic workloads of growing candidate-table size (quadratic in rows)."""
     return [
@@ -67,7 +67,7 @@ def setup_scale_workloads(
 
 
 def measure_scalability(
-    workloads: Optional[Sequence[Workload]] = None,
+    workloads: Sequence[Workload] | None = None,
     strategies: Sequence[str] = ("local-most-specific", "lookahead-entropy", "random"),
     seed: int = 0,
 ) -> ResultTable:

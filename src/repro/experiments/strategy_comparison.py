@@ -15,7 +15,7 @@ how far the heuristics are from the true optimum.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from ..core.strategies.registry import LOCAL_STRATEGIES, LOOKAHEAD_STRATEGIES
 from ..datasets.synthetic import SyntheticConfig
@@ -62,7 +62,7 @@ def sweep_workloads(
 
 
 def compare_strategies(
-    workloads: Optional[Sequence[Workload]] = None,
+    workloads: Sequence[Workload] | None = None,
     strategies: Sequence[str] = DEFAULT_STRATEGY_PANEL,
     seeds: Sequence[int] = (0,),
 ) -> ResultTable:

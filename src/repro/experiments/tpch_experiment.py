@@ -15,7 +15,7 @@ drive the workloads can be re-discovered from the generated data with
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from ..datasets.tpch import TPCHConfig, generate_tpch
 from ..datasets.workloads import Workload, tpch_workload
@@ -34,8 +34,8 @@ DEFAULT_JOINS: tuple[str, ...] = (
 
 def tpch_workload_suite(
     joins: Sequence[str] = DEFAULT_JOINS,
-    config: Optional[TPCHConfig] = None,
-    max_rows: Optional[int] = 1200,
+    config: TPCHConfig | None = None,
+    max_rows: int | None = 1200,
 ) -> list[Workload]:
     """One workload per canonical TPC-H join."""
     return [tpch_workload(join, config=config, max_rows=max_rows) for join in joins]
@@ -44,8 +44,8 @@ def tpch_workload_suite(
 def run_tpch_experiment(
     joins: Sequence[str] = DEFAULT_JOINS,
     strategies: Sequence[str] = ("random", "local-most-specific", "lookahead-entropy"),
-    config: Optional[TPCHConfig] = None,
-    max_rows: Optional[int] = 1200,
+    config: TPCHConfig | None = None,
+    max_rows: int | None = 1200,
     seeds: Sequence[int] = (0,),
 ) -> ResultTable:
     """Interactions per (join, strategy) on the TPC-H-like instance."""
@@ -54,7 +54,7 @@ def run_tpch_experiment(
 
 
 def discovered_foreign_keys(
-    config: Optional[TPCHConfig] = None,
+    config: TPCHConfig | None = None,
     min_score: float = 0.6,
 ) -> ResultTable:
     """Foreign keys re-discovered from the generated data (sanity of the substrate).

@@ -32,8 +32,9 @@ import hashlib
 import json
 import subprocess
 import time
+from collections.abc import Mapping
 from pathlib import Path
-from typing import Any, Mapping, Optional, Union
+from typing import Any
 
 #: File-name template of one benchmark's trajectory.
 FILE_TEMPLATE = "BENCH_{name}.json"
@@ -49,7 +50,7 @@ def config_hash(config: Mapping[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
 
 
-def git_commit(directory: Union[str, Path, None] = None) -> str:
+def git_commit(directory: str | Path | None = None) -> str:
     """The current git commit hash, or ``"unknown"`` outside a repository."""
     try:
         completed = subprocess.run(
@@ -66,12 +67,12 @@ def git_commit(directory: Union[str, Path, None] = None) -> str:
     return commit if completed.returncode == 0 and commit else "unknown"
 
 
-def trajectory_path(name: str, directory: Union[str, Path]) -> Path:
+def trajectory_path(name: str, directory: str | Path) -> Path:
     """Where ``BENCH_<name>.json`` lives under ``directory``."""
     return Path(directory) / FILE_TEMPLATE.format(name=name)
 
 
-def load_records(name: str, directory: Union[str, Path]) -> list[dict[str, Any]]:
+def load_records(name: str, directory: str | Path) -> list[dict[str, Any]]:
     """All recorded results of one benchmark (empty when none were recorded)."""
     path = trajectory_path(name, directory)
     if not path.exists():
@@ -83,10 +84,10 @@ def load_records(name: str, directory: Union[str, Path]) -> list[dict[str, Any]]
 
 def find_record(
     name: str,
-    directory: Union[str, Path],
+    directory: str | Path,
     commit: str,
     config: Mapping[str, Any],
-) -> Optional[dict[str, Any]]:
+) -> dict[str, Any] | None:
     """The record of one (commit, configuration) pair, if present."""
     digest = config_hash(config)
     for record in load_records(name, directory):
@@ -99,9 +100,9 @@ def record_benchmark(
     name: str,
     config: Mapping[str, Any],
     results: Mapping[str, Any],
-    directory: Union[str, Path],
-    commit: Optional[str] = None,
-    timestamp: Optional[float] = None,
+    directory: str | Path,
+    commit: str | None = None,
+    timestamp: float | None = None,
 ) -> Path:
     """Append (or replace) one benchmark measurement in the trajectory file.
 

@@ -25,8 +25,8 @@ from __future__ import annotations
 
 import hashlib
 import random
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Sequence
 
 from ..exceptions import CandidateTableError, UnknownAttributeError
 from .columnar import FactorGrouping, ProductFactorization, ValueCodec, group_product
@@ -48,7 +48,7 @@ class CandidateAttribute:
 
     name: str
     data_type: DataType = DataType.TEXT
-    source_relation: Optional[str] = None
+    source_relation: str | None = None
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.name
@@ -68,8 +68,8 @@ class CandidateTable:
         name: str = "candidates",
     ) -> None:
         self._init_schema(attributes, name)
-        self._factorization: Optional[ProductFactorization] = None
-        self._rows: Optional[tuple[Row, ...]] = tuple(tuple(row) for row in rows)
+        self._factorization: ProductFactorization | None = None
+        self._rows: tuple[Row, ...] | None = tuple(tuple(row) for row in rows)
         for row in self._rows:
             if len(row) != len(self.attributes):
                 raise CandidateTableError(
@@ -86,7 +86,7 @@ class CandidateTable:
         if len(set(names)) != len(names):
             raise CandidateTableError("candidate attribute names must be unique")
         self._index = {attr.name: pos for pos, attr in enumerate(self.attributes)}
-        self._fingerprint: Optional[str] = None
+        self._fingerprint: str | None = None
         self._groupings: dict[tuple[int, ...], FactorGrouping] = {}
 
     # ------------------------------------------------------------------ #
@@ -98,7 +98,7 @@ class CandidateTable:
         attributes: Sequence[CandidateAttribute],
         factorization: ProductFactorization,
         name: str,
-    ) -> "CandidateTable":
+    ) -> CandidateTable:
         """Build a table over a factorized cross product (rows stay lazy)."""
         table = cls.__new__(cls)
         table._init_schema(attributes, name)
@@ -113,8 +113,8 @@ class CandidateTable:
         attribute_names: Sequence[str],
         rows: Iterable[Sequence[object]],
         name: str = "candidates",
-        source_relations: Optional[Sequence[Optional[str]]] = None,
-    ) -> "CandidateTable":
+        source_relations: Sequence[str | None] | None = None,
+    ) -> CandidateTable:
         """Build a candidate table from flat rows, inferring column types.
 
         ``source_relations`` optionally records, per column, the base relation
@@ -147,7 +147,7 @@ class CandidateTable:
         return cls(attributes, materialised, name=name)
 
     @classmethod
-    def from_relation(cls, relation: Relation, name: Optional[str] = None) -> "CandidateTable":
+    def from_relation(cls, relation: Relation, name: str | None = None) -> CandidateTable:
         """Treat a single (already denormalised) relation as the candidate table."""
         attributes = [
             CandidateAttribute(attr.short_name, attr.data_type, None)
@@ -159,11 +159,11 @@ class CandidateTable:
     def cross_product(
         cls,
         instance: DatabaseInstance,
-        relation_names: Optional[Sequence[str]] = None,
-        name: Optional[str] = None,
-        max_rows: Optional[int] = None,
-        rng: Optional[random.Random] = None,
-    ) -> "CandidateTable":
+        relation_names: Sequence[str] | None = None,
+        name: str | None = None,
+        max_rows: int | None = None,
+        rng: random.Random | None = None,
+    ) -> CandidateTable:
         """Build the cross product of the given relations as a candidate table.
 
         Column names are qualified (``Relation.attr``).  When ``max_rows`` is
@@ -201,7 +201,7 @@ class CandidateTable:
                 row: list[object] = []
                 remainder = flat_index
                 # Mixed-radix decoding of the flat index into one index per relation.
-                for rel_rows, size in zip(reversed(relation_rows), reversed(sizes)):
+                for rel_rows, size in zip(reversed(relation_rows), reversed(sizes), strict=True):
                     remainder, position = divmod(remainder, size)
                     row = list(rel_rows[position]) + row
                 rows.append(tuple(row))
@@ -228,7 +228,7 @@ class CandidateTable:
             self._rows = tuple(self._factorization.iter_rows())
         return self._rows
 
-    def factorization(self) -> Optional[ProductFactorization]:
+    def factorization(self) -> ProductFactorization | None:
         """The factorized form of the table, when it is an unsampled product."""
         return self._factorization
 
@@ -278,7 +278,7 @@ class CandidateTable:
     def as_dicts(self) -> list[dict[str, object]]:
         """Rows as dictionaries keyed by attribute name."""
         names = self.attribute_names
-        return [dict(zip(names, row)) for row in self]
+        return [dict(zip(names, row, strict=True)) for row in self]
 
     def column(self, attribute_name: str) -> list[object]:
         """All values of a column, in row order (factorized: tile/repeat)."""
@@ -288,7 +288,7 @@ class CandidateTable:
             return self._factorization.column_values(position)
         return [row[position] for row in self._rows]
 
-    def equality_codes(self, columns: Optional[Sequence[int]] = None) -> list[list[int]]:
+    def equality_codes(self, columns: Sequence[int] | None = None) -> list[list[int]]:
         """Value-interned code arrays for the given columns (all by default).
 
         Codes follow Python ``==`` semantics and are comparable *across* the
@@ -344,7 +344,7 @@ class CandidateTable:
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
 
-    def source_relations(self) -> tuple[Optional[str], ...]:
+    def source_relations(self) -> tuple[str | None, ...]:
         """The source relation of each column (``None`` when unknown)."""
         return tuple(attr.source_relation for attr in self.attributes)
 
@@ -352,7 +352,7 @@ class CandidateTable:
         """Whether every column knows the base relation it comes from."""
         return all(attr.source_relation is not None for attr in self.attributes)
 
-    def subset(self, tuple_ids: Sequence[int], name: Optional[str] = None) -> "CandidateTable":
+    def subset(self, tuple_ids: Sequence[int], name: str | None = None) -> CandidateTable:
         """A new candidate table containing only the given tuples (re-numbered)."""
         rows = [self.row(tuple_id) for tuple_id in tuple_ids]
         return CandidateTable(self.attributes, rows, name=name or f"{self.name}-subset")
@@ -375,9 +375,9 @@ class CandidateTable:
 
 def denormalize(
     instance: DatabaseInstance,
-    relation_names: Optional[Sequence[str]] = None,
-    max_rows: Optional[int] = None,
-    rng: Optional[random.Random] = None,
+    relation_names: Sequence[str] | None = None,
+    max_rows: int | None = None,
+    rng: random.Random | None = None,
 ) -> CandidateTable:
     """Shorthand for :meth:`CandidateTable.cross_product`."""
     return CandidateTable.cross_product(
@@ -385,7 +385,7 @@ def denormalize(
     )
 
 
-def candidate_table_to_relation(table: CandidateTable, name: Optional[str] = None) -> Relation:
+def candidate_table_to_relation(table: CandidateTable, name: str | None = None) -> Relation:
     """Convert a candidate table back into a flat relation (for CSV/SQLite export)."""
     return Relation.build(
         name or table.name,

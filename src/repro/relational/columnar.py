@@ -32,7 +32,7 @@ in :mod:`repro.core.equality_types`, which consumes these helpers.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Mapping, Optional, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 
 try:  # Optional fast path; every consumer has an exact pure-Python fallback.
     import numpy as _np
@@ -141,7 +141,7 @@ def columnar_equality_masks(
     for left, right in pairs:
         left_codes = codes[left]
         right_codes = codes[right]
-        for tuple_id, (a, b) in enumerate(zip(left_codes, right_codes)):
+        for tuple_id, (a, b) in enumerate(zip(left_codes, right_codes, strict=True)):
             if a >= 0 and a == b:
                 masks[tuple_id] |= bit
         bit <<= 1
@@ -216,13 +216,13 @@ class ProductFactorization:
 
     def tuple_id_of(self, digits: Sequence[int]) -> int:
         """Mixed-radix encoding: the flat ``tuple_id`` of per-factor indices."""
-        return sum(digit * stride for digit, stride in zip(digits, self.strides))
+        return sum(digit * stride for digit, stride in zip(digits, self.strides, strict=True))
 
     def row(self, tuple_id: int) -> Row:
         """Reconstruct one candidate row on demand (no materialisation)."""
         parts: list[Row] = []
         remainder = tuple_id
-        for rows, stride in zip(self.factor_rows, self.strides):
+        for rows, stride in zip(self.factor_rows, self.strides, strict=True):
             digit, remainder = divmod(remainder, stride)
             parts.append(rows[digit])
         return tuple(itertools.chain.from_iterable(parts))
@@ -278,7 +278,7 @@ class FactorGrouping:
         self.members = members
         self.row_gids = row_gids
         self.slot_of = slot_of
-        self._member_arrays: Optional[dict[tuple[int, int], "_np.ndarray"]] = None
+        self._member_arrays: dict[tuple[int, int], "_np.ndarray"] | None = None
 
     def group_counts(self) -> list[list[int]]:
         """Group cardinalities, per factor."""
@@ -299,7 +299,7 @@ class FactorGrouping:
         tuple_id_of = self.factorization.tuple_id_of
         return [tuple_id_of(digits) for digits in itertools.product(*member_lists)]
 
-    def _member_array(self, factor: int, gid: int) -> "_np.ndarray":
+    def _member_array(self, factor: int, gid: int) -> _np.ndarray:
         """One group's base-row indices as a cached int64 vector."""
         if self._member_arrays is None:
             self._member_arrays = {}
@@ -310,7 +310,7 @@ class FactorGrouping:
             self._member_arrays[key] = cached
         return cached
 
-    def combo_id_array(self, combo: Sequence[int]) -> "_np.ndarray":
+    def combo_id_array(self, combo: Sequence[int]) -> _np.ndarray:
         """The candidate tuple ids of one combination, as an ascending vector.
 
         Mixed-radix broadcast: each factor contributes ``member * stride``
@@ -319,7 +319,7 @@ class FactorGrouping:
         numeric tuple-id order — the sums come out ascending without a sort.
         """
         strides = self.factorization.strides
-        ids: Optional["_np.ndarray"] = None
+        ids: _np.ndarray | None = None
         for factor, gid in enumerate(combo):
             term = self._member_array(factor, gid) * strides[factor]
             ids = term if ids is None else (ids[:, None] + term[None, :]).reshape(-1)
@@ -357,7 +357,7 @@ def group_product(
             code_columns = [
                 codec.encode([row[local] for row in rows]) for local in locals_used
             ]
-            keys: Sequence[tuple[int, ...]] = list(zip(*code_columns))
+            keys: Sequence[tuple[int, ...]] = list(zip(*code_columns, strict=True))
         else:
             # No atom touches this factor: all its rows are interchangeable.
             keys = [()] * len(rows)

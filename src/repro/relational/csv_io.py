@@ -10,20 +10,20 @@ from __future__ import annotations
 
 import csv
 import io
+from collections.abc import Sequence
 from pathlib import Path
-from typing import Optional, Sequence, Union
 
 from ..exceptions import SchemaError
 from .candidate import CandidateTable
 from .relation import Relation
 from .types import detect_and_coerce_column, parse_cell
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
 def read_relation_csv(
     path: PathLike,
-    name: Optional[str] = None,
+    name: str | None = None,
     delimiter: str = ",",
     null_token: str = "",
 ) -> Relation:
@@ -87,7 +87,7 @@ def write_relation_csv(
 def write_candidate_table_csv(
     table: CandidateTable,
     path: PathLike,
-    labels: Optional[dict[int, str]] = None,
+    labels: dict[int, str] | None = None,
     delimiter: str = ",",
     null_token: str = "",
 ) -> None:
@@ -113,7 +113,7 @@ def write_candidate_table_csv(
 
 def read_candidate_table_csv(
     path: PathLike,
-    name: Optional[str] = None,
+    name: str | None = None,
     delimiter: str = ",",
     null_token: str = "",
 ) -> CandidateTable:

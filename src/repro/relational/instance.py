@@ -8,7 +8,7 @@ product of the selected relations) over which inference runs.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 from ..exceptions import SchemaError, UnknownRelationError
 from .relation import Relation
@@ -52,7 +52,7 @@ class DatabaseInstance:
         """The database schema of the registered relations."""
         return DatabaseSchema.of(*(relation.schema for relation in self.relations))
 
-    def subset(self, relation_names: Sequence[str], name: Optional[str] = None) -> "DatabaseInstance":
+    def subset(self, relation_names: Sequence[str], name: str | None = None) -> DatabaseInstance:
         """A new instance containing only the named relations, in that order."""
         return DatabaseInstance(
             name or self.name,
@@ -63,7 +63,7 @@ class DatabaseInstance:
         """Total number of tuples across all relations."""
         return sum(len(relation) for relation in self.relations)
 
-    def cross_product_size(self, relation_names: Optional[Sequence[str]] = None) -> int:
+    def cross_product_size(self, relation_names: Sequence[str] | None = None) -> int:
         """Number of candidate tuples in the cross product of the relations."""
         names = relation_names if relation_names is not None else self.relation_names
         size = 1

@@ -11,8 +11,8 @@ inference itself.
 from __future__ import annotations
 
 import difflib
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import Iterable, Optional
 
 from .instance import DatabaseInstance
 from .relation import Relation
@@ -193,7 +193,7 @@ def ranked_foreign_keys(
 
 def join_goal_pairs(
     dependencies: Iterable[InclusionDependency],
-    limit: Optional[int] = None,
+    limit: int | None = None,
 ) -> list[tuple[str, str]]:
     """Qualified attribute pairs to use as goal-query atoms, deduplicated."""
     seen: set[frozenset[str]] = set()

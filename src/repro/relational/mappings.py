@@ -13,8 +13,9 @@ database instance.
 from __future__ import annotations
 
 import string
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING
 
 from ..exceptions import CandidateTableError
 from .candidate import CandidateTable
@@ -46,7 +47,7 @@ class GavMapping:
     target: str
     source_relations: tuple[str, ...]
     attribute_variables: dict[str, str]
-    query: "JoinQuery"
+    query: JoinQuery
     table: CandidateTable
 
     @property
@@ -95,10 +96,10 @@ def _variable_names() -> list[str]:
 
 
 def as_gav_mapping(
-    query: "JoinQuery",
+    query: JoinQuery,
     table: CandidateTable,
     target: str = "Target",
-    source_relations: Optional[Sequence[str]] = None,
+    source_relations: Sequence[str] | None = None,
 ) -> GavMapping:
     """Read an inferred join query as a GAV mapping over the table's sources.
 

@@ -9,7 +9,7 @@ relational layer is what examples, datasets and the SQLite adapter manipulate.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Optional, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
 
 from ..exceptions import SchemaError
 from .schema import Attribute, RelationSchema
@@ -37,8 +37,8 @@ class Relation:
         name: str,
         attribute_names: Sequence[str],
         rows: Iterable[Sequence[object]],
-        data_types: Optional[Sequence[DataType]] = None,
-    ) -> "Relation":
+        data_types: Sequence[DataType] | None = None,
+    ) -> Relation:
         """Convenience constructor that infers attribute types from the data.
 
         When ``data_types`` is omitted each column's type is inferred from the
@@ -57,7 +57,7 @@ class Relation:
             raise SchemaError("data_types length must match attribute_names length")
         schema = RelationSchema(
             name,
-            [Attribute(attr, dtype) for attr, dtype in zip(attribute_names, data_types)],
+            [Attribute(attr, dtype) for attr, dtype in zip(attribute_names, data_types, strict=True)],
         )
         return cls(schema, materialised)
 
@@ -96,7 +96,7 @@ class Relation:
         position = self.schema.position_of(attribute_name)
         return [row[position] for row in self._rows]
 
-    def project(self, attribute_names: Sequence[str], name: Optional[str] = None) -> "Relation":
+    def project(self, attribute_names: Sequence[str], name: str | None = None) -> Relation:
         """Return a new relation containing only the given attributes."""
         positions = [self.schema.position_of(attr) for attr in attribute_names]
         attributes = [self.schema.attributes[pos] for pos in positions]
@@ -106,7 +106,7 @@ class Relation:
             projected.insert(tuple(row[pos] for pos in positions))
         return projected
 
-    def select(self, predicate: Callable[[Row], bool], name: Optional[str] = None) -> "Relation":
+    def select(self, predicate: Callable[[Row], bool], name: str | None = None) -> Relation:
         """Return a new relation with the rows satisfying ``predicate``."""
         schema = self.schema if name is None else RelationSchema(name, self.schema.attributes)
         selected = Relation(schema)
@@ -115,7 +115,7 @@ class Relation:
                 selected.insert(row)
         return selected
 
-    def distinct(self) -> "Relation":
+    def distinct(self) -> Relation:
         """Return a copy with duplicate tuples removed (first occurrence kept)."""
         seen: set[Row] = set()
         unique = Relation(self.schema)
@@ -125,7 +125,7 @@ class Relation:
                 unique.insert(row)
         return unique
 
-    def rename(self, name: str) -> "Relation":
+    def rename(self, name: str) -> Relation:
         """Return a copy of the relation under a different name."""
         schema = RelationSchema(name, [attr.qualify(name) for attr in self.schema.attributes])
         return Relation(schema, self._rows)
@@ -133,7 +133,7 @@ class Relation:
     def as_dicts(self) -> list[dict[str, object]]:
         """Rows as dictionaries keyed by unqualified attribute name."""
         names = self.schema.attribute_names
-        return [dict(zip(names, row)) for row in self._rows]
+        return [dict(zip(names, row, strict=True)) for row in self._rows]
 
     def __iter__(self) -> Iterator[Row]:
         return iter(self._rows)

@@ -9,8 +9,8 @@ columns unambiguously.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
 
 from ..exceptions import SchemaError, UnknownAttributeError, UnknownRelationError
 from .types import DataType
@@ -35,7 +35,7 @@ class Attribute:
 
     name: str
     data_type: DataType = DataType.TEXT
-    relation: Optional[str] = None
+    relation: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -57,7 +57,7 @@ class Attribute:
         """The unqualified column name."""
         return self.name.rsplit(".", 1)[-1]
 
-    def qualify(self, relation: str) -> "Attribute":
+    def qualify(self, relation: str) -> Attribute:
         """Return a copy of this attribute bound to ``relation``."""
         return Attribute(name=self.short_name, data_type=self.data_type, relation=relation)
 
@@ -88,7 +88,7 @@ class RelationSchema:
         name: str,
         attribute_names: Iterable[str],
         data_type: DataType = DataType.TEXT,
-    ) -> "RelationSchema":
+    ) -> RelationSchema:
         """Build a schema where every attribute has the same ``data_type``."""
         return cls(name, [Attribute(attr, data_type) for attr in attribute_names])
 
@@ -159,7 +159,7 @@ class DatabaseSchema:
     relations: dict[str, RelationSchema] = field(default_factory=dict)
 
     @classmethod
-    def of(cls, *schemas: RelationSchema) -> "DatabaseSchema":
+    def of(cls, *schemas: RelationSchema) -> DatabaseSchema:
         """Build a database schema from relation schemas, rejecting duplicates."""
         database = cls()
         for schema in schemas:

@@ -10,7 +10,8 @@ table, so the result can be executed against SQLite (see
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from ..exceptions import CandidateTableError
 from .candidate import CandidateTable
@@ -25,7 +26,7 @@ def quote_identifier(identifier: str) -> str:
     return f'"{escaped}"'
 
 
-def _split_qualified(name: str) -> tuple[Optional[str], str]:
+def _split_qualified(name: str) -> tuple[str | None, str]:
     """Split ``Relation.attr`` into (relation, attr); flat names have no relation."""
     if "." in name:
         relation, attr = name.rsplit(".", 1)
@@ -42,9 +43,9 @@ def column_reference(name: str) -> str:
 
 
 def render_join_sql(
-    query: "JoinQuery",
+    query: JoinQuery,
     table: CandidateTable,
-    projection: Optional[Sequence[str]] = None,
+    projection: Sequence[str] | None = None,
 ) -> str:
     """Render a join query as SQL over the base relations of ``table``.
 
@@ -78,9 +79,9 @@ def render_join_sql(
 
 
 def render_flat_sql(
-    query: "JoinQuery",
+    query: JoinQuery,
     table: CandidateTable,
-    table_name: Optional[str] = None,
+    table_name: str | None = None,
 ) -> str:
     """Render a join query as a filter over the flat candidate table.
 

@@ -9,8 +9,9 @@ the standard-library ``sqlite3`` module.
 from __future__ import annotations
 
 import sqlite3
+from collections.abc import Sequence
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional, Sequence, Union
+from typing import TYPE_CHECKING
 
 from ..exceptions import SchemaError
 from .candidate import CandidateTable, candidate_table_to_relation
@@ -23,7 +24,7 @@ from .types import DataType
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from ..core.queries import JoinQuery
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 _SQL_TYPE: dict[DataType, str] = {
     DataType.TEXT: "TEXT",
@@ -110,7 +111,7 @@ def read_relation(connection: sqlite3.Connection, table_name: str) -> Relation:
 
 def read_instance(
     connection: sqlite3.Connection,
-    table_names: Optional[Sequence[str]] = None,
+    table_names: Sequence[str] | None = None,
     name: str = "database",
 ) -> DatabaseInstance:
     """Load several (or all) SQLite tables into a :class:`DatabaseInstance`."""
@@ -126,9 +127,9 @@ def read_instance(
 
 def execute_join(
     connection: sqlite3.Connection,
-    query: "JoinQuery",
+    query: JoinQuery,
     table: CandidateTable,
-    projection: Optional[Sequence[str]] = None,
+    projection: Sequence[str] | None = None,
 ) -> list[tuple]:
     """Execute an inferred join query against the base relations in SQLite.
 

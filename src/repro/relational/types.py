@@ -12,7 +12,7 @@ from __future__ import annotations
 import datetime
 import enum
 import math
-from typing import Iterable, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 from ..exceptions import DataTypeError
 
@@ -167,7 +167,7 @@ def coerce(value: object, target: DataType) -> object:
     raise DataTypeError(f"unknown target type: {target!r}")  # pragma: no cover
 
 
-def parse_cell(raw: str, null_token: str = "") -> Optional[str]:
+def parse_cell(raw: str, null_token: str = "") -> str | None:
     """Turn a raw CSV cell into ``None`` when it equals the null token."""
     if raw == null_token:
         return None
@@ -175,7 +175,7 @@ def parse_cell(raw: str, null_token: str = "") -> Optional[str]:
 
 
 def detect_and_coerce_column(
-    raw_values: Iterable[Optional[str]],
+    raw_values: Iterable[str | None],
 ) -> tuple[DataType, list[object]]:
     """Detect the best type of a column of raw strings and coerce it.
 

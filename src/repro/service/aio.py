@@ -50,8 +50,9 @@ from __future__ import annotations
 
 import asyncio
 import functools
+from collections.abc import AsyncIterator, Callable
 from concurrent.futures import ThreadPoolExecutor
-from typing import AsyncIterator, Callable, Optional, TypeVar, Union
+from typing import TypeVar
 
 from ..core.strategies.base import Strategy
 from ..relational.candidate import CandidateTable
@@ -109,7 +110,7 @@ class _SessionStream:
         self.subscribers.append(subscriber)
         return subscriber
 
-    def _offer(self, subscriber: _StreamSubscriber, item: Optional[dict]) -> None:
+    def _offer(self, subscriber: _StreamSubscriber, item: dict | None) -> None:
         if subscriber.dropped:
             return
         try:
@@ -167,9 +168,9 @@ class AsyncSessionService:
 
     def __init__(
         self,
-        service: Optional[SessionService] = None,
+        service: SessionService | None = None,
         *,
-        max_sessions: Optional[int] = None,
+        max_sessions: int | None = None,
         max_workers: int = DEFAULT_MAX_WORKERS,
         stream_buffer: int = DEFAULT_STREAM_BUFFER,
     ) -> None:
@@ -345,7 +346,7 @@ class AsyncSessionService:
         except RuntimeError:  # executor already shut down (aclose raced us)
             close_quietly()
 
-    def _discard_orphan(self, future: "asyncio.Future[SessionDescriptor]") -> None:
+    def _discard_orphan(self, future: asyncio.Future[SessionDescriptor]) -> None:
         if future.cancelled() or future.exception() is not None:
             return
         self._close_orphan(future.result().session_id)
@@ -396,10 +397,10 @@ class AsyncSessionService:
     # ------------------------------------------------------------------ #
     async def create(
         self,
-        table: Union[CandidateTable, str],
-        mode: Union[InteractionMode, str] = InteractionMode.GUIDED,
-        strategy: Union[Strategy, str, None] = None,
-        k: Optional[int] = None,
+        table: CandidateTable | str,
+        mode: InteractionMode | str = InteractionMode.GUIDED,
+        strategy: Strategy | str | None = None,
+        k: int | None = None,
         strict: bool = True,
     ) -> SessionDescriptor:
         """Create a session; awaits a free slot when ``max_sessions`` is set.
@@ -422,7 +423,7 @@ class AsyncSessionService:
     async def resume(
         self,
         payload: dict[str, object],
-        table: Union[CandidateTable, str, None] = None,
+        table: CandidateTable | str | None = None,
     ) -> SessionDescriptor:
         """Restore a saved session document as a new live session.
 
@@ -496,7 +497,7 @@ class AsyncSessionService:
             return event
 
     async def answer(
-        self, session_id: str, label: LabelLike, tuple_id: Optional[int] = None
+        self, session_id: str, label: LabelLike, tuple_id: int | None = None
     ) -> LabelApplied:
         """Apply one label to the session and publish the resulting event.
 
@@ -616,7 +617,7 @@ class AsyncSessionService:
             self._slots.release()
         self._executor.shutdown(wait=False, cancel_futures=False)
 
-    async def __aenter__(self) -> "AsyncSessionService":
+    async def __aenter__(self) -> AsyncSessionService:
         return self
 
     async def __aexit__(self, *exc_info: object) -> None:

@@ -64,7 +64,6 @@ import multiprocessing
 import os
 import threading
 import uuid
-from typing import Optional, Union
 
 from ..core.strategies.base import Strategy
 from ..core.strategies.registry import create_strategy
@@ -235,7 +234,7 @@ def _execute(service: SessionService, request: dict[str, object]) -> object:
     if command == "create":
         # A table the worker has not seen yet arrives inline; the service's
         # atomic create registers it together with the session, or not at all.
-        table: Union[CandidateTable, str] = (
+        table: CandidateTable | str = (
             table_from_wire(request["table"])
             if "table" in request
             else request["fingerprint"]
@@ -377,7 +376,7 @@ class ClusterSessionService:
 
     def __init__(
         self,
-        num_workers: Optional[int] = None,
+        num_workers: int | None = None,
         mp_context: str = "spawn",
     ) -> None:
         count = DEFAULT_WORKERS if num_workers is None else num_workers
@@ -446,7 +445,7 @@ class ClusterSessionService:
         return value
 
     @staticmethod
-    def _strategy_to_wire(strategy: Union[Strategy, str, None]) -> Optional[str]:
+    def _strategy_to_wire(strategy: Strategy | str | None) -> str | None:
         if strategy is None or isinstance(strategy, str):
             return strategy
         raise ClusterServiceError(
@@ -502,8 +501,8 @@ class ClusterSessionService:
                 ) from None
 
     def _table_reference(
-        self, table: Union[CandidateTable, str]
-    ) -> tuple[str, Optional[dict], Optional[CandidateTable]]:
+        self, table: CandidateTable | str
+    ) -> tuple[str, dict | None, CandidateTable | None]:
         """How the routed worker gets the table: ``(fingerprint, inline wire, instance)``.
 
         A table instance the cluster has not seen yet travels *inline* with
@@ -540,7 +539,7 @@ class ClusterSessionService:
             self._tables.setdefault(fingerprint, table)
 
     @staticmethod
-    def _mint_session_id(session_id: Optional[str]) -> str:
+    def _mint_session_id(session_id: str | None) -> str:
         """A fresh hex id, or the caller's — which must name a shard."""
         if session_id is None:
             return uuid.uuid4().hex
@@ -558,12 +557,12 @@ class ClusterSessionService:
     # ------------------------------------------------------------------ #
     def create(
         self,
-        table: Union[CandidateTable, str],
-        mode: Union[InteractionMode, str] = InteractionMode.GUIDED,
-        strategy: Union[Strategy, str, None] = None,
-        k: Optional[int] = None,
+        table: CandidateTable | str,
+        mode: InteractionMode | str = InteractionMode.GUIDED,
+        strategy: Strategy | str | None = None,
+        k: int | None = None,
         strict: bool = True,
-        session_id: Optional[str] = None,
+        session_id: str | None = None,
     ) -> SessionDescriptor:
         """Create a session on the worker its id hashes to.
 
@@ -602,8 +601,8 @@ class ClusterSessionService:
     def resume(
         self,
         payload: dict[str, object],
-        table: Union[CandidateTable, str, None] = None,
-        session_id: Optional[str] = None,
+        table: CandidateTable | str | None = None,
+        session_id: str | None = None,
     ) -> SessionDescriptor:
         """Restore a saved session document on the worker its new id hashes to.
 
@@ -673,7 +672,7 @@ class ClusterSessionService:
         return event_from_wire(wire)
 
     def answer(
-        self, session_id: str, label: LabelLike, tuple_id: Optional[int] = None
+        self, session_id: str, label: LabelLike, tuple_id: int | None = None
     ) -> LabelApplied:
         """Apply one label in the session's worker process.
 
@@ -743,15 +742,17 @@ class ClusterSessionService:
                 worker.process.terminate()
                 worker.process.join(timeout=timeout)
 
-    def __enter__(self) -> "ClusterSessionService":
+    def __enter__(self) -> ClusterSessionService:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        state = "closed" if self._closed else "open"
+        with self._lock:
+            state = "closed" if self._closed else "open"
+            tables = len(self._tables)
         return (
             f"ClusterSessionService(workers={len(self._workers)}, "
-            f"tables={len(self._tables)}, {state})"
+            f"tables={tables}, {state})"
         )

@@ -37,8 +37,8 @@ from __future__ import annotations
 
 import asyncio
 import random
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
 from ..core.examples import Label
 from ..core.oracle import GoalQueryOracle, NoisyOracle, Oracle
@@ -90,7 +90,7 @@ class SimulatedWorker:
     """
 
     def __init__(
-        self, profile: WorkerProfile, oracle: Oracle, seed: Optional[int] = None
+        self, profile: WorkerProfile, oracle: Oracle, seed: int | None = None
     ) -> None:
         self.profile = profile
         self.oracle = oracle
@@ -199,8 +199,8 @@ class CrowdRunReport:
     questions: int
     votes: int
     contested: int
-    query: Optional[str]
-    atoms: Optional[tuple[tuple[str, str], ...]] = None
+    query: str | None
+    atoms: tuple[tuple[str, str], ...] | None = None
 
     def as_dict(self) -> dict[str, object]:
         """Plain-dictionary form for JSON responses and reports."""
@@ -247,7 +247,7 @@ class CrowdDispatcher:
         service: AsyncSessionService,
         workers: Sequence[SimulatedWorker],
         votes_per_question: int = 3,
-        max_rounds: Optional[int] = None,
+        max_rounds: int | None = None,
     ) -> None:
         if not workers:
             raise DispatchError("the worker pool must not be empty")
@@ -288,7 +288,7 @@ class CrowdDispatcher:
             *(worker.answer(table, tuple_id) for tuple_id, worker in assignments)
         )
         votes_by_tuple: dict[int, list[Label]] = {}
-        for (tuple_id, _worker), label in zip(assignments, answers):
+        for (tuple_id, _worker), label in zip(assignments, answers, strict=True):
             votes_by_tuple.setdefault(tuple_id, []).append(label)
         split = sum(1 for votes in votes_by_tuple.values() if len(set(votes)) > 1)
         aggregated = [

@@ -37,7 +37,6 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import asdict, dataclass
-from typing import Optional, Union
 
 from ..core.examples import Label
 from ..core.queries import JoinQuery
@@ -84,7 +83,7 @@ class BatchQuestionsAsked:
 
     step: int
     tuple_ids: tuple[int, ...]
-    k: Optional[int]
+    k: int | None
 
     type = "questions"
 
@@ -122,7 +121,7 @@ class Converged:
         return JoinQuery(self.atoms)
 
 
-Event = Union[QuestionAsked, BatchQuestionsAsked, LabelApplied, Converged]
+Event = QuestionAsked | BatchQuestionsAsked | LabelApplied | Converged
 
 _EVENT_CLASSES: dict[str, type] = {
     cls.type: cls

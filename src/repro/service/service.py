@@ -24,7 +24,6 @@ from __future__ import annotations
 import threading
 import uuid
 from dataclasses import dataclass
-from typing import Optional, Union
 
 from ..core.strategies.base import Strategy
 from ..exceptions import ReproError
@@ -48,8 +47,8 @@ class SessionDescriptor:
 
     session_id: str
     mode: str
-    strategy: Optional[str]
-    k: Optional[int]
+    strategy: str | None
+    k: int | None
     strict: bool
     table_fingerprint: str
     table_name: str
@@ -73,7 +72,7 @@ class SessionDescriptor:
         }
 
     @classmethod
-    def from_dict(cls, payload: dict[str, object]) -> "SessionDescriptor":
+    def from_dict(cls, payload: dict[str, object]) -> SessionDescriptor:
         """Rebuild a descriptor from its :meth:`as_dict` form (wire transport)."""
         return cls(**{field: payload[field] for field in cls.__dataclass_fields__})
 
@@ -88,7 +87,7 @@ class _ManagedSession:
         session_id: str,
         stepper: InferenceSession,
         fingerprint: str,
-        strategy_name: Optional[str],
+        strategy_name: str | None,
     ) -> None:
         self.session_id = session_id
         self.stepper = stepper
@@ -149,7 +148,7 @@ class SessionService:
                     f"no table registered under fingerprint {fingerprint!r}"
                 ) from None
 
-    def _peek_table(self, table: Union[CandidateTable, str]) -> tuple[CandidateTable, str]:
+    def _peek_table(self, table: CandidateTable | str) -> tuple[CandidateTable, str]:
         """Resolve a table reference *without* mutating the registry.
 
         A table instance is fingerprinted but not yet registered — the
@@ -178,12 +177,12 @@ class SessionService:
     # ------------------------------------------------------------------ #
     def create(
         self,
-        table: Union[CandidateTable, str],
-        mode: Union[InteractionMode, str] = InteractionMode.GUIDED,
-        strategy: Union[Strategy, str, None] = None,
-        k: Optional[int] = None,
+        table: CandidateTable | str,
+        mode: InteractionMode | str = InteractionMode.GUIDED,
+        strategy: Strategy | str | None = None,
+        k: int | None = None,
         strict: bool = True,
-        session_id: Optional[str] = None,
+        session_id: str | None = None,
     ) -> SessionDescriptor:
         """Create a session over a table (instance, or fingerprint of a registered one).
 
@@ -289,7 +288,7 @@ class SessionService:
             return managed.stepper.next_question()
 
     def answer(
-        self, session_id: str, label: LabelLike, tuple_id: Optional[int] = None
+        self, session_id: str, label: LabelLike, tuple_id: int | None = None
     ) -> LabelApplied:
         """Apply one label to the session (see :meth:`InferenceSession.submit`).
 
@@ -340,8 +339,8 @@ class SessionService:
     def resume(
         self,
         payload: dict[str, object],
-        table: Union[CandidateTable, str, None] = None,
-        session_id: Optional[str] = None,
+        table: CandidateTable | str | None = None,
+        session_id: str | None = None,
     ) -> SessionDescriptor:
         """Restore a saved session as a new live session of the recorded kind.
 

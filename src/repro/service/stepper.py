@@ -33,9 +33,9 @@ the seed implementation through the identical driver).
 from __future__ import annotations
 
 import time
-from typing import Iterable, Mapping, Optional, Tuple, Union
+from collections.abc import Iterable, Mapping
 
-from ..core.engine import Interaction, InferenceTrace
+from ..core.engine import InferenceTrace, Interaction
 from ..core.examples import Label
 from ..core.propagation import PropagationResult
 from ..core.queries import JoinQuery
@@ -47,7 +47,6 @@ from ..exceptions import StrategyError
 from ..relational.candidate import CandidateTable
 from .protocol import (
     BatchQuestionsAsked,
-    Converged,
     Event,
     InteractionMode,
     LabelApplied,
@@ -55,8 +54,8 @@ from .protocol import (
     converged_event,
 )
 
-LabelLike = Union[Label, str, bool]
-AnswerSet = Union[Mapping[int, LabelLike], Iterable[Tuple[int, LabelLike]]]
+LabelLike = Label | str | bool
+AnswerSet = Mapping[int, LabelLike] | Iterable[tuple[int, LabelLike]]
 
 #: Options each interaction mode accepts (beyond ``table``/``state``).
 MODE_OPTIONS: dict[InteractionMode, frozenset[str]] = {
@@ -70,7 +69,7 @@ MODE_OPTIONS: dict[InteractionMode, frozenset[str]] = {
 DEFAULT_K = 5
 
 
-def parse_mode(mode: Union[InteractionMode, str]) -> InteractionMode:
+def parse_mode(mode: InteractionMode | str) -> InteractionMode:
     """Coerce a mode name to :class:`InteractionMode` (clear error on typos)."""
     if isinstance(mode, InteractionMode):
         return mode
@@ -82,7 +81,7 @@ def parse_mode(mode: Union[InteractionMode, str]) -> InteractionMode:
 
 
 def validate_mode_options(
-    mode: Union[InteractionMode, str], options: Mapping[str, object]
+    mode: InteractionMode | str, options: Mapping[str, object]
 ) -> InteractionMode:
     """Check that ``options`` only contains settings ``mode`` understands.
 
@@ -146,10 +145,10 @@ class InferenceSession:
     def __init__(
         self,
         table: CandidateTable,
-        mode: Union[InteractionMode, str] = InteractionMode.GUIDED,
-        strategy: Union[Strategy, str, None] = None,
-        k: Optional[int] = None,
-        state: Optional[InferenceState] = None,
+        mode: InteractionMode | str = InteractionMode.GUIDED,
+        strategy: Strategy | str | None = None,
+        k: int | None = None,
+        state: InferenceState | None = None,
         strict: bool = True,
     ) -> None:
         self.mode = validate_mode_options(mode, {"strategy": strategy, "k": k})
@@ -166,7 +165,7 @@ class InferenceSession:
         # The entropy ranking used by top-k batches (independent of
         # ``strategy``, which is a guided-mode option).
         self._scorer = EntropyStrategy()
-        self._pending: Optional[int] = None
+        self._pending: int | None = None
         self._choose_seconds = 0.0
 
     # ------------------------------------------------------------------ #
@@ -237,7 +236,7 @@ class InferenceSession:
     def submit(
         self,
         label: LabelLike,
-        tuple_id: Optional[int] = None,
+        tuple_id: int | None = None,
         oracle_seconds: float = 0.0,
     ) -> LabelApplied:
         """Apply one label and return the resulting event.
@@ -335,7 +334,7 @@ class InferenceSession:
     # ------------------------------------------------------------------ #
     # Mode-specific views
     # ------------------------------------------------------------------ #
-    def propose_batch(self, k: Optional[int] = None) -> list[int]:
+    def propose_batch(self, k: int | None = None) -> list[int]:
         """The current top-k informative tuples, best first (top-k mode).
 
         Returns fewer than ``k`` ids (possibly none) when fewer informative

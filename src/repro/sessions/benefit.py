@@ -11,7 +11,6 @@ strategy, and reports both interaction counts and the saving.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
 
 from ..core.engine import JoinInferenceEngine
 from ..core.oracle import GoalQueryOracle
@@ -71,8 +70,8 @@ class BenefitReport:
 def compute_benefit(
     state: InferenceState,
     user_interactions: int,
-    strategy: Union[Strategy, str] = "lookahead-entropy",
-    goal: Optional[JoinQuery] = None,
+    strategy: Strategy | str = "lookahead-entropy",
+    goal: JoinQuery | None = None,
 ) -> BenefitReport:
     """Compare a user's session against a strategy-guided one on the same goal.
 

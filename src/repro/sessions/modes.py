@@ -24,8 +24,6 @@ statistics and benefit report are therefore shared as before.
 
 from __future__ import annotations
 
-from typing import Optional, Union
-
 from ..core.engine import Interaction
 from ..core.examples import Label
 from ..core.oracle import Oracle
@@ -67,9 +65,9 @@ class _BaseSession:
         self,
         table: CandidateTable,
         mode: InteractionMode,
-        state: Optional[InferenceState] = None,
-        strategy: Union[Strategy, str, None] = None,
-        k: Optional[int] = None,
+        state: InferenceState | None = None,
+        strategy: Strategy | str | None = None,
+        k: int | None = None,
     ) -> None:
         self.table = table
         self.mode = mode
@@ -79,7 +77,7 @@ class _BaseSession:
         self.state = self.stepper.state
 
     # -- labeling ------------------------------------------------------- #
-    def label(self, tuple_id: int, label: Union[Label, str, bool]) -> PropagationResult:
+    def label(self, tuple_id: int, label: Label | str | bool) -> PropagationResult:
         """Record one user label and propagate it."""
         self.stepper.submit(label, tuple_id=tuple_id)
         return self.stepper.last_propagation()
@@ -109,8 +107,8 @@ class _BaseSession:
 
     def benefit_report(
         self,
-        strategy: Union[Strategy, str] = "lookahead-entropy",
-        goal: Optional[JoinQuery] = None,
+        strategy: Strategy | str = "lookahead-entropy",
+        goal: JoinQuery | None = None,
     ) -> BenefitReport:
         """The Figure 4 comparison: this session vs a strategy-guided one."""
         return compute_benefit(
@@ -131,7 +129,7 @@ class ManualSession(_BaseSession):
         self,
         table: CandidateTable,
         gray_out: bool = False,
-        state: Optional[InferenceState] = None,
+        state: InferenceState | None = None,
     ) -> None:
         mode = (
             InteractionMode.MANUAL_WITH_PRUNING if gray_out else InteractionMode.MANUAL
@@ -151,7 +149,7 @@ class ManualSession(_BaseSession):
         """The tuples the interface currently shows as grayed out."""
         return self.state.certain_ids() if self.gray_out else []
 
-    def run(self, oracle: Oracle, order: Optional[list[int]] = None) -> JoinQuery:
+    def run(self, oracle: Oracle, order: list[int] | None = None) -> JoinQuery:
         """Simulate an attendee labeling tuples in the given (or table) order.
 
         The attendee stops as soon as the labels identify a unique query —
@@ -182,16 +180,16 @@ class TopKSession(_BaseSession):
         self,
         table: CandidateTable,
         k: int = DEFAULT_K,
-        state: Optional[InferenceState] = None,
+        state: InferenceState | None = None,
     ) -> None:
         super().__init__(table, InteractionMode.TOP_K, state=state, k=k)
         self.k = k
 
-    def propose(self, k: Optional[int] = None) -> list[int]:
+    def propose(self, k: int | None = None) -> list[int]:
         """The current top-k informative tuples, best first."""
         return self.stepper.propose_batch(k)
 
-    def run(self, oracle: Oracle, max_rounds: Optional[int] = None) -> JoinQuery:
+    def run(self, oracle: Oracle, max_rounds: int | None = None) -> JoinQuery:
         """Label proposed batches until convergence (or ``max_rounds``)."""
         rounds = 0
         while not self.is_converged():
@@ -221,8 +219,8 @@ class GuidedSession(_BaseSession):
     def __init__(
         self,
         table: CandidateTable,
-        strategy: Union[Strategy, str, None] = None,
-        state: Optional[InferenceState] = None,
+        strategy: Strategy | str | None = None,
+        state: InferenceState | None = None,
     ) -> None:
         super().__init__(table, InteractionMode.GUIDED, state=state, strategy=strategy)
         self.strategy = self.stepper.strategy
@@ -234,12 +232,12 @@ class GuidedSession(_BaseSession):
             raise StrategyError("no informative tuple remains; the session has converged")
         return event.tuple_id
 
-    def answer(self, label: Union[Label, str, bool]) -> PropagationResult:
+    def answer(self, label: Label | str | bool) -> PropagationResult:
         """Answer the pending membership query."""
         self.stepper.submit(label)
         return self.stepper.last_propagation()
 
-    def run(self, oracle: Oracle, max_interactions: Optional[int] = None) -> JoinQuery:
+    def run(self, oracle: Oracle, max_interactions: int | None = None) -> JoinQuery:
         """Run the guided loop to convergence (or ``max_interactions``)."""
         while not self.is_converged():
             if max_interactions is not None and self.num_interactions >= max_interactions:
@@ -250,7 +248,7 @@ class GuidedSession(_BaseSession):
 
 
 def create_session(
-    mode: Union[InteractionMode, str],
+    mode: InteractionMode | str,
     table: CandidateTable,
     **kwargs: object,
 ) -> _BaseSession:

@@ -33,14 +33,13 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Optional, Union
 
 from ..core.examples import Label
 from ..core.state import InferenceState
 from ..exceptions import ReproError
 from ..relational.candidate import CandidateTable
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 #: Format identifier written into every saved session.
 FORMAT = "jim-session"
@@ -71,9 +70,9 @@ def table_fingerprint(table: CandidateTable) -> str:
 
 def serialize_state(
     state: InferenceState,
-    mode: Optional[str] = None,
-    strategy: Optional[str] = None,
-    k: Optional[int] = None,
+    mode: str | None = None,
+    strategy: str | None = None,
+    k: int | None = None,
 ) -> dict[str, object]:
     """The JSON-serialisable form of a session's labels and context.
 
@@ -104,9 +103,9 @@ def serialize_state(
 def save_session(
     state: InferenceState,
     path: PathLike,
-    mode: Optional[str] = None,
-    strategy: Optional[str] = None,
-    k: Optional[int] = None,
+    mode: str | None = None,
+    strategy: str | None = None,
+    k: int | None = None,
 ) -> None:
     """Write a session's labels (and optional session metadata) to a JSON file."""
     payload = serialize_state(state, mode=mode, strategy=strategy, k=k)
@@ -193,7 +192,7 @@ def _verify_outcome(payload: dict[str, object], state: InferenceState) -> None:
 def deserialize_state(
     payload: dict[str, object],
     table: CandidateTable,
-    strict: Optional[bool] = None,
+    strict: bool | None = None,
     verify_fingerprint: bool = True,
     verify_integrity: bool = True,
 ) -> InferenceState:
@@ -251,7 +250,7 @@ def deserialize_state(
 def load_session(
     path: PathLike,
     table: CandidateTable,
-    strict: Optional[bool] = None,
+    strict: bool | None = None,
     verify_fingerprint: bool = True,
     verify_integrity: bool = True,
 ) -> InferenceState:
@@ -284,7 +283,7 @@ def read_session_document(path: PathLike) -> dict[str, object]:
 def resume_guided_session(
     path: PathLike,
     table: CandidateTable,
-    strategy: Optional[object] = None,
+    strategy: object | None = None,
 ):
     """Convenience helper: load a saved session into a fresh guided session.
 

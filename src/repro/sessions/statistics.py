@@ -56,7 +56,7 @@ class SessionStatistics:
         return self.informative_remaining == 0
 
     @classmethod
-    def from_state(cls, state: InferenceState) -> "SessionStatistics":
+    def from_state(cls, state: InferenceState) -> SessionStatistics:
         """Snapshot the statistics of an inference state.
 
         Type-level: the counts come from the example set and the state's

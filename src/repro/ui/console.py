@@ -16,7 +16,7 @@ instead of serialised.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Union
+from collections.abc import Callable
 
 from ..core.oracle import ConsoleOracle, Oracle
 from ..core.queries import JoinQuery
@@ -32,8 +32,8 @@ Printer = Callable[[str], None]
 def run_scripted_demo(
     table: CandidateTable,
     oracle: Oracle,
-    strategy: Union[Strategy, str, None] = None,
-    max_interactions: Optional[int] = None,
+    strategy: Strategy | str | None = None,
+    max_interactions: int | None = None,
     show_table_every_step: bool = False,
 ) -> tuple[JoinQuery, str]:
     """Run a guided session against an oracle and return (query, transcript)."""
@@ -48,8 +48,8 @@ def run_scripted_demo(
 
 def run_console_demo(
     table: CandidateTable,
-    strategy: Union[Strategy, str, None] = None,
-    max_interactions: Optional[int] = None,
+    strategy: Strategy | str | None = None,
+    max_interactions: int | None = None,
 ) -> JoinQuery:
     """Run a guided session interactively at the terminal (blocking on input)."""
     return _drive(table, ConsoleOracle(), strategy, print, max_interactions, False)
@@ -58,9 +58,9 @@ def run_console_demo(
 def _drive(
     table: CandidateTable,
     oracle: Oracle,
-    strategy: Union[Strategy, str, None],
+    strategy: Strategy | str | None,
     emit: Printer,
-    max_interactions: Optional[int],
+    max_interactions: int | None,
     show_table_every_step: bool,
 ) -> JoinQuery:
     session = InferenceSession(table, mode="guided", strategy=strategy)
@@ -73,7 +73,7 @@ def _drive(
             break
         event = session.next_question()
         rendered = ", ".join(
-            f"{name}={value!r}" for name, value in zip(event.attributes, event.row)
+            f"{name}={value!r}" for name, value in zip(event.attributes, event.row, strict=True)
         )
         emit(f"[{event.step}] label tuple ({event.tuple_id + 1}): {rendered}")
         label = oracle.label(table, event.tuple_id)

@@ -8,7 +8,7 @@ textual counterpart of the screenshots in Figure 3 of the paper.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 from ..core.informativeness import TupleStatus
 from ..core.state import InferenceState
@@ -32,9 +32,9 @@ def _format_value(value: object) -> str:
 
 def render_table(
     table: CandidateTable,
-    statuses: Optional[Mapping[int, TupleStatus]] = None,
-    tuple_ids: Optional[Sequence[int]] = None,
-    max_rows: Optional[int] = 40,
+    statuses: Mapping[int, TupleStatus] | None = None,
+    tuple_ids: Sequence[int] | None = None,
+    max_rows: int | None = 40,
     show_grayed_out: bool = True,
 ) -> str:
     """Render (part of) a candidate table with per-tuple status markers.
@@ -73,7 +73,7 @@ def render_table(
             widths[column] = max(widths[column], len(cell))
 
     def format_row(cells: Sequence[str]) -> str:
-        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths, strict=True)).rstrip()
 
     lines = [format_row(headers), format_row(["-" * width for width in widths])]
     lines.extend(format_row(row) for row in rows)
@@ -84,7 +84,7 @@ def render_table(
 
 def render_state(
     state: InferenceState,
-    max_rows: Optional[int] = 40,
+    max_rows: int | None = 40,
     show_grayed_out: bool = True,
 ) -> str:
     """Render the candidate table of an inference state with its current statuses."""

@@ -9,7 +9,7 @@ comparisons coming out of the experiments package.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from ..sessions.benefit import BenefitReport
 from .renderer import render_bar_chart

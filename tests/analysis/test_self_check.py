@@ -1,0 +1,42 @@
+"""The analyzer dogfoods: the live tree must be clean under every rule.
+
+This is the test CI relies on between pushes: any change that violates a
+project invariant — an IO call in the core, an unlocked registry access, an
+unguarded numpy import — fails here with the exact ``file:line CODE`` the
+developer needs, before it ships a race or a perf cliff.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import PROJECT_SCOPES, Analyzer, all_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: The trees CI lints; `tests/` is exempt (fixtures violate on purpose).
+LINTED_TREES = ("src", "benchmarks", "examples", "scripts")
+
+
+def test_live_tree_is_clean_under_all_rules():
+    analyzer = Analyzer(scopes=PROJECT_SCOPES, root=REPO_ROOT)
+    paths = [REPO_ROOT / name for name in LINTED_TREES if (REPO_ROOT / name).is_dir()]
+    assert paths, "repository layout changed: none of the linted trees exist"
+    report = analyzer.analyze_paths(paths)
+    rendered = "\n".join(finding.render() for finding in report.findings)
+    assert report.ok, f"invariant violations in the live tree:\n{rendered}"
+    assert report.files_checked > 50
+
+
+def test_known_suppressions_are_the_console_oracle_only():
+    # The live tree carries exactly the reviewed suppressions: the three
+    # terminal calls of the interactive ConsoleOracle.  Grow this list only
+    # with a reviewed reason.
+    analyzer = Analyzer(scopes=PROJECT_SCOPES, root=REPO_ROOT)
+    report = analyzer.analyze_paths([REPO_ROOT / "src"])
+    assert report.suppressed == 3
+
+
+def test_project_scopes_cover_every_rule():
+    codes = {rule.code for rule in all_rules()}
+    assert set(PROJECT_SCOPES) == codes

@@ -6,11 +6,9 @@ import pytest
 
 from repro import (
     AtomUniverse,
-    CandidateTable,
     GoalQueryOracle,
     InferenceState,
     JoinInferenceEngine,
-    JoinQuery,
 )
 from repro.core.strategies import MinMaxPruneStrategy, OptimalStrategy, create_strategy
 from repro.datasets import flights_hotels

@@ -17,8 +17,8 @@ from repro import (
     Label,
     TupleStatus,
 )
-from repro.datasets import flights_hotels
 from repro.core.strategies import available_strategies
+from repro.datasets import flights_hotels
 
 tid = flights_hotels.paper_tuple_id
 

@@ -7,7 +7,6 @@ import pytest
 from repro import (
     AtomScope,
     AtomUniverse,
-    GoalQueryOracle,
     InferenceState,
     JoinQuery,
     Label,

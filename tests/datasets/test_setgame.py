@@ -16,7 +16,7 @@ class TestDeck:
 
     def test_every_card_uses_valid_feature_values(self):
         for card in setgame.full_deck():
-            for value, feature in zip(card, setgame.FEATURES):
+            for value, feature in zip(card, setgame.FEATURES, strict=True):
                 assert value in setgame.FEATURE_VALUES[feature]
 
     def test_sampled_deck_is_reproducible(self):

@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.results import ResultTable
 from repro.exceptions import ExperimentError
+from repro.experiments.results import ResultTable
 
 
 @pytest.fixture

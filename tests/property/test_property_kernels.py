@@ -133,7 +133,7 @@ class TestBatchKernels:
     )
     def test_prune_counts_batch_matches_seed_formula(self, inputs, candidate_types, backend):
         masks, counts, positive_mask, negative_masks = inputs
-        snapshot = list(zip(masks, counts))
+        snapshot = list(zip(masks, counts, strict=True))
         restricted = [candidate & positive_mask for candidate in candidate_types]
         got = prune_counts_batch(
             masks, counts, restricted, positive_mask, negative_masks, backend=backend
@@ -151,7 +151,7 @@ class TestBatchKernels:
     )
     def test_prune_counts_wide_masks_fall_back_exactly(self, inputs, candidate_types):
         masks, counts, positive_mask, negative_masks = inputs
-        snapshot = list(zip(masks, counts))
+        snapshot = list(zip(masks, counts, strict=True))
         restricted = [candidate & positive_mask for candidate in candidate_types]
         got = prune_counts_batch(
             masks, counts, restricted, positive_mask, negative_masks, backend="numpy"

@@ -96,7 +96,7 @@ class TestCsvRoundTripProperties:
         write_relation_csv(relation, path)
         loaded = read_relation_csv_text(path.read_text(encoding="utf-8"), "R")
         # Empty strings round-trip as NULL; numbers and non-empty text survive.
-        for original, reloaded in zip(relation.rows, loaded.rows):
+        for original, reloaded in zip(relation.rows, loaded.rows, strict=True):
             assert reloaded[0] == original[0]
             assert reloaded[1] == (original[1] if original[1] != "" else None)
 

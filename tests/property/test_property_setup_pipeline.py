@@ -18,11 +18,11 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import CandidateTable
-from repro.relational.candidate import CandidateAttribute
 from repro.core.atoms import AtomScope, AtomUniverse
 from repro.core.equality_types import EqualityTypeIndex
 from repro.core.queries import JoinQuery
 from repro.exceptions import AtomUniverseError
+from repro.relational.candidate import CandidateAttribute
 from repro.relational.instance import DatabaseInstance
 from repro.relational.relation import Relation
 from repro.relational.types import infer_column_type
@@ -51,7 +51,7 @@ def instances(draw, max_relations: int = 3) -> DatabaseInstance:
             columns.append(
                 draw(st.lists(st.sampled_from(pool), min_size=num_rows, max_size=num_rows))
             )
-        rows = list(zip(*columns))
+        rows = list(zip(*columns, strict=True))
         names = [f"a{j + 1}" for j in range(arity)]
         relations.append(Relation.build(f"R{index + 1}", names, rows))
     return DatabaseInstance("random", relations)

@@ -1,0 +1,90 @@
+"""``scripts/check_docs.py``: failing snippets name their doc file and line."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CHECK_DOCS = REPO_ROOT / "scripts" / "check_docs.py"
+
+
+def run_check(*paths: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(CHECK_DOCS), *map(str, paths)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+
+
+def test_passing_blocks_report_ok(tmp_path):
+    doc = tmp_path / "ok.md"
+    doc.write_text(
+        textwrap.dedent(
+            """\
+            ```python
+            value = 1 + 1
+            assert value == 2
+            ```
+            """
+        ),
+        encoding="utf-8",
+    )
+    completed = run_check(doc)
+    assert completed.returncode == 0
+    assert "ok:" in completed.stdout
+
+
+def test_failure_names_doc_file_fence_and_line(tmp_path):
+    # The bug this guards against: with several fenced blocks composed into
+    # one script, a failure in a *later* block used to report only the list
+    # of all block start lines — opaque for anything but the first block.
+    doc = tmp_path / "failing.md"
+    doc.write_text(
+        textwrap.dedent(
+            """\
+            # Title
+
+            ```python
+            x = 1
+            ```
+
+            prose
+
+            ```python
+            y = x + 1
+            raise RuntimeError("boom")
+            ```
+            """
+        ),
+        encoding="utf-8",
+    )
+    completed = run_check(doc)
+    assert completed.returncode == 1
+    # The raise is on doc line 11, inside the fence opened on line 9.
+    assert f"{doc}:11 (in the fenced block opened at line 9)" in completed.stdout
+    assert "boom" in completed.stdout
+
+
+def test_syntax_error_in_block_is_attributed(tmp_path):
+    doc = tmp_path / "syntax.md"
+    doc.write_text(
+        textwrap.dedent(
+            """\
+            ```python
+            ok = True
+            ```
+
+            ```python
+            def broken(:
+            ```
+            """
+        ),
+        encoding="utf-8",
+    )
+    completed = run_check(doc)
+    assert completed.returncode == 1
+    assert f"{doc}:6 (in the fenced block opened at line 5)" in completed.stdout

@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 
 from repro import GoalQueryOracle, JoinInferenceEngine
-from repro.core.engine import Interaction, InferenceResult, InferenceTrace
+from repro.core.engine import InferenceResult, InferenceTrace, Interaction
 from repro.core.strategies.registry import create_strategy
 from repro.datasets import flights_hotels
 from repro.sessions.modes import GuidedSession, TopKSession

@@ -11,7 +11,6 @@ import asyncio
 import pytest
 
 from repro import GoalQueryOracle, SessionService
-from repro.datasets import flights_hotels
 from repro.service import AsyncSessionService, Converged, QuestionAsked, event_to_wire
 from repro.service.service import SessionServiceError
 

@@ -11,7 +11,6 @@ from repro.service import AsyncSessionService
 from repro.service.dispatch import (
     CrowdDispatcher,
     DispatchError,
-    SimulatedWorker,
     WorkerProfile,
     majority_vote,
     simulated_crowd,

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import GoalQueryOracle, JoinInferenceEngine
+from repro.exceptions import StrategyError
 from repro.service.protocol import (
     BatchQuestionsAsked,
     Converged,
@@ -13,7 +14,6 @@ from repro.service.protocol import (
     QuestionAsked,
 )
 from repro.service.stepper import InferenceSession, validate_mode_options
-from repro.exceptions import StrategyError
 
 
 def drive(session: InferenceSession, oracle, table) -> None:

@@ -8,7 +8,6 @@ from repro import (
     GoalQueryOracle,
     GuidedSession,
     InteractionMode,
-    Label,
     ManualSession,
     TopKSession,
 )
