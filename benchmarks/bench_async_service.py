@@ -26,8 +26,13 @@ Run standalone::
     PYTHONPATH=src python benchmarks/bench_async_service.py           # full gates
     PYTHONPATH=src python benchmarks/bench_async_service.py --quick   # CI smoke
 
-Exit status is non-zero on any trace mismatch, a non-converging session, or
-(in full mode) a concurrent speedup below the acceptance gate.
+Runs append their measurements to
+``benchmarks/results/BENCH_async_service.json`` (keyed by git commit +
+config hash; see :mod:`repro.experiments.trajectory`); ``--compare`` diffs
+the fresh speedup against the latest recorded same-config baseline.  Exit
+status is non-zero on any trace mismatch, a non-converging session, a
+``--compare`` regression, or (in full mode) a concurrent speedup below the
+acceptance gate.
 """
 
 from __future__ import annotations
@@ -37,10 +42,12 @@ import asyncio
 import sys
 import time
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro import GoalQueryOracle, SessionService
 from repro.datasets.workloads import figure1_workload
 from repro.experiments.scalability import scalability_workloads
+from repro.experiments.trajectory import compare_to_trajectory, record_benchmark
 from repro.service import (
     AsyncSessionService,
     Converged,
@@ -49,6 +56,8 @@ from repro.service import (
     event_to_wire,
     simulated_crowd,
 )
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 #: Simulated worker think time per answer in the throughput gate (seconds).
 ANSWER_LATENCY = 0.005
@@ -212,6 +221,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--sessions", type=int, default=None, help="concurrent session count (default 64, quick 8)"
     )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip writing benchmarks/results/BENCH_async_service.json",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="fail on regressions vs the latest recorded same-config baseline",
+    )
     args = parser.parse_args(argv)
     num_sessions = args.sessions or (8 if args.quick else 64)
 
@@ -237,6 +256,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     if not args.quick and stats["speedup"] < SPEEDUP_GATE:
         print(f"FAIL: concurrent speedup below the {SPEEDUP_GATE}x acceptance gate")
         return 1
+
+    config = {"quick": args.quick, "sessions": num_sessions}
+    if args.compare:
+        regressions, baseline = compare_to_trajectory(
+            "async_service", RESULTS_DIR, config, stats, ["speedup"]
+        )
+        if baseline is None:
+            print("compare: no recorded baseline for this configuration (vacuously green)")
+        elif regressions:
+            print(f"compare: REGRESSED vs baseline at commit {baseline.get('commit', '?')[:12]}:")
+            for line in regressions:
+                print(f"  - {line}")
+            return 1
+        else:
+            print(f"compare: green vs baseline at commit {baseline.get('commit', '?')[:12]}")
+    if not args.no_record:
+        path = record_benchmark("async_service", config, stats, RESULTS_DIR)
+        print(f"recorded trajectory: {path}")
     return 0
 
 

@@ -25,8 +25,13 @@ Run standalone::
     PYTHONPATH=src python benchmarks/bench_cluster_service.py           # full gates
     PYTHONPATH=src python benchmarks/bench_cluster_service.py --quick   # CI smoke
 
-Exit status is non-zero on any trace mismatch, a non-converging session, or
-(full mode, ≥ 2 cores) a concurrent speedup below the acceptance gate.
+Runs append their measurements to
+``benchmarks/results/BENCH_cluster_service.json`` (keyed by git commit +
+config hash; see :mod:`repro.experiments.trajectory`); ``--compare`` diffs
+the fresh speedup against the latest recorded same-config baseline.  Exit
+status is non-zero on any trace mismatch, a non-converging session, a
+``--compare`` regression, or (full mode, ≥ 2 cores) a concurrent speedup
+below the acceptance gate.
 """
 
 from __future__ import annotations
@@ -37,16 +42,20 @@ import os
 import sys
 import time
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro import ClusterSessionService, GoalQueryOracle, SessionService
 from repro.datasets.workloads import figure1_workload
 from repro.experiments.scalability import scalability_workloads
+from repro.experiments.trajectory import compare_to_trajectory, record_benchmark
 from repro.service import (
     AsyncSessionService,
     Converged,
     QuestionAsked,
     event_to_wire,
 )
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 #: Required cluster-over-single-process speedup (full mode, ≥ 2 cores).
 SPEEDUP_GATE = 2.0
@@ -287,6 +296,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--workers", type=int, default=None, help="cluster worker processes (default: up to 4 cores)"
     )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip writing benchmarks/results/BENCH_cluster_service.json",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="fail on regressions vs the latest recorded same-config baseline",
+    )
     args = parser.parse_args(argv)
     num_sessions = args.sessions or (8 if args.quick else 64)
     cores = _cores()
@@ -317,14 +336,32 @@ def main(argv: Sequence[str] | None = None) -> int:
     if stats["single_ok"] != num_sessions or stats["cluster_ok"] != num_sessions:
         print("FAIL: not every session converged to the goal query")
         return 1
-    if args.quick:
-        return 0
-    if cores < 2:
-        print("note: single core available — the speedup gate needs >= 2 cores and is skipped")
-        return 0
-    if stats["speedup"] < SPEEDUP_GATE:
-        print(f"FAIL: cluster speedup below the {SPEEDUP_GATE}x acceptance gate")
-        return 1
+    if not args.quick:
+        if cores < 2:
+            print("note: single core available — the speedup gate needs >= 2 cores and is skipped")
+        elif stats["speedup"] < SPEEDUP_GATE:
+            print(f"FAIL: cluster speedup below the {SPEEDUP_GATE}x acceptance gate")
+            return 1
+
+    config = {"quick": args.quick, "sessions": num_sessions, "workers": workers, "size": size}
+    if args.compare:
+        # The cluster speedup scales with the machine's cores, so the
+        # tolerance is wide: this is a drift net, not a precision gate.
+        regressions, baseline = compare_to_trajectory(
+            "cluster_service", RESULTS_DIR, config, stats, ["speedup"], tolerance=0.5
+        )
+        if baseline is None:
+            print("compare: no recorded baseline for this configuration (vacuously green)")
+        elif regressions:
+            print(f"compare: REGRESSED vs baseline at commit {baseline.get('commit', '?')[:12]}:")
+            for line in regressions:
+                print(f"  - {line}")
+            return 1
+        else:
+            print(f"compare: green vs baseline at commit {baseline.get('commit', '?')[:12]}")
+    if not args.no_record:
+        path = record_benchmark("cluster_service", config, stats, RESULTS_DIR)
+        print(f"recorded trajectory: {path}")
     return 0
 
 

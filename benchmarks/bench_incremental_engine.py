@@ -62,7 +62,7 @@ from repro.core.strategies.registry import create_strategy
 from repro.datasets.workloads import figure1_workload
 from repro.exceptions import InconsistentLabelError
 from repro.experiments.scalability import scalability_workloads
-from repro.experiments.trajectory import record_benchmark
+from repro.experiments.trajectory import compare_to_trajectory, record_benchmark
 
 
 # --------------------------------------------------------------------------- #
@@ -638,6 +638,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="skip writing benchmarks/results/BENCH_incremental_engine.json",
     )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="fail on regressions vs the latest recorded same-config baseline",
+    )
     args = parser.parse_args(argv)
     repeats = max(1, args.repeats)
 
@@ -681,18 +686,38 @@ def main(argv: Sequence[str] | None = None) -> int:
     if failed:
         return 1
 
-    if not args.quick and not args.no_record:
+    config = {
+        "quick": args.quick,
+        "repeats": repeats,
+        "backends": available_backends(),
+    }
+    results = {"seed_gate": stats, "kernel_gate": kernel_stats}
+    if args.compare:
+        regressions, baseline = compare_to_trajectory(
+            "incremental_engine",
+            Path(__file__).resolve().parent / "results",
+            config,
+            results,
+            ["seed_gate.wall_speedup", "kernel_gate.wall_speedup"],
+            tolerance=0.4,
+        )
+        if baseline is None:
+            print("\ncompare: no recorded baseline for this configuration (vacuously green)")
+        elif regressions:
+            print(f"\ncompare: REGRESSED vs baseline at commit {baseline.get('commit', '?')[:12]}:")
+            for line in regressions:
+                print(f"  - {line}")
+            return 1
+        else:
+            print(f"\ncompare: green vs baseline at commit {baseline.get('commit', '?')[:12]}")
+    if not args.no_record:
         path = record_benchmark(
             "incremental_engine",
-            config={
-                "quick": args.quick,
-                "repeats": repeats,
-                "backends": available_backends(),
-            },
-            results={"seed_gate": stats, "kernel_gate": kernel_stats},
+            config=config,
+            results=results,
             directory=Path(__file__).resolve().parent / "results",
         )
-        print(f"\nrecorded trajectory: {path}")
+        print(f"recorded trajectory: {path}")
     return 0
 
 

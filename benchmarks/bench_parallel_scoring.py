@@ -1,0 +1,270 @@
+"""Benchmark: sharded type table + worker-pool fan-out vs the serial kernels.
+
+One inference session, 10⁶ candidate tuples, every core: with a parallel
+mode active (``REPRO_PARALLEL=thread|process`` or
+:class:`repro.core.parallel.parallel_scope`) the session shards its type
+table (:class:`repro.core.kernels.ShardedTypeTable`), fans the lookahead
+prune-count kernel across the pool shard by shard, and distributes the
+factorized setup work — the group-combination histogram, the propagation-
+side id materialisation and the smallest-id tie-break scans — across the
+same pool.  The serial path stays the default and is byte-for-byte the
+pre-parallel engine.
+
+The benchmark checks both halves of that claim:
+
+* *Trace equivalence* — on every scenario, every strategy and every kernel
+  backend, the serial engine and the parallel engine (thread and process
+  modes, several shard counts including one larger than the number of
+  distinct types) must ask about the same tuples in the same order and
+  infer the same query.
+* *Speedup* — lookahead-entropy over a 10⁶-candidate factorized workload,
+  serial vs process-parallel on the same backend.  The ≥3× gate is
+  enforced only on machines with at least 4 cores (below that the numbers
+  are reported, not asserted — a 1-core container cannot demonstrate a
+  parallel speedup).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scoring.py           # full: 10^6 candidates
+    PYTHONPATH=src python benchmarks/bench_parallel_scoring.py --quick   # CI smoke
+
+Full runs append their measurements to
+``benchmarks/results/BENCH_parallel_scoring.json`` (keyed by git commit +
+config hash; see :mod:`repro.experiments.trajectory`).  ``--compare`` diffs
+the fresh speedups against the latest recorded baseline with the same
+configuration and fails on regressions beyond tolerance.  Exit status is
+non-zero when trace equivalence fails, the (enforced) speedup gate misses,
+or ``--compare`` finds a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro import GoalQueryOracle, JoinInferenceEngine
+from repro.core import parallel
+from repro.core.kernels import available_backends, use_backend
+from repro.core.state import InferenceState
+from repro.core.strategies.registry import create_strategy
+from repro.datasets.workloads import figure1_workload
+from repro.experiments.scalability import scalability_workloads
+from repro.experiments.trajectory import compare_to_trajectory, record_benchmark
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: The speedup gate: process-parallel vs serial on the same kernel backend.
+GATE_SPEEDUP = 3.0
+#: Cores below which the gate is reported but not enforced.
+GATE_MIN_CPUS = 4
+
+
+def _run(workload, strategy_name: str):
+    strategy = create_strategy(strategy_name, seed=7)
+    oracle = GoalQueryOracle(workload.goal)
+    # The wall covers the full session — the factorized setup (equality-type
+    # histogram) plus every propagation and scored step — so anything left
+    # serial dilutes the measured speedup, exactly as it would for a user.
+    started = time.perf_counter()
+    engine = JoinInferenceEngine(workload.table, strategy=strategy)
+    state = InferenceState(workload.table, universe=engine.universe)
+    result = engine.run(oracle, initial_state=state)
+    wall = time.perf_counter() - started
+    return result, wall
+
+
+def _trace_signature(result):
+    return (
+        [
+            (i.tuple_id, i.label.value, i.pruned, i.informative_remaining)
+            for i in result.trace.interactions
+        ],
+        result.query.normalized().describe(),
+        result.converged,
+    )
+
+
+def _fan_workload(tuples: int, domain: int):
+    """A factorized 2-relation workload of ``tuples²`` candidates."""
+    return scalability_workloads(
+        tuples_per_relation=(tuples,),
+        goal_atoms=2,
+        seed=0,
+        max_candidate_rows=None,
+        domain_size=domain,
+    )[0]
+
+
+def check_equivalence(quick: bool) -> list[str]:
+    """Serial and parallel engines must produce identical traces everywhere.
+
+    The scenario list mixes the interactive-scale workloads with one
+    workload large enough to cross the fan-out thresholds, so the pool
+    paths — not just their serial fallbacks — are under test.
+    """
+    sizes = (6, 10) if quick else (10, 20, 30)
+    scenarios = [(f"figure1/{q}", figure1_workload(q)) for q in ("q1", "q2")]
+    scenarios += [
+        (f"scalability/{w.num_candidates}", w)
+        for w in scalability_workloads(tuples_per_relation=sizes, goal_atoms=2, seed=0)
+    ]
+    fan = _fan_workload(tuples=60 if quick else 150, domain=30)
+    scenarios.append((f"fan/{fan.num_candidates}", fan))
+    strategies = ["lookahead-entropy", "local-most-specific", "lookahead-minmax"]
+    if not quick:
+        strategies.append("lookahead-kstep")
+    shard_counts = (2, 7) if quick else (1, 2, 7, 1000)
+    mismatches = []
+    for scenario_name, workload in scenarios:
+        for strategy_name in strategies:
+            for backend in available_backends():
+                with use_backend(backend):
+                    reference = _trace_signature(_run(workload, strategy_name)[0])
+                    for mode in ("thread", "process"):
+                        for shards in shard_counts:
+                            with parallel.parallel_scope(mode, shards):
+                                result, _ = _run(workload, strategy_name)
+                            if _trace_signature(result) != reference:
+                                mismatches.append(
+                                    f"{scenario_name} × {strategy_name} "
+                                    f"[{backend}/{mode}/shards={shards}]"
+                                )
+    return mismatches
+
+
+def measure_speedup(quick: bool, repeats: int) -> dict:
+    """Lookahead-entropy end to end: serial vs process-parallel, per backend.
+
+    Serial and parallel traces must match before a speedup counts.
+    """
+    workload = _fan_workload(tuples=150 if quick else 1000, domain=30)
+    per_backend: dict[str, dict] = {}
+    steps = None
+    for backend in available_backends():
+        with use_backend(backend):
+            serial_walls, parallel_walls = [], []
+            serial_signature = parallel_signature = None
+            for _ in range(repeats):
+                result, wall = _run(workload, "lookahead-entropy")
+                serial_signature = _trace_signature(result)
+                steps = len(result.trace.interactions)
+                serial_walls.append(wall)
+            with parallel.parallel_scope("process"):
+                for _ in range(repeats):
+                    result, wall = _run(workload, "lookahead-entropy")
+                    parallel_signature = _trace_signature(result)
+                    parallel_walls.append(wall)
+            serial_wall = min(serial_walls)
+            parallel_wall = min(parallel_walls)
+            per_backend[backend] = {
+                "serial_wall": serial_wall,
+                "parallel_wall": parallel_wall,
+                "speedup": serial_wall / parallel_wall if parallel_wall else float("inf"),
+                "trace_match": serial_signature == parallel_signature,
+            }
+    return {
+        "cpus": parallel.available_cpus(),
+        "candidates": workload.num_candidates,
+        "steps": steps,
+        "shards": parallel.shard_count(),
+        "backends": per_backend,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI smoke mode: small sizes, gate reported only"
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="timing repetitions (best-of)")
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip writing benchmarks/results/BENCH_parallel_scoring.json",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="fail on speedup regressions vs the latest recorded same-config baseline",
+    )
+    args = parser.parse_args(argv)
+    repeats = max(1, args.repeats)
+
+    print("== trace equivalence: parallel engine vs serial engine ==")
+    print(f"kernel backends under test: {', '.join(available_backends())}")
+    mismatches = check_equivalence(args.quick)
+    if mismatches:
+        print(f"FAIL: {len(mismatches)} diverging scenario(s):")
+        for item in mismatches:
+            print(f"  - {item}")
+        parallel.shutdown_executors()
+        return 1
+    print("ok: identical interaction traces on all scenarios, modes and shard counts")
+
+    print("\n== end-to-end speedup (lookahead-entropy, serial vs process-parallel) ==")
+    stats = measure_speedup(args.quick, repeats)
+    print(f"cpus: {stats['cpus']}   shards: {stats['shards']}")
+    print(f"candidate tuples: {stats['candidates']}   interactions: {stats['steps']}")
+    trace_broken = False
+    for backend, numbers in stats["backends"].items():
+        print(
+            f"{backend:>7}: serial {numbers['serial_wall']:.3f}s  "
+            f"parallel {numbers['parallel_wall']:.3f}s  "
+            f"speedup {numbers['speedup']:.2f}x  "
+            f"traces {'identical' if numbers['trace_match'] else 'DIVERGED'}"
+        )
+        trace_broken = trace_broken or not numbers["trace_match"]
+    parallel.shutdown_executors()
+    if trace_broken:
+        print("FAIL: serial and parallel traces diverged on the speedup workload")
+        return 1
+
+    best_speedup = max(numbers["speedup"] for numbers in stats["backends"].values())
+    gate_enforced = not args.quick and stats["cpus"] >= GATE_MIN_CPUS
+    if gate_enforced and best_speedup < GATE_SPEEDUP:
+        print(
+            f"FAIL: best parallel speedup {best_speedup:.2f}x is below the "
+            f"{GATE_SPEEDUP:.0f}x gate on {stats['cpus']} cores"
+        )
+        return 1
+    if not gate_enforced:
+        reason = "quick mode" if args.quick else f"{stats['cpus']} core(s) < {GATE_MIN_CPUS}"
+        print(
+            f"gate reported only ({reason}): best speedup {best_speedup:.2f}x vs "
+            f"{GATE_SPEEDUP:.0f}x target"
+        )
+
+    config = {
+        "quick": args.quick,
+        "repeats": repeats,
+        "backends": available_backends(),
+        "cpus": stats["cpus"],
+    }
+    results = {**stats, "gate_enforced": gate_enforced, "best_speedup": best_speedup}
+    if args.compare:
+        metrics = [f"backends.{backend}.speedup" for backend in available_backends()]
+        regressions, baseline = compare_to_trajectory(
+            "parallel_scoring", RESULTS_DIR, config, results, metrics
+        )
+        if baseline is None:
+            print("\ncompare: no recorded baseline for this configuration (vacuously green)")
+        elif regressions:
+            print(f"\ncompare: REGRESSED vs baseline at commit {baseline.get('commit', '?')[:12]}:")
+            for line in regressions:
+                print(f"  - {line}")
+            return 1
+        else:
+            print(
+                f"\ncompare: green vs baseline at commit {baseline.get('commit', '?')[:12]}"
+            )
+    if not args.no_record:
+        path = record_benchmark("parallel_scoring", config, results, RESULTS_DIR)
+        print(f"recorded trajectory: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

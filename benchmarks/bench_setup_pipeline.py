@@ -20,11 +20,13 @@ Run standalone::
     PYTHONPATH=src python benchmarks/bench_setup_pipeline.py           # full: asserts >=10x
     PYTHONPATH=src python benchmarks/bench_setup_pipeline.py --quick   # CI smoke
 
-Full runs append their measurements to ``benchmarks/results/BENCH_setup_pipeline.json``
-(keyed by git commit + config hash; see :mod:`repro.experiments.trajectory`).
-Exit status is non-zero when equivalence fails, or (in full mode) when the
-construction speedup on the largest workload falls below the 10x target or no
-memory reduction is measured.
+Runs append their measurements to ``benchmarks/results/BENCH_setup_pipeline.json``
+(keyed by git commit + config hash; see :mod:`repro.experiments.trajectory`);
+``--compare`` diffs the fresh speedup and memory-reduction ratios against the
+latest recorded same-config baseline.  Exit status is non-zero when
+equivalence fails, ``--compare`` finds a regression, or (in full mode) when
+the construction speedup on the largest workload falls below the 10x target
+or no memory reduction is measured.
 """
 
 from __future__ import annotations
@@ -46,7 +48,7 @@ from repro.datasets.flights_hotels import figure1_table
 from repro.datasets.synthetic import SyntheticConfig, generate_instance
 from repro.datasets.workloads import figure1_workload
 from repro.experiments.scalability import scalability_workloads, setup_scale_workloads
-from repro.experiments.trajectory import record_benchmark
+from repro.experiments.trajectory import compare_to_trajectory, record_benchmark
 from repro.relational.candidate import CandidateAttribute, CandidateTable
 from repro.relational.instance import DatabaseInstance
 
@@ -323,6 +325,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="skip writing benchmarks/results/BENCH_setup_pipeline.json",
     )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="fail on regressions vs the latest recorded same-config baseline",
+    )
     args = parser.parse_args(argv)
 
     print("== construction equivalence: columnar/factorized vs seed row-at-a-time ==")
@@ -377,14 +384,39 @@ def main(argv: Sequence[str] | None = None) -> int:
             print("FAIL: no measured memory reduction on the largest workload")
             return 1
 
-    if not args.quick and not args.no_record:
+    config = {"quick": args.quick, "repeats": max(1, args.repeats)}
+    results = {
+        "sizes": rows,
+        # Top-level ratios of the largest workload, for trajectory comparison.
+        "largest_speedup": largest["speedup"],
+        "largest_memory_reduction": largest["memory_reduction"],
+    }
+    if args.compare:
+        regressions, baseline = compare_to_trajectory(
+            "setup_pipeline",
+            Path(__file__).resolve().parent / "results",
+            config,
+            results,
+            ["largest_speedup", "largest_memory_reduction"],
+            tolerance=0.4,
+        )
+        if baseline is None:
+            print("\ncompare: no recorded baseline for this configuration (vacuously green)")
+        elif regressions:
+            print(f"\ncompare: REGRESSED vs baseline at commit {baseline.get('commit', '?')[:12]}:")
+            for line in regressions:
+                print(f"  - {line}")
+            return 1
+        else:
+            print(f"\ncompare: green vs baseline at commit {baseline.get('commit', '?')[:12]}")
+    if not args.no_record:
         path = record_benchmark(
             "setup_pipeline",
-            config={"quick": args.quick, "repeats": max(1, args.repeats)},
-            results={"sizes": rows},
+            config=config,
+            results=results,
             directory=Path(__file__).resolve().parent / "results",
         )
-        print(f"\nrecorded trajectory: {path}")
+        print(f"recorded trajectory: {path}")
     return 0
 
 

@@ -20,8 +20,12 @@ Run standalone::
     PYTHONPATH=src python benchmarks/bench_stepper_overhead.py           # asserts < 5%
     PYTHONPATH=src python benchmarks/bench_stepper_overhead.py --quick   # CI smoke
 
-Exit status is non-zero on a trace mismatch, or (in full mode) when the
-overhead exceeds the 5 % acceptance gate.
+Runs append their measurements to
+``benchmarks/results/BENCH_stepper_overhead.json`` (keyed by git commit +
+config hash; see :mod:`repro.experiments.trajectory`); ``--compare`` diffs
+the fresh throughput ratio against the latest recorded same-config baseline.
+Exit status is non-zero on a trace mismatch, a ``--compare`` regression, or
+(in full mode) when the overhead exceeds the 5 % acceptance gate.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ import statistics
 import sys
 import time
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro import GoalQueryOracle, JoinInferenceEngine
 from repro.core.engine import InferenceResult, InferenceTrace, Interaction
@@ -38,6 +43,9 @@ from repro.core.state import InferenceState
 from repro.core.strategies.registry import create_strategy
 from repro.datasets.workloads import figure1_workload
 from repro.experiments.scalability import scalability_workloads
+from repro.experiments.trajectory import compare_to_trajectory, record_benchmark
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
 class _DirectEngine(JoinInferenceEngine):
@@ -162,6 +170,8 @@ def measure_overhead(quick: bool, repeats: int) -> dict:
         "direct_wall": direct_wall,
         "stepper_wall": stepper_wall,
         "overhead_pct": 100.0 * (stepper_wall - direct_wall) / direct_wall,
+        # Higher-is-better form of the overhead, for trajectory comparison.
+        "throughput_ratio": direct_wall / stepper_wall if stepper_wall else float("inf"),
     }
 
 
@@ -171,6 +181,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--quick", action="store_true", help="CI smoke mode: small sizes, no overhead assertion"
     )
     parser.add_argument("--repeats", type=int, default=11, help="timing repetitions (median-of)")
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip writing benchmarks/results/BENCH_stepper_overhead.json",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="fail on regressions vs the latest recorded same-config baseline",
+    )
     args = parser.parse_args(argv)
 
     print("== trace equivalence: stepper-driven engine vs inline loop ==")
@@ -192,6 +212,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     if not args.quick and stats["overhead_pct"] >= 5.0:
         print("FAIL: stepper adapter overhead above the 5% acceptance gate")
         return 1
+
+    config = {"quick": args.quick, "repeats": max(1, args.repeats)}
+    if args.compare:
+        regressions, baseline = compare_to_trajectory(
+            "stepper_overhead", RESULTS_DIR, config, stats, ["throughput_ratio"]
+        )
+        if baseline is None:
+            print("compare: no recorded baseline for this configuration (vacuously green)")
+        elif regressions:
+            print(f"compare: REGRESSED vs baseline at commit {baseline.get('commit', '?')[:12]}:")
+            for line in regressions:
+                print(f"  - {line}")
+            return 1
+        else:
+            print(f"compare: green vs baseline at commit {baseline.get('commit', '?')[:12]}")
+    if not args.no_record:
+        path = record_benchmark("stepper_overhead", config, stats, RESULTS_DIR)
+        print(f"recorded trajectory: {path}")
     return 0
 
 

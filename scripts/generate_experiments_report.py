@@ -30,8 +30,50 @@ from repro.experiments import (
     walkthrough,
 )
 from repro.experiments.results import ResultTable
+from repro.experiments.trajectory import load_records
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _ratio_metrics(results: dict, prefix: str = "") -> list[tuple[str, float]]:
+    """Flattened (dotted-name, value) pairs of the ratio metrics in a record.
+
+    Only machine-portable ratios — speedups, overhead ratios, memory
+    reductions — are rendered; raw wall-clock seconds are deliberately left
+    out of the report.
+    """
+    metrics: list[tuple[str, float]] = []
+    for key, value in sorted(results.items()):
+        if isinstance(value, dict):
+            metrics.extend(_ratio_metrics(value, prefix=f"{prefix}{key}."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool) and any(
+            tag in key for tag in ("speedup", "ratio", "reduction")
+        ):
+            metrics.append((f"{prefix}{key}", float(value)))
+    return metrics
+
+
+def perf_trajectory_body() -> str:
+    """One line per recorded (commit, configuration) benchmark measurement."""
+    results_dir = REPO_ROOT / "benchmarks" / "results"
+    lines: list[str] = []
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_") :]
+        records = load_records(name, results_dir)
+        if not records:
+            continue
+        lines.append(f"-- {name} ({len(records)} record(s)) --")
+        for record in records:
+            stamp = time.strftime("%Y-%m-%d", time.localtime(record.get("timestamp", 0)))
+            flavor = "quick" if record.get("config", {}).get("quick") else "full"
+            metrics = _ratio_metrics(record.get("results", {}))
+            rendered = "  ".join(f"{key}={value:.2f}" for key, value in metrics)
+            lines.append(
+                f"{record.get('commit', '?')[:10]}  {stamp}  {flavor:>5}  "
+                f"{rendered or '(no ratio metrics)'}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip() or "(no benchmark records committed)"
 
 
 def _section(experiment_id: str, title: str, paper_claim: str, expectation: str,
@@ -273,6 +315,19 @@ def main() -> None:
             e10_body,
             "benchmarks/bench_ablation.py",
         )
+    )
+
+    # Performance trajectory
+    sections.append(
+        "## Performance trajectory\n\n"
+        "Ratio metrics (speedups, throughput/overhead ratios, memory reductions)\n"
+        "recorded by the benchmarks into `benchmarks/results/BENCH_*.json`, one\n"
+        "line per recorded (commit, configuration) pair in file order.  Absolute\n"
+        "wall-clock values are machine-bound and omitted; the committed ratios are\n"
+        "the baselines CI's `--compare` smoke runs guard against regressions.\n\n"
+        f"```text\n{perf_trajectory_body()}\n```\n\n"
+        "*Regenerate with* `python benchmarks/bench_<name>.py` (records a fresh "
+        "measurement; `--compare` diffs against the latest same-config record)\n\n"
     )
 
     elapsed = time.time() - started

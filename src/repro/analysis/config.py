@@ -52,4 +52,8 @@ PROJECT_SCOPES: dict[str, Scope] = {
     "RPR005": Scope(include=("*",)),
     # Wire-registry completeness is specific to the protocol module.
     "RPR006": Scope(include=("src/repro/service/protocol.py",)),
+    # Executor discipline everywhere: the rule itself knows the one
+    # sanctioned pool-creation site (core/parallel.py) and still forbids
+    # module-level pool creation there.
+    "RPR007": Scope(include=("*",)),
 }

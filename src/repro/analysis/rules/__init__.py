@@ -1,6 +1,7 @@
 """The invariant rules.  Importing this package registers every rule."""
 
 from . import (  # noqa: F401 - imports register the rules
+    executor_discipline,
     lazy_tables,
     lock_discipline,
     numpy_containment,

@@ -38,8 +38,10 @@ except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
     _np = None
 
 from ..relational.columnar import (
+    ComboGrid,
     FactorGrouping,
     UnencodableValue,
+    build_combo_histogram,
     columnar_equality_masks,
     combo_equalities,
 )
@@ -48,19 +50,36 @@ from .kernels import numpy_enabled as _numpy_ids_on
 
 
 class _FactorizedTypes:
-    """The lazy per-tuple machinery of a factorized equality-type index."""
+    """The lazy per-tuple machinery of a factorized equality-type index.
 
-    __slots__ = ("grouping", "combo_masks", "combos_by_mask")
+    ``combo_masks`` maps a group combination to its equality mask — either a
+    plain dict (serial construction) or a
+    :class:`~repro.relational.columnar.ComboGrid` (parallel construction);
+    both are indexed by combo tuple and enumerate ``(combo, mask)`` in the
+    same product order.  The per-mask combination lists are built lazily on
+    first id lookup when the constructor did not provide them — one pass over
+    the grid, paid only by sessions that materialise per-type tuple ids.
+    """
+
+    __slots__ = ("grouping", "combo_masks", "_combos_by_mask")
 
     def __init__(
         self,
         grouping: FactorGrouping,
-        combo_masks: dict[tuple[int, ...], int],
-        combos_by_mask: dict[int, list[tuple[int, ...]]],
+        combo_masks: dict[tuple[int, ...], int] | ComboGrid,
+        combos_by_mask: dict[int, list[tuple[int, ...]]] | None = None,
     ) -> None:
         self.grouping = grouping
         self.combo_masks = combo_masks
-        self.combos_by_mask = combos_by_mask
+        self._combos_by_mask = combos_by_mask
+
+    def _by_mask(self) -> dict[int, list[tuple[int, ...]]]:
+        if self._combos_by_mask is None:
+            table: dict[int, list[tuple[int, ...]]] = {}
+            for combo, mask in self.combo_masks.items():
+                table.setdefault(mask, []).append(combo)
+            self._combos_by_mask = table
+        return self._combos_by_mask
 
     def mask_of(self, tuple_id: int) -> int:
         """E(t) of one tuple: locate its group combination, look the mask up."""
@@ -76,24 +95,30 @@ class _FactorizedTypes:
         """E(t) for every tuple, in ``tuple_id`` order (full materialisation)."""
         return tuple(self.iter_all_masks())
 
+    #: Above this many combinations per type, per-combination numpy dispatch
+    #: costs more than the ids it produces (large grids put most types on
+    #: ~one candidate per combination); the bulk mixed-radix loop — which
+    #: also fans across the pool in process mode — wins on both backends.
+    _MANY_COMBOS = 4096
+
     def ids_of_mask(self, mask: int) -> tuple[int, ...]:
         """All tuple ids of one equality type, ascending."""
-        combos = self.combos_by_mask.get(mask, ())
+        combos = self._by_mask().get(mask, ())
         if not combos:
             return ()
         grouping = self.grouping
-        if _numpy_ids_on() and grouping.factorization.num_rows < (1 << 62):
+        if (
+            len(combos) <= self._MANY_COMBOS
+            and _numpy_ids_on()
+            and grouping.factorization.num_rows < (1 << 62)
+        ):
             arrays = [grouping.combo_id_array(combo) for combo in combos]
             if len(arrays) == 1:
                 merged = arrays[0]  # each combination's ids are already ascending
             else:
                 merged = _np.sort(_np.concatenate(arrays))
             return tuple(merged.tolist())
-        ids: list[int] = []
-        for combo in combos:
-            ids.extend(grouping.ids_of_combo(combo))
-        ids.sort()
-        return tuple(ids)
+        return tuple(grouping.ids_of_combos(combos))
 
     def min_id_of_mask(self, mask: int) -> int | None:
         """The smallest tuple id of one equality type, without materialising.
@@ -102,20 +127,10 @@ class _FactorizedTypes:
         every factor group; the type's minimum is the smallest across its
         combinations — O(#combinations × #factors) instead of O(type size).
         """
-        combos = self.combos_by_mask.get(mask)
+        combos = self._by_mask().get(mask)
         if not combos:
             return None
-        members = self.grouping.members
-        strides = self.grouping.factorization.strides
-        best: int | None = None
-        for combo in combos:
-            tuple_id = sum(
-                members[factor][gid][0] * strides[factor]
-                for factor, gid in enumerate(combo)
-            )
-            if best is None or tuple_id < best:
-                best = tuple_id
-        return best
+        return self.grouping.min_id_of_combos(combos)
 
 
 class EqualityTypeIndex:
@@ -145,12 +160,25 @@ class EqualityTypeIndex:
     # Construction paths
     # ------------------------------------------------------------------ #
     def _build_factorized(self, factorization, pairs) -> None:
-        """Factorized histogram: one evaluation per group combination."""
+        """Factorized histogram: one evaluation per group combination.
+
+        When a parallel mode is active and the combination grid is large,
+        the evaluation fans across the worker pool
+        (:func:`~repro.relational.columnar.build_combo_histogram`) with the
+        distinct-type order — and everything derived from it — byte-identical
+        to this serial loop.
+        """
         used_columns = sorted({position for pair in pairs for position in pair})
         grouping = self.table.factor_grouping(used_columns)
+        fanned = build_combo_histogram(grouping, pairs)
+        if fanned is not None:
+            grid, sizes = fanned
+            self._factorized = _FactorizedTypes(grouping, grid)
+            self._type_sizes = sizes
+            return
         combo_masks: dict[tuple[int, ...], int] = {}
         combos_by_mask: dict[int, list[tuple[int, ...]]] = {}
-        sizes: dict[int, int] = {}
+        sizes = {}
         for combo, mask, count in combo_equalities(grouping, pairs):
             combo_masks[combo] = mask
             sizes[mask] = sizes.get(mask, 0) + count

@@ -32,7 +32,7 @@ interactive loop's guard (:func:`has_informative_tuple` and
 from __future__ import annotations
 
 import enum
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
 
 from .equality_types import EqualityTypeIndex
 from .examples import ExampleSet, Label
@@ -194,6 +194,24 @@ class TypeStatusCache:
     def has_informative(self) -> bool:
         """Whether at least one informative tuple remains (the loop's guard)."""
         return self._table.has_informative()
+
+    def prune_counts_for_restricted(
+        self,
+        restricted_masks: Sequence[int],
+        positive_mask: int,
+        negative_masks: Sequence[int],
+    ) -> list[tuple[int, int]]:
+        """Prune counts per restricted candidate type, via the table kernel.
+
+        Delegates to :meth:`TypeTable.prune_counts_informative
+        <repro.core.kernels._BaseTypeTable.prune_counts_informative>`, so a
+        sharded table fans the evaluation across the worker pool while flat
+        tables run the single batched kernel — callers (the strategies, via
+        :class:`~repro.core.state.InferenceState`) never know the difference.
+        """
+        return self._table.prune_counts_informative(
+            restricted_masks, positive_mask, negative_masks
+        )
 
     @classmethod
     def scan_has_informative(

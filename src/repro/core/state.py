@@ -43,7 +43,6 @@ from .atoms import AtomScope, AtomUniverse
 from .equality_types import EqualityTypeIndex
 from .examples import ExampleSet, Label
 from .informativeness import TupleStatus, TypeStatusCache, unlabeled_ids_of_types
-from .kernels import prune_counts_batch
 from .propagation import PropagationResult, delta_result
 from .queries import JoinQuery
 from .space import ConsistentQuerySpace
@@ -240,15 +239,12 @@ class InferenceState:
         positive label shrinks ``M`` to ``M ∩ E(t)``, a negative label adds
         ``E(t)`` to the negative types, and every subset test happens under
         ``M``.  All candidates are scored against one shared informative
-        snapshot by :func:`~repro.core.kernels.prune_counts_batch`.
+        snapshot, held and (when the table is sharded) fanned by the status
+        cache's type table — the strategies built on this method parallelize
+        without any per-strategy changes.
         """
-        snapshot = self.informative_type_snapshot()
-        return prune_counts_batch(
-            [mask for mask, _ in snapshot],
-            [count for _, count in snapshot],
-            restricted_masks,
-            self.space.positive_mask,
-            self.space.negative_masks,
+        return self._cache.prune_counts_for_restricted(
+            restricted_masks, self.space.positive_mask, self.space.negative_masks
         )
 
     def first_informative_id(self, type_masks: Iterable[int]) -> int | None:

@@ -32,7 +32,7 @@ import hashlib
 import json
 import subprocess
 import time
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from pathlib import Path
 from typing import Any
 
@@ -94,6 +94,94 @@ def find_record(
         if record.get("commit") == commit and record.get("config_hash") == digest:
             return record
     return None
+
+
+def latest_record(
+    name: str,
+    directory: str | Path,
+    config: Mapping[str, Any],
+) -> dict[str, Any] | None:
+    """The newest record with this configuration, across commits.
+
+    CI regression checks compare a fresh measurement against whatever the
+    trajectory last recorded for the *same configuration* — the commit is
+    deliberately ignored, since the point is to catch the current commit
+    drifting from the recorded history.
+    """
+    digest = config_hash(config)
+    matching = [
+        record
+        for record in load_records(name, directory)
+        if record.get("config_hash") == digest
+    ]
+    if not matching:
+        return None
+    return max(matching, key=lambda record: record.get("timestamp", 0.0))
+
+
+def _lookup(results: Mapping[str, Any], dotted: str) -> Any:
+    value: Any = results
+    for part in dotted.split("."):
+        if not isinstance(value, Mapping) or part not in value:
+            return None
+        value = value[part]
+    return value
+
+
+def compare_results(
+    recorded: Mapping[str, Any],
+    fresh: Mapping[str, Any],
+    metrics: Sequence[str],
+    tolerance: float = 0.25,
+) -> list[str]:
+    """Regressions of ratio metrics against a recorded baseline.
+
+    ``metrics`` names the results to compare, with dots reaching into nested
+    sections (``"seed_gate.wall_speedup"``).  Only *ratio* metrics belong
+    here — speedups are comparable across machines, raw wall-clock seconds
+    are not.  A metric regresses when the fresh value falls below the
+    recorded one by more than ``tolerance`` (fractional); a metric missing
+    from either side is reported as well.  Returns human-readable regression
+    lines — empty means the comparison is green.
+    """
+    regressions: list[str] = []
+    for metric in metrics:
+        baseline = _lookup(recorded, metric)
+        current = _lookup(fresh, metric)
+        if not isinstance(baseline, (int, float)) or not isinstance(current, (int, float)):
+            missing = "baseline" if not isinstance(baseline, (int, float)) else "fresh run"
+            regressions.append(f"{metric}: missing from the {missing}")
+            continue
+        floor = baseline * (1.0 - tolerance)
+        if current < floor:
+            regressions.append(
+                f"{metric}: {current:.3g} < {baseline:.3g} recorded "
+                f"(tolerance {tolerance:.0%}, floor {floor:.3g})"
+            )
+    return regressions
+
+
+def compare_to_trajectory(
+    name: str,
+    directory: str | Path,
+    config: Mapping[str, Any],
+    results: Mapping[str, Any],
+    metrics: Sequence[str],
+    tolerance: float = 0.25,
+) -> tuple[list[str], dict[str, Any] | None]:
+    """Compare a fresh run against the latest recorded same-config baseline.
+
+    Returns ``(regressions, baseline_record)``.  With no matching baseline
+    the comparison is vacuously green (first run of a new configuration) and
+    the record is ``None``.
+    """
+    baseline = latest_record(name, directory, config)
+    if baseline is None:
+        return [], None
+    recorded = baseline.get("results")
+    if not isinstance(recorded, Mapping):
+        return [f"baseline record for {name} has no results section"], baseline
+    return compare_results(recorded, results, metrics, tolerance), baseline
 
 
 def record_benchmark(

@@ -51,9 +51,9 @@ from __future__ import annotations
 import asyncio
 import functools
 from collections.abc import AsyncIterator, Callable
-from concurrent.futures import ThreadPoolExecutor
 from typing import TypeVar
 
+from ..core.parallel import create_thread_pool
 from ..core.strategies.base import Strategy
 from ..relational.candidate import CandidateTable
 from .protocol import Event, InteractionMode, LabelApplied, event_to_wire
@@ -185,7 +185,7 @@ class AsyncSessionService:
         self.stream_buffer = stream_buffer
         self._slots = asyncio.Semaphore(max_sessions) if max_sessions is not None else None
         self._slot_holders: set[str] = set()
-        self._executor = ThreadPoolExecutor(
+        self._executor = create_thread_pool(
             max_workers=max_workers, thread_name_prefix="repro-aio"
         )
         self._locks: dict[str, asyncio.Lock] = {}

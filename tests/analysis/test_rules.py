@@ -458,3 +458,143 @@ class TestWireRegistry:
         )
         findings = run_rule("RPR006", tmp_path, "src/repro/service/protocol.py", source)
         assert findings == []
+
+
+class TestExecutorDiscipline:
+    """RPR007: pools are lazy, owned, and created only by core/parallel."""
+
+    def test_flags_module_level_pool(self, tmp_path):
+        findings = run_rule(
+            "RPR007",
+            tmp_path,
+            "src/repro/experiments/violating.py",
+            """\
+            from concurrent.futures import ThreadPoolExecutor
+
+            EXECUTOR = ThreadPoolExecutor(max_workers=4)
+            """,
+        )
+        assert len(findings) == 1
+        assert "module-level ThreadPoolExecutor()" in findings[0].message
+
+    def test_flags_creation_outside_sanctioned_module(self, tmp_path):
+        findings = run_rule(
+            "RPR007",
+            tmp_path,
+            "src/repro/experiments/rogue.py",
+            """\
+            import concurrent.futures
+
+            def score(chunks):
+                pool = concurrent.futures.ProcessPoolExecutor(max_workers=2)
+                try:
+                    return list(pool.map(sum, chunks))
+                finally:
+                    pool.shutdown()
+            """,
+        )
+        assert len(findings) == 1
+        assert "outside repro.core.parallel" in findings[0].message
+
+    def test_sanctioned_module_may_create_lazily(self, tmp_path):
+        findings = run_rule(
+            "RPR007",
+            tmp_path,
+            "src/repro/core/parallel.py",
+            """\
+            from concurrent.futures import ThreadPoolExecutor
+
+            def create_thread_pool(max_workers=None):
+                return ThreadPoolExecutor(max_workers=max_workers)
+            """,
+        )
+        assert findings == []
+
+    def test_sanctioned_module_still_forbids_module_level_pools(self, tmp_path):
+        findings = run_rule(
+            "RPR007",
+            tmp_path,
+            "src/repro/core/parallel.py",
+            """\
+            from concurrent.futures import ThreadPoolExecutor
+
+            _POOL = ThreadPoolExecutor(max_workers=2)
+            """,
+        )
+        assert len(findings) == 1
+        assert "module-level" in findings[0].message
+
+    def test_flags_pool_owner_without_shutdown_surface(self, tmp_path):
+        findings = run_rule(
+            "RPR007",
+            tmp_path,
+            "src/repro/service/leaky.py",
+            """\
+            from repro.core.parallel import create_thread_pool
+
+
+            class Facade:
+                def __init__(self):
+                    self._executor = create_thread_pool(max_workers=2)
+
+                def call(self, fn):
+                    return self._executor.submit(fn)
+            """,
+        )
+        assert len(findings) == 1
+        assert "Facade owns a worker pool" in findings[0].message
+
+    def test_pool_owner_with_close_passes(self, tmp_path):
+        findings = run_rule(
+            "RPR007",
+            tmp_path,
+            "src/repro/service/owned.py",
+            """\
+            from repro.core.parallel import create_thread_pool
+
+
+            class Facade:
+                def __init__(self):
+                    self._executor = create_thread_pool(max_workers=2)
+
+                def close(self):
+                    self._executor.shutdown(wait=True)
+            """,
+        )
+        assert findings == []
+
+    def test_async_context_manager_counts_as_shutdown(self, tmp_path):
+        findings = run_rule(
+            "RPR007",
+            tmp_path,
+            "src/repro/service/async_owned.py",
+            """\
+            from repro.core.parallel import create_thread_pool
+
+
+            class Facade:
+                def __init__(self):
+                    self._executor = create_thread_pool(max_workers=2)
+
+                async def __aexit__(self, exc_type, exc, tb):
+                    self._executor.shutdown(wait=True)
+            """,
+        )
+        assert findings == []
+
+    def test_local_pool_variable_needs_no_class_shutdown(self, tmp_path):
+        # A function-local pool (created via the sanctioned factory) is the
+        # caller's business; the ownership check only watches `self` binds.
+        findings = run_rule(
+            "RPR007",
+            tmp_path,
+            "src/repro/experiments/localpool.py",
+            """\
+            from repro.core.parallel import create_thread_pool
+
+            def fan_out(fn, chunks):
+                with create_thread_pool(max_workers=2) as pool:
+                    return list(pool.map(fn, chunks))
+            """,
+        )
+        assert findings == []

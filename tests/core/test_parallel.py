@@ -1,0 +1,122 @@
+"""Tests for the executor layer: mode resolution, pool lifecycle, worker tasks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import parallel
+from repro.core.kernels import HAVE_NUMPY
+
+
+@pytest.fixture(autouse=True)
+def _clean_executors():
+    yield
+    parallel.shutdown_executors()
+
+
+class TestModeResolution:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        assert parallel.parallel_mode() == "serial"
+        assert not parallel.parallel_enabled()
+
+    def test_environment_variable_selects_the_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "thread")
+        assert parallel.parallel_mode() == "thread"
+        assert parallel.parallel_enabled()
+
+    def test_invalid_environment_mode_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "gpu")
+        with pytest.raises(ValueError, match="unknown parallel mode"):
+            parallel.parallel_mode()
+
+    def test_scope_overrides_environment_and_restores(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "thread")
+        with parallel.parallel_scope("process"):
+            assert parallel.parallel_mode() == "process"
+            with parallel.parallel_scope("serial"):
+                assert parallel.parallel_mode() == "serial"
+            assert parallel.parallel_mode() == "process"
+        assert parallel.parallel_mode() == "thread"
+
+    def test_scope_rejects_unknown_modes(self):
+        with pytest.raises(ValueError, match="unknown parallel mode"):
+            parallel.parallel_scope("fibers")
+
+    def test_auto_resolves_by_numpy_availability(self):
+        with parallel.parallel_scope("auto"):
+            assert parallel.parallel_mode() == ("thread" if HAVE_NUMPY else "process")
+
+    def test_shard_count_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_SHARDS", raising=False)
+        assert parallel.shard_count() == parallel.available_cpus()
+        monkeypatch.setenv("REPRO_PARALLEL_SHARDS", "6")
+        assert parallel.shard_count() == 6
+        with parallel.parallel_scope("serial", shards=3):
+            assert parallel.shard_count() == 3
+        assert parallel.shard_count() == 6
+
+
+class TestParallelExecutor:
+    def test_pool_starts_lazily_and_single_payloads_skip_it(self):
+        with parallel.ParallelExecutor("thread", max_workers=2) as executor:
+            assert not executor.started
+            assert executor.map(lambda x: x + 1, []) == []
+            assert executor.map(lambda x: x + 1, [41]) == [42]
+            assert not executor.started  # one payload cannot fan out
+            assert executor.map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+            assert executor.started
+
+    def test_closed_executor_refuses_work(self):
+        executor = parallel.ParallelExecutor("thread", max_workers=2)
+        executor.close()
+        executor.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.map(lambda x: x, [1, 2])
+
+    def test_rejects_serial_mode(self):
+        with pytest.raises(ValueError, match="'thread' or 'process'"):
+            parallel.ParallelExecutor("serial")
+
+    def test_get_executor_is_shared_per_mode_and_rejects_serial(self):
+        first = parallel.get_executor("thread")
+        assert parallel.get_executor("thread") is first
+        with pytest.raises(ValueError, match="serial"):
+            parallel.get_executor("serial")
+        parallel.shutdown_executors()
+        assert parallel.get_executor("thread") is not first
+
+
+class TestWorkerTask:
+    def _payload(self, **overrides):
+        payload = {
+            "fingerprint": "f" * 12,
+            "shard": 0,
+            "span": (0, 2),
+            "info_local": [0, 1],
+            "info_counts": [3, 5],
+            "candidates": [0b01, 0b11],
+            "positive_mask": 0b11,
+            "negative_masks": (),
+            "backend": "python",
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_cache_miss_then_resend_with_masks(self):
+        payload = self._payload(fingerprint="never-shipped")
+        assert parallel.prune_shard_task(payload) == ("miss", None)
+        status, counts = parallel.prune_shard_task(self._payload(
+            fingerprint="never-shipped", masks=(0b01, 0b11)
+        ))
+        assert status == "ok"
+        # Cached now: the same call without the column succeeds.
+        status_again, counts_again = parallel.prune_shard_task(payload)
+        assert status_again == "ok" and counts_again == counts
+
+    def test_merge_partial_counts_sums_elementwise(self):
+        assert parallel.merge_partial_counts([]) == []
+        assert parallel.merge_partial_counts([[(1, 2), (3, 4)]]) == [(1, 2), (3, 4)]
+        assert parallel.merge_partial_counts(
+            [[(1, 2), (3, 4)], [(10, 20), (30, 40)]]
+        ) == [(11, 22), (33, 44)]

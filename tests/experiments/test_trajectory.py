@@ -5,9 +5,12 @@ from __future__ import annotations
 import json
 
 from repro.experiments.trajectory import (
+    compare_results,
+    compare_to_trajectory,
     config_hash,
     find_record,
     git_commit,
+    latest_record,
     load_records,
     record_benchmark,
     trajectory_path,
@@ -80,6 +83,52 @@ class TestRecordBenchmark:
         record_benchmark("beta", {}, {"x": 2}, tmp_path, commit="c")
         assert trajectory_path("alpha", tmp_path).name == "BENCH_alpha.json"
         assert load_records("alpha", tmp_path) != load_records("beta", tmp_path)
+
+
+class TestCompare:
+    def test_latest_record_matches_config_across_commits(self, tmp_path):
+        record_benchmark("demo", {"size": 10}, {"speedup": 1.0}, tmp_path, commit="old", timestamp=1.0)
+        record_benchmark("demo", {"size": 10}, {"speedup": 2.0}, tmp_path, commit="new", timestamp=2.0)
+        record_benchmark("demo", {"size": 99}, {"speedup": 9.0}, tmp_path, commit="new", timestamp=3.0)
+        hit = latest_record("demo", tmp_path, {"size": 10})
+        assert hit is not None and hit["commit"] == "new"
+        assert hit["results"] == {"speedup": 2.0}
+        assert latest_record("demo", tmp_path, {"size": 11}) is None
+        assert latest_record("never-recorded", tmp_path, {"size": 10}) is None
+
+    def test_within_tolerance_is_green(self):
+        recorded = {"speedup": 10.0, "nested": {"ratio": 2.0}}
+        fresh = {"speedup": 8.0, "nested": {"ratio": 1.9}}
+        assert compare_results(recorded, fresh, ["speedup", "nested.ratio"], tolerance=0.25) == []
+
+    def test_regression_beyond_tolerance_is_reported(self):
+        regressions = compare_results(
+            {"speedup": 10.0}, {"speedup": 5.0}, ["speedup"], tolerance=0.25
+        )
+        assert len(regressions) == 1
+        assert "speedup" in regressions[0]
+
+    def test_improvement_is_never_a_regression(self):
+        assert compare_results({"speedup": 2.0}, {"speedup": 40.0}, ["speedup"]) == []
+
+    def test_missing_metric_is_reported_not_crashed(self):
+        regressions = compare_results({"speedup": 2.0}, {}, ["speedup"])
+        assert len(regressions) == 1
+        assert "missing" in regressions[0]
+
+    def test_compare_to_trajectory_without_baseline_is_vacuously_green(self, tmp_path):
+        regressions, baseline = compare_to_trajectory(
+            "demo", tmp_path, {"size": 10}, {"speedup": 1.0}, ["speedup"]
+        )
+        assert regressions == [] and baseline is None
+
+    def test_compare_to_trajectory_round_trip(self, tmp_path):
+        record_benchmark("demo", {"size": 10}, {"speedup": 10.0}, tmp_path, commit="base")
+        regressions, baseline = compare_to_trajectory(
+            "demo", tmp_path, {"size": 10}, {"speedup": 4.0}, ["speedup"], tolerance=0.25
+        )
+        assert baseline is not None and baseline["commit"] == "base"
+        assert len(regressions) == 1
 
 
 class TestGitCommit:
