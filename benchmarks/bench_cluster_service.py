@@ -20,10 +20,19 @@ change — same inference, same wire protocol, more cores.  Two gates:
    actually runs on multiple cores.  On a single-core machine the speedup
    is reported but not gated (there is nothing to shard onto).
 
+3. **Chaos equivalence** (``--chaos``) — N concurrent mixed-kind sessions
+   through a supervised process cluster while a killer thread SIGKILLs a
+   seeded-random worker once a seeded-random fraction (20–80 %) of the
+   expected labels have been applied.  The supervisor must respawn the
+   worker and replay its sessions so that *every* session's wire trace is
+   byte-identical to an undisturbed single-process run — the fault gate of
+   the fault-tolerant cluster work.
+
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_cluster_service.py           # full gates
     PYTHONPATH=src python benchmarks/bench_cluster_service.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_cluster_service.py --chaos   # fault gate
 
 Runs append their measurements to
 ``benchmarks/results/BENCH_cluster_service.json`` (keyed by git commit +
@@ -39,7 +48,9 @@ from __future__ import annotations
 import argparse
 import asyncio
 import os
+import random
 import sys
+import threading
 import time
 from collections.abc import Sequence
 from pathlib import Path
@@ -62,6 +73,15 @@ SPEEDUP_GATE = 2.0
 #: Workload size of the throughput gate (26 tuples/relation ≈ 676 candidates:
 #: a few ms of strategy scoring per question, far above the pipe overhead).
 THROUGHPUT_SIZE = 26
+
+#: Session kinds the chaos gate cycles over — every facade mode is in the
+#: blast radius, not just the guided strategies.
+CHAOS_KINDS = (
+    {"strategy": "lookahead-entropy"},
+    {"mode": "top-k", "k": 4},
+    {"strategy": "local-lexicographic"},
+    {"mode": "manual-with-pruning"},
+)
 
 
 def _cores() -> int:
@@ -285,6 +305,126 @@ def measure_throughput(num_sessions: int, workers: int, size: int) -> dict:
     }
 
 
+def run_chaos(num_sessions: int, workers: int, seed: int) -> dict:
+    """SIGKILL a worker mid-run; every session's trace must stay identical.
+
+    Drives ``num_sessions`` concurrent sessions (kinds cycled from
+    :data:`CHAOS_KINDS`) through a supervised process cluster from plain
+    threads.  A killer thread watches the shared applied-label counter and
+    SIGKILLs a seeded-random worker once a seeded-random fraction (20–80 %)
+    of the expected total labels is in — real mid-run machine loss, not a
+    quiesced kill.  Per-session wire traces are then compared against
+    undisturbed single-process baselines.
+    """
+    workload = figure1_workload("q1")
+    oracle = GoalQueryOracle(workload.goal)
+    rng = random.Random(seed)
+
+    baselines = []
+    for kwargs in CHAOS_KINDS:
+        service = SessionService()
+        sid = service.create(workload.table, **kwargs).session_id
+        baselines.append(_drive(service, sid, workload.table, oracle))
+    labels_per_kind = [
+        sum(1 for event in baseline if event["type"] == "label_applied")
+        for baseline in baselines
+    ]
+    expected_labels = sum(
+        labels_per_kind[i % len(CHAOS_KINDS)] for i in range(num_sessions)
+    )
+    threshold = rng.randint(
+        max(1, int(0.2 * expected_labels)), max(1, int(0.8 * expected_labels))
+    )
+    victim = rng.randrange(workers)
+
+    progress = [0]
+    progress_lock = threading.Lock()
+    traces: list[list[dict] | None] = [None] * num_sessions
+    errors: list[str] = []
+    kills = [0]
+    stop_killer = threading.Event()
+
+    with ClusterSessionService(num_workers=workers, heartbeat_interval=0.5) as cluster:
+        fingerprint = cluster.register_table(workload.table)
+        sids = [
+            cluster.create(fingerprint, **CHAOS_KINDS[i % len(CHAOS_KINDS)]).session_id
+            for i in range(num_sessions)
+        ]
+
+        def drive(slot: int, session_id: str) -> None:
+            events: list[dict] = []
+            try:
+                while True:
+                    event = cluster.next_question(session_id)
+                    events.append(event_to_wire(event))
+                    if isinstance(event, Converged):
+                        break
+                    if isinstance(event, QuestionAsked):
+                        batch = [
+                            cluster.answer(
+                                session_id, oracle.label(workload.table, event.tuple_id)
+                            )
+                        ]
+                    else:
+                        answers = [
+                            (tid, oracle.label(workload.table, tid))
+                            for tid in event.tuple_ids
+                        ]
+                        batch = cluster.answer_many(session_id, answers)
+                    events.extend(event_to_wire(applied) for applied in batch)
+                    with progress_lock:
+                        progress[0] += len(batch)
+            except Exception as exc:  # noqa: BLE001 - reported as a gate failure
+                errors.append(f"session {session_id}: {exc!r}")
+            traces[slot] = events
+
+        def killer() -> None:
+            while not stop_killer.is_set():
+                with progress_lock:
+                    done = progress[0]
+                if done >= threshold:
+                    cluster.kill_worker(victim)
+                    kills[0] += 1
+                    return
+                time.sleep(0.001)
+
+        threads = [
+            threading.Thread(target=drive, args=(slot, sid))
+            for slot, sid in enumerate(sids)
+        ]
+        killer_thread = threading.Thread(target=killer)
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        killer_thread.start()
+        for thread in threads:
+            thread.join()
+        stop_killer.set()
+        killer_thread.join()
+        wall = time.perf_counter() - started
+        respawns = sum(state["generation"] for state in cluster.worker_states())
+
+    mismatches = list(errors)
+    for slot, trace in enumerate(traces):
+        if trace != baselines[slot % len(CHAOS_KINDS)]:
+            kind = CHAOS_KINDS[slot % len(CHAOS_KINDS)]
+            mismatches.append(f"session {slot} ({kind}): trace diverges from baseline")
+
+    return {
+        "sessions": num_sessions,
+        "workers": workers,
+        "seed": seed,
+        "victim": victim,
+        "threshold": threshold,
+        "expected_labels": expected_labels,
+        "wall": wall,
+        "throughput": num_sessions / wall,
+        "kills": kills[0],
+        "respawns": respawns,
+        "mismatches": mismatches,
+    }
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -295,6 +435,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--workers", type=int, default=None, help="cluster worker processes (default: up to 4 cores)"
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="fault gate: SIGKILL a worker mid-run, require byte-identical traces",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="chaos schedule seed (kill point + victim)"
     )
     parser.add_argument(
         "--no-record",
@@ -310,6 +458,56 @@ def main(argv: Sequence[str] | None = None) -> int:
     num_sessions = args.sessions or (8 if args.quick else 64)
     cores = _cores()
     workers = args.workers or max(2, min(4, cores))
+
+    if args.chaos:
+        print(
+            f"== chaos: {num_sessions} mixed-kind sessions, {workers} workers, "
+            f"SIGKILL schedule seed {args.seed} =="
+        )
+        stats = run_chaos(num_sessions, workers, args.seed)
+        print(
+            f"kill:       worker {stats['victim']} at label "
+            f"{stats['threshold']}/{stats['expected_labels']} "
+            f"({stats['kills']} kill(s) fired)"
+        )
+        print(f"respawns:   {stats['respawns']} worker generation(s) replaced")
+        print(f"wall:       {stats['wall']:.3f}s ({stats['throughput']:.1f} sessions/s)")
+        mismatches = stats.pop("mismatches")
+        if mismatches:
+            print(f"FAIL: {len(mismatches)} session(s) diverged or errored:")
+            for item in mismatches[:10]:
+                print(f"  - {item}")
+            return 1
+        if stats["kills"] < 1:
+            print("FAIL: the run finished before the scheduled kill fired")
+            return 1
+        if stats["respawns"] < 1:
+            print("FAIL: no worker was respawned after the kill")
+            return 1
+        print("ok: every trace byte-identical to its undisturbed single-process run")
+        config = {
+            "chaos": True,
+            "sessions": num_sessions,
+            "workers": workers,
+            "seed": args.seed,
+        }
+        if args.compare:
+            regressions, baseline = compare_to_trajectory(
+                "cluster_service", RESULTS_DIR, config, stats, ["throughput"], tolerance=0.5
+            )
+            if baseline is None:
+                print("compare: no recorded baseline for this configuration (vacuously green)")
+            elif regressions:
+                print(f"compare: REGRESSED vs baseline at commit {baseline.get('commit', '?')[:12]}:")
+                for line in regressions:
+                    print(f"  - {line}")
+                return 1
+            else:
+                print(f"compare: green vs baseline at commit {baseline.get('commit', '?')[:12]}")
+        if not args.no_record:
+            path = record_benchmark("cluster_service", config, stats, RESULTS_DIR)
+            print(f"recorded trajectory: {path}")
+        return 0
 
     print("== wire-trace equivalence: cluster vs single-process service ==")
     with ClusterSessionService(num_workers=2) as cluster:

@@ -56,4 +56,12 @@ PROJECT_SCOPES: dict[str, Scope] = {
     # sanctioned pool-creation site (core/parallel.py) and still forbids
     # module-level pool creation there.
     "RPR007": Scope(include=("*",)),
+    # Transport monopoly: sockets and pipe connections are created only in
+    # service/transport.py, the one seam supervision and chaos injection
+    # wrap.  Everything else — the cluster supervisor included — talks
+    # through FramedConnection/Listener.
+    "RPR008": Scope(
+        include=("src/repro/*", "benchmarks/*", "examples/*", "scripts/*"),
+        exclude=("src/repro/service/transport.py",),
+    ),
 }

@@ -5,6 +5,7 @@ from . import (  # noqa: F401 - imports register the rules
     lazy_tables,
     lock_discipline,
     numpy_containment,
+    raw_sockets,
     sans_io,
     seeded_rng,
     wire_registry,

@@ -19,11 +19,18 @@ inference:
   workers with latency/noise models, majority-vote aggregation, and
   :class:`CrowdDispatcher` multiplexing a session's question batches across
   a worker pool;
+* :mod:`~repro.service.transport` — length-prefixed JSON framing over
+  sockets (:class:`FramedConnection`, :class:`Listener`), the only module
+  in the library that touches sockets;
+* :mod:`~repro.service.worker` — the cluster worker loop and the
+  ``python -m repro.service.worker`` entrypoint for remote machines;
 * :mod:`~repro.service.cluster` — :class:`ClusterSessionService`, the
-  multi-process sharded tier: N worker processes each running a
-  `SessionService`, consistent ``session_id -> worker`` routing, JSON wire
-  commands over pipes, the same facade as the single-process service (wrap
-  it in :class:`AsyncSessionService` for streams and backpressure on real
+  supervised sharded tier: N workers (threads, local processes, or remote
+  machines) each running a `SessionService`, consistent
+  ``session_id -> worker`` routing, framed JSON commands over sockets,
+  heartbeat health checks, and transparent respawn + session replay on
+  worker death — the same facade as the single-process service (wrap it in
+  :class:`AsyncSessionService` for streams and backpressure on real
   multi-core parallelism).
 
 The historical blocking surfaces (``JoinInferenceEngine.run``, the
@@ -32,7 +39,12 @@ package.
 """
 
 from .aio import AsyncSessionService
-from .cluster import ClusterServiceError, ClusterSessionService, ClusterWorkerError
+from .cluster import (
+    ClusterServiceError,
+    ClusterSessionService,
+    ClusterWorkerError,
+    WorkerUnavailableError,
+)
 from .dispatch import (
     CrowdDispatcher,
     CrowdRunReport,
@@ -57,6 +69,13 @@ from .protocol import (
 )
 from .service import SessionDescriptor, SessionService, SessionServiceError
 from .stepper import InferenceSession, validate_mode_options
+from .transport import (
+    ConnectionClosedError,
+    FramedConnection,
+    FrameTooLargeError,
+    Listener,
+    TransportError,
+)
 
 __all__ = [
     "AsyncSessionService",
@@ -64,21 +83,27 @@ __all__ = [
     "ClusterServiceError",
     "ClusterSessionService",
     "ClusterWorkerError",
+    "ConnectionClosedError",
     "Converged",
     "CrowdDispatcher",
     "CrowdRunReport",
     "DispatchError",
     "Event",
+    "FrameTooLargeError",
+    "FramedConnection",
     "InferenceSession",
     "InteractionMode",
     "LabelApplied",
+    "Listener",
     "ProtocolError",
     "QuestionAsked",
     "SessionDescriptor",
     "SessionService",
     "SessionServiceError",
     "SimulatedWorker",
+    "TransportError",
     "WorkerProfile",
+    "WorkerUnavailableError",
     "decode_event",
     "encode_event",
     "event_from_wire",

@@ -1,13 +1,13 @@
-"""Multi-process sharded serving: :class:`ClusterSessionService`.
+"""Multi-process sharded serving with supervision: :class:`ClusterSessionService`.
 
 One Python process can only run one inference step at a time — the strategy
 scoring that dominates a guided session is pure CPU work, and the GIL caps
 the :class:`~repro.service.aio.AsyncSessionService` executor at one core no
 matter how many threads it carries.  This module scales the serving layer
-*out* instead of up, in the spirit of hybrid scale-out designs: N worker
-processes, each running its own single-process
+*out* instead of up: N workers, each running its own single-process
 :class:`~repro.service.service.SessionService`, behind one facade that
-speaks the exact same API.
+speaks the exact same API — and, since the transport moved from
+:mod:`multiprocessing` pipes to framed sockets, survives losing any of them.
 
 Design
 ------
@@ -16,18 +16,34 @@ Design
   worker ``int(session_id, 16) % num_workers``.  No routing table, no
   rebalancing: the id alone names the shard, for this facade or any other
   facade pointed at the same cluster layout.
-* **JSON wire commands.**  Workers are driven over
-  :mod:`multiprocessing` pipes carrying single-line JSON text — commands in,
-  ``{"status": "ok"/"error", …}`` replies out.  Protocol events cross the
-  boundary in their existing wire form (:func:`~repro.service.protocol.event_to_wire`),
-  descriptors as their ``as_dict`` form, persistence documents as-is.
-  Nothing unpicklable (and nothing pickled, beyond the str framing) crosses
-  the process boundary; worker-side exceptions are re-raised in the parent
-  with their original type and message.
+* **Framed JSON over sockets.**  Workers are driven over the
+  length-prefixed JSON framing of :mod:`repro.service.transport` — commands
+  in, ``{"status": "ok"/"error", …}`` replies out, wire forms shared with
+  the worker loop via :mod:`repro.service.wire`.  Three backends speak the
+  identical protocol: ``"process"`` (spawned local processes that dial back
+  to the supervisor's listener — the default), ``"thread"`` (in-process
+  worker loops over socketpairs: no spawn cost, no multi-core speedup;
+  ideal for tests and fault injection), and ``"external"`` (the supervisor
+  only listens; start workers anywhere with ``python -m repro.service.worker
+  --connect HOST:PORT --token TOKEN``).
+* **Supervision.**  Every state-changing command's reply piggybacks the
+  touched session's durable v3 document (the service-level write-through
+  hook), so the supervisor always holds a replayable copy of every session.
+  A broken socket — or a failed heartbeat, checked every
+  ``heartbeat_interval`` seconds on idle workers — triggers recovery: the
+  worker is respawned, every registered table is re-broadcast to it, every
+  lost session is re-resumed from its document under its original id, and
+  the in-flight command is retried **exactly once**.  Replay is label-driven
+  and the strategies are deterministic, so a session cannot tell it
+  happened: the wire trace is byte-identical to an undisturbed run
+  (``benchmarks/bench_cluster_service.py --chaos`` gates exactly that, with
+  a real ``SIGKILL`` mid-benchmark).  With ``respawn=False`` worker death
+  surfaces as a typed :class:`~repro.service.wire.WorkerUnavailableError`
+  naming the worker instead of a raw transport error.
 * **Tables broadcast once.**  A candidate table is registered by content
-  fingerprint and broadcast to every worker exactly once (rows, attribute
-  types and relation provenance travel in a JSON table form), because any
-  worker may be asked to host a session over it.  A table first seen by a
+  fingerprint and broadcast to every worker (rows, attribute types and
+  relation provenance travel in a JSON table form), because any worker may
+  be asked to host a session over it.  A table first seen by a
   `create`/`resume` travels inline to the routed worker and is broadcast to
   the rest only after success, so a failed command registers nothing
   anywhere.  Cell values must be JSON-representable (str/int/float/bool/
@@ -39,8 +55,7 @@ Design
   works unchanged: wrap it in an
   :class:`~repro.service.aio.AsyncSessionService` to get per-session event
   streams, backpressure, and the crowd dispatcher on top of real
-  multi-core parallelism (size ``max_workers`` at least to the cluster's
-  worker count, one blocking pipe per in-flight command).
+  multi-core parallelism.
 
 Quickstart::
 
@@ -51,326 +66,170 @@ Quickstart::
         ...
 
 ``benchmarks/bench_cluster_service.py`` gates this layer: per-session wire
-traces identical to the single-process service, and a wall-clock speedup for
-concurrent CPU-bound sessions over the single-process async service on
-multi-core machines.
+traces identical to the single-process service, a wall-clock speedup for
+concurrent CPU-bound sessions on multi-core machines, and (``--chaos``)
+trace-identical completion of every session across a mid-run worker kill.
 """
 
 from __future__ import annotations
 
-import datetime
-import json
 import multiprocessing
 import os
 import threading
+import time
 import uuid
+from collections.abc import Callable
 
 from ..core.strategies.base import Strategy
 from ..core.strategies.registry import create_strategy
-from ..exceptions import (
-    InconsistentLabelError,
-    OracleError,
-    ReproError,
-    StrategyError,
-)
-from ..relational.candidate import CandidateAttribute, CandidateTable
-from ..relational.types import DataType
-from ..sessions.persistence import SessionPersistenceError, table_fingerprint
+from ..exceptions import ReproError
+from ..relational.candidate import CandidateTable
+from ..sessions.persistence import table_fingerprint
 from .protocol import (
     Event,
     InteractionMode,
     LabelApplied,
-    ProtocolError,
     event_from_wire,
-    event_to_wire,
 )
-from .service import SessionDescriptor, SessionService, SessionServiceError
+from .service import SessionDescriptor, SessionServiceError
 from .stepper import AnswerSet, LabelLike, validate_mode_options
+from .transport import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ConnectionClosedError,
+    FramedConnection,
+    Listener,
+    TransportError,
+    framed_pair,
+)
+from .worker import HELLO_KIND, serve_connection, worker_entry
+from .wire import (
+    ClusterServiceError,
+    ClusterWorkerError,
+    WorkerUnavailableError,
+    rebuild_error,
+    table_from_wire,
+    table_to_wire,
+)
+
+__all__ = [
+    "ClusterServiceError",
+    "ClusterSessionService",
+    "ClusterWorkerError",
+    "WorkerUnavailableError",
+    "table_from_wire",
+    "table_to_wire",
+]
+
+#: Back-compat alias: tests and older callers imported the underscored name.
+_rebuild_error = rebuild_error
 
 #: Default worker count: one per core, capped so a big machine does not fork
 #: dozens of interpreters for a demo.
 DEFAULT_WORKERS = max(1, min(8, os.cpu_count() or 1))
 
+#: How often the supervisor pings idle workers (seconds); ``None`` disables.
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
+#: How long a heartbeat ping may take before the worker counts as dead.
+DEFAULT_HEARTBEAT_TIMEOUT = 10.0
+#: How long a spawned/external worker gets to dial in before start-up fails.
+DEFAULT_START_TIMEOUT = 30.0
 
-class ClusterServiceError(SessionServiceError):
-    """A cluster-level failure: a dead worker, a closed cluster, or a value
-    that cannot cross the process boundary.
-
-    Subclasses :class:`~repro.service.service.SessionServiceError` so every
-    existing consumer of the service facade (the asyncio layer, the HTTP
-    example) treats transport failures like any other service error instead
-    of crashing on an unknown exception type.  In particular, a dead
-    worker's sessions *are* gone — reaping their streams/slots, as the
-    asyncio facade does for service errors, is the correct reaction.
-    """
+_BACKENDS = ("process", "thread", "external")
 
 
-class ClusterWorkerError(ReproError):
-    """A worker raised an exception type the wire protocol does not carry.
-
-    Deliberately *not* a :class:`SessionServiceError`: an unexpected
-    worker-side bug (say, an ``AttributeError``) does not mean the session
-    is gone, so the asyncio facade must not reap its streams or
-    backpressure slot over it.
-    """
-
-
-# --------------------------------------------------------------------------- #
-# The JSON wire forms: cells, tables, errors
-# --------------------------------------------------------------------------- #
-_JSON_SCALARS = (str, int, float, bool, type(None))
-
-
-def _cell_to_wire(value: object) -> object:
-    """One table cell as JSON (dates tagged, scalars as-is)."""
-    if isinstance(value, datetime.datetime):  # before date: datetime is a date
-        return {"$datetime": value.isoformat()}
-    if isinstance(value, datetime.date):
-        return {"$date": value.isoformat()}
-    if isinstance(value, _JSON_SCALARS):
-        return value
-    raise ClusterServiceError(
-        f"table cell {value!r} of type {type(value).__name__} cannot cross the "
-        "process boundary; cluster tables need JSON-representable cells"
-    )
-
-
-def _cell_from_wire(value: object) -> object:
-    if isinstance(value, dict):
-        if "$datetime" in value:
-            return datetime.datetime.fromisoformat(value["$datetime"])
-        if "$date" in value:
-            return datetime.date.fromisoformat(value["$date"])
-    return value
-
-
-def table_to_wire(table: CandidateTable) -> dict[str, object]:
-    """A candidate table as a JSON object (schema, provenance, and rows).
-
-    The form preserves everything the inference core reads — attribute
-    names, data types, source relations, row values — so the rebuilt table
-    has the identical atom universe and the identical content fingerprint.
-    Raises :class:`ClusterServiceError` for cell values JSON cannot carry.
-    """
-    return {
-        "name": table.name,
-        "attributes": [
-            {
-                "name": attribute.name,
-                "data_type": attribute.data_type.value,
-                "source_relation": attribute.source_relation,
-            }
-            for attribute in table.attributes
-        ],
-        "rows": [[_cell_to_wire(value) for value in row] for row in table],
-    }
-
-
-def table_from_wire(payload: dict[str, object]) -> CandidateTable:
-    """Rebuild a candidate table from its :func:`table_to_wire` form."""
-    attributes = [
-        CandidateAttribute(
-            name=spec["name"],
-            data_type=DataType(spec["data_type"]),
-            source_relation=spec.get("source_relation"),
-        )
-        for spec in payload["attributes"]
-    ]
-    rows = [[_cell_from_wire(value) for value in row] for row in payload["rows"]]
-    return CandidateTable(attributes, rows, name=payload["name"])
-
-
-#: Exception types a worker may raise that the parent re-raises as-is.
-_ERROR_KINDS: dict[str, type] = {
-    cls.__name__: cls
-    for cls in (
-        SessionServiceError,
-        ClusterServiceError,
-        StrategyError,
-        InconsistentLabelError,
-        OracleError,
-        ProtocolError,
-        ReproError,
-        SessionPersistenceError,
-        ValueError,
-        TypeError,
-        KeyError,
-        IndexError,
-    )
-}
-
-
-def _rebuild_error(reply: dict[str, object]) -> BaseException:
-    """The parent-side exception for a worker's ``{"status": "error"}`` reply."""
-    kind = reply.get("kind")
-    message = str(reply.get("message", ""))
-    cls = _ERROR_KINDS.get(kind) if isinstance(kind, str) else None
-    if cls is None:
-        # Not a ClusterServiceError: an unexpected worker exception does not
-        # mean the session is gone, so it must not read as a service error.
-        error: BaseException = ClusterWorkerError(f"worker raised {kind}: {message}")
-    elif cls is KeyError and message.startswith("'") and message.endswith("'"):
-        error = KeyError(message[1:-1])
-    else:
-        error = cls(message)
-    applied = reply.get("applied_events")
-    if applied:
-        # submit_many attaches the already-applied events to the exception so
-        # stream relays stay gap-free; carry them across the boundary too.
-        error.applied_events = tuple(event_from_wire(wire) for wire in applied)
-    return error
-
-
-# --------------------------------------------------------------------------- #
-# The worker process
-# --------------------------------------------------------------------------- #
-def _execute(service: SessionService, request: dict[str, object]) -> object:
-    """Apply one wire command to the worker's service; the JSON-able result."""
-    command = request["cmd"]
-    if command == "ping":
-        return {"pid": os.getpid()}
-    if command == "register_table":
-        return service.register_table(table_from_wire(request["table"]))
-    if command == "create":
-        # A table the worker has not seen yet arrives inline; the service's
-        # atomic create registers it together with the session, or not at all.
-        table: CandidateTable | str = (
-            table_from_wire(request["table"])
-            if "table" in request
-            else request["fingerprint"]
-        )
-        return service.create(
-            table,
-            mode=request["mode"],
-            strategy=request.get("strategy"),
-            k=request.get("k"),
-            strict=request.get("strict", True),
-            session_id=request["session_id"],
-        ).as_dict()
-    if command == "resume":
-        table = (
-            table_from_wire(request["table"])
-            if "table" in request
-            else request["fingerprint"]
-        )
-        return service.resume(
-            request["document"],
-            table=table,
-            session_id=request["session_id"],
-        ).as_dict()
-    if command == "describe":
-        return service.describe(request["session_id"]).as_dict()
-    if command == "close":
-        return service.close(request["session_id"]).as_dict()
-    if command == "next_question":
-        return event_to_wire(service.next_question(request["session_id"]))
-    if command == "answer":
-        return event_to_wire(
-            service.answer(
-                request["session_id"], request["label"], tuple_id=request.get("tuple_id")
-            )
-        )
-    if command == "answer_many":
-        applied = service.answer_many(
-            request["session_id"],
-            [(int(tuple_id), label) for tuple_id, label in request["answers"]],
-        )
-        return [event_to_wire(event) for event in applied]
-    if command == "save":
-        return service.save(request["session_id"])
-    if command == "session_ids":
-        return service.session_ids()
-    raise ClusterServiceError(f"unknown cluster command {command!r}")
-
-
-def _worker_main(conn) -> None:
-    """The worker loop: one `SessionService`, JSON commands in, replies out."""
-    service = SessionService()
-    while True:
-        try:
-            text = conn.recv()
-        except (EOFError, OSError):
-            break  # the parent went away; nothing left to serve
-        request = json.loads(text)
-        if request.get("cmd") == "shutdown":
-            try:
-                conn.send(json.dumps({"status": "ok", "result": None}))
-            except (BrokenPipeError, OSError):
-                pass
-            break
-        try:
-            reply: dict[str, object] = {"status": "ok", "result": _execute(service, request)}
-        except Exception as exc:
-            reply = {"status": "error", "kind": type(exc).__name__, "message": str(exc)}
-            applied = getattr(exc, "applied_events", None)
-            if applied:
-                reply["applied_events"] = [event_to_wire(event) for event in applied]
-        try:
-            conn.send(json.dumps(reply))
-        except (BrokenPipeError, OSError):
-            break
-    conn.close()
-
-
-class _WorkerHandle:
-    """The parent's view of one worker: process, pipe, and a request lock.
+class _WorkerSlot:
+    """The supervisor's view of one worker: connection, runner, and a lock.
 
     A worker executes one command at a time (its loop is serial), so the
-    lock both serialises access to the pipe and models the worker's real
-    capacity; commands for sessions on *different* workers run in parallel.
+    lock both serialises access to the connection and models the worker's
+    real capacity; commands for sessions on *different* workers run in
+    parallel.  The slot outlives any single worker incarnation —
+    ``generation`` counts respawns.
     """
 
-    __slots__ = ("index", "process", "conn", "lock")
+    __slots__ = ("index", "lock", "conn", "runner", "pid", "generation")
 
-    def __init__(self, index: int, process, conn) -> None:
+    def __init__(self, index: int) -> None:
         self.index = index
-        self.process = process
-        self.conn = conn
-        self.lock = threading.Lock()
+        self.lock = threading.RLock()
+        self.conn: FramedConnection | None = None
+        self.runner: object | None = None  # Process, Thread, or None (external)
+        self.pid: int | None = None
+        self.generation = 0
 
-    def request(self, payload: dict[str, object]) -> object:
-        with self.lock:
-            try:
-                self.conn.send(json.dumps(payload))
-                reply = json.loads(self.conn.recv())
-            except (EOFError, BrokenPipeError, OSError) as exc:
-                raise ClusterServiceError(
-                    f"cluster worker {self.index} is unreachable "
-                    f"({type(exc).__name__}); its sessions are lost"
-                ) from exc
-        if reply.get("status") == "ok":
-            return reply.get("result")
-        raise _rebuild_error(reply)
+    def exchange(self, payload: dict[str, object]) -> dict[str, object]:
+        """One send/recv round trip.  Caller holds :attr:`lock`."""
+        if self.conn is None:
+            raise ConnectionClosedError(f"worker {self.index} has no connection")
+        self.conn.send(payload)
+        reply = self.conn.recv()
+        if not isinstance(reply, dict):
+            raise TransportError(
+                f"worker {self.index} sent a non-object reply of type {type(reply).__name__}"
+            )
+        return reply
 
 
-# --------------------------------------------------------------------------- #
-# The facade
-# --------------------------------------------------------------------------- #
 class ClusterSessionService:
-    """Shards sessions across N worker processes behind the `SessionService` API.
+    """Shards sessions across N supervised workers behind the `SessionService` API.
 
     Parameters
     ----------
     num_workers:
-        How many worker processes to spawn (default: one per core, capped at
-        8).  Each runs its own :class:`~repro.service.service.SessionService`.
+        How many workers to run (default: one per core, capped at 8).  Each
+        runs its own :class:`~repro.service.service.SessionService`.
     mp_context:
-        The :mod:`multiprocessing` start method (default ``"spawn"`` — safe
-        in processes that also run threads or an asyncio loop; pass
-        ``"fork"`` on POSIX for faster start-up when that does not apply).
+        The :mod:`multiprocessing` start method for ``backend="process"``
+        (default ``"spawn"`` — safe in processes that also run threads or an
+        asyncio loop; pass ``"fork"`` on POSIX for faster start-up when that
+        does not apply).
+    backend:
+        ``"process"`` (default) spawns local worker processes that dial back
+        to the supervisor's listener; ``"thread"`` runs the worker loops on
+        in-process threads over socketpairs (no spawn cost, no multi-core
+        speedup — for tests, fault injection, and single-core boxes);
+        ``"external"`` only listens — start workers on any machine with
+        ``python -m repro.service.worker --connect HOST:PORT --token TOKEN``.
+        Pass ``listen`` and ``worker_token`` explicitly for external
+        clusters: the constructor blocks until every worker has dialled in,
+        so both must be agreed with the operators beforehand.
+    listen:
+        The listener's ``(host, port)`` for process/external backends
+        (default: a free loopback port; use ``("0.0.0.0", port)`` to accept
+        remote workers).
+    heartbeat_interval / heartbeat_timeout:
+        Idle workers are pinged every ``heartbeat_interval`` seconds; a ping
+        that fails — or takes longer than ``heartbeat_timeout`` — triggers
+        recovery without waiting for the next command.  ``None`` disables
+        the heartbeat (death is still detected by the broken socket on the
+        next command).
+    respawn:
+        When ``True`` (default), a dead worker is transparently replaced:
+        respawned, re-sent every registered table, re-resumed every lost
+        session from its write-through document, and the in-flight command
+        retried exactly once.  When ``False``, worker death raises
+        :class:`~repro.service.wire.WorkerUnavailableError` naming the
+        worker.
+    start_timeout:
+        How long a (re)spawned or external worker gets to dial in.
+    connection_wrapper:
+        ``(conn, worker_index) -> conn`` applied to every worker connection
+        as it is adopted — the fault-injection seam
+        (``tests.chaos.faults.FaultyTransport``).
 
     Thread-safety: every public method may be called from any thread, like
     the single-process service.  Commands against sessions on different
     workers run in parallel (that is the point); commands against the same
-    worker serialise on its pipe.  Exceptions mirror the single-process
-    service — :class:`SessionServiceError` (unknown ids), ``ValueError`` /
-    :class:`~repro.exceptions.StrategyError` (bad options),
+    worker serialise on its connection.  Exceptions mirror the
+    single-process service — :class:`SessionServiceError` (unknown ids),
+    ``ValueError`` / :class:`~repro.exceptions.StrategyError` (bad options),
     :class:`~repro.exceptions.InconsistentLabelError` (contradictions on a
     strict session) — re-raised in the parent with the worker's message;
-    transport-level failures raise :class:`ClusterServiceError`.
+    unrecoverable worker loss raises
+    :class:`~repro.service.wire.WorkerUnavailableError`.
 
-    Use as a context manager (or call :meth:`shutdown`) so the worker
-    processes exit deterministically; they are daemonic, so an unclean exit
+    Use as a context manager (or call :meth:`shutdown`) so the workers exit
+    deterministically; spawned processes are daemonic, so an unclean exit
     cannot leak them past the parent.
     """
 
@@ -378,61 +237,392 @@ class ClusterSessionService:
         self,
         num_workers: int | None = None,
         mp_context: str = "spawn",
+        *,
+        backend: str = "process",
+        listen: tuple[str, int] | None = None,
+        heartbeat_interval: float | None = DEFAULT_HEARTBEAT_INTERVAL,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        respawn: bool = True,
+        start_timeout: float = DEFAULT_START_TIMEOUT,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        worker_token: str | None = None,
+        connection_wrapper: Callable[[FramedConnection, int], FramedConnection] | None = None,
     ) -> None:
         count = DEFAULT_WORKERS if num_workers is None else num_workers
         if count < 1:
             raise ValueError(f"num_workers must be a positive integer, got {num_workers!r}")
-        context = multiprocessing.get_context(mp_context)
+        if backend not in _BACKENDS:
+            raise ValueError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+        self._backend = backend
+        self._context = multiprocessing.get_context(mp_context) if backend == "process" else None
+        self._respawn = bool(respawn)
+        self._heartbeat_interval = heartbeat_interval
+        self._heartbeat_timeout = heartbeat_timeout
+        self._start_timeout = start_timeout
+        self._max_frame_bytes = max_frame_bytes
+        self._connection_wrapper = connection_wrapper
+        # External clusters need the token agreed *before* construction (the
+        # constructor blocks until every worker has dialled in), so the
+        # operator picks it and passes the same value to each worker's
+        # ``--token``; for the other backends it is minted here.
+        self._worker_token = worker_token or uuid.uuid4().hex
         self._lock = threading.RLock()
+        self._broadcast_lock = threading.Lock()
+        self._accept_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._heartbeat_thread: threading.Thread | None = None
         self._tables: dict[str, CandidateTable] = {}
+        self._broadcast_done: set[str] = set()
+        self._sessions: dict[str, dict[str, object]] = {}
+        self._pending_hellos: dict[str, list[tuple[FramedConnection, int | None]]] = {}
         self._closed = False
-        self._workers: list[_WorkerHandle] = []
+        self._listener = (
+            Listener(*(listen or ("127.0.0.1", 0)), max_frame_bytes=max_frame_bytes)
+            if backend in ("process", "external")
+            else None
+        )
+        self._workers = [_WorkerSlot(index) for index in range(count)]
         try:
-            for index in range(count):
-                parent_conn, child_conn = context.Pipe()
-                process = context.Process(
-                    target=_worker_main,
-                    args=(child_conn,),
-                    name=f"repro-cluster-{index}",
-                    daemon=True,
+            # Launch every runner first (they dial in concurrently), then
+            # adopt the connections; one ping per worker surfaces
+            # import/start-up failures at construction, not first command.
+            tokens = [self._launch(slot) for slot in self._workers]
+            for slot, token in zip(self._workers, tokens, strict=True):
+                self._attach(slot, token)
+            for slot in self._workers:
+                self._request(slot, {"cmd": "ping"})
+            if self._heartbeat_interval and self._respawn:
+                self._heartbeat_thread = threading.Thread(
+                    target=self._heartbeat_loop, name="repro-cluster-heartbeat", daemon=True
                 )
-                process.start()
-                child_conn.close()
-                self._workers.append(_WorkerHandle(index, process, parent_conn))
-            # One round trip per worker up front: surfaces import/start-up
-            # failures at construction instead of on the first command.
-            for worker in self._workers:
-                worker.request({"cmd": "ping"})
+                self._heartbeat_thread.start()
         except BaseException:
             self.shutdown()
             raise
+
+    # ------------------------------------------------------------------ #
+    # Worker lifecycle: launch, handshake, recovery
+    # ------------------------------------------------------------------ #
+    def _launch(self, slot: _WorkerSlot) -> str | None:
+        """Start the slot's runner; the hello token to await (None: connected)."""
+        if self._backend == "thread":
+            parent_conn, worker_conn = framed_pair(self._max_frame_bytes)
+            thread = threading.Thread(
+                target=serve_connection,
+                args=(worker_conn,),
+                name=f"repro-cluster-{slot.index}",
+                daemon=True,
+            )
+            thread.start()
+            slot.runner = thread
+            slot.conn = self._wrap(parent_conn, slot)
+            slot.pid = os.getpid()
+            return None
+        if self._backend == "process":
+            token = uuid.uuid4().hex
+            process = self._context.Process(
+                target=worker_entry,
+                args=(self._listener.address, token, self._max_frame_bytes),
+                name=f"repro-cluster-{slot.index}",
+                daemon=True,
+            )
+            process.start()
+            slot.runner = process
+            return token
+        return self._worker_token  # external: the operator starts the worker
+
+    def _attach(self, slot: _WorkerSlot, token: str | None) -> None:
+        """Adopt the inbound connection whose hello carries ``token``."""
+        if token is None:
+            return  # thread backend: connected at launch
+        conn, pid = self._await_hello(token)
+        slot.conn = self._wrap(conn, slot)
+        slot.pid = pid
+
+    def _wrap(self, conn: FramedConnection, slot: _WorkerSlot) -> FramedConnection:
+        if self._connection_wrapper is not None:
+            return self._connection_wrapper(conn, slot.index)
+        return conn
+
+    def _await_hello(self, token: str) -> tuple[FramedConnection, int | None]:
+        """Accept inbound connections until one's hello matches ``token``.
+
+        Hellos for *other* tokens are stashed (another recovery may be
+        waiting for them — connections can arrive in any order), malformed
+        ones dropped, so a stray client cannot occupy a worker slot.
+        """
+        deadline = time.monotonic() + self._start_timeout
+        with self._accept_lock:
+            while True:
+                with self._lock:
+                    stash = self._pending_hellos.get(token)
+                    if stash:
+                        entry = stash.pop(0)
+                        if not stash:
+                            del self._pending_hellos[token]
+                        return entry
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ClusterServiceError(
+                        f"no worker dialled in with the expected token within "
+                        f"{self._start_timeout:.1f}s (listener {self._listener.address_text()})"
+                    )
+                try:
+                    conn = self._listener.accept(timeout=min(remaining, 1.0))
+                except ConnectionClosedError:
+                    raise ClusterServiceError(
+                        "the cluster listener closed while awaiting a worker"
+                    ) from None
+                except TransportError:
+                    continue  # accept timeout: re-check the stash and deadline
+                try:
+                    conn.settimeout(5.0)
+                    hello = conn.recv()
+                    conn.settimeout(None)
+                except TransportError:
+                    conn.close()
+                    continue
+                if not isinstance(hello, dict) or hello.get("hello") != HELLO_KIND:
+                    conn.close()
+                    continue
+                hello_token = hello.get("token")
+                pid = hello.get("pid") if isinstance(hello.get("pid"), int) else None
+                if hello_token == token:
+                    return conn, pid
+                if isinstance(hello_token, str):
+                    with self._lock:
+                        self._pending_hellos.setdefault(hello_token, []).append((conn, pid))
+                else:
+                    conn.close()
+
+    def _recover_locked(self, slot: _WorkerSlot, cause: BaseException) -> None:
+        """Replace a dead worker and replay its state.  Caller holds ``slot.lock``.
+
+        Respawns the backend runner, re-registers every table the cluster
+        knows, and re-resumes every session routed to this shard from its
+        write-through document — under its original id, so routing is
+        untouched.  Raises :class:`WorkerUnavailableError` when respawn is
+        disabled or the replacement cannot be brought up.
+        """
+        with self._lock:
+            closed = self._closed
+        if closed:
+            raise ClusterServiceError("the cluster session service is shut down")
+        if not self._respawn:
+            error = WorkerUnavailableError(
+                f"cluster worker {slot.index} is unreachable "
+                f"({type(cause).__name__}: {cause}) and respawn is disabled; "
+                "its sessions are lost",
+                worker_index=slot.index,
+            )
+            raise error from cause
+        if slot.conn is not None:
+            slot.conn.close()
+        self._reap(slot)
+        try:
+            self._attach(slot, self._launch(slot))
+            slot.generation += 1
+            with self._lock:
+                tables = dict(self._tables)
+                sessions = {
+                    sid: document
+                    for sid, document in self._sessions.items()
+                    if int(sid, 16) % len(self._workers) == slot.index
+                }
+            for table in tables.values():
+                self._expect_ok(
+                    slot.exchange({"cmd": "register_table", "table": table_to_wire(table)})
+                )
+            # Deterministic replay order; the documents carry everything —
+            # labels, mode/strategy/k, strictness — so each session comes
+            # back exactly where its last acknowledged command left it.
+            for sid in sorted(sessions):
+                document = sessions[sid]
+                self._expect_ok(
+                    slot.exchange(
+                        {
+                            "cmd": "resume",
+                            "document": document,
+                            "fingerprint": document.get("table_fingerprint"),
+                            "session_id": sid,
+                        }
+                    )
+                )
+        except WorkerUnavailableError:
+            raise
+        except (TransportError, ClusterServiceError) as exc:
+            error = WorkerUnavailableError(
+                f"cluster worker {slot.index} died ({type(cause).__name__}: {cause}) "
+                f"and its replacement could not be brought up ({exc}); "
+                "its sessions are lost",
+                worker_index=slot.index,
+            )
+            raise error from exc
+
+    def _reap(self, slot: _WorkerSlot) -> None:
+        """Collect the previous runner, if any (dead processes leave zombies)."""
+        runner = slot.runner
+        if runner is not None and hasattr(runner, "kill"):  # a Process
+            if runner.is_alive():
+                runner.kill()
+            runner.join(timeout=5.0)
+        # A thread runner exits on its own once its socketpair end closes.
+
+    def _heartbeat_loop(self) -> None:
+        """Ping idle workers; recover the ones that fail.  Daemon thread.
+
+        Busy workers are skipped (non-blocking lock acquire): the command
+        holding the lock detects death itself the moment the socket breaks,
+        and pinging behind it would only queue latency.
+        """
+        while not self._stop.wait(self._heartbeat_interval):
+            for slot in self._workers:
+                if self._stop.is_set():
+                    break
+                if not slot.lock.acquire(blocking=False):
+                    continue
+                try:
+                    try:
+                        slot.conn.settimeout(self._heartbeat_timeout)
+                        self._expect_ok(slot.exchange({"cmd": "ping"}))
+                        slot.conn.settimeout(None)
+                    except TransportError as exc:
+                        try:
+                            self._recover_locked(slot, exc)
+                        except ReproError:
+                            pass  # unrecoverable now; the next command reports it
+                finally:
+                    slot.lock.release()
+
+    def kill_worker(self, index: int) -> None:
+        """Ungracefully kill one worker — the fault-injection and ops hook.
+
+        ``SIGKILL`` for process workers, severing the connection for
+        thread/external ones (their serve loop sees EOF and exits).  Takes
+        no locks: the point is to yank the worker out from under whatever is
+        in flight, exactly like a machine loss.  With ``respawn=True`` the
+        supervision layer absorbs it; with ``respawn=False`` the next
+        command on this shard raises :class:`WorkerUnavailableError`.
+        """
+        slot = self._workers[index]
+        runner = slot.runner
+        if runner is not None and hasattr(runner, "kill"):
+            runner.kill()
+        conn = slot.conn
+        if conn is not None:
+            conn.close()
+
+    def worker_states(self) -> list[dict[str, object]]:
+        """A supervision snapshot per worker (approximate under concurrency).
+
+        Each entry carries ``index``, ``backend``, ``generation`` (how many
+        times the slot was respawned), ``pid`` (of the current incarnation;
+        the supervisor's own pid for thread workers) and ``alive``.
+        """
+        states: list[dict[str, object]] = []
+        for slot in self._workers:
+            runner = slot.runner
+            alive = runner.is_alive() if runner is not None else slot.conn is not None
+            states.append(
+                {
+                    "index": slot.index,
+                    "backend": self._backend,
+                    "generation": slot.generation,
+                    "pid": slot.pid,
+                    "alive": bool(alive),
+                }
+            )
+        return states
 
     # ------------------------------------------------------------------ #
     # Plumbing
     # ------------------------------------------------------------------ #
     @property
     def num_workers(self) -> int:
-        """How many worker processes the cluster runs."""
+        """How many workers the cluster runs."""
         return len(self._workers)
 
-    def _check_open(self) -> None:
-        if self._closed:
-            raise ClusterServiceError("the cluster session service is shut down")
+    @property
+    def worker_address(self) -> tuple[str, int] | None:
+        """Where workers dial in (process/external backends), else ``None``."""
+        return self._listener.address if self._listener is not None else None
 
-    def _worker_for(self, session_id: str) -> _WorkerHandle:
-        """The worker owning a session: ``int(session_id, 16) % num_workers``."""
-        self._check_open()
+    @property
+    def worker_token(self) -> str:
+        """The token an external worker must present in its hello frame."""
+        return self._worker_token
+
+    def _check_open(self) -> None:
+        with self._lock:
+            if self._closed:
+                raise ClusterServiceError("the cluster session service is shut down")
+
+    def _shard(self, session_id: str) -> int:
         try:
-            shard = int(session_id, 16)
+            return int(session_id, 16) % len(self._workers)
         except (TypeError, ValueError):
             # Ids the cluster did not mint cannot name a shard; mirror the
             # single-process service's unknown-id error.
             raise SessionServiceError(f"unknown session id {session_id!r}") from None
-        return self._workers[shard % len(self._workers)]
+
+    def worker_index(self, session_id: str) -> int:
+        """The shard a session id routes to: ``int(session_id, 16) % num_workers``."""
+        return self._shard(session_id)
+
+    def _worker_for(self, session_id: str) -> _WorkerSlot:
+        self._check_open()
+        return self._workers[self._shard(session_id)]
+
+    @staticmethod
+    def _expect_ok(reply: dict[str, object]) -> object:
+        if reply.get("status") == "ok":
+            return reply.get("result")
+        raise rebuild_error(reply)
+
+    def _request(self, slot: _WorkerSlot, payload: dict[str, object]) -> object:
+        """One supervised round trip: exchange, recover on death, retry once.
+
+        The retry is observationally exactly-once: a command whose reply was
+        lost was never recorded in the supervisor's write-through document,
+        so the replayed worker is in the pre-command state and the retry
+        applies it for the first time — label-driven replay makes the rerun
+        indistinguishable from an undisturbed first run.
+        """
+        with slot.lock:
+            try:
+                reply = slot.exchange(payload)
+            except TransportError as exc:
+                self._recover_locked(slot, exc)
+                try:
+                    reply = slot.exchange(payload)
+                except TransportError as retry_exc:
+                    error = WorkerUnavailableError(
+                        f"cluster worker {slot.index} died again replaying "
+                        f"{payload.get('cmd')!r} after a respawn ({retry_exc}); "
+                        "its sessions are lost",
+                        worker_index=slot.index,
+                    )
+                    raise error from retry_exc
+            return self._consume_reply(payload, reply)
+
+    def _consume_reply(self, payload: dict[str, object], reply: dict[str, object]) -> object:
+        """Harvest write-through documents, then unwrap the reply."""
+        documents = reply.get("documents")
+        if isinstance(documents, dict):
+            with self._lock:
+                if not self._closed:
+                    self._sessions.update(documents)
+        ok = reply.get("status") == "ok"
+        if ok and payload.get("cmd") == "close":
+            with self._lock:
+                self._sessions.pop(payload.get("session_id"), None)
+        if not ok:
+            raise rebuild_error(reply)
+        return reply.get("result")
 
     def _broadcast(self, payload: dict[str, object]) -> list[object]:
         self._check_open()
-        return [worker.request(payload) for worker in self._workers]
+        return [self._request(slot, payload) for slot in self._workers]
 
     @staticmethod
     def _label_to_wire(label: LabelLike) -> object:
@@ -461,23 +651,33 @@ class ClusterSessionService:
         """Register a table and broadcast it to every worker (idempotent).
 
         Returns the content fingerprint.  The rows travel to each worker
-        exactly once per cluster; re-registering the same content is free.
-        Raises :class:`ClusterServiceError` for cell values JSON cannot
-        carry, or when a worker is unreachable.
+        exactly once per cluster (plus once more to any worker that gets
+        respawned); re-registering the same content is free.  Raises
+        :class:`ClusterServiceError` for cell values JSON cannot carry, or
+        when a worker is unreachable and cannot be replaced.
         """
         fingerprint = table_fingerprint(table)
-        with self._lock:
-            self._check_open()
-            if fingerprint in self._tables:
-                return fingerprint
+        with self._broadcast_lock:
+            with self._lock:
+                if self._closed:
+                    raise ClusterServiceError("the cluster session service is shut down")
+                if fingerprint in self._broadcast_done:
+                    return fingerprint
+                # Recorded before the broadcast so a worker dying *during*
+                # the broadcast gets this table replayed like any other.
+                self._tables.setdefault(fingerprint, table)
             wire = table_to_wire(table)
-            echoed = self._broadcast({"cmd": "register_table", "table": wire})
+            echoed = [
+                self._request(slot, {"cmd": "register_table", "table": wire})
+                for slot in self._workers
+            ]
             if any(echo != fingerprint for echo in echoed):
                 raise ClusterServiceError(
                     f"table {table.name!r} changed fingerprint crossing the wire; "
                     "its cell values do not round-trip through JSON"
                 )
-            self._tables[fingerprint] = table
+            with self._lock:
+                self._broadcast_done.add(fingerprint)
         return fingerprint
 
     def tables(self) -> dict[str, str]:
@@ -505,38 +705,43 @@ class ClusterSessionService:
     ) -> tuple[str, dict | None, CandidateTable | None]:
         """How the routed worker gets the table: ``(fingerprint, inline wire, instance)``.
 
-        A table instance the cluster has not seen yet travels *inline* with
-        the create/resume command instead of being broadcast up front — the
-        worker-side create is atomic, so a failed command registers the
-        table nowhere; :meth:`_finish_registration` broadcasts it to the
-        remaining workers only after success.  Known fingerprints (and
-        already-registered instances) yield no inline form.
+        A table instance the cluster has not fully broadcast yet travels
+        *inline* with the create/resume command instead of being broadcast
+        up front — the worker-side create is atomic, so a failed command
+        registers the table nowhere; :meth:`_finish_registration` broadcasts
+        it to the remaining workers only after success.  Fully-broadcast
+        fingerprints yield no inline form.
         """
         if isinstance(table, CandidateTable):
             fingerprint = table_fingerprint(table)
             with self._lock:
-                if fingerprint in self._tables:
+                if fingerprint in self._broadcast_done:
                     return fingerprint, None, None
             return fingerprint, table_to_wire(table), table
-        self.table(table)  # raises SessionServiceError when unknown
-        return table, None, None
+        instance = self.table(table)  # raises SessionServiceError when unknown
+        with self._lock:
+            if table in self._broadcast_done:
+                return table, None, None
+        return table, table_to_wire(instance), instance
 
     def _finish_registration(
         self,
         fingerprint: str,
         table: CandidateTable,
         wire: dict,
-        owner: _WorkerHandle,
+        owner: _WorkerSlot,
     ) -> None:
         """Record a table the routed worker just adopted; broadcast to the rest."""
-        with self._lock:
-            if self._closed or fingerprint in self._tables:
-                return  # a concurrent command completed the broadcast
-        for worker in self._workers:
-            if worker is not owner:
-                worker.request({"cmd": "register_table", "table": wire})
-        with self._lock:
-            self._tables.setdefault(fingerprint, table)
+        with self._broadcast_lock:
+            with self._lock:
+                if self._closed or fingerprint in self._broadcast_done:
+                    return  # a concurrent command completed the broadcast
+            for slot in self._workers:
+                if slot is not owner:
+                    self._request(slot, {"cmd": "register_table", "table": wire})
+            with self._lock:
+                self._tables.setdefault(fingerprint, table)
+                self._broadcast_done.add(fingerprint)
 
     @staticmethod
     def _mint_session_id(session_id: str | None) -> str:
@@ -593,8 +798,13 @@ class ClusterSessionService:
         }
         if wire is not None:
             request["table"] = wire
-        payload = worker.request(request)
+        payload = self._request(worker, request)
         if wire is not None:
+            with self._lock:
+                # Recorded immediately: if this worker dies before the
+                # broadcast below completes, recovery can still replay the
+                # table (and this session) from the supervisor's registry.
+                self._tables.setdefault(fingerprint, instance)
             self._finish_registration(fingerprint, instance, wire, worker)
         return SessionDescriptor.from_dict(payload)
 
@@ -635,8 +845,10 @@ class ClusterSessionService:
         }
         if wire is not None:
             request["table"] = wire
-        reply = worker.request(request)
+        reply = self._request(worker, request)
         if wire is not None:
+            with self._lock:
+                self._tables.setdefault(fingerprint, instance)
             self._finish_registration(fingerprint, instance, wire, worker)
         return SessionDescriptor.from_dict(reply)
 
@@ -649,15 +861,15 @@ class ClusterSessionService:
 
     def describe(self, session_id: str) -> SessionDescriptor:
         """A snapshot of the session's kind and progress (from its worker)."""
-        reply = self._worker_for(session_id).request(
-            {"cmd": "describe", "session_id": session_id}
+        reply = self._request(
+            self._worker_for(session_id), {"cmd": "describe", "session_id": session_id}
         )
         return SessionDescriptor.from_dict(reply)
 
     def close(self, session_id: str) -> SessionDescriptor:
         """Remove a session from its worker and return its final snapshot."""
-        reply = self._worker_for(session_id).request(
-            {"cmd": "close", "session_id": session_id}
+        reply = self._request(
+            self._worker_for(session_id), {"cmd": "close", "session_id": session_id}
         )
         return SessionDescriptor.from_dict(reply)
 
@@ -665,27 +877,28 @@ class ClusterSessionService:
     # Stepping
     # ------------------------------------------------------------------ #
     def next_question(self, session_id: str) -> Event:
-        """The session's next protocol event, computed in its worker process."""
-        wire = self._worker_for(session_id).request(
-            {"cmd": "next_question", "session_id": session_id}
+        """The session's next protocol event, computed in its worker."""
+        wire = self._request(
+            self._worker_for(session_id), {"cmd": "next_question", "session_id": session_id}
         )
         return event_from_wire(wire)
 
     def answer(
         self, session_id: str, label: LabelLike, tuple_id: int | None = None
     ) -> LabelApplied:
-        """Apply one label in the session's worker process.
+        """Apply one label in the session's worker.
 
         Exceptions as for :meth:`~repro.service.service.SessionService.answer`,
         re-raised in the parent with the worker's message.
         """
-        wire = self._worker_for(session_id).request(
+        wire = self._request(
+            self._worker_for(session_id),
             {
                 "cmd": "answer",
                 "session_id": session_id,
                 "label": self._label_to_wire(label),
                 "tuple_id": tuple_id,
-            }
+            },
         )
         return event_from_wire(wire)
 
@@ -700,8 +913,9 @@ class ClusterSessionService:
         wire_pairs = [
             [int(tuple_id), self._label_to_wire(label)] for tuple_id, label in pairs
         ]
-        replies = self._worker_for(session_id).request(
-            {"cmd": "answer_many", "session_id": session_id, "answers": wire_pairs}
+        replies = self._request(
+            self._worker_for(session_id),
+            {"cmd": "answer_many", "session_id": session_id, "answers": wire_pairs},
         )
         return [event_from_wire(wire) for wire in replies]
 
@@ -710,15 +924,15 @@ class ClusterSessionService:
     # ------------------------------------------------------------------ #
     def save(self, session_id: str) -> dict[str, object]:
         """The session as a v3 persistence document, taken in its worker."""
-        return self._worker_for(session_id).request(
-            {"cmd": "save", "session_id": session_id}
+        return self._request(
+            self._worker_for(session_id), {"cmd": "save", "session_id": session_id}
         )
 
     # ------------------------------------------------------------------ #
     # Shutdown
     # ------------------------------------------------------------------ #
     def shutdown(self, timeout: float = 5.0) -> None:
-        """Stop every worker process.  Idempotent.
+        """Stop the heartbeat, every worker, and the listener.  Idempotent.
 
         Live sessions die with their workers (save what must survive first);
         commands after shutdown raise :class:`ClusterServiceError`.
@@ -727,20 +941,37 @@ class ClusterSessionService:
             if self._closed:
                 return
             self._closed = True
-            workers = list(self._workers)
-        for worker in workers:
-            with worker.lock:
+        self._stop.set()
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(timeout=timeout)
+        for slot in self._workers:
+            with slot.lock:
+                if slot.conn is None:
+                    continue
                 try:
-                    worker.conn.send(json.dumps({"cmd": "shutdown"}))
-                    worker.conn.recv()
-                except (EOFError, BrokenPipeError, OSError):
+                    slot.conn.send({"cmd": "shutdown"})
+                    slot.conn.recv()
+                except TransportError:
                     pass
-                worker.conn.close()
-        for worker in workers:
-            worker.process.join(timeout=timeout)
-            if worker.process.is_alive():  # pragma: no cover - stuck worker
-                worker.process.terminate()
-                worker.process.join(timeout=timeout)
+                slot.conn.close()
+        if self._listener is not None:
+            self._listener.close()
+        with self._lock:
+            stashes = [entry for stash in self._pending_hellos.values() for entry in stash]
+            self._pending_hellos.clear()
+        for conn, _pid in stashes:
+            conn.close()
+        for slot in self._workers:
+            runner = slot.runner
+            if runner is None:
+                continue
+            if hasattr(runner, "kill"):
+                runner.join(timeout=timeout)
+                if runner.is_alive():  # pragma: no cover - stuck worker
+                    runner.kill()
+                    runner.join(timeout=timeout)
+            else:
+                runner.join(timeout=1.0)
 
     def __enter__(self) -> ClusterSessionService:
         return self
@@ -752,7 +983,9 @@ class ClusterSessionService:
         with self._lock:
             state = "closed" if self._closed else "open"
             tables = len(self._tables)
+            sessions = len(self._sessions)
         return (
             f"ClusterSessionService(workers={len(self._workers)}, "
-            f"tables={tables}, {state})"
+            f"backend={self._backend!r}, tables={tables}, "
+            f"tracked_sessions={sessions}, {state})"
         )

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import threading
 import uuid
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from ..core.strategies.base import Strategy
@@ -106,12 +107,25 @@ class SessionService:
     that reference a session raise :class:`SessionServiceError` when the id
     is unknown — including after :meth:`close` (so an answer racing a close
     fails cleanly rather than resurrecting the session).
+
+    ``document_sink`` is the write-through hook the cluster's supervision
+    layer builds on: when set, every state-changing command (create / resume
+    / answer / answer_many) calls ``document_sink(session_id, document)``
+    with the session's fresh v3 persistence document before returning — the
+    same document :meth:`save` produces, taken under the session lock.  A
+    supervisor that stores these can replay any session onto a fresh worker
+    after a crash.  The sink runs inline on the command path; keep it cheap
+    (append to a dict, enqueue) and never let it raise.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        document_sink: Callable[[str, dict[str, object]], None] | None = None,
+    ) -> None:
         self._lock = threading.RLock()
         self._tables: dict[str, CandidateTable] = {}
         self._sessions: dict[str, _ManagedSession] = {}
+        self._document_sink = document_sink
 
     # ------------------------------------------------------------------ #
     # Table registry
@@ -211,7 +225,9 @@ class SessionService:
             session_id = uuid.uuid4().hex
         managed = _ManagedSession(session_id, stepper, fingerprint, strategy_name)
         self._commit_session(managed, resolved)
-        return self._describe(managed)
+        with managed.lock:
+            self._write_through(managed)
+            return self._describe(managed)
 
     def session_ids(self) -> list[str]:
         """Ids of all live sessions."""
@@ -300,7 +316,9 @@ class SessionService:
         """
         managed = self._managed(session_id)
         with managed.lock:
-            return managed.stepper.submit(label, tuple_id=tuple_id)
+            applied = managed.stepper.submit(label, tuple_id=tuple_id)
+            self._write_through(managed)
+            return applied
 
     def answer_many(self, session_id: str, answers: AnswerSet) -> list[LabelApplied]:
         """Apply a batch of ``tuple_id -> label`` answers to the session.
@@ -312,7 +330,12 @@ class SessionService:
         """
         managed = self._managed(session_id)
         with managed.lock:
-            return managed.stepper.submit_many(answers)
+            try:
+                return managed.stepper.submit_many(answers)
+            finally:
+                # Even on a mid-batch error: the applied prefix is real state
+                # and a supervising write-through must not lose it.
+                self._write_through(managed)
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -324,17 +347,31 @@ class SessionService:
         snapshot even while other threads are answering.  Raises
         :class:`SessionServiceError` for an unknown session id.
         """
-        from ..sessions.persistence import serialize_state
-
         managed = self._managed(session_id)
         with managed.lock:
-            stepper = managed.stepper
-            return serialize_state(
-                stepper.state,
-                mode=stepper.mode.value,
-                strategy=managed.strategy_name,
-                k=stepper.k if stepper.mode is InteractionMode.TOP_K else None,
-            )
+            return self._document(managed)
+
+    def _document(self, managed: _ManagedSession) -> dict[str, object]:
+        """The session's v3 document.  Caller holds the session lock."""
+        from ..sessions.persistence import serialize_state
+
+        stepper = managed.stepper
+        return serialize_state(
+            stepper.state,
+            mode=stepper.mode.value,
+            strategy=managed.strategy_name,
+            k=stepper.k if stepper.mode is InteractionMode.TOP_K else None,
+        )
+
+    def _write_through(self, managed: _ManagedSession) -> None:
+        """Push the session's current document to the sink, if one is set.
+
+        Caller holds the session lock, so the document is the state the
+        command just produced — the supervisor's copy is never older than
+        the last acknowledged command.
+        """
+        if self._document_sink is not None:
+            self._document_sink(managed.session_id, self._document(managed))
 
     def resume(
         self,
@@ -386,4 +423,6 @@ class SessionService:
             session_id = uuid.uuid4().hex
         managed = _ManagedSession(session_id, stepper, fingerprint, strategy_name)
         self._commit_session(managed, resolved)
-        return self._describe(managed)
+        with managed.lock:
+            self._write_through(managed)
+            return self._describe(managed)

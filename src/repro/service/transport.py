@@ -1,0 +1,319 @@
+"""Length-prefixed JSON framing over sockets: the cluster's wire transport.
+
+The multi-process cluster (:mod:`repro.service.cluster`) drives its workers
+over this module instead of :mod:`multiprocessing` pipes, so a worker can
+live in the parent process (a thread over a socketpair), on the same machine
+(a spawned process that dials back in), or on another machine entirely
+(``python -m repro.service.worker --connect HOST:PORT``).  Everything that
+crosses a connection is one *frame*:
+
+* a 4-byte big-endian unsigned length header, then
+* exactly that many bytes of UTF-8 JSON.
+
+Framing keeps message boundaries explicit on a byte stream — a reader never
+has to guess where one JSON document ends — and the length header lets both
+sides reject oversized frames *before* buffering them
+(:class:`FrameTooLargeError`), which bounds memory per connection.
+
+The surface is deliberately tiny and blocking:
+
+* :class:`FramedConnection` — ``send(obj)`` / ``recv() -> obj`` over any
+  connected socket, with partial reads and writes handled internally;
+* :class:`Listener` — accept loop for the supervisor side;
+* :func:`connect` — reconnect-aware client dial (bounded retries with a
+  fixed delay), for workers reaching back to a supervisor.
+
+All failures surface as :class:`TransportError` subtypes, never raw
+``OSError``/``EOFError`` — this module is the **only** place in the library
+that touches sockets (machine-checked by analyzer rule RPR008), so callers
+can treat "the transport broke" as one typed condition and run recovery.
+
+Thread-safety: a :class:`FramedConnection` may be shared by threads only if
+the caller serialises whole ``send``/``recv`` exchanges (the cluster holds a
+per-worker lock around each round trip); interleaved partial frames from two
+writers would corrupt the stream.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from ..exceptions import ReproError
+
+#: Frames above this many body bytes are refused on both send and receive.
+#: Generous (a table broadcast carries whole row sets) but finite, so a
+#: corrupt or hostile length header cannot make a peer buffer gigabytes.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: The 4-byte big-endian unsigned length header.
+_HEADER = struct.Struct(">I")
+
+
+class TransportError(ReproError):
+    """A cluster transport failure: the connection broke, timed out, or
+    carried a frame the framing rules reject."""
+
+
+class ConnectionClosedError(TransportError):
+    """The peer closed the connection (cleanly at a frame boundary, or not)."""
+
+
+class FrameTooLargeError(TransportError):
+    """A frame exceeded the connection's ``max_frame_bytes`` limit.
+
+    Raised on *send* before any byte leaves the process, and on *receive*
+    from the length header alone, before the body is buffered.  After an
+    oversized incoming header the stream position is unrecoverable, so the
+    connection is closed.
+    """
+
+
+class FramedConnection:
+    """One blocking, framed JSON channel over a connected socket.
+
+    Owns the socket: :meth:`close` (or garbage collection) closes it.
+    ``send`` and ``recv`` move whole frames — partial reads/writes, message
+    boundaries, and UTF-8/JSON codec errors are handled here so callers see
+    Python objects or a :class:`TransportError`, nothing in between.
+    """
+
+    __slots__ = ("_sock", "_max_frame_bytes")
+
+    def __init__(self, sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        if max_frame_bytes < 1:
+            raise ValueError(f"max_frame_bytes must be positive, got {max_frame_bytes!r}")
+        self._sock = sock
+        self._max_frame_bytes = max_frame_bytes
+
+    @property
+    def max_frame_bytes(self) -> int:
+        """The per-frame body size limit, in bytes."""
+        return self._max_frame_bytes
+
+    def send(self, payload: object) -> None:
+        """Encode ``payload`` as one JSON frame and write it completely.
+
+        Raises :class:`FrameTooLargeError` before any byte is written when
+        the encoded body exceeds the limit, :class:`TransportError` when the
+        payload is not JSON-representable, and
+        :class:`ConnectionClosedError` when the peer is gone mid-write.
+        """
+        try:
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise TransportError(f"payload is not JSON-representable: {exc}") from exc
+        if len(body) > self._max_frame_bytes:
+            raise FrameTooLargeError(
+                f"outgoing frame of {len(body)} bytes exceeds the "
+                f"{self._max_frame_bytes}-byte limit"
+            )
+        try:
+            self._sock.sendall(_HEADER.pack(len(body)) + body)
+        except OSError as exc:
+            raise ConnectionClosedError(
+                f"connection closed while sending a frame ({type(exc).__name__}: {exc})"
+            ) from exc
+
+    def recv(self) -> object:
+        """Read exactly one frame and decode it.
+
+        Blocks until a whole frame arrives (reassembling partial reads).
+        Raises :class:`ConnectionClosedError` on EOF — at a frame boundary
+        or mid-frame — and :class:`FrameTooLargeError` when the length
+        header announces a body over the limit (the connection is closed:
+        the stream position past an unread oversized body is unknowable).
+        """
+        header = self._recv_exact(_HEADER.size, context="frame header")
+        (length,) = _HEADER.unpack(header)
+        if length > self._max_frame_bytes:
+            self.close()
+            raise FrameTooLargeError(
+                f"incoming frame announces {length} bytes, over the "
+                f"{self._max_frame_bytes}-byte limit; connection dropped"
+            )
+        body = self._recv_exact(length, context="frame body")
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TransportError(f"frame body is not valid JSON: {exc}") from exc
+
+    def _recv_exact(self, count: int, context: str) -> bytes:
+        """Exactly ``count`` bytes from the socket, however many reads it takes."""
+        chunks: list[bytes] = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except TimeoutError as exc:
+                raise TransportError(f"timed out reading a {context}") from exc
+            except OSError as exc:
+                raise ConnectionClosedError(
+                    f"connection closed reading a {context} ({type(exc).__name__}: {exc})"
+                ) from exc
+            if not chunk:
+                got = count - remaining
+                detail = f"after {got} of {count} bytes" if got else "at a frame boundary"
+                raise ConnectionClosedError(f"connection closed reading a {context} {detail}")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def settimeout(self, timeout: float | None) -> None:
+        """Bound every subsequent socket operation (``None`` blocks forever)."""
+        try:
+            self._sock.settimeout(timeout)
+        except OSError as exc:
+            raise ConnectionClosedError(
+                f"connection closed while setting a timeout ({type(exc).__name__})"
+            ) from exc
+
+    def fileno(self) -> int:
+        """The underlying socket's file descriptor (for selectors/diagnostics)."""
+        return self._sock.fileno()
+
+    def close(self) -> None:
+        """Close the underlying socket.  Idempotent; never raises."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close failures are unreportable
+            pass
+
+    def __enter__(self) -> FramedConnection:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class Listener:
+    """A TCP accept point for framed connections (the supervisor side).
+
+    Binds at construction — ``Listener()`` picks a free loopback port, so
+    tests and local clusters never race over port numbers; pass an explicit
+    ``("0.0.0.0", port)`` to accept workers from other machines.
+    """
+
+    __slots__ = ("_sock", "_max_frame_bytes")
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        backlog: int = 64,
+    ) -> None:
+        self._max_frame_bytes = max_frame_bytes
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, port))
+            sock.listen(backlog)
+        except OSError as exc:
+            sock.close()
+            raise TransportError(
+                f"cannot listen on {host}:{port} ({type(exc).__name__}: {exc})"
+            ) from exc
+        self._sock = sock
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — with the OS-assigned port resolved."""
+        return self._sock.getsockname()[:2]
+
+    def accept(self, timeout: float | None = None) -> FramedConnection:
+        """Accept one inbound connection as a :class:`FramedConnection`.
+
+        Raises :class:`TransportError` on timeout and
+        :class:`ConnectionClosedError` when the listener itself is closed.
+        """
+        self._sock.settimeout(timeout)
+        try:
+            sock, _ = self._sock.accept()
+        except TimeoutError as exc:
+            raise TransportError(
+                f"no connection arrived within {timeout:.1f}s on {self.address_text()}"
+            ) from exc
+        except OSError as exc:
+            raise ConnectionClosedError(
+                f"listener closed while accepting ({type(exc).__name__}: {exc})"
+            ) from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return FramedConnection(sock, self._max_frame_bytes)
+
+    def address_text(self) -> str:
+        """``host:port`` for log and error messages."""
+        try:
+            host, port = self.address
+        except OSError:
+            return "<closed listener>"
+        return f"{host}:{port}"
+
+    def close(self) -> None:
+        """Stop accepting.  Idempotent; never raises."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close failures are unreportable
+            pass
+
+    def __enter__(self) -> Listener:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def framed_pair(
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> tuple[FramedConnection, FramedConnection]:
+    """A connected pair of framed connections (for in-process thread workers).
+
+    Same framing, no TCP stack: the cluster's ``backend="thread"`` runs its
+    worker loops over one end of a socketpair, which keeps single-process
+    deployments (and fault-injection tests) cheap while exercising the
+    identical wire path.
+    """
+    parent_sock, worker_sock = socket.socketpair()
+    return (
+        FramedConnection(parent_sock, max_frame_bytes),
+        FramedConnection(worker_sock, max_frame_bytes),
+    )
+
+
+def connect(
+    address: tuple[str, int],
+    timeout: float = 10.0,
+    retries: int = 0,
+    retry_delay: float = 0.2,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> FramedConnection:
+    """Dial a :class:`Listener` and return the framed connection.
+
+    ``retries`` extra attempts are made after a refused/failed dial, sleeping
+    ``retry_delay`` between them — the reconnect-aware client path a worker
+    uses to reach a supervisor that is still binding (or briefly gone).
+    Raises :class:`TransportError` when every attempt fails.
+    """
+    import time as _time
+
+    host, port = address
+    last_error: OSError | None = None
+    for attempt in range(retries + 1):
+        if attempt:
+            _time.sleep(retry_delay)
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        try:
+            sock.connect((host, port))
+        except OSError as exc:
+            sock.close()
+            last_error = exc
+            continue
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return FramedConnection(sock, max_frame_bytes)
+    raise TransportError(
+        f"cannot connect to {host}:{port} after {retries + 1} attempt(s) "
+        f"({type(last_error).__name__}: {last_error})"
+    ) from last_error

@@ -1,0 +1,158 @@
+"""The cluster worker: one ``SessionService`` behind a framed socket.
+
+A worker is nothing but a loop — :func:`serve_connection` — that reads wire
+commands off one :class:`~repro.service.transport.FramedConnection`, applies
+them to a private :class:`~repro.service.service.SessionService`, and writes
+replies back.  The same loop serves all three deployment shapes:
+
+* **in-process** — the cluster's ``backend="thread"`` runs it on a thread
+  over a socketpair (:func:`~repro.service.transport.framed_pair`);
+* **local process** — ``backend="process"`` spawns :func:`worker_entry`,
+  which dials back to the supervisor's listener;
+* **remote machine** — ``python -m repro.service.worker --connect HOST:PORT
+  --token TOKEN`` joins a cluster built with ``backend="external"`` from
+  anywhere the listener is reachable.
+
+Write-through documents
+-----------------------
+The worker's service is constructed with a ``document_sink``, so every
+state-changing command (create / resume / answer / answer_many) re-serialises
+the touched session as a durable v3 persistence document.  The documents
+collected during a command ride back to the supervisor on the reply —
+*including error replies*, because a failed strict batch may still have
+applied a prefix of its labels.  That piggyback is what makes worker death
+survivable: the supervisor always holds a document no older than the last
+acknowledged command, and replaying it onto a fresh worker reconstructs the
+session exactly (replay is label-driven and the strategies are
+deterministic).
+
+The hello frame
+---------------
+A worker's first frame is ``{"hello": "repro-worker", "token": …, "pid": …}``.
+The token — handed out by the supervisor when it spawns (or registers) the
+worker — is how the supervisor matches an inbound connection to the worker
+slot it belongs to; a hello with an unknown token is stashed or dropped, so
+a stray client cannot occupy a slot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from collections.abc import Sequence
+
+from .service import SessionService
+from .transport import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FramedConnection,
+    TransportError,
+    connect,
+)
+from .wire import error_reply, execute_command
+
+#: The ``hello`` field every worker announces itself with.
+HELLO_KIND = "repro-worker"
+
+
+def serve_connection(conn: FramedConnection) -> None:
+    """Serve one supervisor connection until it closes or says ``shutdown``.
+
+    The loop is serial — one command at a time — which is the worker's whole
+    concurrency model: the supervisor holds one in-flight command per worker
+    and schedules across workers.  Transport failures (EOF when the
+    supervisor dies, a corrupt frame) end the loop; they are the
+    supervisor's problem to notice, not the worker's to repair.
+    """
+    documents: dict[str, dict] = {}
+    service = SessionService(document_sink=documents.__setitem__)
+    try:
+        while True:
+            try:
+                request = conn.recv()
+            except TransportError:
+                break  # supervisor gone or stream corrupt; nothing left to serve
+            if not isinstance(request, dict):
+                break
+            if request.get("cmd") == "shutdown":
+                try:
+                    conn.send({"status": "ok", "result": None})
+                except TransportError:
+                    pass
+                break
+            documents.clear()
+            try:
+                reply: dict[str, object] = {
+                    "status": "ok",
+                    "result": execute_command(service, request),
+                }
+            except Exception as exc:
+                reply = error_reply(exc)
+            if documents:
+                # The write-through piggyback: every document this command
+                # touched, even on error (a strict batch may have applied a
+                # prefix before failing).
+                reply["documents"] = dict(documents)
+            try:
+                conn.send(reply)
+            except TransportError:
+                break
+    finally:
+        conn.close()
+
+
+def worker_entry(
+    address: tuple[str, int],
+    token: str,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> None:
+    """Dial a supervisor, introduce ourselves, and serve.  (Spawn target.)
+
+    Retries the dial briefly — the supervisor's listener is bound before any
+    worker starts, but a reconnecting external worker may race a supervisor
+    restart.
+    """
+    conn = connect(address, retries=25, retry_delay=0.2, max_frame_bytes=max_frame_bytes)
+    conn.send({"hello": HELLO_KIND, "token": token, "pid": os.getpid()})
+    serve_connection(conn)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.service.worker``: join a cluster over the network."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.worker",
+        description="Run one cluster worker process against a remote supervisor.",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="the supervisor's listener address (ClusterSessionService(listen=...))",
+    )
+    parser.add_argument(
+        "--token",
+        required=True,
+        help="the cluster's worker token (ClusterSessionService.worker_token)",
+    )
+    parser.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=DEFAULT_MAX_FRAME_BYTES,
+        help="per-frame size limit; must match the supervisor's",
+    )
+    args = parser.parse_args(argv)
+    host, _, port_text = args.connect.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        parser.error(f"--connect needs HOST:PORT, got {args.connect!r}")
+    try:
+        worker_entry((host or "127.0.0.1", port), args.token, args.max_frame_bytes)
+    except TransportError as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

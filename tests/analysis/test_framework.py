@@ -29,7 +29,9 @@ def project_analyzer(root: Path) -> Analyzer:
     return Analyzer(scopes=PROJECT_SCOPES, root=root)
 
 
-VIOLATION = "import socket\n"  # RPR001 inside the sans-IO scope
+# RPR001 inside the sans-IO scope (and *only* RPR001: an `import socket`
+# would additionally trip the RPR008 transport monopoly).
+VIOLATION = 'print("x")\n'
 
 
 class TestRegistry:
@@ -99,7 +101,7 @@ class TestSuppressions:
         write(
             tmp_path,
             "src/repro/core/bad.py",
-            "import socket  # repro-lint: disable=RPR001\n",
+            'print("x")  # repro-lint: disable=RPR001\n',
         )
         report = project_analyzer(tmp_path).analyze_paths([tmp_path / "src"])
         assert report.ok
@@ -111,7 +113,7 @@ class TestSuppressions:
             "src/repro/core/bad.py",
             """\
             # repro-lint: disable=RPR001 - reasons may follow the codes
-            import socket
+            print("x")
             """,
         )
         report = project_analyzer(tmp_path).analyze_paths([tmp_path / "src"])
@@ -122,7 +124,7 @@ class TestSuppressions:
         write(
             tmp_path,
             "src/repro/core/bad.py",
-            "import socket  # repro-lint: disable=RPR005\n",
+            'print("x")  # repro-lint: disable=RPR005\n',
         )
         report = project_analyzer(tmp_path).analyze_paths([tmp_path / "src"])
         assert [finding.code for finding in report.findings] == ["RPR001"]
@@ -133,7 +135,7 @@ class TestSuppressions:
             tmp_path,
             "src/repro/core/bad.py",
             """\
-            import socket  # repro-lint: disable=RPR001, RPR004
+            print("x")  # repro-lint: disable=RPR001, RPR004
             import numpy  # repro-lint: disable=all
             """,
         )
@@ -147,7 +149,7 @@ class TestSuppressions:
             "src/repro/core/bad.py",
             """\
             x = 1  # repro-lint: disable=RPR001
-            import socket
+            print("x")
             """,
         )
         report = project_analyzer(tmp_path).analyze_paths([tmp_path / "src"])
@@ -164,8 +166,8 @@ class TestReports:
         )
 
     def test_findings_sorted_by_path_then_line(self, tmp_path):
-        write(tmp_path, "src/repro/core/b.py", "import socket\nimport socket\n")
-        write(tmp_path, "src/repro/core/a.py", "import socket\n")
+        write(tmp_path, "src/repro/core/b.py", 'print("b")\nprint("b")\n')
+        write(tmp_path, "src/repro/core/a.py", 'print("a")\n')
         report = project_analyzer(tmp_path).analyze_paths([tmp_path / "src"])
         locations = [(finding.relpath, finding.line) for finding in report.findings]
         assert locations == [
@@ -180,7 +182,7 @@ class TestReports:
         assert [finding.code for finding in report.findings] == [SYNTAX_ERROR_CODE]
 
     def test_counts_by_rule(self, tmp_path):
-        write(tmp_path, "src/repro/core/bad.py", "import socket\nimport numpy\n")
+        write(tmp_path, "src/repro/core/bad.py", 'print("x")\nimport numpy\n')
         report = project_analyzer(tmp_path).analyze_paths([tmp_path / "src"])
         assert report.counts_by_rule() == {"RPR001": 1, "RPR004": 1}
 

@@ -598,3 +598,93 @@ class TestExecutorDiscipline:
             """,
         )
         assert findings == []
+
+
+class TestRawSockets:
+    """RPR008: sockets and pipe connections exist only in service/transport.py."""
+
+    def test_flags_socket_import_outside_transport(self, tmp_path):
+        findings = run_rule(
+            "RPR008",
+            tmp_path,
+            "src/repro/service/rogue.py",
+            """\
+            import socket
+
+            def dial(host, port):
+                return socket.create_connection((host, port))
+            """,
+        )
+        assert len(findings) == 1
+        assert "'socket'" in findings[0].message
+        assert "FramedConnection" in findings[0].message
+
+    def test_flags_from_socket_import_and_nested_import(self, tmp_path):
+        findings = run_rule(
+            "RPR008",
+            tmp_path,
+            "benchmarks/bench_rogue.py",
+            """\
+            from socket import socketpair
+
+            def lazy():
+                import socket
+                return socket, socketpair
+            """,
+        )
+        assert len(findings) == 2
+
+    def test_flags_multiprocessing_connection_machinery(self, tmp_path):
+        findings = run_rule(
+            "RPR008",
+            tmp_path,
+            "src/repro/service/pipe_era.py",
+            """\
+            import multiprocessing
+            from multiprocessing.connection import Connection
+            from multiprocessing import Pipe
+
+            def link():
+                return multiprocessing.Pipe(duplex=True)
+            """,
+        )
+        messages = [finding.message for finding in findings]
+        assert len(findings) == 3  # plain `import multiprocessing` is fine
+        assert any("'multiprocessing.connection'" in message for message in messages)
+        assert any("multiprocessing.Pipe" in message for message in messages)
+        assert any("multiprocessing.Pipe()" in message for message in messages)
+
+    def test_transport_module_is_exempt(self, tmp_path):
+        findings = run_rule(
+            "RPR008",
+            tmp_path,
+            "src/repro/service/transport.py",
+            """\
+            import socket
+
+            def listen(port):
+                server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                server.bind(("127.0.0.1", port))
+                return server
+            """,
+        )
+        assert findings == []
+
+    def test_process_spawning_cluster_is_clean(self, tmp_path):
+        findings = run_rule(
+            "RPR008",
+            tmp_path,
+            "src/repro/service/cluster_like.py",
+            """\
+            import multiprocessing
+
+            from repro.service.transport import Listener, connect
+
+            def launch(target, address):
+                ctx = multiprocessing.get_context("spawn")
+                process = ctx.Process(target=target, args=(address,), daemon=True)
+                process.start()
+                return process
+            """,
+        )
+        assert findings == []

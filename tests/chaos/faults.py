@@ -1,0 +1,173 @@
+"""Deterministic fault injection for the cluster transport.
+
+The chaos suite never relies on timing accidents: every fault — a delay, a
+dropped frame, a severed connection — happens at a *scheduled operation
+index* drawn from a seeded RNG, so a failing run replays exactly with its
+seed.  :class:`FaultyTransport` wraps a
+:class:`~repro.service.transport.FramedConnection` and injects the schedule;
+it plugs into the cluster through ``ClusterSessionService``'s
+``connection_wrapper`` seam, and into transport-level tests directly.
+
+Fault kinds
+-----------
+``("delay", seconds)``
+    Sleep before performing the operation.  Models a slow network; the
+    operation then proceeds normally.
+``("sever",)``
+    Close the underlying connection and raise
+    :class:`~repro.service.transport.ConnectionClosedError`.  Models a
+    machine loss mid-conversation; the peer observes EOF.
+``("drop",)``
+    Alias of ``sever`` kept for schedule readability: on a *stream*
+    transport a silently discarded frame would desynchronise the framing
+    (the peer would wait forever), so "dropping" a frame necessarily means
+    losing the connection with it — the frame is discarded *and* the
+    connection is severed.
+
+Operations are counted across ``send`` and ``recv`` on one shared counter,
+so a schedule addresses the wire conversation position, not the direction:
+op 0 is the first frame moved in either direction.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.service.transport import ConnectionClosedError, FramedConnection
+
+
+class FaultSchedule:
+    """A mapping from operation index to fault, optionally seeded.
+
+    Immutable once built; share one schedule between assertions and the
+    transport under test to reason about exactly where the faults land.
+    """
+
+    def __init__(self, faults: dict[int, tuple] | None = None) -> None:
+        self._faults = dict(faults or {})
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        *,
+        length: int = 64,
+        delay_rate: float = 0.2,
+        max_delay: float = 0.002,
+        sever_at: int | None = None,
+    ) -> FaultSchedule:
+        """A reproducible schedule: random small delays, one optional sever.
+
+        ``sever_at=None`` draws the sever point from the RNG too (somewhere
+        in the middle half of ``length``); pass an explicit index to pin it.
+        """
+        rng = random.Random(seed)
+        faults: dict[int, tuple] = {}
+        for op in range(length):
+            if rng.random() < delay_rate:
+                faults[op] = ("delay", rng.uniform(0.0, max_delay))
+        if sever_at is None:
+            sever_at = rng.randrange(length // 4, max(length // 4 + 1, 3 * length // 4))
+        faults[sever_at] = ("sever",)
+        return cls(faults)
+
+    def fault_for(self, op_index: int) -> tuple | None:
+        return self._faults.get(op_index)
+
+    def sever_points(self) -> list[int]:
+        """The op indices carrying a sever/drop, in order."""
+        return sorted(
+            op for op, fault in self._faults.items() if fault[0] in ("sever", "drop")
+        )
+
+    def __repr__(self) -> str:
+        return f"FaultSchedule({self._faults!r})"
+
+
+class FaultyTransport:
+    """A :class:`FramedConnection` wrapper that injects a fault schedule.
+
+    Duck-types the connection surface the cluster uses (``send`` / ``recv``
+    / ``settimeout`` / ``fileno`` / ``close`` / ``max_frame_bytes``), so it
+    drops into ``ClusterSessionService(connection_wrapper=...)`` unchanged.
+    After a sever the wrapper stays severed — every later operation raises —
+    exactly like a real lost machine; recovery gets a *new* connection (and
+    whatever the wrapper factory decides to wrap it in).
+    """
+
+    def __init__(self, inner: FramedConnection, schedule: FaultSchedule) -> None:
+        self._inner = inner
+        self._schedule = schedule
+        self._ops = 0
+        self.severed = False
+
+    @property
+    def ops(self) -> int:
+        """How many operations (send + recv) ran or were severed so far."""
+        return self._ops
+
+    @property
+    def max_frame_bytes(self) -> int:
+        return self._inner.max_frame_bytes
+
+    def _apply_fault(self) -> None:
+        index = self._ops
+        self._ops += 1
+        if self.severed:
+            raise ConnectionClosedError(
+                f"fault injection: connection already severed before op {index}"
+            )
+        fault = self._schedule.fault_for(index)
+        if fault is None:
+            return
+        kind = fault[0]
+        if kind == "delay":
+            time.sleep(fault[1])
+        elif kind in ("sever", "drop"):
+            self.severed = True
+            self._inner.close()
+            raise ConnectionClosedError(
+                f"fault injection: connection severed at op {index}"
+            )
+        else:  # pragma: no cover - schedule construction guards this
+            raise ValueError(f"unknown fault kind {kind!r}")
+
+    def send(self, payload: object) -> None:
+        self._apply_fault()
+        self._inner.send(payload)
+
+    def recv(self) -> object:
+        self._apply_fault()
+        return self._inner.recv()
+
+    def settimeout(self, timeout: float | None) -> None:
+        self._inner.settimeout(timeout)
+
+    def fileno(self) -> int:
+        return self._inner.fileno()
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+def gen0_faulty_wrapper(schedules: dict[int, FaultSchedule]):
+    """A ``connection_wrapper`` injecting faults into first-generation workers.
+
+    The first connection each worker index presents is wrapped in a
+    :class:`FaultyTransport` with its schedule; every *replacement*
+    connection (after the injected death) is handed back clean, so the
+    recovery-of-a-recovery path stays deterministic — one scheduled death
+    per worker, absorbed by exactly one respawn.  Returns ``(wrapper,
+    transports)``; ``transports[index]`` is the gen-0 wrapper for
+    post-mortem assertions.
+    """
+    transports: dict[int, FaultyTransport] = {}
+
+    def wrapper(conn: FramedConnection, index: int) -> FramedConnection:
+        if index in schedules and index not in transports:
+            transports[index] = FaultyTransport(conn, schedules[index])
+            return transports[index]
+        return conn
+
+    return wrapper, transports

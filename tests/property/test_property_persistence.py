@@ -12,12 +12,18 @@ mode × strategy × k × strict.
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import CandidateTable, GoalQueryOracle, SessionService
 from repro.datasets import flights_hotels
-from repro.service import Converged, QuestionAsked, event_to_wire
+from repro.service import (
+    ClusterSessionService,
+    Converged,
+    QuestionAsked,
+    event_to_wire,
+)
 
 SETTINGS = settings(
     max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
@@ -153,3 +159,102 @@ def test_lenient_sessions_accept_contradictions_before_and_after_resume(
     resumed = fresh.resume(document_after, table=table)
     assert resumed.strict is False
     assert resumed.num_labels == 2
+
+
+# --------------------------------------------------------------------------- #
+# Crash-recovery equivalence on the supervised cluster
+# --------------------------------------------------------------------------- #
+
+#: Label steps are capped so a contradicting (never-converging) lenient
+#: session still terminates; both runs share the cap, so traces compare.
+MAX_STEPS = 40
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    """One supervised 2-worker in-process cluster shared by all examples."""
+    with ClusterSessionService(
+        num_workers=2, backend="thread", heartbeat_interval=None
+    ) as service:
+        yield service
+
+
+def _trace_with_flips(
+    service, session_id, table, oracle, flips, *, kill_step=None, cluster=None
+):
+    """The wire trace of a session driven with an optionally perturbed oracle.
+
+    ``flips[i % len(flips)]`` inverts the oracle's label at step ``i``; at
+    ``kill_step`` the session's worker is killed *before* the next command,
+    so recovery replays mid-conversation.
+    """
+    events: list[dict] = []
+    step = 0
+    while step < MAX_STEPS:
+        if cluster is not None and kill_step == step:
+            cluster.kill_worker(cluster.worker_index(session_id))
+        event = service.next_question(session_id)
+        events.append(event_to_wire(event))
+        if isinstance(event, Converged):
+            break
+        if isinstance(event, QuestionAsked):
+            tuple_id = event.tuple_id
+        else:
+            tuple_id = event.tuple_ids[0]
+        label = oracle.label(table, tuple_id)
+        if flips and flips[step % len(flips)]:
+            label = "-" if label == "+" else "+"
+        applied = service.answer(session_id, label, tuple_id=tuple_id)
+        events.append(event_to_wire(applied))
+        step += 1
+    return events
+
+
+@given(
+    mode=st.sampled_from(MODES),
+    strategy=st.sampled_from(GUIDED_STRATEGIES),
+    k=st.integers(min_value=1, max_value=4),
+    strict=st.booleans(),
+    kill_step=st.integers(min_value=0, max_value=6),
+    flips=st.lists(st.booleans(), min_size=0, max_size=6),
+)
+@SETTINGS
+def test_crash_recovery_is_equivalent_to_an_uninterrupted_run(
+    cluster, mode, strategy, k, strict, kill_step, flips
+):
+    """Kill-and-replay at a random step ≡ the same run never disturbed.
+
+    A random session kind drives a random label sequence (oracle labels,
+    perturbed by ``flips`` when lenient — a strict session would reject the
+    contradiction rather than record it); its worker is SIGKILL-equivalently
+    severed at a random step.  The supervised cluster must respawn, replay
+    the session from its write-through document, and produce a wire trace
+    identical to a single-process :class:`SessionService` run of the very
+    same command sequence with no crash at all.
+    """
+    table = flights_hotels.figure1_table()
+    oracle = GoalQueryOracle(flights_hotels.query_q2())
+    kwargs = session_kwargs(mode, strategy, k)
+    effective_flips = [] if strict else flips
+
+    baseline_service = SessionService()
+    baseline_sid = baseline_service.create(table, strict=strict, **kwargs).session_id
+    baseline = _trace_with_flips(
+        baseline_service, baseline_sid, table, oracle, effective_flips
+    )
+
+    fingerprint = cluster.register_table(table)
+    session_id = cluster.create(fingerprint, strict=strict, **kwargs).session_id
+    try:
+        trace = _trace_with_flips(
+            cluster,
+            session_id,
+            table,
+            oracle,
+            effective_flips,
+            kill_step=kill_step,
+            cluster=cluster,
+        )
+    finally:
+        cluster.close(session_id)
+    assert trace == baseline
