@@ -131,17 +131,32 @@ async def _drive_async(
             )
 
 
-async def check_equivalence(quick: bool) -> list[str]:
+def collect_sync_traces(quick: bool) -> list[tuple[str, object, dict, list[dict]]]:
+    """The sync service's reference traces, one per scenario.
+
+    Runs *before* the event loop starts: driving the blocking
+    ``SessionService`` inside the ``async def`` below would stall the loop
+    (RPR011), and the reference trace does not need to interleave with the
+    async run anyway.
+    """
+    traces: list[tuple[str, object, dict, list[dict]]] = []
+    for name, workload, kwargs in _scenarios(quick):
+        sync_service = SessionService()
+        sid = sync_service.create(workload.table, **kwargs).session_id
+        events = _drive_sync(
+            sync_service, sid, workload.table, GoalQueryOracle(workload.goal)
+        )
+        traces.append((name, workload, kwargs, events))
+    return traces
+
+
+async def check_equivalence(
+    sync_traces: list[tuple[str, object, dict, list[dict]]],
+) -> list[str]:
     """Per-session wire traces must be identical, sync vs async vs stream."""
     mismatches = []
     async with AsyncSessionService() as async_service:
-        for name, workload, kwargs in _scenarios(quick):
-            sync_service = SessionService()
-            sid = sync_service.create(workload.table, **kwargs).session_id
-            sync_events = _drive_sync(
-                sync_service, sid, workload.table, GoalQueryOracle(workload.goal)
-            )
-
+        for name, workload, kwargs, sync_events in sync_traces:
             descriptor = await async_service.create(workload.table, **kwargs)
             collected: list[dict] = []
 
@@ -235,7 +250,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     num_sessions = args.sessions or (8 if args.quick else 64)
 
     print("== event-trace equivalence: async service vs sync service vs stream ==")
-    mismatches = asyncio.run(check_equivalence(args.quick))
+    mismatches = asyncio.run(check_equivalence(collect_sync_traces(args.quick)))
     if mismatches:
         print(f"FAIL: {len(mismatches)} diverging scenario(s):")
         for item in mismatches:

@@ -11,15 +11,49 @@ Usage::
     python scripts/lint_invariants.py                 # src benchmarks examples scripts
     python scripts/lint_invariants.py src/repro/core  # a subtree
     python scripts/lint_invariants.py --list-rules
+    python scripts/lint_invariants.py --changed-only --base origin/main
+
+``--changed-only`` reports findings only in the Python files that differ from
+a git base ref (``--base``, default ``HEAD``), plus untracked files.  The
+whole-program rules (import layering, lock ordering, …) still analyze the
+full tree — a changed file can break an invariant whose finding lands in an
+unchanged one, and vice versa — only the *reporting* is restricted, via the
+analyzer's ``--restrict-report``.  With no changed Python files the script
+exits 0 without analyzing anything.
 """
 
 from __future__ import annotations
 
 import os
+import subprocess
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _changed_python_files(base: str) -> list[str]:
+    """Repo-relative ``.py`` paths that differ from ``base`` or are untracked."""
+    diff = subprocess.run(
+        ["git", "diff", "--name-only", base, "--", "*.py"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    untracked = subprocess.run(
+        ["git", "ls-files", "--others", "--exclude-standard", "--", "*.py"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    seen: list[str] = []
+    for line in (diff.stdout + untracked.stdout).splitlines():
+        relpath = line.strip()
+        if relpath and relpath not in seen and (REPO_ROOT / relpath).is_file():
+            seen.append(relpath)
+    return seen
 
 
 def main() -> int:
@@ -28,6 +62,33 @@ def main() -> int:
     from repro.analysis.__main__ import main as analysis_main
 
     argv = sys.argv[1:]
+
+    changed_only = "--changed-only" in argv
+    base = "HEAD"
+    if changed_only:
+        argv = [arg for arg in argv if arg != "--changed-only"]
+        if "--base" in argv:
+            index = argv.index("--base")
+            try:
+                base = argv[index + 1]
+            except IndexError:
+                print("lint_invariants: --base needs a git ref", file=sys.stderr)
+                return 2
+            del argv[index : index + 2]
+        try:
+            changed = _changed_python_files(base)
+        except subprocess.CalledProcessError as exc:
+            message = (exc.stderr or "").strip() or f"git diff against {base!r} failed"
+            print(f"lint_invariants: {message}", file=sys.stderr)
+            return 2
+        if not changed:
+            print(f"lint_invariants: no Python files changed vs {base}; nothing to report")
+            return 0
+        argv = ["--restrict-report", ",".join(changed), *argv]
+    elif "--base" in argv:
+        print("lint_invariants: --base only makes sense with --changed-only", file=sys.stderr)
+        return 2
+
     if "--root" not in argv:
         argv = ["--root", str(REPO_ROOT), *argv]
     return analysis_main(argv)

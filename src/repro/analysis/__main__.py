@@ -5,7 +5,10 @@ Runs the project-invariant rules over the given files/directories (default:
 directory) with the repository scoping config, prints findings as
 ``file:line CODE message``, and exits non-zero when any non-suppressed
 finding remains.  ``--stats`` prints per-rule counts even on a clean run;
-``--select`` restricts the pass to a subset of rules.
+``--select`` restricts the pass to a subset of rules; ``--format json``
+emits a machine-readable report; ``--warn-unused-suppressions`` turns stale
+``# repro-lint: disable`` comments into RPR099 findings; and
+``--restrict-report`` limits *reporting* (not analysis) to the given files.
 """
 
 from __future__ import annotations
@@ -49,6 +52,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--stats", action="store_true", help="print per-rule finding counts"
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format: human-readable text (default) or stable JSON",
+    )
+    parser.add_argument(
+        "--warn-unused-suppressions",
+        action="store_true",
+        help="report stale '# repro-lint: disable' comments as RPR099 findings",
+    )
+    parser.add_argument(
+        "--restrict-report",
+        metavar="RELPATHS",
+        help=(
+            "comma-separated root-relative paths; the analysis still runs over "
+            "everything (whole-program rules see the full tree) but only "
+            "findings in these files are reported (used by "
+            "scripts/lint_invariants.py --changed-only)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -68,8 +92,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     if not paths:
         parser.error("no paths given and none of the default directories exist")
 
-    analyzer = Analyzer(rules=rules, scopes=PROJECT_SCOPES, root=root)
+    analyzer = Analyzer(
+        rules=rules,
+        scopes=PROJECT_SCOPES,
+        root=root,
+        warn_unused_suppressions=args.warn_unused_suppressions,
+    )
     report = analyzer.analyze_paths(paths)
+    if args.restrict_report is not None:
+        allowed = [part.strip() for part in args.restrict_report.split(",") if part.strip()]
+        report = report.restricted_to(allowed)
+    if args.format == "json":
+        print(report.to_json())
+        return 0 if report.ok else 1
     for finding in report.findings:
         print(finding.render())
     if args.stats:

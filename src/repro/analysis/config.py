@@ -64,4 +64,17 @@ PROJECT_SCOPES: dict[str, Scope] = {
         include=("src/repro/*", "benchmarks/*", "examples/*", "scripts/*"),
         exclude=("src/repro/service/transport.py",),
     ),
+    # Layer architecture everywhere the import graph reaches: the layer
+    # table inside the rule only governs repro.* modules, but import
+    # *cycles* are flagged in any package the pass covers.
+    "RPR009": Scope(include=("*",)),
+    # Lock ordering is whole-program by nature; findings anchor at the
+    # outer acquisition site of one edge of the cycle.
+    "RPR010": Scope(include=("*",)),
+    # Blocking-in-async governs every async def the pass sees — the asyncio
+    # facade, the HTTP example, the async benchmarks.
+    "RPR011": Scope(include=("*",)),
+    # Resource lifecycle everywhere.  transport.py is *included*: its
+    # factories return what they construct, which the rule accepts.
+    "RPR012": Scope(include=("*",)),
 }

@@ -29,7 +29,10 @@ from __future__ import annotations
 import abc
 import ast
 import fnmatch
+import io
+import json
 import re
+import tokenize
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -37,7 +40,15 @@ from pathlib import Path
 #: Code used for files the analyzer cannot parse at all.
 SYNTAX_ERROR_CODE = "RPR000"
 
+#: Code used for ``# repro-lint: disable`` comments that suppress nothing.
+#: Emitted only under ``--warn-unused-suppressions``; like RPR000 it is a
+#: framework channel, not a registered rule.
+UNUSED_SUPPRESSION_CODE = "RPR099"
+
 #: ``# repro-lint: disable=RPR001[,RPR002…]``; free-form reason text may follow.
+#: Matched against the *start* of genuine comment tokens only, so prose that
+#: quotes the directive (docstrings, ``#:`` attribute comments) never counts
+#: as a suppression — nor, therefore, as an unused one.
 _SUPPRESSION = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
 
 
@@ -74,6 +85,21 @@ class Scope:
 
 
 @dataclass(frozen=True)
+class SuppressionComment:
+    """One ``# repro-lint: disable=…`` comment in a module.
+
+    ``comment_line`` is where the comment sits (where an unused-suppression
+    warning anchors); ``target_line`` is the line whose findings it
+    suppresses — the same line for a trailing comment, the next line for a
+    standalone one.
+    """
+
+    comment_line: int
+    target_line: int
+    codes: frozenset[str]
+
+
+@dataclass(frozen=True)
 class ModuleSource:
     """A parsed module plus everything a rule may want to look at."""
 
@@ -94,16 +120,26 @@ class ModuleSource:
             lines=tuple(text.splitlines()),
         )
 
-    def suppressions(self) -> dict[int, frozenset[str]]:
-        """``line -> suppressed codes`` from ``# repro-lint: disable=…`` comments.
+    def suppression_comments(self) -> tuple[SuppressionComment, ...]:
+        """Every ``# repro-lint: disable=…`` comment, with its target line.
 
         A trailing comment suppresses findings on its own line; a standalone
         comment line (nothing but the comment) suppresses the *next* line,
         for call sites too long to carry the comment inline.
+
+        Only real comment *tokens* whose text begins with the directive
+        qualify — a docstring describing the syntax, or a comment merely
+        mentioning it mid-sentence, is not a suppression.
         """
-        table: dict[int, frozenset[str]] = {}
-        for number, line in enumerate(self.lines, 1):
-            match = _SUPPRESSION.search(line)
+        comments: list[SuppressionComment] = []
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(self.text).readline))
+        except tokenize.TokenError:  # pragma: no cover - source already parsed
+            return ()
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION.match(token.string)
             if not match:
                 continue
             codes = frozenset(
@@ -111,8 +147,21 @@ class ModuleSource:
             )
             if not codes:
                 continue
-            target = number + 1 if line.strip().startswith("#") else number
-            table[target] = table.get(target, frozenset()) | codes
+            number = token.start[0]
+            standalone = token.line[: token.start[1]].strip() == ""
+            target = number + 1 if standalone else number
+            comments.append(
+                SuppressionComment(comment_line=number, target_line=target, codes=codes)
+            )
+        return tuple(comments)
+
+    def suppressions(self) -> dict[int, frozenset[str]]:
+        """``line -> suppressed codes``, merged over all comments."""
+        table: dict[int, frozenset[str]] = {}
+        for comment in self.suppression_comments():
+            table[comment.target_line] = (
+                table.get(comment.target_line, frozenset()) | comment.codes
+            )
         return table
 
 
@@ -205,6 +254,49 @@ class Report:
         )
         return "\n".join([*lines, summary])
 
+    def to_json(self) -> str:
+        """A stable machine-readable form for CI annotations (``--format json``)."""
+        payload = {
+            "version": 1,
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "counts_by_rule": self.counts_by_rule(),
+            "findings": [
+                {
+                    "path": finding.relpath,
+                    "line": finding.line,
+                    "code": finding.code,
+                    "message": finding.message,
+                }
+                for finding in self.findings
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def restricted_to(self, relpaths: Iterable[str]) -> Report:
+        """A copy reporting only findings in the given files.
+
+        Backs ``scripts/lint_invariants.py --changed-only``: the analysis
+        (including whole-program rules) still ran over everything; only the
+        *reporting* narrows to the changed files.
+        """
+        allowed = set(relpaths)
+        return Report(
+            findings=[f for f in self.findings if f.relpath in allowed],
+            files_checked=self.files_checked,
+            suppressed=self.suppressed,
+        )
+
+
+@dataclass
+class FileAnalysis:
+    """The per-file outcome: kept findings, suppression usage, stale comments."""
+
+    findings: list[Finding]
+    suppressed: int
+    unused_suppressions: list[Finding]
+
 
 class Analyzer:
     """Runs a set of rules over files, honouring scoping and suppressions.
@@ -212,6 +304,11 @@ class Analyzer:
     ``root`` anchors the relative paths the scoping globs (and the rendered
     findings) use; it defaults to the current working directory, which is the
     repository root in CI and under ``scripts/lint_invariants.py``.
+
+    ``warn_unused_suppressions`` turns stale ``# repro-lint: disable``
+    comments (ones that suppress no finding) into ``RPR099`` findings, so a
+    carve-out whose reason disappeared fails the lint instead of silently
+    rotting.
     """
 
     def __init__(
@@ -219,10 +316,12 @@ class Analyzer:
         rules: Sequence[Rule] | None = None,
         scopes: Mapping[str, Scope] | None = None,
         root: Path | None = None,
+        warn_unused_suppressions: bool = False,
     ) -> None:
         self.rules = list(rules) if rules is not None else all_rules()
         self.scopes = dict(scopes) if scopes is not None else {}
         self.root = (root or Path.cwd()).resolve()
+        self.warn_unused_suppressions = warn_unused_suppressions
 
     def scope_for(self, rule: Rule) -> Scope:
         return self.scopes.get(rule.code, rule.default_scope)
@@ -234,45 +333,123 @@ class Analyzer:
         except ValueError:
             return resolved.as_posix()
 
-    def analyze_file(self, path: Path) -> tuple[list[Finding], int]:
-        """``(unsuppressed findings, suppressed count)`` for one file."""
-        relpath = self._relpath(path)
+    def _split_rules(self) -> tuple[list[Rule], list[Rule]]:
+        from .project import ProjectRule
+
+        file_rules = [r for r in self.rules if not isinstance(r, ProjectRule)]
+        project_rules = [r for r in self.rules if isinstance(r, ProjectRule)]
+        return file_rules, project_rules
+
+    def _parse(self, path: Path, relpath: str) -> ModuleSource | Finding:
         text = path.read_text(encoding="utf-8")
         try:
-            module = ModuleSource.parse(path, relpath, text)
+            return ModuleSource.parse(path, relpath, text)
         except SyntaxError as exc:
-            finding = Finding(
+            return Finding(
                 relpath=relpath,
                 line=exc.lineno or 1,
                 code=SYNTAX_ERROR_CODE,
                 message=f"file does not parse: {exc.msg}",
             )
-            return [finding], 0
-        raw: list[Finding] = []
-        for rule in self.rules:
-            if self.scope_for(rule).matches(relpath):
-                raw.extend(rule.check(module))
-        suppressions = module.suppressions() if raw else {}
+
+    @staticmethod
+    def _apply_suppressions(
+        module: ModuleSource, raw: list[Finding]
+    ) -> FileAnalysis:
+        """Filter findings through the module's suppression comments.
+
+        Suppressions are parsed *unconditionally* — also for files with no
+        raw findings — so a stale comment in a clean file is still seen and
+        reported as unused.
+        """
+        comments = module.suppression_comments()
+        used: set[int] = set()
         kept: list[Finding] = []
         suppressed = 0
         for finding in raw:
-            codes = suppressions.get(finding.line, frozenset())
-            if finding.code in codes or "ALL" in codes:
+            matching = [
+                index
+                for index, comment in enumerate(comments)
+                if comment.target_line == finding.line
+                and (finding.code in comment.codes or "ALL" in comment.codes)
+            ]
+            if matching:
                 suppressed += 1
+                used.update(matching)
             else:
                 kept.append(finding)
-        return kept, suppressed
+        unused = [
+            Finding(
+                relpath=module.relpath,
+                line=comment.comment_line,
+                code=UNUSED_SUPPRESSION_CODE,
+                message=(
+                    "unused suppression: disables "
+                    + ", ".join(sorted(comment.codes))
+                    + " but suppresses no finding"
+                ),
+            )
+            for index, comment in enumerate(comments)
+            if index not in used
+        ]
+        return FileAnalysis(findings=kept, suppressed=suppressed, unused_suppressions=unused)
+
+    def analyze_file(self, path: Path) -> FileAnalysis:
+        """Per-file rules over one file (project rules need :meth:`analyze_paths`)."""
+        relpath = self._relpath(path)
+        parsed = self._parse(path, relpath)
+        if isinstance(parsed, Finding):
+            return FileAnalysis(findings=[parsed], suppressed=0, unused_suppressions=[])
+        file_rules, _ = self._split_rules()
+        raw: list[Finding] = []
+        for rule in file_rules:
+            if self.scope_for(rule).matches(relpath):
+                raw.extend(rule.check(parsed))
+        return self._apply_suppressions(parsed, raw)
 
     def analyze_paths(self, paths: Iterable[Path | str]) -> Report:
-        """Analyze files and directory trees; directories are walked recursively."""
+        """Analyze files and directory trees; directories are walked recursively.
+
+        Runs in two phases: per-file rules while parsing each module, then —
+        when any :class:`~repro.analysis.project.ProjectRule` is selected — a
+        whole-program pass over the :class:`~repro.analysis.project.ProjectModel`
+        built from every successfully parsed module.  Project-rule findings
+        are filtered by the rule's scope (matched against the finding's path)
+        and by the same inline suppressions as per-file findings.
+        """
+        file_rules, project_rules = self._split_rules()
+        modules: dict[str, ModuleSource] = {}
+        raw_by_file: dict[str, list[Finding]] = {}
         findings: list[Finding] = []
         files = 0
-        suppressed = 0
         for path in self._collect(paths):
-            kept, skipped = self.analyze_file(path)
-            findings.extend(kept)
-            suppressed += skipped
             files += 1
+            relpath = self._relpath(path)
+            parsed = self._parse(path, relpath)
+            if isinstance(parsed, Finding):
+                findings.append(parsed)
+                continue
+            modules[relpath] = parsed
+            raw = raw_by_file.setdefault(relpath, [])
+            for rule in file_rules:
+                if self.scope_for(rule).matches(relpath):
+                    raw.extend(rule.check(parsed))
+        if project_rules and modules:
+            from .project import ProjectModel
+
+            model = ProjectModel.build(modules.values(), self.root)
+            for rule in project_rules:
+                scope = self.scope_for(rule)
+                for finding in rule.check_project(model):
+                    if scope.matches(finding.relpath):
+                        raw_by_file.setdefault(finding.relpath, []).append(finding)
+        suppressed = 0
+        for relpath, module in modules.items():
+            analysis = self._apply_suppressions(module, raw_by_file.get(relpath, []))
+            findings.extend(analysis.findings)
+            suppressed += analysis.suppressed
+            if self.warn_unused_suppressions:
+                findings.extend(analysis.unused_suppressions)
         findings.sort(key=lambda f: (f.relpath, f.line, f.code))
         return Report(findings=findings, files_checked=files, suppressed=suppressed)
 

@@ -1,0 +1,811 @@
+"""The whole-program model behind the cross-module invariant rules.
+
+The per-file rules (:class:`~repro.analysis.framework.Rule`) see one
+:class:`~repro.analysis.framework.ModuleSource` at a time, which is exactly
+right for invariants like "no ``print`` in the sans-IO core" — and exactly
+wrong for the bug classes that live *between* modules: an import cycle, a
+lock-order inversion between two classes, a blocking call inside an
+``async def``, a connection leaked by the function that constructed it.
+
+:class:`ProjectModel` is built once per analyzer run from every parsed
+module and gives project rules three things:
+
+* the **resolved intra-repo import graph** (:attr:`ProjectModel.import_edges`)
+  with each edge classified as import-time, ``TYPE_CHECKING``-only, or
+  deferred (inside a function body) — the last two are the repository's
+  sanctioned ways to point *up* the layer stack;
+* **per-class summaries** (:class:`ClassInfo`): attribute types inferred from
+  ``__init__`` and annotations, method tables, and whether the class exposes
+  a lifecycle surface (``close``/``shutdown``/``__exit__``/…);
+* **per-function summaries** (:class:`FunctionSummary`): the lock
+  acquisitions a function performs (``with self._lock: …``), the nesting
+  edges between them, and every call site together with the locks held at
+  it and the statically-resolved callee — enough for a transitive
+  lock-order graph and for blocking-call detection with receiver types.
+
+The type inference is deliberately small and *conservative*: parameter and
+attribute annotations, ``x = ClassName(...)`` constructor assignments,
+return annotations of project functions, and container element types
+(``dict[str, T]``/``list[T]``).  Anything it cannot resolve stays ``None``
+and the rules built on top treat "unknown" as "do not flag".
+
+:class:`ProjectRule` is the base class for rules that check the model
+instead of a single module; the analyzer runs them once per pass and filters
+their findings through the same :class:`~repro.analysis.framework.Scope` and
+suppression machinery as per-file findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .framework import Finding, ModuleSource, Rule, dotted_name
+
+#: Methods that make a class an acceptable owner of a held resource.
+LIFECYCLE_METHODS = frozenset(
+    {"close", "shutdown", "aclose", "terminate", "kill", "__exit__", "__aexit__"}
+)
+
+
+def _is_lock_name(name: str) -> bool:
+    """Shared lock-shape heuristic (same as RPR002): ``lock`` or ``*_lock``."""
+    return name == "lock" or name.endswith("_lock")
+
+
+@dataclass(frozen=True)
+class TypeInfo:
+    """A resolved-enough type: a class name, or a container of one."""
+
+    kind: str  # "class" | "dict" | "list"
+    name: str | None = None  # class name (last dotted segment) for kind "class"
+    item: TypeInfo | None = None  # value/element type for containers
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One resolved intra-repository import."""
+
+    importer: str  # dotted module name of the importing module
+    relpath: str  # file carrying the import statement
+    target: str  # dotted module name of the imported module
+    line: int
+    deferred: bool  # inside a function/method body (runtime import)
+    type_checking: bool  # inside an ``if TYPE_CHECKING:`` block
+
+    @property
+    def import_time(self) -> bool:
+        """True when the edge executes when the importer is imported."""
+        return not self.deferred and not self.type_checking
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One lock acquisition site: canonical lock key plus source location."""
+
+    key: str  # e.g. "ClusterSessionService._lock" or "mod:local_lock"
+    relpath: str
+    line: int
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function, with resolution results."""
+
+    line: int
+    dotted: str | None  # resolved dotted callee ("time.sleep") when plain
+    target: str | None  # key into ProjectModel.functions when project-local
+    receiver_class: str | None  # inferred class of ``obj`` in ``obj.m(...)``
+    method: str | None  # ``m`` in ``obj.m(...)``
+    held: tuple[Acquisition, ...]  # locks held while the call executes
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the project rules need to know about one function."""
+
+    module: str
+    relpath: str
+    qualname: str  # "Class.method" or "function"
+    cls: str | None
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    is_async: bool
+    acquisitions: tuple[Acquisition, ...] = ()
+    lock_edges: tuple[tuple[Acquisition, Acquisition], ...] = ()
+    calls: tuple[CallSite, ...] = ()
+
+    @property
+    def key(self) -> str:
+        return f"{self.module}:{self.qualname}"
+
+
+@dataclass
+class ClassInfo:
+    """Per-class summary: attribute types, methods, lifecycle surface."""
+
+    module: str
+    relpath: str
+    name: str
+    node: ast.ClassDef
+    bases: tuple[str, ...] = ()
+    methods: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(default_factory=dict)
+    attr_types: dict[str, TypeInfo] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return f"{self.module}:{self.name}"
+
+    @property
+    def has_lifecycle(self) -> bool:
+        return bool(LIFECYCLE_METHODS & self.methods.keys())
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module in the project graph."""
+
+    name: str  # dotted module name ("repro.service.cluster")
+    relpath: str
+    source: ModuleSource
+    is_package: bool
+    symbols: dict[str, str] = field(default_factory=dict)  # local name -> dotted origin
+    functions: dict[str, str] = field(default_factory=dict)  # module-level def -> summary key
+    classes: dict[str, str] = field(default_factory=dict)  # class name -> ClassInfo key
+
+
+def _module_name(path: Path, relpath: str) -> tuple[str, bool]:
+    """Dotted module name for a file, anchored at its topmost package.
+
+    Walks up from the file while parent directories are packages (carry an
+    ``__init__.py``); a file outside any package is a top-level module named
+    by its stem (benchmarks and scripts resolve this way).
+    """
+    parts = [path.stem]
+    is_package = path.stem == "__init__"
+    if is_package:
+        parts = []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    if not parts:  # an __init__.py with no package parent
+        parts = [path.stem]
+    return ".".join(parts), is_package
+
+
+class ProjectModel:
+    """The one-pass whole-program model the :class:`ProjectRule`\\ s check."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.modules: dict[str, ModuleInfo] = {}
+        self.by_relpath: dict[str, ModuleInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.class_names: dict[str, list[ClassInfo]] = {}
+        self.functions: dict[str, FunctionSummary] = {}
+        self.import_edges: list[ImportEdge] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, sources: Iterable[ModuleSource], root: Path) -> ProjectModel:
+        model = cls(root)
+        for source in sources:
+            name, is_package = _module_name(source.path, source.relpath)
+            if name in model.modules:  # same module reachable twice: keep first
+                continue
+            model.modules[name] = ModuleInfo(
+                name=name, relpath=source.relpath, source=source, is_package=is_package
+            )
+            model.by_relpath[source.relpath] = model.modules[name]
+        for info in model.modules.values():
+            model._scan_imports(info)
+        for info in model.modules.values():
+            model._scan_classes(info)
+        for info in model.modules.values():
+            model._scan_functions(info)
+        return model
+
+    def _scan_imports(self, info: ModuleInfo) -> None:
+        """Record import edges (classified) and the module's symbol table."""
+        for node, deferred, type_checking in _walk_imports(info.source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = alias.name
+                    bound = alias.asname or alias.name.split(".")[0]
+                    origin = target if alias.asname else target.split(".")[0]
+                    if not deferred:
+                        info.symbols.setdefault(bound, origin)
+                    self._record_edge(info, target, node.lineno, deferred, type_checking)
+            else:  # ImportFrom
+                base = self._resolve_from_base(info, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    submodule = f"{base}.{alias.name}" if base else alias.name
+                    bound = alias.asname or alias.name
+                    # ``from pkg import mod`` binds a module; ``from mod
+                    # import symbol`` binds a symbol of the module.  Either
+                    # way the *import edge* points at the module that gets
+                    # executed.
+                    if submodule in self.modules:
+                        origin, edge_target = submodule, submodule
+                    else:
+                        origin, edge_target = submodule, base
+                    if not deferred:
+                        info.symbols.setdefault(bound, origin)
+                    self._record_edge(info, edge_target, node.lineno, deferred, type_checking)
+
+    def _resolve_from_base(self, info: ModuleInfo, node: ast.ImportFrom) -> str | None:
+        """The absolute dotted module a ``from … import`` pulls from."""
+        if not node.level:
+            return node.module or None
+        parts = info.name.split(".")
+        pkg_parts = parts if info.is_package else parts[:-1]
+        if node.level - 1 > len(pkg_parts):
+            return None
+        anchor = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+        if node.module:
+            anchor = [*anchor, *node.module.split(".")]
+        return ".".join(anchor) if anchor else None
+
+    def _record_edge(
+        self, info: ModuleInfo, target: str, line: int, deferred: bool, type_checking: bool
+    ) -> None:
+        resolved = self._project_module(target)
+        if resolved is None or resolved == info.name:
+            return
+        self.import_edges.append(
+            ImportEdge(
+                importer=info.name,
+                relpath=info.relpath,
+                target=resolved,
+                line=line,
+                deferred=deferred,
+                type_checking=type_checking,
+            )
+        )
+
+    def _project_module(self, dotted: str) -> str | None:
+        """The longest prefix of ``dotted`` that names a project module."""
+        parts = dotted.split(".")
+        for end in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:end])
+            if candidate in self.modules:
+                return candidate
+        return None
+
+    def _scan_classes(self, info: ModuleInfo) -> None:
+        for node in info.source.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            cls_info = ClassInfo(
+                module=info.name,
+                relpath=info.relpath,
+                name=node.name,
+                node=node,
+                bases=tuple(
+                    base for base in (dotted_name(b) for b in node.bases) if base
+                ),
+            )
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    cls_info.methods[stmt.name] = stmt
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                    declared = _annotation_type(stmt.annotation)
+                    if declared is not None:
+                        cls_info.attr_types[stmt.target.id] = declared
+            init = cls_info.methods.get("__init__")
+            if init is not None:
+                self._scan_init_attrs(cls_info, init)
+            self.classes[cls_info.key] = cls_info
+            self.class_names.setdefault(node.name, []).append(cls_info)
+            info.classes[node.name] = cls_info.key
+
+    def _scan_init_attrs(self, cls_info: ClassInfo, init: ast.FunctionDef) -> None:
+        """Infer ``self.attr`` types from ``__init__`` assignments."""
+        for stmt in ast.walk(init):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            annotation: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value, annotation = stmt.target, stmt.value, stmt.annotation
+            if (
+                not isinstance(target, ast.Attribute)
+                or not isinstance(target.value, ast.Name)
+                or target.value.id != "self"
+            ):
+                continue
+            inferred = _annotation_type(annotation) if annotation is not None else None
+            if inferred is None and value is not None:
+                inferred = _construction_type(value)
+            if inferred is not None:
+                cls_info.attr_types.setdefault(target.attr, inferred)
+
+    def _scan_functions(self, info: ModuleInfo) -> None:
+        for node in info.source.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                summary = self._summarize_function(info, node, cls=None)
+                self.functions[summary.key] = summary
+                info.functions[node.name] = summary.key
+            elif isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        summary = self._summarize_function(info, stmt, cls=node.name)
+                        self.functions[summary.key] = summary
+
+    def _summarize_function(
+        self,
+        info: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: str | None,
+    ) -> FunctionSummary:
+        qualname = f"{cls}.{node.name}" if cls else node.name
+        summary = FunctionSummary(
+            module=info.name,
+            relpath=info.relpath,
+            qualname=qualname,
+            cls=cls,
+            name=node.name,
+            node=node,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+        )
+        scanner = _FunctionScanner(self, info, cls)
+        scanner.scan(node)
+        summary.acquisitions = tuple(scanner.acquisitions)
+        summary.lock_edges = tuple(scanner.edges)
+        summary.calls = tuple(scanner.calls)
+        return summary
+
+    # ------------------------------------------------------------------ #
+    # Resolution helpers (shared with the rules)
+    # ------------------------------------------------------------------ #
+    def resolve_class(self, name: str, module: str) -> ClassInfo | None:
+        """The :class:`ClassInfo` a bare class name refers to in a module."""
+        info = self.modules.get(module)
+        short = name.split(".")[-1]
+        if info is not None:
+            key = info.classes.get(short)
+            if key is not None:
+                return self.classes[key]
+            origin = info.symbols.get(name.split(".")[0])
+            if origin is not None:
+                dotted = origin + name[len(name.split(".")[0]) :]
+                owner = self._project_module(dotted)
+                if owner is not None and owner != dotted:
+                    attr = dotted[len(owner) + 1 :].split(".")[0]
+                    target = self.modules[owner].classes.get(attr)
+                    if target is not None:
+                        return self.classes[target]
+        candidates = self.class_names.get(short, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def resolve_dotted(self, module: str, dotted: str) -> str:
+        """Expand a dotted name through the module's import symbol table.
+
+        ``Popen`` under ``from subprocess import Popen`` resolves to
+        ``subprocess.Popen``; unknown first segments pass through unchanged.
+        """
+        info = self.modules.get(module)
+        if info is None:
+            return dotted
+        head, _, rest = dotted.partition(".")
+        origin = info.symbols.get(head)
+        if origin is None:
+            return dotted
+        return f"{origin}.{rest}" if rest else origin
+
+    def class_method(
+        self, cls_info: ClassInfo, method: str, _depth: int = 0
+    ) -> tuple[ClassInfo, ast.FunctionDef | ast.AsyncFunctionDef] | None:
+        """Resolve a method on a class or (one hop of) its project bases."""
+        node = cls_info.methods.get(method)
+        if node is not None:
+            return cls_info, node
+        if _depth >= 2:
+            return None
+        for base in cls_info.bases:
+            base_info = self.resolve_class(base, cls_info.module)
+            if base_info is not None:
+                found = self.class_method(base_info, method, _depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    def iter_functions(self) -> Iterator[FunctionSummary]:
+        yield from self.functions.values()
+
+    def transitive_acquisitions(self, key: str) -> frozenset[Acquisition]:
+        """All locks a function may acquire, directly or through callees."""
+        memo: dict[str, frozenset[Acquisition]] = getattr(self, "_acq_memo", {})
+        self._acq_memo = memo
+        return self._acquires(key, memo, frozenset())
+
+    def _acquires(
+        self,
+        key: str,
+        memo: dict[str, frozenset[Acquisition]],
+        visiting: frozenset[str],
+    ) -> frozenset[Acquisition]:
+        if key in memo:
+            return memo[key]
+        if key in visiting:
+            return frozenset()
+        summary = self.functions.get(key)
+        if summary is None:
+            return frozenset()
+        visiting = visiting | {key}
+        acquired = set(summary.acquisitions)
+        for call in summary.calls:
+            if call.target is not None:
+                acquired |= self._acquires(call.target, memo, visiting)
+        result = frozenset(acquired)
+        memo[key] = result
+        return result
+
+
+def _walk_imports(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.Import | ast.ImportFrom, bool, bool]]:
+    """Yield ``(node, deferred, type_checking)`` for every import statement."""
+
+    def visit(node: ast.AST, deferred: bool, type_checking: bool) -> Iterator:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.Import, ast.ImportFrom)):
+                yield child, deferred, type_checking
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                yield from visit(child, True, type_checking)
+            elif isinstance(child, ast.If) and _is_type_checking_test(child.test):
+                for stmt in child.body:
+                    yield from visit_stmt(stmt, deferred, True)
+                for stmt in child.orelse:
+                    yield from visit_stmt(stmt, deferred, type_checking)
+            else:
+                yield from visit(child, deferred, type_checking)
+
+    def visit_stmt(stmt: ast.stmt, deferred: bool, type_checking: bool) -> Iterator:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            yield stmt, deferred, type_checking
+        else:
+            yield from visit(stmt, deferred, type_checking)
+
+    yield from visit(tree, False, False)
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    name = dotted_name(test)
+    return name in ("TYPE_CHECKING", "typing.TYPE_CHECKING")
+
+
+def _annotation_type(annotation: ast.expr | None) -> TypeInfo | None:
+    """A :class:`TypeInfo` from an annotation expression, or ``None``."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(annotation, (ast.Name, ast.Attribute)):
+        dotted = dotted_name(annotation)
+        if dotted is None or dotted in ("None", "object"):
+            return None
+        return TypeInfo(kind="class", name=dotted.split(".")[-1])
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        left = _annotation_type(annotation.left)
+        return left if left is not None else _annotation_type(annotation.right)
+    if isinstance(annotation, ast.Subscript):
+        base = dotted_name(annotation.value)
+        base_short = (base or "").split(".")[-1]
+        elements: list[ast.expr]
+        if isinstance(annotation.slice, ast.Tuple):
+            elements = list(annotation.slice.elts)
+        else:
+            elements = [annotation.slice]
+        if base_short in ("Optional",):
+            return _annotation_type(elements[0])
+        if base_short in ("dict", "Dict", "Mapping", "MutableMapping", "defaultdict"):
+            item = _annotation_type(elements[-1]) if elements else None
+            return TypeInfo(kind="dict", item=item)
+        if base_short in ("list", "List", "Sequence", "Iterable", "Iterator",
+                          "tuple", "Tuple", "set", "Set", "frozenset", "FrozenSet"):
+            item = _annotation_type(elements[0]) if elements else None
+            return TypeInfo(kind="list", item=item)
+        if base is not None:
+            return TypeInfo(kind="class", name=base_short)
+    return None
+
+
+def _construction_type(value: ast.expr) -> TypeInfo | None:
+    """The type a ``self.x = <value>`` assignment constructs, if evident."""
+    if isinstance(value, ast.IfExp):
+        return _construction_type(value.body) or _construction_type(value.orelse)
+    if isinstance(value, ast.Call):
+        dotted = dotted_name(value.func)
+        if dotted is not None and dotted.split(".")[-1][:1].isupper():
+            return TypeInfo(kind="class", name=dotted.split(".")[-1])
+        return None
+    if isinstance(value, (ast.List, ast.ListComp)):
+        inner = value.elt if isinstance(value, ast.ListComp) else (
+            value.elts[0] if value.elts else None
+        )
+        item = _construction_type(inner) if inner is not None else None
+        return TypeInfo(kind="list", item=item)
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        inner = value.value if isinstance(value, ast.DictComp) else (
+            value.values[0] if value.values else None
+        )
+        item = _construction_type(inner) if inner is not None else None
+        return TypeInfo(kind="dict", item=item)
+    return None
+
+
+class _FunctionScanner:
+    """One-pass walk of a function body: locks, nesting edges, call sites.
+
+    Maintains a small flow-insensitive type environment (parameter and local
+    annotations, constructor assignments, return annotations of resolvable
+    project calls, container element types) so lock expressions and call
+    receivers canonicalize to ``ClassName.attr`` keys wherever possible.
+    Nested function and class bodies are *not* descended into: they execute
+    on their own schedule, not as part of this function's frame.
+    """
+
+    def __init__(self, model: ProjectModel, info: ModuleInfo, cls: str | None) -> None:
+        self.model = model
+        self.info = info
+        self.cls = cls
+        self.env: dict[str, TypeInfo] = {}
+        self.local_symbols: dict[str, str] = {}
+        self.lock_stack: list[Acquisition] = []
+        self.acquisitions: list[Acquisition] = []
+        self.edges: list[tuple[Acquisition, Acquisition]] = []
+        self.calls: list[CallSite] = []
+
+    def scan(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            declared = _annotation_type(arg.annotation)
+            if declared is not None:
+                self.env[arg.arg] = declared
+        for stmt in node.body:
+            self._visit(stmt)
+
+    # -------------------------------------------------------------- #
+    # Walk
+    # -------------------------------------------------------------- #
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            self._visit_with(node)
+            return
+        if isinstance(node, ast.ImportFrom) and node.module:
+            base = self.model._resolve_from_base(self.info, node)
+            if base:
+                for alias in node.names:
+                    if alias.name != "*":
+                        self.local_symbols[alias.asname or alias.name] = f"{base}.{alias.name}"
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                self.local_symbols[bound] = alias.name if alias.asname else alias.name.split(".")[0]
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            self._record_assignment(node.targets[0], node.value)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            declared = _annotation_type(node.annotation)
+            if declared is not None:
+                self.env[node.target.id] = declared
+        elif isinstance(node, (ast.For, ast.AsyncFor)) and isinstance(node.target, ast.Name):
+            iterated = self._type_of(node.iter)
+            if iterated is not None and iterated.kind == "list" and iterated.item:
+                self.env[node.target.id] = iterated.item
+        if isinstance(node, ast.Call):
+            self._record_call(node)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        pushed = 0
+        for item in node.items:
+            expr = item.context_expr
+            self._visit(expr)
+            key = self._lock_key(expr)
+            if key is not None:
+                acq = Acquisition(key=key, relpath=self.info.relpath, line=expr.lineno)
+                for held in self.lock_stack:
+                    if held.key != acq.key:
+                        self.edges.append((held, acq))
+                self.acquisitions.append(acq)
+                self.lock_stack.append(acq)
+                pushed += 1
+            if item.optional_vars is not None and isinstance(item.optional_vars, ast.Name):
+                bound = self._type_of(expr)
+                if bound is not None:
+                    self.env[item.optional_vars.id] = bound
+        for stmt in node.body:
+            self._visit(stmt)
+        for _ in range(pushed):
+            self.lock_stack.pop()
+
+    # -------------------------------------------------------------- #
+    # Locks and calls
+    # -------------------------------------------------------------- #
+    def _lock_key(self, expr: ast.expr) -> str | None:
+        """Canonical lock identity for a ``with`` context expression."""
+        if isinstance(expr, ast.Call):  # e.g. ``with lock_for(x):`` — opaque
+            return None
+        if isinstance(expr, ast.Name):
+            if _is_lock_name(expr.id):
+                return f"{self.info.name}:{expr.id}"
+            bound = self.env.get(expr.id)
+            if bound is not None and bound.kind == "class" and bound.name is not None:
+                if _is_lock_name(bound.name.lower()):
+                    return f"{self.info.name}:{expr.id}"
+            return None
+        if isinstance(expr, ast.Attribute) and _is_lock_name(expr.attr):
+            owner = self._type_of(expr.value)
+            if owner is not None and owner.kind == "class" and owner.name is not None:
+                return f"{owner.name}.{expr.attr}"
+            dotted = dotted_name(expr)
+            if dotted is not None:
+                return f"{self.info.name}:{dotted}"
+        return None
+
+    def _record_call(self, node: ast.Call) -> None:
+        func = node.func
+        dotted: str | None = None
+        target: str | None = None
+        receiver_class: str | None = None
+        method: str | None = None
+        plain = dotted_name(func)
+        if plain is not None:
+            dotted = self._resolve_symbol(plain)
+        if isinstance(func, ast.Name):
+            target = self._resolve_function_target(func.id)
+        elif isinstance(func, ast.Attribute):
+            method = func.attr
+            owner = self._type_of(func.value)
+            if owner is not None and owner.kind == "class" and owner.name is not None:
+                receiver_class = owner.name
+                cls_info = self.model.resolve_class(owner.name, self.info.name)
+                if cls_info is not None:
+                    resolved = self.model.class_method(cls_info, func.attr)
+                    if resolved is not None:
+                        found_cls, _ = resolved
+                        target = f"{found_cls.module}:{found_cls.name}.{func.attr}"
+        self.calls.append(
+            CallSite(
+                line=node.lineno,
+                dotted=dotted,
+                target=target,
+                receiver_class=receiver_class,
+                method=method,
+                held=tuple(self.lock_stack),
+            )
+        )
+
+    def _resolve_symbol(self, dotted: str) -> str:
+        head, _, rest = dotted.partition(".")
+        origin = self.local_symbols.get(head)
+        if origin is not None:
+            return f"{origin}.{rest}" if rest else origin
+        return self.model.resolve_dotted(self.info.name, dotted)
+
+    def _resolve_function_target(self, name: str) -> str | None:
+        key = self.info.functions.get(name)
+        if key is not None:
+            return key
+        origin = self._resolve_symbol(name)
+        owner = self.model._project_module(origin)
+        if owner is not None and owner != origin:
+            func_name = origin[len(owner) + 1 :]
+            if "." not in func_name and func_name in self.model.modules[owner].functions:
+                return self.model.modules[owner].functions[func_name]
+        return None
+
+    # -------------------------------------------------------------- #
+    # Type inference
+    # -------------------------------------------------------------- #
+    def _record_assignment(self, target: ast.expr, value: ast.expr) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        inferred = self._type_of(value)
+        if inferred is not None:
+            self.env[target.id] = inferred
+
+    def _type_of(self, expr: ast.expr, depth: int = 0) -> TypeInfo | None:
+        if depth > 6:
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and self.cls is not None:
+                return TypeInfo(kind="class", name=self.cls)
+            return self.env.get(expr.id)
+        if isinstance(expr, ast.Await):
+            return self._type_of(expr.value, depth + 1)
+        if isinstance(expr, ast.IfExp):
+            return self._type_of(expr.body, depth + 1) or self._type_of(expr.orelse, depth + 1)
+        if isinstance(expr, ast.Attribute):
+            owner = self._type_of(expr.value, depth + 1)
+            if owner is not None and owner.kind == "class" and owner.name is not None:
+                cls_info = self.model.resolve_class(owner.name, self.info.name)
+                if cls_info is not None:
+                    return cls_info.attr_types.get(expr.attr)
+            return None
+        if isinstance(expr, ast.Subscript):
+            container = self._type_of(expr.value, depth + 1)
+            if container is not None and container.kind in ("dict", "list"):
+                return container.item
+            return None
+        if isinstance(expr, ast.Call):
+            return self._call_result_type(expr, depth)
+        return None
+
+    def _call_result_type(self, expr: ast.Call, depth: int) -> TypeInfo | None:
+        func = expr.func
+        if isinstance(func, ast.Name):
+            cls_info = self.model.resolve_class(func.id, self.info.name)
+            if cls_info is not None:
+                return TypeInfo(kind="class", name=cls_info.name)
+            key = self._resolve_function_target(func.id)
+            if key is not None:
+                return _annotation_type(self.model.functions[key].node.returns)
+            return None
+        if isinstance(func, ast.Attribute):
+            # Container access methods on typed containers: dict.pop/get,
+            # list.pop return the element type.
+            owner = self._type_of(func.value, depth + 1)
+            if owner is not None:
+                if owner.kind in ("dict", "list") and func.attr in ("pop", "get", "setdefault"):
+                    return owner.item
+                if owner.kind == "class" and owner.name is not None:
+                    cls_info = self.model.resolve_class(owner.name, self.info.name)
+                    if cls_info is not None:
+                        resolved = self.model.class_method(cls_info, func.attr)
+                        if resolved is not None:
+                            _, node = resolved
+                            return _annotation_type(node.returns)
+            dotted = dotted_name(func)
+            if dotted is not None:
+                resolved_dotted = self._resolve_symbol(dotted)
+                owner_mod = self.model._project_module(resolved_dotted)
+                if owner_mod is not None and owner_mod != resolved_dotted:
+                    tail = resolved_dotted[len(owner_mod) + 1 :]
+                    if "." not in tail:
+                        mod = self.model.modules[owner_mod]
+                        key = mod.functions.get(tail)
+                        if key is not None:
+                            return _annotation_type(self.model.functions[key].node.returns)
+                        cls_key = mod.classes.get(tail)
+                        if cls_key is not None:
+                            return TypeInfo(kind="class", name=tail)
+        return None
+
+
+class ProjectRule(Rule):
+    """A rule that checks the whole-program model instead of one module.
+
+    Subclasses implement :meth:`check_project`; the per-file :meth:`check`
+    hook is a no-op.  Findings are anchored to ``file:line`` like per-file
+    findings and pass through the same scope filtering (on the finding's
+    path) and inline-suppression machinery.
+    """
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:  # pragma: no cover
+        return ()
+
+    def check_project(self, project: ProjectModel) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding_at(self, relpath: str, line: int, message: str) -> Finding:
+        return Finding(relpath=relpath, line=line, code=self.code, message=message)

@@ -1,0 +1,126 @@
+"""RPR010 — the cross-class lock-acquisition-order graph stays acyclic.
+
+The serving tier holds several locks at once by design: the cluster
+supervisor nests its broadcast lock over per-worker slot locks over the
+registry lock, and a request path that recovers a dead worker re-enters the
+registry lock while still holding the slot lock.  Each individual nesting
+is fine; what must never happen is two code paths acquiring the same two
+locks in *opposite* orders — the classic deadlock that only fires under
+production concurrency, never in a unit test.
+
+This rule builds the acquisition-order graph over the whole program:
+
+* a node is a lock, canonicalized as ``ClassName.attr`` when the receiver's
+  class resolves (``self._lock`` in ``ClusterSessionService``,
+  ``slot.lock`` where ``slot: _WorkerSlot``) and as a file-local key
+  otherwise;
+* an edge ``A -> B`` means some path acquires ``B`` while holding ``A`` —
+  either by syntactic ``with`` nesting, or by calling (transitively,
+  through statically-resolvable project calls) a function that acquires
+  ``B``;
+* a cycle is a potential deadlock, reported once with both acquisition
+  sites so the reviewer sees the two halves of the inversion.
+
+``lock.acquire(blocking=False)`` polling (the heartbeat's try-lock) does
+not create edges: a try-lock that backs off cannot deadlock.  Re-acquiring
+the same key is ignored too — the serving tier's registry locks are
+reentrant by contract (RLock).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from ..framework import Finding, Scope, register_rule
+from ..project import Acquisition, ProjectModel, ProjectRule
+
+
+@register_rule
+class LockOrderRule(ProjectRule):
+    code = "RPR010"
+    name = "lock-order"
+    rationale = (
+        "no two code paths acquire the same pair of locks in opposite orders "
+        "(a cycle in the acquisition-order graph is a potential deadlock)"
+    )
+    default_scope = Scope()
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        # edge key -> representative (outer acquisition, inner acquisition)
+        edges: dict[tuple[str, str], tuple[Acquisition, Acquisition]] = {}
+
+        def record(outer: Acquisition, inner: Acquisition) -> None:
+            if outer.key != inner.key:
+                edges.setdefault((outer.key, inner.key), (outer, inner))
+
+        for summary in project.iter_functions():
+            for outer, inner in summary.lock_edges:
+                record(outer, inner)
+            for call in summary.calls:
+                if not call.held or call.target is None:
+                    continue
+                for inner in project.transitive_acquisitions(call.target):
+                    for outer in call.held:
+                        record(outer, inner)
+
+        yield from self._cycles(edges)
+
+    def _cycles(
+        self, edges: dict[tuple[str, str], tuple[Acquisition, Acquisition]]
+    ) -> Iterator[Finding]:
+        graph: dict[str, list[str]] = {}
+        for outer_key, inner_key in edges:
+            graph.setdefault(outer_key, []).append(inner_key)
+        for targets in graph.values():
+            targets.sort()
+        seen: set[tuple[str, ...]] = set()
+        state: dict[str, int] = {}
+        stack: list[str] = []
+
+        def visit(node: str) -> Iterator[Finding]:
+            state[node] = 1
+            stack.append(node)
+            for target in graph.get(node, ()):
+                if state.get(target, 0) == 1:
+                    cycle = tuple(stack[stack.index(target) :])
+                    key = _canonical_cycle(cycle)
+                    if key not in seen:
+                        seen.add(key)
+                        yield self._cycle_finding(cycle, edges)
+                elif state.get(target, 0) == 0:
+                    yield from visit(target)
+            stack.pop()
+            state[node] = 2
+
+        for node in sorted(graph):
+            if state.get(node, 0) == 0:
+                yield from visit(node)
+
+    def _cycle_finding(
+        self,
+        cycle: tuple[str, ...],
+        edges: dict[tuple[str, str], tuple[Acquisition, Acquisition]],
+    ) -> Finding:
+        pairs = [
+            (cycle[i], cycle[(i + 1) % len(cycle)]) for i in range(len(cycle))
+        ]
+        sites = []
+        for outer_key, inner_key in pairs:
+            outer, inner = edges[(outer_key, inner_key)]
+            sites.append(
+                f"{outer.key} ({outer.relpath}:{outer.line}) then "
+                f"{inner.key} ({inner.relpath}:{inner.line})"
+            )
+        anchor_outer, _ = edges[pairs[0]]
+        order = " -> ".join([*cycle, cycle[0]])
+        return self.finding_at(
+            anchor_outer.relpath,
+            anchor_outer.line,
+            f"potential deadlock: lock-order cycle {order}; acquisition sites: "
+            + "; ".join(sites),
+        )
+
+
+def _canonical_cycle(nodes: tuple[str, ...]) -> tuple[str, ...]:
+    pivot = nodes.index(min(nodes))
+    return nodes[pivot:] + nodes[:pivot]

@@ -307,15 +307,22 @@ class ClusterSessionService:
         """Start the slot's runner; the hello token to await (None: connected)."""
         if self._backend == "thread":
             parent_conn, worker_conn = framed_pair(self._max_frame_bytes)
-            thread = threading.Thread(
-                target=serve_connection,
-                args=(worker_conn,),
-                name=f"repro-cluster-{slot.index}",
-                daemon=True,
-            )
-            thread.start()
-            slot.runner = thread
-            slot.conn = self._wrap(parent_conn, slot)
+            try:
+                thread = threading.Thread(
+                    target=serve_connection,
+                    args=(worker_conn,),
+                    name=f"repro-cluster-{slot.index}",
+                    daemon=True,
+                )
+                thread.start()
+                slot.runner = thread
+                slot.conn = self._wrap(parent_conn, slot)
+            except BaseException:
+                # Thread creation or a custom connection wrapper failed: the
+                # pair has no owner yet, so both ends must close here (RPR012).
+                parent_conn.close()
+                worker_conn.close()
+                raise
             slot.pid = os.getpid()
             return None
         if self._backend == "process":

@@ -112,9 +112,14 @@ def worker_entry(
     worker starts, but a reconnecting external worker may race a supervisor
     restart.
     """
-    conn = connect(address, retries=25, retry_delay=0.2, max_frame_bytes=max_frame_bytes)
-    conn.send({"hello": HELLO_KIND, "token": token, "pid": os.getpid()})
-    serve_connection(conn)
+    # The with-block guarantees the socket closes even when the hello send
+    # raises; close is idempotent, so serve_connection's own finally-close
+    # and this one compose (RPR012).
+    with connect(
+        address, retries=25, retry_delay=0.2, max_frame_bytes=max_frame_bytes
+    ) as conn:
+        conn.send({"hello": HELLO_KIND, "token": token, "pid": os.getpid()})
+        serve_connection(conn)
 
 
 def main(argv: Sequence[str] | None = None) -> int:

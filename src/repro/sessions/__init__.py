@@ -5,7 +5,6 @@ session statistics, and the "benefit of using a strategy" report (Figure 4).
 from .benefit import BenefitReport, compute_benefit
 from .modes import (
     GuidedSession,
-    InteractionMode,
     ManualSession,
     TopKSession,
     create_session,
@@ -38,3 +37,14 @@ __all__ = [
     "session_options",
     "table_fingerprint",
 ]
+
+
+def __getattr__(name: str) -> object:
+    # ``InteractionMode`` lives in the service layer above this one; the
+    # lazy re-export keeps ``from repro.sessions import InteractionMode``
+    # working without pulling the serving tier in at import time (RPR009).
+    if name == "InteractionMode":
+        from ..service.protocol import InteractionMode
+
+        return InteractionMode
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -24,6 +24,8 @@ statistics and benefit report are therefore shared as before.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..core.engine import Interaction
 from ..core.examples import Label
 from ..core.oracle import Oracle
@@ -33,16 +35,12 @@ from ..core.state import InferenceState
 from ..core.strategies.base import Strategy
 from ..exceptions import StrategyError
 from ..relational.candidate import CandidateTable
-from ..service.protocol import Converged, InteractionMode
-from ..service.stepper import (
-    DEFAULT_K,
-    MODE_OPTIONS,
-    InferenceSession,
-    parse_mode,
-    validate_mode_options,
-)
 from .benefit import BenefitReport, compute_benefit
 from .statistics import SessionStatistics
+
+if TYPE_CHECKING:
+    from ..service.protocol import InteractionMode
+    from ..service.stepper import InferenceSession
 
 __all__ = [
     "GuidedSession",
@@ -51,6 +49,20 @@ __all__ = [
     "TopKSession",
     "create_session",
 ]
+
+# The sessions layer sits *below* the service layer, so the stepper and the
+# protocol's InteractionMode are reached through deferred imports at the
+# call sites (the sanctioned upward adapter seam, RPR009) rather than at
+# module level.  ``InteractionMode`` stays importable from here for
+# compatibility via the module-level ``__getattr__`` below.
+
+
+def __getattr__(name: str) -> object:
+    if name == "InteractionMode":
+        from ..service.protocol import InteractionMode
+
+        return InteractionMode
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class _BaseSession:
@@ -69,6 +81,8 @@ class _BaseSession:
         strategy: Strategy | str | None = None,
         k: int | None = None,
     ) -> None:
+        from ..service.stepper import InferenceSession
+
         self.table = table
         self.mode = mode
         self.stepper = InferenceSession(
@@ -131,6 +145,8 @@ class ManualSession(_BaseSession):
         gray_out: bool = False,
         state: InferenceState | None = None,
     ) -> None:
+        from ..service.protocol import InteractionMode
+
         mode = (
             InteractionMode.MANUAL_WITH_PRUNING if gray_out else InteractionMode.MANUAL
         )
@@ -179,9 +195,14 @@ class TopKSession(_BaseSession):
     def __init__(
         self,
         table: CandidateTable,
-        k: int = DEFAULT_K,
+        k: int | None = None,
         state: InferenceState | None = None,
     ) -> None:
+        from ..service.protocol import InteractionMode
+        from ..service.stepper import DEFAULT_K
+
+        if k is None:
+            k = DEFAULT_K
         super().__init__(table, InteractionMode.TOP_K, state=state, k=k)
         self.k = k
 
@@ -222,11 +243,15 @@ class GuidedSession(_BaseSession):
         strategy: Strategy | str | None = None,
         state: InferenceState | None = None,
     ) -> None:
+        from ..service.protocol import InteractionMode
+
         super().__init__(table, InteractionMode.GUIDED, state=state, strategy=strategy)
         self.strategy = self.stepper.strategy
 
     def next_tuple(self) -> int:
         """The tuple the system asks about next (stable until answered)."""
+        from ..service.protocol import Converged
+
         event = self.stepper.next_question()
         if isinstance(event, Converged):
             raise StrategyError("no informative tuple remains; the session has converged")
@@ -263,6 +288,9 @@ def create_session(
     (:data:`~repro.service.stepper.MODE_OPTIONS`), plus ``state`` which every
     mode accepts; options set to ``None`` mean "use the default".
     """
+    from ..service.protocol import InteractionMode
+    from ..service.stepper import DEFAULT_K, MODE_OPTIONS, parse_mode, validate_mode_options
+
     parsed = parse_mode(mode)
     allowed = MODE_OPTIONS[parsed] | {"state"}
     unknown = sorted(set(kwargs) - allowed)

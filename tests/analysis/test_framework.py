@@ -232,3 +232,119 @@ class TestCli:
         assert cli_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
         assert "RPR001 sans-io-purity" in out
+
+
+class TestUnusedSuppressions:
+    def test_stale_comment_is_reported_under_the_flag(self, tmp_path):
+        write(tmp_path, "src/repro/core/fine.py", "x = 1  # repro-lint: disable=RPR001\n")
+        analyzer = Analyzer(
+            scopes=PROJECT_SCOPES, root=tmp_path, warn_unused_suppressions=True
+        )
+        report = analyzer.analyze_paths([tmp_path / "src"])
+        assert [finding.code for finding in report.findings] == ["RPR099"]
+        assert "unused suppression" in report.findings[0].message
+        assert "RPR001" in report.findings[0].message
+
+    def test_used_comment_is_not_reported(self, tmp_path):
+        write(tmp_path, "src/repro/core/bad.py", 'print("x")  # repro-lint: disable=RPR001\n')
+        analyzer = Analyzer(
+            scopes=PROJECT_SCOPES, root=tmp_path, warn_unused_suppressions=True
+        )
+        report = analyzer.analyze_paths([tmp_path / "src"])
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_off_by_default(self, tmp_path):
+        write(tmp_path, "src/repro/core/fine.py", "x = 1  # repro-lint: disable=RPR001\n")
+        report = project_analyzer(tmp_path).analyze_paths([tmp_path / "src"])
+        assert report.ok
+
+    def test_suppressions_are_parsed_in_clean_files_too(self, tmp_path):
+        # The per-file analysis reports the stale comment even when the file
+        # carries no findings at all (the suppression parse is unconditional).
+        path = write(tmp_path, "src/repro/core/fine.py", "x = 1  # repro-lint: disable=RPR001\n")
+        analysis = project_analyzer(tmp_path).analyze_file(path)
+        assert analysis.findings == []
+        assert analysis.suppressed == 0
+        assert [finding.code for finding in analysis.unused_suppressions] == ["RPR099"]
+
+    def test_docstring_mention_is_not_a_suppression(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/core/docs.py",
+            '''\
+            """Use ``# repro-lint: disable=RPR001`` to suppress a finding."""
+
+            x = 1
+            ''',
+        )
+        analyzer = Analyzer(
+            scopes=PROJECT_SCOPES, root=tmp_path, warn_unused_suppressions=True
+        )
+        assert analyzer.analyze_paths([tmp_path / "src"]).ok
+
+    def test_mid_comment_mention_is_not_a_suppression(self, tmp_path):
+        write(
+            tmp_path,
+            "src/repro/core/docs.py",
+            "#: the directive looks like ``# repro-lint: disable=RPR001``\nx = 1\n",
+        )
+        analyzer = Analyzer(
+            scopes=PROJECT_SCOPES, root=tmp_path, warn_unused_suppressions=True
+        )
+        assert analyzer.analyze_paths([tmp_path / "src"]).ok
+
+
+class TestJsonFormat:
+    def test_json_report_carries_findings_and_counts(self, tmp_path, capsys):
+        import json
+
+        write(tmp_path, "src/repro/core/bad.py", VIOLATION)
+        assert cli_main(["--root", str(tmp_path), "--format", "json", str(tmp_path / "src")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 1
+        assert payload["counts_by_rule"] == {"RPR001": 1}
+        (finding,) = payload["findings"]
+        assert finding["path"] == "src/repro/core/bad.py"
+        assert finding["line"] == 1
+        assert finding["code"] == "RPR001"
+        assert finding["message"]
+
+    def test_json_report_on_a_clean_tree(self, tmp_path, capsys):
+        import json
+
+        write(tmp_path, "src/repro/core/fine.py", "x = 1\n")
+        assert cli_main(["--root", str(tmp_path), "--format", "json", str(tmp_path / "src")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["findings"] == []
+
+
+class TestRestrictReport:
+    def test_only_restricted_paths_are_reported(self, tmp_path, capsys):
+        write(tmp_path, "src/repro/core/a.py", VIOLATION)
+        write(tmp_path, "src/repro/core/b.py", VIOLATION)
+        args = [
+            "--root",
+            str(tmp_path),
+            "--restrict-report",
+            "src/repro/core/a.py",
+            str(tmp_path / "src"),
+        ]
+        assert cli_main(args) == 1
+        out = capsys.readouterr().out
+        assert "src/repro/core/a.py:1 RPR001" in out
+        assert "src/repro/core/b.py" not in out
+
+    def test_exit_zero_when_restricted_files_are_clean(self, tmp_path):
+        write(tmp_path, "src/repro/core/fine.py", "x = 1\n")
+        write(tmp_path, "src/repro/core/bad.py", VIOLATION)
+        args = [
+            "--root",
+            str(tmp_path),
+            "--restrict-report",
+            "src/repro/core/fine.py",
+            str(tmp_path / "src"),
+        ]
+        assert cli_main(args) == 0

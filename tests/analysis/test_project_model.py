@@ -1,0 +1,189 @@
+"""The whole-program model: import-graph resolution and classification.
+
+These tests build a :class:`~repro.analysis.project.ProjectModel` over small
+synthetic package trees and assert on the *resolved* graph — relative
+imports anchored at the right package, ``from pkg import mod`` vs ``from mod
+import symbol``, re-exports through ``__init__.py``, and the import-time /
+``TYPE_CHECKING`` / deferred classification the layer rule relies on.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import PROJECT_SCOPES, Analyzer
+from repro.analysis.framework import ModuleSource
+from repro.analysis.project import ProjectModel
+
+
+def write(root: Path, relpath: str, source: str) -> Path:
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def build_model(root: Path) -> ProjectModel:
+    sources = []
+    for path in sorted(root.rglob("*.py")):
+        relpath = path.relative_to(root).as_posix()
+        sources.append(ModuleSource.parse(path, relpath, path.read_text(encoding="utf-8")))
+    return ProjectModel.build(sources, root)
+
+
+def edges_of(model: ProjectModel, importer: str) -> set[tuple[str, bool, bool]]:
+    return {
+        (edge.target, edge.deferred, edge.type_checking)
+        for edge in model.import_edges
+        if edge.importer == importer
+    }
+
+
+class TestModuleNaming:
+    def test_names_anchor_at_the_topmost_package(self, tmp_path):
+        write(tmp_path, "src/pkg/__init__.py", "")
+        write(tmp_path, "src/pkg/sub/__init__.py", "")
+        write(tmp_path, "src/pkg/sub/mod.py", "x = 1\n")
+        write(tmp_path, "scripts/tool.py", "x = 1\n")
+        model = build_model(tmp_path)
+        # src/ carries no __init__.py, so the package root is pkg.
+        assert "pkg.sub.mod" in model.modules
+        assert model.modules["pkg.sub"].is_package
+        # A file outside any package is a top-level module named by its stem.
+        assert "tool" in model.modules
+
+
+class TestRelativeImports:
+    def test_single_dot_resolves_to_the_sibling(self, tmp_path):
+        write(tmp_path, "pkg/__init__.py", "")
+        write(tmp_path, "pkg/b.py", "thing = 1\n")
+        write(tmp_path, "pkg/a.py", "from .b import thing\n")
+        model = build_model(tmp_path)
+        assert edges_of(model, "pkg.a") == {("pkg.b", False, False)}
+
+    def test_double_dot_resolves_to_the_parent_package(self, tmp_path):
+        write(tmp_path, "pkg/__init__.py", "")
+        write(tmp_path, "pkg/b.py", "thing = 1\n")
+        write(tmp_path, "pkg/sub/__init__.py", "")
+        write(tmp_path, "pkg/sub/c.py", "from ..b import thing\n")
+        model = build_model(tmp_path)
+        assert edges_of(model, "pkg.sub.c") == {("pkg.b", False, False)}
+
+    def test_package_init_anchors_at_itself(self, tmp_path):
+        # ``from .mod import x`` inside pkg/__init__.py is pkg.mod, not
+        # a sibling of pkg.
+        write(tmp_path, "pkg/__init__.py", "from .mod import x\n")
+        write(tmp_path, "pkg/mod.py", "x = 1\n")
+        model = build_model(tmp_path)
+        assert edges_of(model, "pkg") == {("pkg.mod", False, False)}
+
+
+class TestFromImportTargets:
+    def test_from_package_import_module_binds_the_module(self, tmp_path):
+        write(tmp_path, "pkg/__init__.py", "")
+        write(tmp_path, "pkg/b.py", "x = 1\n")
+        write(tmp_path, "user.py", "from pkg import b\n")
+        model = build_model(tmp_path)
+        # The edge points at the module that executes, and the symbol table
+        # binds the local name to it.
+        assert edges_of(model, "user") == {("pkg.b", False, False)}
+        assert model.modules["user"].symbols["b"] == "pkg.b"
+
+    def test_from_module_import_symbol_targets_the_module(self, tmp_path):
+        write(tmp_path, "pkg/__init__.py", "")
+        write(tmp_path, "pkg/b.py", "helper = 1\n")
+        write(tmp_path, "user.py", "from pkg.b import helper\n")
+        model = build_model(tmp_path)
+        # ``helper`` is not a module, so the edge falls back to pkg.b and
+        # the symbol records the dotted origin of the name.
+        assert edges_of(model, "user") == {("pkg.b", False, False)}
+        assert model.modules["user"].symbols["helper"] == "pkg.b.helper"
+
+    def test_init_reexport_resolves_through_the_package(self, tmp_path):
+        write(tmp_path, "pkg/__init__.py", "from .impl import Thing\n")
+        write(tmp_path, "pkg/impl.py", "class Thing:\n    pass\n")
+        write(tmp_path, "user.py", "from pkg import Thing\n")
+        model = build_model(tmp_path)
+        # The re-export gives pkg an edge to pkg.impl; the consumer's edge
+        # stops at pkg (Thing is a symbol there, not a module) — the
+        # documented granularity of the graph.
+        assert edges_of(model, "pkg") == {("pkg.impl", False, False)}
+        assert edges_of(model, "user") == {("pkg", False, False)}
+        # The class is still findable through the re-export chain.
+        resolved = model.resolve_class("Thing", "user")
+        assert resolved is not None and resolved.module == "pkg.impl"
+
+
+class TestEdgeClassification:
+    def test_function_body_imports_are_deferred(self, tmp_path):
+        write(tmp_path, "pkg/__init__.py", "")
+        write(tmp_path, "pkg/b.py", "x = 1\n")
+        write(
+            tmp_path,
+            "pkg/a.py",
+            """\
+            def use():
+                from .b import x
+                return x
+            """,
+        )
+        model = build_model(tmp_path)
+        assert edges_of(model, "pkg.a") == {("pkg.b", True, False)}
+
+    def test_type_checking_imports_are_classified(self, tmp_path):
+        write(tmp_path, "pkg/__init__.py", "")
+        write(tmp_path, "pkg/b.py", "class B:\n    pass\n")
+        write(
+            tmp_path,
+            "pkg/a.py",
+            """\
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from .b import B
+            """,
+        )
+        model = build_model(tmp_path)
+        assert edges_of(model, "pkg.a") == {("pkg.b", False, True)}
+        assert not any(edge.import_time for edge in model.import_edges if edge.importer == "pkg.a")
+
+    def test_external_imports_record_no_edge(self, tmp_path):
+        write(tmp_path, "pkg/__init__.py", "")
+        write(tmp_path, "pkg/a.py", "import json\nfrom collections import abc\n")
+        model = build_model(tmp_path)
+        assert edges_of(model, "pkg.a") == set()
+        # ... but the symbol table still learns the binding, for dotted-name
+        # resolution (``json.dumps`` -> ``json.dumps``).
+        assert model.modules["pkg.a"].symbols["json"] == "json"
+
+
+class TestCycleDetection:
+    def test_two_module_cycle_is_flagged_once_by_rpr009(self, tmp_path):
+        write(tmp_path, "cyc/__init__.py", "")
+        write(tmp_path, "cyc/a.py", "from .b import beta\nalpha = 1\n")
+        write(tmp_path, "cyc/b.py", "from .a import alpha\nbeta = 2\n")
+        analyzer = Analyzer(scopes=PROJECT_SCOPES, root=tmp_path)
+        report = analyzer.analyze_paths([tmp_path])
+        cycles = [f for f in report.findings if f.code == "RPR009"]
+        assert len(cycles) == 1
+        assert "import cycle" in cycles[0].message
+        assert "cyc.a" in cycles[0].message and "cyc.b" in cycles[0].message
+
+    def test_deferred_back_edge_breaks_the_cycle(self, tmp_path):
+        write(tmp_path, "cyc/__init__.py", "")
+        write(tmp_path, "cyc/a.py", "from .b import beta\nalpha = 1\n")
+        write(
+            tmp_path,
+            "cyc/b.py",
+            """\
+            beta = 2
+
+            def late():
+                from .a import alpha
+                return alpha
+            """,
+        )
+        analyzer = Analyzer(scopes=PROJECT_SCOPES, root=tmp_path)
+        report = analyzer.analyze_paths([tmp_path])
+        assert [f for f in report.findings if f.code == "RPR009"] == []
